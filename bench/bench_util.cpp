@@ -1,0 +1,75 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace spmvml::bench {
+
+std::vector<MachineConfig> machine_configs() {
+  return {{0, Precision::kSingle, "K80c single"},
+          {0, Precision::kDouble, "K80c double"},
+          {1, Precision::kSingle, "P100 single"},
+          {1, Precision::kDouble, "P100 double"}};
+}
+
+bool fast() { return fast_mode(); }
+
+const LabeledCorpus& corpus() {
+  static const LabeledCorpus shared = [] {
+    const double scale = corpus_scale();
+    const auto plan = make_corpus_plan(scale, root_seed());
+    CollectOptions options;
+    std::size_t last_pct = 0;
+    options.progress = [&last_pct](std::size_t done, std::size_t total) {
+      const std::size_t pct = done * 100 / total;
+      if (pct >= last_pct + 10) {
+        last_pct = pct;
+        std::printf("  [corpus] labeled %zu/%zu matrices (%zu%%)\n", done,
+                    total, pct);
+        std::fflush(stdout);
+      }
+    };
+    std::printf("[corpus] scale=%.2f (%zu matrices), cache=%s\n", scale,
+                plan.size(), "spmvml_corpus_cache.csv");
+    WallTimer timer;
+    auto corpus = load_or_collect("spmvml_corpus_cache.csv", plan, options);
+    std::printf("[corpus] ready in %.1fs\n", timer.seconds());
+    return corpus;
+  }();
+  return shared;
+}
+
+void banner(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+EvalResult classify_eval(const ClassificationStudy& study, ModelKind kind,
+                         std::uint64_t seed) {
+  const auto [train_idx, test_idx] =
+      ml::split_indices(study.data, 0.2, seed);
+  const auto train = study.data.subset(train_idx);
+
+  auto model = make_classifier(kind, fast());
+  model->fit(train.x, train.labels);
+
+  EvalResult result;
+  result.truth.reserve(test_idx.size());
+  result.predicted.reserve(test_idx.size());
+  result.times.reserve(test_idx.size());
+  for (std::size_t i : test_idx) {
+    result.truth.push_back(study.data.labels[i]);
+    result.predicted.push_back(model->predict(study.data.x[i]));
+    result.times.push_back(study.times[i]);
+  }
+  result.accuracy = ml::accuracy(result.truth, result.predicted);
+  return result;
+}
+
+double classify_accuracy(const ClassificationStudy& study, ModelKind kind,
+                         std::uint64_t seed) {
+  return classify_eval(study, kind, seed).accuracy;
+}
+
+}  // namespace spmvml::bench

@@ -1,0 +1,53 @@
+// Shared plumbing for the experiment benches: corpus cache, experiment
+// headers, and the train/evaluate helpers every table reuses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/format_selector.hpp"
+#include "core/indirect.hpp"
+#include "core/perf_model.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml::bench {
+
+/// The (arch, precision) axes every results table iterates, in the
+/// paper's row order: K80c single, K80c double, P100 single, P100 double.
+struct MachineConfig {
+  int arch;  // 0 = K80c, 1 = P100
+  Precision prec;
+  const char* label;
+};
+std::vector<MachineConfig> machine_configs();
+
+/// Full-scale labeled corpus, cached next to the binary so only the first
+/// bench run pays collection (~2 min at scale 1). Honours
+/// SPMVML_CORPUS_SCALE and SPMVML_SEED.
+const LabeledCorpus& corpus();
+
+/// Print the standard experiment banner.
+void banner(const std::string& experiment, const std::string& paper_ref);
+
+/// Train `kind` on an 80% split of `study`, return held-out accuracy.
+/// Deterministic in `seed`.
+double classify_accuracy(const ClassificationStudy& study, ModelKind kind,
+                         std::uint64_t seed);
+
+/// Accuracy + the test-set predictions/times (for slowdown analysis).
+struct EvalResult {
+  double accuracy = 0.0;
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  std::vector<std::vector<double>> times;  // candidate times per test row
+};
+EvalResult classify_eval(const ClassificationStudy& study, ModelKind kind,
+                         std::uint64_t seed);
+
+/// True when SPMVML_FAST=1 — benches then shrink model effort.
+bool fast();
+
+}  // namespace spmvml::bench

@@ -1,0 +1,58 @@
+// Shared driver for the classification-accuracy tables (IV–X): one table
+// per feature set, rows = machine x precision, columns = the four model
+// families, best cell(s) highlighted with '*' like the paper's bold.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace spmvml::bench {
+
+/// Paper accuracy for one (machine, precision) row, in model order
+/// {decision tree, SVM, MLP, XGBoost}; used to print ours-vs-paper.
+using PaperRow = std::array<int, 4>;
+
+inline void run_classification_table(
+    const std::string& title, const std::string& ref,
+    std::span<const Format> candidates, FeatureSet set, bool drop_coo_best,
+    const std::vector<PaperRow>& paper_rows) {
+  banner(title, ref);
+  const std::vector<ModelKind> models = {ModelKind::kDecisionTree,
+                                         ModelKind::kSvm, ModelKind::kMlp,
+                                         ModelKind::kXgboost};
+  TablePrinter table({"Machine", "precision", "decs. tree (paper)",
+                      "SVM (paper)", "MLP (paper)", "XGBST (paper)"});
+  const auto configs = machine_configs();
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto& cfg = configs[c];
+    const auto study = make_classification_study(
+        corpus(), cfg.arch, cfg.prec, candidates, set, drop_coo_best);
+    std::vector<double> acc;
+    double best = 0.0;
+    for (ModelKind kind : models) {
+      const double a = classify_accuracy(study, kind, 1000 + c);
+      acc.push_back(a);
+      best = std::max(best, a);
+      std::printf("  [%s %s] %s: %.1f%%\n", cfg.label,
+                  feature_set_name(set), model_name(kind), a * 100.0);
+      std::fflush(stdout);
+    }
+    std::vector<std::string> row = {
+        std::string(cfg.label).substr(0, 4),
+        precision_name(cfg.prec)};
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      std::string cell = TablePrinter::pct(acc[m], 0);
+      if (acc[m] >= best - 1e-9) cell += "*";
+      cell += " (" + std::to_string(paper_rows[c][m]) + "%)";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("(* = best model in the row; parentheses = paper's value)\n");
+}
+
+}  // namespace spmvml::bench

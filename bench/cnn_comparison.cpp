@@ -1,0 +1,89 @@
+// Supporting experiment for §VII: the CNN-based format selection of
+// Zhao et al. (PPoPP'18), which the paper cites as the state of the art
+// (93% CPU / 90% GPU accuracy) and argues its cheap-features approach
+// matches via indirect classification (Table XIV).
+//
+// Trains a small convnet on 32x32 density images of the corpus matrices
+// and compares held-out accuracy against XGBoost on the 11 hand-crafted
+// features, for the P100 double-precision 6-format study.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "features/image.hpp"
+#include "ml/cnn.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  banner("CNN comparison — matrix-image classification (Zhao et al.)",
+         "Nisa et al. 2018, §VII / Table XIV discussion (CNN: ~90% on GPU)");
+
+  // Density images are not part of the label cache; regenerate matrices.
+  // A reduced corpus keeps this a minutes-scale experiment.
+  const double scale = fast() ? 0.05 : 0.4;
+  const auto plan = make_corpus_plan(scale * corpus_scale(), root_seed());
+  std::printf("rendering %zu matrices to 32x32 density images...\n",
+              plan.size());
+  const auto labeled = collect_corpus(plan);
+  ml::ImageSet images;
+  images.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    images.push_back(density_image(generate(plan.specs[i]), 32));
+    if ((i + 1) % 200 == 0) {
+      std::printf("  %zu/%zu\n", i + 1, plan.size());
+      std::fflush(stdout);
+    }
+  }
+
+  const auto study = make_classification_study(
+      labeled, /*arch=*/1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  const auto [train_idx, test_idx] = ml::split_indices(study.data, 0.2, 9);
+
+  // CNN on images.
+  ml::ImageSet train_images;
+  std::vector<int> train_labels;
+  for (std::size_t i : train_idx) {
+    train_images.push_back(images[i]);
+    train_labels.push_back(study.data.labels[i]);
+  }
+  ml::CnnParams cp;
+  cp.epochs = fast() ? 6 : 30;
+  ml::CnnClassifier cnn(cp);
+  std::printf("training CNN (%d epochs on %zu images)...\n", cp.epochs,
+              train_images.size());
+  std::fflush(stdout);
+  cnn.fit(train_images, train_labels);
+
+  std::vector<int> truth, cnn_pred;
+  for (std::size_t i : test_idx) {
+    truth.push_back(study.data.labels[i]);
+    cnn_pred.push_back(cnn.predict(images[i]));
+  }
+  const double cnn_acc = ml::accuracy(truth, cnn_pred);
+
+  // XGBoost on the 11 features (same split).
+  const auto train = study.data.subset(train_idx);
+  auto xgb = make_classifier(ModelKind::kXgboost, fast());
+  xgb->fit(train.x, train.labels);
+  std::vector<int> xgb_pred;
+  for (std::size_t i : test_idx) xgb_pred.push_back(xgb->predict(study.data.x[i]));
+  const double xgb_acc = ml::accuracy(truth, xgb_pred);
+
+  TablePrinter table({"model", "input", "test accuracy", "paper reference"});
+  table.add_row({"CNN (conv-conv-dense)", "32x32 density image",
+                 TablePrinter::pct(cnn_acc, 1),
+                 "Zhao et al.: ~90% (GPU)"});
+  table.add_row({"XGBoost", "11 features (sets 1+2)",
+                 TablePrinter::pct(xgb_acc, 1),
+                 "Nisa et al.: 84-88%"});
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nShape to reproduce: hand-crafted features match or beat the\n"
+      "image CNN at this corpus size (Zhao et al. needed 9200 matrices\n"
+      "to reach ~90%%), supporting the paper's conclusion that cheap\n"
+      "features + inexpensive models are the better deployment trade.\n");
+  return 0;
+}

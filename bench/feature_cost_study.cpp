@@ -1,0 +1,86 @@
+// Supporting experiment for §IV-A and the conclusion's "inexpensive
+// deployment" claim: what do the features actually cost to compute,
+// relative to the SpMV they optimise — and how much accuracy does
+// sampled (sub-linear) extraction give up?
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  banner("Feature-cost study — O(1) vs O(nnz) vs sampled extraction",
+         "Nisa et al. 2018, §IV-A (feature cost) + §VIII (edge deployment)");
+
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 400'000;
+  spec.cols = 400'000;
+  spec.row_mu = 15.0;
+  spec.row_cv = 0.8;
+  spec.seed = 12;
+  const auto m = generate(spec);
+  std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(m.rows()));
+
+  auto time_it = [](auto&& fn, int reps) {
+    WallTimer timer;
+    for (int r = 0; r < reps; ++r) fn();
+    return timer.seconds() / reps * 1e3;  // ms
+  };
+  const double t_spmv = time_it([&] { m.spmv(x, y); }, 5);
+  const double t_full = time_it([&] { (void)extract_features(m); }, 5);
+  const double t_s10 =
+      time_it([&] { (void)extract_features_sampled(m, 0.1, 1); }, 5);
+  const double t_s01 =
+      time_it([&] { (void)extract_features_sampled(m, 0.01, 1); }, 5);
+
+  std::printf("matrix: %lld rows, %lld nnz\n\n",
+              static_cast<long long>(m.rows()),
+              static_cast<long long>(m.nnz()));
+  TablePrinter table({"operation", "time (ms)", "vs one SpMV"});
+  table.add_row({"CSR SpMV (1 iteration)", TablePrinter::fmt(t_spmv, 2), "1.0x"});
+  table.add_row({"17 features, exact O(nnz)", TablePrinter::fmt(t_full, 2),
+                 TablePrinter::fmt(t_full / t_spmv, 2) + "x"});
+  table.add_row({"17 features, 10% row sample", TablePrinter::fmt(t_s10, 2),
+                 TablePrinter::fmt(t_s10 / t_spmv, 2) + "x"});
+  table.add_row({"17 features, 1% row sample", TablePrinter::fmt(t_s01, 2),
+                 TablePrinter::fmt(t_s01 / t_spmv, 2) + "x"});
+  std::printf("%s", table.to_string().c_str());
+
+  // Accuracy cost of sampling: train on exact features, test with
+  // sampled ones (the realistic deployment mismatch).
+  const auto study = make_classification_study(
+      corpus(), /*arch=*/1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  auto model = make_classifier(ModelKind::kXgboost, fast());
+  model->fit(study.data.x, study.data.labels);
+
+  const auto plan = make_corpus_plan(0.05 * corpus_scale(), root_seed() + 7);
+  const auto probe = collect_corpus(plan);
+  const auto set = feature_set_indices(FeatureSet::kSet12);
+  std::printf("\naccuracy on %zu fresh matrices (XGBoost, sets 1+2):\n",
+              probe.size());
+  for (double fraction : {1.0, 0.1, 0.01}) {
+    std::vector<int> truth, pred;
+    std::size_t i = 0;
+    for (const auto& rec : probe.records) {
+      // Regenerate the matrix to extract sampled features.
+      const auto matrix = generate(plan.specs[i++]);
+      const auto f = extract_features_sampled(matrix, fraction, 5);
+      truth.push_back(rec.best_among(1, Precision::kDouble, kAllFormats));
+      pred.push_back(model->predict(f.select(set)));
+    }
+    std::printf("  fraction %.2f -> accuracy %.1f%%\n", fraction,
+                100.0 * ml::accuracy(truth, pred));
+  }
+  std::printf(
+      "\nExpected: exact extraction costs on the order of one SpMV (it\n"
+      "amortises instantly in iterative solvers); sampling buys a ~10x\n"
+      "cheaper probe at a modest accuracy cost.\n");
+  return 0;
+}

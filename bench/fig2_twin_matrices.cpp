@@ -1,0 +1,65 @@
+// Reproduces Fig. 2: two matrices with nearly identical macro statistics
+// (~6.5M nnz, ~half-million square) but different CSR5 / merge-CSR
+// GFLOPS — rgg_n_2_19_s0 (random geometric graph) vs auto (FEM mesh).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/oracle.hpp"
+#include "gpusim/row_summary.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+
+int main() {
+  bench::banner("Fig. 2 — twin matrices, different CSR5/merge performance",
+                "Nisa et al. 2018, Fig. 2 (rgg_n_2_19_s0 vs auto)");
+
+  // rgg_n_2_19_s0: 524K-node random geometric graph, ~6.5M nnz (mu ~12.5).
+  GenSpec rgg;
+  rgg.family = MatrixFamily::kGeomGraph;
+  rgg.rows = 524'288;
+  rgg.cols = rgg.rows;
+  rgg.row_mu = 12.5;
+  rgg.seed = 219;
+
+  // auto: 449K-row 3D FEM mesh, ~6.6M nnz (mu ~14.7). A 3D mesh flattened
+  // to 1D keeps only loose banding (wide band), unlike rgg's geometric
+  // vertex order.
+  GenSpec fem;
+  fem.family = MatrixFamily::kBanded;
+  fem.rows = 448'695;
+  fem.cols = fem.rows;
+  fem.row_mu = 14.7;
+  fem.band_frac = 0.08;
+  fem.seed = 449;
+
+  const MeasurementOracle oracle(tesla_k40c(), Precision::kSingle);
+
+  TablePrinter table({"matrix", "rows", "nnz", "CSR5 GFLOPS (paper)",
+                      "merge GFLOPS (paper)"});
+  struct Case {
+    const char* name;
+    GenSpec spec;
+    double paper_csr5, paper_merge;
+  };
+  for (const Case& c : {Case{"rgg_n_2_19_s0 (geom)", rgg, 22.0, 21.0},
+                        Case{"auto (FEM banded)", fem, 18.0, 15.0}}) {
+    const auto m = generate(c.spec);
+    const auto s = summarize(m);
+    const auto csr5 = oracle.measure(s, Format::kCsr5, c.spec.seed);
+    const auto merge = oracle.measure(s, Format::kMergeCsr, c.spec.seed);
+    table.add_row({c.name, std::to_string(m.rows()),
+                   std::to_string(m.nnz()),
+                   TablePrinter::fmt(csr5.gflops, 1) + " (" +
+                       TablePrinter::fmt(c.paper_csr5, 0) + ")",
+                   TablePrinter::fmt(merge.gflops, 1) + " (" +
+                       TablePrinter::fmt(c.paper_merge, 0) + ")"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nShape to reproduce: similar nnz/rows, yet measurably different\n"
+      "GFLOPS (the geometric graph's sorted vertices give it better\n"
+      "x-vector locality than the wide-band 3D mesh), and CSR5 >= merge\n"
+      "on both, as in the paper.\n");
+  return 0;
+}

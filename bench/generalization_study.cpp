@@ -1,0 +1,55 @@
+// Supporting experiment: structure-family generalization. The paper's
+// 80/20 split mixes families between train and test; real deployments
+// meet matrix kinds absent from training. Hold each family out entirely,
+// train on the rest, test on the held-out family.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  banner("Generalization — leave-one-structure-family-out",
+         "supporting experiment (no direct paper analogue)");
+
+  const auto& data = corpus();
+  const auto study = make_classification_study(
+      data, /*arch=*/1, Precision::kDouble, kAllFormats, FeatureSet::kSet12);
+
+  TablePrinter table({"held-out family", "n test", "accuracy",
+                      "mean slowdown of choice"});
+  for (int fam = 0; fam < kNumFamilies; ++fam) {
+    ml::Matrix train_x, test_x;
+    std::vector<int> train_y, test_y;
+    std::vector<std::vector<double>> test_times;
+    for (std::size_t i = 0; i < study.data.size(); ++i) {
+      if (data.records[i].family == fam) {
+        test_x.push_back(study.data.x[i]);
+        test_y.push_back(study.data.labels[i]);
+        test_times.push_back(study.times[i]);
+      } else {
+        train_x.push_back(study.data.x[i]);
+        train_y.push_back(study.data.labels[i]);
+      }
+    }
+    if (test_x.empty()) continue;
+    auto model = make_classifier(ModelKind::kXgboost, fast());
+    model->fit(train_x, train_y);
+    const auto pred = model->predict_batch(test_x);
+    const auto slowdowns = selection_slowdowns(pred, test_times);
+    table.add_row({family_name(static_cast<MatrixFamily>(fam)),
+                   std::to_string(test_x.size()),
+                   TablePrinter::pct(ml::accuracy(test_y, pred), 1),
+                   TablePrinter::fmt(ml::mean_slowdown(slowdowns), 3) + "x"});
+    std::printf("  held out %s\n", family_name(static_cast<MatrixFamily>(fam)));
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nExpected: accuracy dips below the mixed-family 80/20 numbers —\n"
+      "the features transfer, but unseen structure costs a few points;\n"
+      "chosen formats stay within a small slowdown of optimal.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Supporting experiment for §IV-D: run the paper's GridSearchCV protocol
+// (its exact XGBoost and SVM grids, 5-fold stratified CV) on the P100
+// double-precision 6-format study and compare the tuned configuration
+// against this library's defaults on a held-out test split.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/tuning.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  banner("GridSearchCV — the paper's §IV-D hyper-parameter protocol",
+         "Nisa et al. 2018, §IV-D (grids for XGBoost and SVM)");
+
+  const auto study = make_classification_study(
+      corpus(), /*arch=*/1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  const auto [train_idx, test_idx] = ml::split_indices(study.data, 0.2, 42);
+  const auto train = study.data.subset(train_idx);
+  const auto test = study.data.subset(test_idx);
+  const int folds = fast() ? 3 : 5;
+
+  TablePrinter table({"model", "best params (CV)", "CV acc", "test acc",
+                      "default-params test acc"});
+  for (ModelKind kind : {ModelKind::kXgboost, ModelKind::kSvm}) {
+    std::printf("  tuning %s over %zu grid points (%d-fold CV)...\n",
+                model_name(kind), paper_grid(kind, fast()).size(), folds);
+    std::fflush(stdout);
+    const auto result = tune_classifier(kind, train, folds, 42, fast());
+
+    std::string params;
+    for (const auto& [name, value] : result.best_params)
+      params += name + "=" + TablePrinter::fmt(value, value < 1 ? 3 : 0) + " ";
+
+    auto tuned = make_classifier_with(kind, result.best_params);
+    tuned->fit(train.x, train.labels);
+    const double tuned_acc =
+        ml::accuracy(test.labels, tuned->predict_batch(test.x));
+
+    auto defaults = make_classifier(kind, fast());
+    defaults->fit(train.x, train.labels);
+    const double default_acc =
+        ml::accuracy(test.labels, defaults->predict_batch(test.x));
+
+    table.add_row({model_name(kind), params,
+                   TablePrinter::pct(result.best_score, 1),
+                   TablePrinter::pct(tuned_acc, 1),
+                   TablePrinter::pct(default_acc, 1)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nExpected: CV-selected configurations perform within a point or\n"
+      "two of (or above) the library defaults — §IV-D's tuning protocol\n"
+      "is reproducible but not load-bearing for the headline numbers.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Supporting experiment: matrix ordering changes SpMV performance and can
+// change the best format — the locality effect behind the paper's Fig. 2
+// twins, driven end-to-end here with RCM.
+//
+// For shuffled (arbitrary-order) matrices: report bandwidth, simulated
+// gather traffic and per-format GFLOPS before and after RCM reordering,
+// plus what a trained selector recommends for each version.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/oracle.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/reorder.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  banner("Reordering study — RCM vs arbitrary labeling",
+         "supporting: the locality mechanism behind Fig. 2 (DESIGN.md §6.1)");
+
+  FormatSelector selector(ModelKind::kXgboost, FeatureSet::kSet12,
+                          kAllFormats, fast());
+  selector.fit(corpus(), /*arch=*/0, Precision::kDouble);
+  const MeasurementOracle oracle(tesla_k40c(), Precision::kDouble);
+
+  TablePrinter table({"matrix", "version", "bandwidth", "gather MB",
+                      "best fmt (simulated)", "best GFLOPS", "selector says"});
+  for (auto [family, name] : {std::pair{MatrixFamily::kBanded, "FEM-mesh"},
+                              {MatrixFamily::kGeomGraph, "geom-graph"}}) {
+    GenSpec spec;
+    spec.family = family;
+    spec.rows = 200'000;
+    spec.cols = spec.rows;
+    spec.row_mu = 11.0;
+    spec.seed = 31;
+    const auto native = generate(spec);
+    const auto shuffled = shuffle_labels(native, 7);
+    const auto recovered = permute_symmetric(shuffled, rcm_ordering(shuffled));
+
+    struct Version {
+      const char* label;
+      const Csr<double>* m;
+    };
+    for (const Version& v : {Version{"native", &native},
+                             Version{"shuffled", &shuffled},
+                             Version{"RCM", &recovered}}) {
+      const auto summary = summarize(*v.m);
+      double best_gflops = 0.0;
+      Format best = Format::kCsr;
+      for (Format f : kAllFormats) {
+        const auto meas = oracle.measure(summary, f, spec.seed);
+        if (meas.gflops > best_gflops) {
+          best_gflops = meas.gflops;
+          best = f;
+        }
+      }
+      const auto breakdown =
+          simulate_cost(summary, Format::kCsr, tesla_k40c(),
+                        Precision::kDouble);
+      table.add_row({name, v.label, std::to_string(bandwidth(*v.m)),
+                     TablePrinter::fmt(breakdown.gather_bytes / 1e6, 1),
+                     format_name(best), TablePrinter::fmt(best_gflops, 1),
+                     format_name(selector.select(*v.m))});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nExpected shapes: shuffling explodes bandwidth and gather traffic\n"
+      "and drops achieved GFLOPS; RCM recovers most of both. The trained\n"
+      "selector adapts its recommendation to the ordering it is shown.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the CPU SpMV kernels backing every
+// format — wall-clock validation that conversions and kernels behave
+// (complements the GPU *simulator* the studies use for timing).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "features/features.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+namespace {
+
+using namespace spmvml;
+
+const Csr<double>& bench_matrix() {
+  static const Csr<double> m = [] {
+    GenSpec spec;
+    spec.family = MatrixFamily::kUniformRandom;
+    spec.rows = 50'000;
+    spec.cols = 50'000;
+    spec.row_mu = 12.0;
+    spec.row_cv = 0.8;
+    spec.seed = 42;
+    return generate(spec);
+  }();
+  return m;
+}
+
+template <Format F>
+void BM_Spmv(benchmark::State& state) {
+  const auto& csr = bench_matrix();
+  const auto any = AnyMatrix<double>::build(F, csr);
+  std::vector<double> x(static_cast<std::size_t>(csr.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(csr.rows()));
+  for (auto _ : state) {
+    any.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(2 * csr.nnz() * state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+BENCHMARK(BM_Spmv<Format::kCoo>)->Name("spmv/COO");
+BENCHMARK(BM_Spmv<Format::kCsr>)->Name("spmv/CSR");
+BENCHMARK(BM_Spmv<Format::kEll>)->Name("spmv/ELL");
+BENCHMARK(BM_Spmv<Format::kHyb>)->Name("spmv/HYB");
+BENCHMARK(BM_Spmv<Format::kCsr5>)->Name("spmv/CSR5");
+BENCHMARK(BM_Spmv<Format::kMergeCsr>)->Name("spmv/merge-CSR");
+
+void BM_Convert(benchmark::State& state) {
+  const auto& csr = bench_matrix();
+  const auto format = static_cast<Format>(state.range(0));
+  for (auto _ : state) {
+    auto any = AnyMatrix<double>::build(format, csr);
+    benchmark::DoNotOptimize(any.nnz());
+  }
+  state.SetLabel(format_name(format));
+}
+BENCHMARK(BM_Convert)->DenseRange(0, kNumFormats - 1)->Name("convert");
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& csr = bench_matrix();
+  for (auto _ : state) {
+    auto f = extract_features(csr);
+    benchmark::DoNotOptimize(f.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_FeatureExtraction)->Name("features/extract17");
+
+}  // namespace
+
+BENCHMARK_MAIN();

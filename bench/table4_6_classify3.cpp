@@ -1,0 +1,34 @@
+// Reproduces Tables IV, V and VI: classification accuracy for the three
+// basic formats (ELL, CSR, HYB) with feature set 1, sets 1+2, and sets
+// 1+2+3, across both GPUs, both precisions and four model families.
+// Matrices whose overall-best format is COO are dropped (§V-A).
+#include "classify_tables.hpp"
+
+using namespace spmvml;
+using namespace spmvml::bench;
+
+int main() {
+  // Paper rows: {decision tree, SVM, MLP, XGBoost} per machine config.
+  run_classification_table(
+      "Table IV — 3 formats (ELL/CSR/HYB), feature set 1 (5 features)",
+      "Nisa et al. 2018, Table IV", kBasicFormats, FeatureSet::kSet1, true,
+      {{{69, 62, 68, 69}}, {{69, 62, 68, 70}},
+       {{72, 72, 75, 75}}, {{72, 69, 73, 74}}});
+
+  run_classification_table(
+      "Table V — 3 formats (ELL/CSR/HYB), feature sets 1+2 (11 features)",
+      "Nisa et al. 2018, Table V", kBasicFormats, FeatureSet::kSet12, true,
+      {{{89, 88, 88, 91}}, {{86, 87, 88, 89}},
+       {{85, 89, 87, 88}}, {{86, 87, 88, 89}}});
+
+  run_classification_table(
+      "Table VI — 3 formats (ELL/CSR/HYB), feature sets 1+2+3 (17 features)",
+      "Nisa et al. 2018, Table VI", kBasicFormats, FeatureSet::kSet123, true,
+      {{{87, 88, 87, 91}}, {{84, 87, 86, 89}},
+       {{86, 88, 86, 88}}, {{87, 87, 89, 89}}});
+
+  std::printf(
+      "\nShape to reproduce: set 1 clearly below sets 1+2; adding set 3\n"
+      "gives no further gain; XGBoost best or tied-best in most rows.\n");
+  return 0;
+}

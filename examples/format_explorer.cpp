@@ -1,0 +1,83 @@
+// Format explorer: inspect any matrix — from a Matrix Market file or a
+// named synthetic family — and see its features, the simulated per-format
+// GFLOPS on both testbed GPUs, and what the trained selector would pick.
+//
+// Usage:
+//   format_explorer path/to/matrix.mtx
+//   format_explorer <banded|stencil|uniform|powerlaw|block|geom> [rows] [mu]
+//   format_explorer            (defaults to powerlaw 100000 12)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/format_selector.hpp"
+#include "gpusim/oracle.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/mmio.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+
+namespace {
+
+Csr<double> load_matrix(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]).ends_with(".mtx"))
+    return read_matrix_market(argv[1]);
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 100'000;
+  spec.row_mu = 12.0;
+  spec.seed = 7;
+  if (argc >= 2) {
+    const std::string name = argv[1];
+    for (int f = 0; f < kNumFamilies; ++f)
+      if (name == family_name(static_cast<MatrixFamily>(f)))
+        spec.family = static_cast<MatrixFamily>(f);
+  }
+  if (argc >= 3) spec.rows = std::atoll(argv[2]);
+  if (argc >= 4) spec.row_mu = std::atof(argv[3]);
+  spec.cols = spec.rows;
+  std::printf("generated: %s\n", describe(spec).c_str());
+  return generate(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto matrix = load_matrix(argc, argv);
+  const auto features = extract_features(matrix);
+  const auto summary = summarize(matrix);
+
+  std::printf("\n-- structure ------------------------------------------\n");
+  for (int id = 0; id < kNumFeatures; ++id)
+    std::printf("  %-11s = %.4g\n", feature_name(id), features[id]);
+  std::printf("  %-11s = %.3f (not an ML feature)\n", "ell_padding",
+              summary.ell_padding_ratio());
+  std::printf("  %-11s = %.3f (not an ML feature)\n", "band_frac",
+              summary.band_fraction);
+
+  std::printf("\n-- simulated GFLOPS (double precision) ----------------\n");
+  std::printf("  %-10s %10s %10s\n", "format", "K80c", "P100");
+  for (Format f : kAllFormats) {
+    double gflops[2];
+    for (int arch = 0; arch < 2; ++arch) {
+      const MeasurementOracle oracle(
+          arch == 0 ? tesla_k40c() : tesla_p100(), Precision::kDouble);
+      gflops[arch] = oracle.measure(summary, f, 1).gflops;
+    }
+    std::printf("  %-10s %10.1f %10.1f\n", format_name(f), gflops[0],
+                gflops[1]);
+  }
+
+  std::printf("\n-- trained selector -----------------------------------\n");
+  std::printf("training on a 150-matrix corpus...\n");
+  const auto corpus = collect_corpus(make_small_plan(150, 2018));
+  for (int arch = 0; arch < 2; ++arch) {
+    FormatSelector selector(ModelKind::kXgboost, FeatureSet::kSet12,
+                            kAllFormats, /*fast=*/true);
+    selector.fit(corpus, arch, Precision::kDouble);
+    std::printf("  recommended on %s: %s\n", arch == 0 ? "K80c" : "P100",
+                format_name(selector.select(features)));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Deployment workflow: train once, serialise the selector to disk, then
+// reload it in a "production" phase and select formats with no training
+// cost — the usage mode the paper's conclusion pitches for edge devices.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/timer.hpp"
+#include "core/format_selector.hpp"
+
+using namespace spmvml;
+
+int main() {
+  const char* model_path = "spmvml_selector.model";
+
+  // ---- offline: train and ship -------------------------------------
+  {
+    std::printf("[offline] collecting corpus and training XGBoost...\n");
+    WallTimer timer;
+    const auto corpus = collect_corpus(make_small_plan(250, 2018));
+    FormatSelector selector(ModelKind::kXgboost, FeatureSet::kSet12,
+                            kAllFormats);
+    selector.fit(corpus, /*arch=*/1, Precision::kDouble);
+    std::ofstream out(model_path);
+    selector.save(out);
+    std::printf("[offline] trained + saved in %.1fs -> %s\n", timer.seconds(),
+                model_path);
+  }
+
+  // ---- online: load and select ------------------------------------
+  {
+    std::ifstream in(model_path);
+    WallTimer load_timer;
+    const FormatSelector selector = FormatSelector::load_selector(in);
+    std::printf("[online] model loaded in %.3fs\n", load_timer.seconds());
+
+    for (auto [family, name] :
+         {std::pair{MatrixFamily::kBanded, "FEM system"},
+          {MatrixFamily::kPowerLaw, "web graph"},
+          {MatrixFamily::kUniformRandom, "unstructured"}}) {
+      GenSpec spec;
+      spec.family = family;
+      spec.rows = 80'000;
+      spec.cols = 80'000;
+      spec.row_mu = 12;
+      spec.seed = 11;
+      const auto matrix = generate(spec);
+      WallTimer select_timer;
+      const Format chosen = selector.select(matrix);
+      std::printf(
+          "[online] %-12s (%lld nnz): %-9s selected in %.1f ms "
+          "(features + inference)\n",
+          name, static_cast<long long>(matrix.nnz()), format_name(chosen),
+          select_timer.millis());
+    }
+  }
+  std::remove("spmvml_selector.model");
+  return 0;
+}

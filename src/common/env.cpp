@@ -1,0 +1,34 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spmvml {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end == raw) ? fallback : v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  return (end == raw) ? fallback : static_cast<std::int64_t>(v);
+}
+
+double corpus_scale() {
+  return std::clamp(env_double("SPMVML_CORPUS_SCALE", 1.0), 0.01, 10.0);
+}
+
+bool fast_mode() { return env_int("SPMVML_FAST", 0) != 0; }
+
+std::uint64_t root_seed() {
+  return static_cast<std::uint64_t>(env_int("SPMVML_SEED", 2018));
+}
+
+}  // namespace spmvml

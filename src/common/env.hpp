@@ -1,0 +1,32 @@
+// Environment-variable knobs shared by benches and tests.
+//
+//   SPMVML_CORPUS_SCALE  — multiply per-bucket corpus sizes (default 1.0)
+//   SPMVML_FAST          — 1 shrinks hyper-parameter grids / epochs for
+//                          smoke runs (default 0)
+//   SPMVML_SEED          — root seed for all experiments (default 2018,
+//                          the paper's publication year)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spmvml {
+
+/// Read a double from the environment, falling back to `fallback` when the
+/// variable is unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Read an integer from the environment with fallback.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Corpus scale factor (SPMVML_CORPUS_SCALE, default 1.0, clamped to
+/// [0.01, 10]).
+double corpus_scale();
+
+/// Fast-mode flag (SPMVML_FAST).
+bool fast_mode();
+
+/// Root experiment seed (SPMVML_SEED, default 2018).
+std::uint64_t root_seed();
+
+}  // namespace spmvml

@@ -1,0 +1,38 @@
+// Error handling primitives for spmvml.
+//
+// The library throws spmvml::Error (derived from std::runtime_error) for
+// precondition and invariant violations via the SPMVML_ENSURE macro, so
+// callers can distinguish library-detected misuse from other failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spmvml {
+
+/// Exception thrown for precondition/invariant violations inside spmvml.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "spmvml: check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace spmvml
+
+/// Verify a precondition/invariant; throws spmvml::Error on failure.
+/// Usage: SPMVML_ENSURE(n > 0, "matrix must be non-empty");
+#define SPMVML_ENSURE(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) ::spmvml::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,38 @@
+// Minimal parallel-for abstraction.
+//
+// Uses OpenMP when the build enables it; degrades to a serial loop
+// otherwise. Bodies must be independent per index (no ordering guarantee).
+#pragma once
+
+#include <cstdint>
+
+#ifdef SPMVML_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace spmvml {
+
+/// Invoke fn(i) for i in [0, n). Parallel when OpenMP is available and the
+/// trip count is large enough to amortise scheduling.
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn) {
+#ifdef SPMVML_HAVE_OPENMP
+  if (n >= 1024 && omp_get_max_threads() > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Number of worker threads the parallel_for above would use.
+inline int parallel_threads() {
+#ifdef SPMVML_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace spmvml

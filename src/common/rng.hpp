@@ -1,0 +1,108 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of spmvml (corpus synthesis, simulator measurement
+// noise, ML initialisation, data splits) draw from Xoshiro256** seeded via
+// SplitMix64, so every experiment is reproducible from a single root seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace spmvml {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also handy as a cheap stateless hash for derived seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine a seed with a salt into a new deterministic seed.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s = seed ^ (salt + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  return splitmix64(s);
+}
+
+/// Xoshiro256** — fast, high-quality 64-bit PRNG.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection-free modulo is fine here: span << 2^64 so bias is negligible
+    // for simulation purposes, and determinism is what we actually need.
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; no caching keeps
+  /// the generator state a pure function of the call count).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal with given median and sigma of the underlying normal.
+  double lognormal(double median, double sigma) {
+    return median * std::exp(sigma * normal());
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Geometric-like heavy tail sample: floor of a Pareto(alpha) draw,
+  /// clamped to [1, cap]. Used for power-law row degrees.
+  std::int64_t pareto_int(double alpha, std::int64_t cap) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    const double x = std::pow(u, -1.0 / alpha);
+    const auto v = static_cast<std::int64_t>(x);
+    return v < 1 ? 1 : (v > cap ? cap : v);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace spmvml

@@ -1,0 +1,37 @@
+// Fixed-width console table printer.
+//
+// Every bench prints its reproduced table through this class so the output
+// lines up with the paper's tables and is easy to diff between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvml {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one row; pads/truncates nothing — column widths auto-expand.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, e.g.
+  ///   col_a | col_b
+  ///   ------+------
+  ///   1     | 2
+  std::string to_string() const;
+
+  /// Convenience: format a double with `digits` decimals.
+  static std::string fmt(double v, int digits = 2);
+
+  /// Format as a percentage string "87.5%".
+  static std::string pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spmvml

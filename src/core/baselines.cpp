@@ -1,0 +1,143 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "gpusim/row_summary.hpp"
+
+namespace spmvml {
+
+double AnalyticalModel::predict_seconds(const FeatureVector& f,
+                                        Format format) const {
+  // White-box traffic model from features only. Constants are datasheet
+  // numbers, not fitted parameters; the structure mirrors the simulator's
+  // mechanisms but it cannot see column locality, the HYB split, CSR's
+  // kernel choice, or measurement noise — exactly the information gap the
+  // paper attributes to analytical approaches.
+  const double w = value_bytes(prec_);
+  constexpr double idx = 4.0;
+  const double rows = std::max(1.0, f[kNRows]);
+  const double nnz = std::max(1.0, f[kNnzTot]);
+  const double mu = std::max(1.0, f[kNnzMu]);
+  const double row_max = std::max(1.0, f[kNnzMax]);
+  const double bw = arch_.mem_bw_gbps * 1e9;
+
+  // Assume a flat 50% gather miss (no structural information available).
+  const double gather = nnz * 16.0;
+  const double y_bytes = rows * w;
+
+  double traffic = 0.0;
+  double launches = 1.0;
+  switch (format) {
+    case Format::kCoo:
+      traffic = nnz * (2.0 * idx + w) + gather + y_bytes;
+      launches = 1.3;
+      break;
+    case Format::kCsr:
+      traffic = (nnz * (idx + w) + rows * 2.0 * idx + gather + y_bytes) /
+                std::clamp(mu / 32.0, 0.35, 1.0);
+      break;
+    case Format::kEll:
+      traffic = rows * row_max * (idx + w) + gather + y_bytes;
+      break;
+    case Format::kHyb: {
+      // Normal-ish approximation of the split at the mean row length.
+      const double sigma = f[kNnzSigma];
+      const double spill = std::min(0.6, 0.4 * sigma / mu);
+      traffic = nnz * (1.0 - spill) * (idx + w) * 1.1 +
+                nnz * spill * (2.0 * idx + w) + gather + y_bytes;
+      launches = 1.6;
+      break;
+    }
+    case Format::kCsr5:
+      traffic = nnz * (idx + w) * 1.05 + gather + y_bytes;
+      launches = 1.25;
+      break;
+    case Format::kMergeCsr:
+      traffic = nnz * (idx + w) * 1.08 + rows * idx + gather + y_bytes;
+      launches = 1.15;
+      break;
+  }
+  return launches * arch_.launch_overhead_s + traffic / (bw * 0.9);
+}
+
+int AnalyticalModel::select(const FeatureVector& f,
+                            std::span<const Format> candidates) const {
+  SPMVML_ENSURE(!candidates.empty(), "no candidates");
+  int best = 0;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const double t = predict_seconds(f, candidates[k]);
+    if (t < best_t) {
+      best_t = t;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+Csr<double> SamplingSelector::sample_rows(const Csr<double>& matrix,
+                                          double fraction) {
+  SPMVML_ENSURE(fraction > 0.0 && fraction <= 1.0, "bad sample fraction");
+  const index_t target =
+      std::max<index_t>(1, static_cast<index_t>(
+                               static_cast<double>(matrix.nnz()) * fraction));
+  // Contiguous window from the top — what a cheap runtime probe does.
+  index_t rows = 0;
+  while (rows < matrix.rows() && matrix.row_ptr()[rows] < target) ++rows;
+  rows = std::max<index_t>(rows, 1);
+
+  std::vector<index_t> row_ptr(matrix.row_ptr().begin(),
+                               matrix.row_ptr().begin() + rows + 1);
+  const index_t sampled_nnz = row_ptr.back();
+  std::vector<index_t> col_idx(matrix.col_idx().begin(),
+                               matrix.col_idx().begin() + sampled_nnz);
+  std::vector<double> values(matrix.values().begin(),
+                             matrix.values().begin() + sampled_nnz);
+  return Csr<double>(rows, matrix.cols(), std::move(row_ptr),
+                     std::move(col_idx), std::move(values));
+}
+
+int SamplingSelector::select(const Csr<double>& matrix,
+                             std::uint64_t matrix_seed,
+                             std::span<const Format> candidates) const {
+  SPMVML_ENSURE(!candidates.empty(), "no candidates");
+  const auto sample = sample_rows(matrix, fraction_);
+  const auto summary = summarize(sample);
+  int best = 0;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const double t =
+        oracle_.measure(summary, candidates[k], matrix_seed ^ 0x5a3bULL)
+            .seconds;
+    if (t < best_t) {
+      best_t = t;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+ConfidenceSelector::Choice ConfidenceSelector::select(
+    const std::vector<double>& features,
+    std::span<const double> measured_times) const {
+  const auto probs = model_.predict_proba(features);
+  SPMVML_ENSURE(probs.size() == measured_times.size(),
+                "probability / time size mismatch");
+  const auto top =
+      static_cast<std::size_t>(std::max_element(probs.begin(), probs.end()) -
+                               probs.begin());
+  if (probs[top] >= threshold_) return {static_cast<int>(top), false};
+
+  // Execute the two most probable candidates; measured winner takes it.
+  std::size_t second = top == 0 ? 1 : 0;
+  for (std::size_t k = 0; k < probs.size(); ++k)
+    if (k != top && probs[k] > probs[second]) second = k;
+  const std::size_t winner =
+      measured_times[top] <= measured_times[second] ? top : second;
+  return {static_cast<int>(winner), true};
+}
+
+}  // namespace spmvml

@@ -1,0 +1,84 @@
+// Non-ML baselines from the paper's related work (§VII), implemented so
+// the benches can compare them against the ML pipeline:
+//
+//  * AnalyticalModel  — a white-box bandwidth model in the spirit of
+//    Li et al. (TPDS'15): predicts SpMV time per format from the 17
+//    features and the GPU's datasheet numbers alone (no training). The
+//    paper argues such models miss feature interactions; the bench
+//    quantifies the gap.
+//  * SamplingSelector — Zardoshti et al. (JoS'16): time a small row
+//    window of the actual matrix in every format and pick the winner;
+//    accuracy vs sampled fraction is the trade-off.
+//  * ConfidenceSelector — Li et al.'s SMAT (PLDI'13 line): trust the
+//    classifier when it is confident, otherwise fall back to measuring
+//    the top candidates.
+#pragma once
+
+#include "core/format_selector.hpp"
+#include "gpusim/oracle.hpp"
+
+namespace spmvml {
+
+/// White-box performance model: time(features, format) from first
+/// principles (traffic / bandwidth + launch), no learned parameters.
+class AnalyticalModel {
+ public:
+  AnalyticalModel(GpuArch arch, Precision prec)
+      : arch_(std::move(arch)), prec_(prec) {}
+
+  /// Predicted seconds for one format.
+  double predict_seconds(const FeatureVector& f, Format format) const;
+
+  /// argmin over `candidates` (indices into the span).
+  int select(const FeatureVector& f,
+             std::span<const Format> candidates) const;
+
+ private:
+  GpuArch arch_;
+  Precision prec_;
+};
+
+/// Run-a-sample selector: extracts a contiguous row window holding
+/// roughly `sample_fraction` of the nonzeros, measures every candidate
+/// on it with the oracle, returns the measured winner.
+class SamplingSelector {
+ public:
+  SamplingSelector(const MeasurementOracle& oracle, double sample_fraction)
+      : oracle_(oracle), fraction_(sample_fraction) {}
+
+  /// Index into `candidates` of the sampled winner.
+  int select(const Csr<double>& matrix, std::uint64_t matrix_seed,
+             std::span<const Format> candidates) const;
+
+  /// The sampled submatrix (exposed for tests).
+  static Csr<double> sample_rows(const Csr<double>& matrix, double fraction);
+
+ private:
+  const MeasurementOracle& oracle_;
+  double fraction_;
+};
+
+/// Classifier + execution fallback: when the model's top probability is
+/// below `threshold`, the top-2 candidates are "executed" (measured times
+/// supplied by the caller) and the measured-best wins.
+class ConfidenceSelector {
+ public:
+  ConfidenceSelector(const ml::Classifier& model, double threshold)
+      : model_(model), threshold_(threshold) {}
+
+  struct Choice {
+    int label = 0;        // index into the study's candidates
+    bool executed = false;  // true when the fallback ran
+  };
+
+  /// `measured_times[k]` is the measured time of candidate k (used only
+  /// when confidence is below the threshold).
+  Choice select(const std::vector<double>& features,
+                std::span<const double> measured_times) const;
+
+ private:
+  const ml::Classifier& model_;
+  double threshold_;
+};
+
+}  // namespace spmvml

@@ -1,0 +1,123 @@
+#include "core/format_selector.hpp"
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace spmvml {
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDecisionTree: return "decs. tree";
+    case ModelKind::kSvm: return "SVM";
+    case ModelKind::kMlp: return "MLP";
+    case ModelKind::kXgboost: return "XGBST";
+    case ModelKind::kMlpEnsemble: return "MLP ens.";
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid ModelKind");
+  return "";
+}
+
+ml::ClassifierPtr make_classifier(ModelKind kind, bool fast) {
+  switch (kind) {
+    case ModelKind::kDecisionTree: {
+      ml::TreeParams p;
+      p.max_depth = 16;
+      p.min_samples_leaf = 2;
+      return std::make_unique<ml::DecisionTreeClassifier>(p);
+    }
+    case ModelKind::kSvm: {
+      ml::SvmParams p;  // tuned defaults: C=10, gamma=0.1 (see §IV-D grid)
+      if (fast) p.max_iters = 4000;
+      return std::make_unique<ml::SvmClassifier>(p);
+    }
+    case ModelKind::kMlp: {
+      ml::MlpParams p;
+      p.epochs = fast ? 15 : 60;
+      return std::make_unique<ml::MlpClassifier>(p);
+    }
+    case ModelKind::kXgboost: {
+      ml::GbtParams p;
+      p.n_estimators = fast ? 40 : 150;
+      p.max_depth = 6;
+      p.learning_rate = 0.1;
+      return std::make_unique<ml::GbtClassifier>(p);
+    }
+    case ModelKind::kMlpEnsemble: {
+      ml::MlpParams p;
+      p.epochs = fast ? 15 : 60;
+      return std::make_unique<ml::MlpEnsembleClassifier>(p, fast ? 3 : 5);
+    }
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid ModelKind");
+  return nullptr;
+}
+
+FormatSelector::FormatSelector(ModelKind kind, FeatureSet feature_set,
+                               std::span<const Format> candidates, bool fast)
+    : kind_(kind),
+      feature_set_(feature_set),
+      candidates_(candidates.begin(), candidates.end()),
+      model_(make_classifier(kind, fast)) {
+  SPMVML_ENSURE(!candidates_.empty(), "need candidate formats");
+}
+
+void FormatSelector::fit(const ml::Matrix& x, const std::vector<int>& labels) {
+  model_->fit(x, labels);
+}
+
+void FormatSelector::fit(const LabeledCorpus& corpus, int arch,
+                         Precision prec) {
+  const auto study = make_classification_study(corpus, arch, prec,
+                                               candidates_, feature_set_);
+  fit(study.data.x, study.data.labels);
+}
+
+int FormatSelector::predict_label(
+    const std::vector<double>& selected_features) const {
+  return model_->predict(selected_features);
+}
+
+Format FormatSelector::select(const FeatureVector& features) const {
+  const int label = predict_label(features.select(feature_set_));
+  SPMVML_ENSURE(label >= 0 && label < static_cast<int>(candidates_.size()),
+                "classifier produced out-of-range label");
+  return candidates_[static_cast<std::size_t>(label)];
+}
+
+Format FormatSelector::select(const Csr<double>& matrix) const {
+  return select(extract_features(matrix));
+}
+
+void FormatSelector::save(std::ostream& out) const {
+  ml::io::write_tag(out, "format_selector");
+  ml::io::write_scalar(out, static_cast<int>(kind_));
+  ml::io::write_scalar(out, static_cast<int>(feature_set_));
+  std::vector<int> cands;
+  for (Format f : candidates_) cands.push_back(static_cast<int>(f));
+  ml::io::write_vector(out, cands);
+  model_->save(out);
+}
+
+FormatSelector FormatSelector::load_selector(std::istream& in) {
+  ml::io::read_tag(in, "format_selector");
+  const int kind = ml::io::read_scalar<int>(in);
+  SPMVML_ENSURE(kind >= 0 && kind < kNumModelKinds, "bad model kind");
+  const int set = ml::io::read_scalar<int>(in);
+  SPMVML_ENSURE(set >= 0 && set < kNumFeatureSets, "bad feature set");
+  const auto cands = ml::io::read_vector<int>(in);
+  std::vector<Format> formats;
+  for (int c : cands) {
+    SPMVML_ENSURE(c >= 0 && c < kNumFormats, "bad candidate format");
+    formats.push_back(static_cast<Format>(c));
+  }
+  FormatSelector selector(static_cast<ModelKind>(kind),
+                          static_cast<FeatureSet>(set), formats);
+  selector.model_->load(in);
+  return selector;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,66 @@
+// FormatSelector — the library's headline API: train a classifier on a
+// labeled corpus, then pick the best storage format for an unseen matrix.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+
+#include "core/study.hpp"
+#include "ml/model.hpp"
+
+namespace spmvml {
+
+/// The model families compared in §V.
+enum class ModelKind : int {
+  kDecisionTree = 0,
+  kSvm = 1,
+  kMlp = 2,
+  kXgboost = 3,
+  kMlpEnsemble = 4,
+};
+
+inline constexpr int kNumModelKinds = 5;
+
+const char* model_name(ModelKind kind);
+
+/// Instantiate an untrained classifier with the library's tuned defaults.
+/// `fast` shrinks training effort for smoke runs.
+ml::ClassifierPtr make_classifier(ModelKind kind, bool fast = false);
+
+class FormatSelector {
+ public:
+  /// Train on a prepared study (80/20 protocol is the caller's business —
+  /// pass the training split).
+  FormatSelector(ModelKind kind, FeatureSet feature_set,
+                 std::span<const Format> candidates, bool fast = false);
+
+  void fit(const ml::Matrix& x, const std::vector<int>& labels);
+
+  /// Convenience: train straight from a labeled corpus.
+  void fit(const LabeledCorpus& corpus, int arch, Precision prec);
+
+  /// Predicted best format for an unseen matrix.
+  Format select(const Csr<double>& matrix) const;
+  Format select(const FeatureVector& features) const;
+
+  /// Label-space prediction (index into candidates).
+  int predict_label(const std::vector<double>& selected_features) const;
+
+  FeatureSet feature_set() const { return feature_set_; }
+  std::span<const Format> candidates() const { return candidates_; }
+  const ml::Classifier& classifier() const { return *model_; }
+
+  /// Persist the trained selector (model kind + feature set + candidates
+  /// + fitted model). load_selector() restores an inference-ready copy.
+  void save(std::ostream& out) const;
+  static FormatSelector load_selector(std::istream& in);
+
+ private:
+  ModelKind kind_;
+  FeatureSet feature_set_;
+  std::vector<Format> candidates_;
+  ml::ClassifierPtr model_;
+};
+
+}  // namespace spmvml

@@ -1,0 +1,51 @@
+#include "core/indirect.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+Format IndirectSelector::select(const FeatureVector& features) const {
+  const auto predicted = model_.predict_all(features);
+  const auto best = std::min_element(predicted.begin(), predicted.end());
+  return model_.formats()[static_cast<std::size_t>(best - predicted.begin())];
+}
+
+double tolerance_accuracy(const std::vector<int>& chosen,
+                          const std::vector<std::vector<double>>& times,
+                          double tolerance) {
+  SPMVML_ENSURE(chosen.size() == times.size() && !chosen.empty(),
+                "size mismatch");
+  SPMVML_ENSURE(tolerance >= 0.0, "negative tolerance");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const auto& row = times[i];
+    SPMVML_ENSURE(chosen[i] >= 0 &&
+                      chosen[i] < static_cast<int>(row.size()),
+                  "choice out of range");
+    const double best = *std::min_element(row.begin(), row.end());
+    if (row[static_cast<std::size_t>(chosen[i])] <=
+        (1.0 + tolerance) * best)
+      ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(chosen.size());
+}
+
+std::vector<double> selection_slowdowns(
+    const std::vector<int>& chosen,
+    const std::vector<std::vector<double>>& times) {
+  SPMVML_ENSURE(chosen.size() == times.size(), "size mismatch");
+  std::vector<double> out;
+  out.reserve(chosen.size());
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const auto& row = times[i];
+    const double best = *std::min_element(row.begin(), row.end());
+    out.push_back(std::max(1.0,
+                           row[static_cast<std::size_t>(chosen[i])] / best));
+  }
+  return out;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,36 @@
+// Indirect classification (§VI-C): select the format whose *predicted*
+// execution time is lowest, and score correctness with a tolerance — a
+// prediction counts as correct when the measured time of the chosen format
+// is within (1 + tolerance) of the measured best.
+#pragma once
+
+#include "core/perf_model.hpp"
+
+namespace spmvml {
+
+class IndirectSelector {
+ public:
+  explicit IndirectSelector(PerfModel model) : model_(std::move(model)) {}
+
+  /// Format with the smallest predicted time.
+  Format select(const FeatureVector& features) const;
+
+  const PerfModel& model() const { return model_; }
+
+ private:
+  PerfModel model_;
+};
+
+/// Score a set of per-sample choices against measured candidate times.
+/// `chosen[i]` indexes into the candidates of `times[i]`; correctness uses
+/// measured_time(chosen) <= (1 + tolerance) * measured_time(best).
+double tolerance_accuracy(const std::vector<int>& chosen,
+                          const std::vector<std::vector<double>>& times,
+                          double tolerance);
+
+/// Slowdown ratios t(chosen)/t(best) per sample (for Tables XI–XIII).
+std::vector<double> selection_slowdowns(
+    const std::vector<int>& chosen,
+    const std::vector<std::vector<double>>& times);
+
+}  // namespace spmvml

@@ -1,0 +1,179 @@
+#include "core/label_collector.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "gpusim/row_summary.hpp"
+
+namespace spmvml {
+
+int MatrixRecord::best_among(int arch, Precision prec,
+                             std::span<const Format> candidates) const {
+  SPMVML_ENSURE(!candidates.empty(), "no candidate formats");
+  int best = 0;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double t = time(arch, prec, candidates[i]);
+    if (t < best_t) {
+      best_t = t;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+LabeledCorpus collect_corpus(const CorpusPlan& plan,
+                             const CollectOptions& options) {
+  LabeledCorpus corpus;
+  corpus.records.reserve(plan.size());
+
+  // One oracle per (arch, precision); they share the cost parameters.
+  const auto archs = paper_testbeds();
+  SPMVML_ENSURE(archs.size() == kNumArchs, "expected two testbeds");
+  std::vector<MeasurementOracle> oracles;
+  for (const auto& arch : archs)
+    for (int p = 0; p < kNumPrecisions; ++p)
+      oracles.emplace_back(arch, static_cast<Precision>(p),
+                           options.measurement, options.cost);
+
+  for (std::size_t m = 0; m < plan.size(); ++m) {
+    const GenSpec& spec = plan.specs[m];
+    const Csr<double> matrix = generate(spec);
+    const RowSummary summary = summarize(matrix);
+
+    // §IV-C: exclude matrices at least one format cannot execute (the
+    // ELL image is by far the largest; 12 bytes per padded slot).
+    if (options.format_memory_limit > 0) {
+      const double ell_bytes = static_cast<double>(summary.rows) *
+                               static_cast<double>(summary.row_max) * 12.0;
+      if (ell_bytes > static_cast<double>(options.format_memory_limit)) {
+        if (options.progress) options.progress(m + 1, plan.size());
+        continue;
+      }
+    }
+
+    MatrixRecord rec;
+    rec.seed = spec.seed;
+    rec.bucket = plan.bucket_of[m];
+    rec.family = static_cast<int>(spec.family);
+    rec.rows = static_cast<double>(matrix.rows());
+    rec.cols = static_cast<double>(matrix.cols());
+    rec.nnz = static_cast<double>(matrix.nnz());
+    rec.features = extract_features(matrix);
+
+    for (int a = 0; a < kNumArchs; ++a) {
+      for (int p = 0; p < kNumPrecisions; ++p) {
+        const auto& oracle =
+            oracles[static_cast<std::size_t>(a * kNumPrecisions + p)];
+        const auto times = oracle.measure_all(summary, spec.seed);
+        for (int f = 0; f < kNumFormats; ++f)
+          rec.seconds[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)]
+                     [static_cast<std::size_t>(f)] =
+              times[static_cast<std::size_t>(f)].seconds;
+      }
+    }
+    corpus.records.push_back(rec);
+    if (options.progress) options.progress(m + 1, plan.size());
+  }
+  return corpus;
+}
+
+void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
+                     std::size_t plan_size) {
+  std::ofstream out(path);
+  SPMVML_ENSURE(out.good(), "cannot open " + path + " for writing");
+  out << "# spmvml oracle v" << kOracleVersion << " plan " << plan_size
+      << '\n';
+  out << "seed,bucket,family,rows,cols,nnz";
+  for (int f = 0; f < kNumFeatures; ++f) out << ',' << feature_name(f);
+  for (int a = 0; a < kNumArchs; ++a)
+    for (int p = 0; p < kNumPrecisions; ++p)
+      for (int f = 0; f < kNumFormats; ++f)
+        out << ",t_a" << a << "p" << p << "f" << f;
+  out << '\n';
+  out.precision(17);
+  for (const auto& r : corpus.records) {
+    out << r.seed << ',' << r.bucket << ',' << r.family << ',' << r.rows
+        << ',' << r.cols << ',' << r.nnz;
+    for (int f = 0; f < kNumFeatures; ++f) out << ',' << r.features[f];
+    for (int a = 0; a < kNumArchs; ++a)
+      for (int p = 0; p < kNumPrecisions; ++p)
+        for (int f = 0; f < kNumFormats; ++f)
+          out << ','
+              << r.seconds[static_cast<std::size_t>(a)]
+                          [static_cast<std::size_t>(p)]
+                          [static_cast<std::size_t>(f)];
+    out << '\n';
+  }
+  SPMVML_ENSURE(out.good(), "write failed for " + path);
+}
+
+LabeledCorpus load_corpus_csv(const std::string& path,
+                              std::size_t* cached_plan_size) {
+  std::ifstream in(path);
+  SPMVML_ENSURE(in.good(), "cannot open " + path);
+  std::string line;
+  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)), "empty CSV");
+  const std::string prefix =
+      "# spmvml oracle v" + std::to_string(kOracleVersion) + " plan ";
+  SPMVML_ENSURE(line.rfind(prefix, 0) == 0,
+                "corpus cache written by a different oracle version — "
+                "delete " + path);
+  if (cached_plan_size != nullptr)
+    *cached_plan_size = std::stoull(line.substr(prefix.size()));
+  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
+                "missing CSV header");
+
+  LabeledCorpus corpus;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    auto next_cell = [&]() -> const std::string& {
+      SPMVML_ENSURE(static_cast<bool>(std::getline(row, cell, ',')),
+                    "truncated CSV row");
+      return cell;
+    };
+    auto next = [&]() -> double { return std::stod(next_cell()); };
+    MatrixRecord r;
+    // Seed must round-trip exactly — parse as integer, not double.
+    r.seed = std::stoull(next_cell());
+    r.bucket = static_cast<int>(next());
+    r.family = static_cast<int>(next());
+    r.rows = next();
+    r.cols = next();
+    r.nnz = next();
+    for (int f = 0; f < kNumFeatures; ++f)
+      r.features.values[static_cast<std::size_t>(f)] = next();
+    for (int a = 0; a < kNumArchs; ++a)
+      for (int p = 0; p < kNumPrecisions; ++p)
+        for (int f = 0; f < kNumFormats; ++f)
+          r.seconds[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)]
+                   [static_cast<std::size_t>(f)] = next();
+    corpus.records.push_back(r);
+  }
+  return corpus;
+}
+
+LabeledCorpus load_or_collect(const std::string& cache_path,
+                              const CorpusPlan& plan,
+                              const CollectOptions& options) {
+  if (std::filesystem::exists(cache_path)) {
+    try {
+      std::size_t cached_plan = 0;
+      LabeledCorpus cached = load_corpus_csv(cache_path, &cached_plan);
+      if (cached_plan == plan.size()) return cached;
+      // Plan changed (e.g. different SPMVML_CORPUS_SCALE): re-collect.
+    } catch (const Error&) {
+      // Stale or corrupt cache (e.g. oracle version bump): re-collect.
+    }
+  }
+  LabeledCorpus corpus = collect_corpus(plan, options);
+  save_corpus_csv(cache_path, corpus, plan.size());
+  return corpus;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,87 @@
+// Label collection (§IV-B): run the measurement oracle for every matrix in
+// a corpus plan and keep one compact record per matrix — features plus the
+// mean execution time for all 6 formats x 2 GPUs x 2 precisions.
+//
+// Matrices are generated, scanned and discarded one at a time (the full
+// corpus would not fit in memory), and the result can be cached to CSV so
+// every bench after the first starts instantly.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/features.hpp"
+#include "gpusim/oracle.hpp"
+#include "synth/corpus.hpp"
+
+namespace spmvml {
+
+inline constexpr int kNumArchs = 2;  // 0 = K80c, 1 = P100
+
+/// Everything the studies need to know about one corpus matrix.
+struct MatrixRecord {
+  std::uint64_t seed = 0;      // GenSpec seed (matrix identity)
+  int bucket = 0;              // Table-I bucket index
+  int family = 0;              // MatrixFamily
+  double rows = 0, cols = 0, nnz = 0;
+  FeatureVector features;
+  /// seconds[arch][precision][format] — mean of `reps` timed runs.
+  std::array<std::array<std::array<double, kNumFormats>, kNumPrecisions>,
+             kNumArchs>
+      seconds{};
+
+  double time(int arch, Precision prec, Format f) const {
+    return seconds[static_cast<std::size_t>(arch)]
+                  [static_cast<std::size_t>(prec)]
+                  [static_cast<std::size_t>(f)];
+  }
+
+  double gflops(int arch, Precision prec, Format f) const {
+    return 2.0 * nnz / time(arch, prec, f) / 1e9;
+  }
+
+  /// argmin over `candidates` of time(); returns index into candidates.
+  int best_among(int arch, Precision prec,
+                 std::span<const Format> candidates) const;
+};
+
+struct LabeledCorpus {
+  std::vector<MatrixRecord> records;
+
+  std::size_t size() const { return records.size(); }
+};
+
+struct CollectOptions {
+  MeasurementConfig measurement;
+  CostParams cost;
+  /// §IV-C exclusion: the paper dropped ~400 of 2700 matrices that "did
+  /// not fit in the GPU memory or failed to execute for one or more
+  /// storage formats". We drop matrices whose ELL image exceeds this
+  /// budget (the K80c's 12 GB by default); 0 disables the filter.
+  std::int64_t format_memory_limit = 12LL * 1000 * 1000 * 1000;
+  /// Called after each matrix with (done, total); pass {} to disable.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Generate + summarise + measure every matrix in the plan.
+LabeledCorpus collect_corpus(const CorpusPlan& plan,
+                             const CollectOptions& options = {});
+
+/// CSV round-trip for the cache. `plan_size` records how many matrices
+/// the generating plan had (collection may keep fewer after the §IV-C
+/// exclusion); the loader can return it via `cached_plan_size`.
+void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
+                     std::size_t plan_size);
+LabeledCorpus load_corpus_csv(const std::string& path,
+                              std::size_t* cached_plan_size = nullptr);
+
+/// Load from `cache_path` if present and matching plan.size(); otherwise
+/// collect and save. The workhorse entry point for all benches.
+LabeledCorpus load_or_collect(const std::string& cache_path,
+                              const CorpusPlan& plan,
+                              const CollectOptions& options = {});
+
+}  // namespace spmvml

@@ -1,0 +1,150 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/mlp.hpp"
+
+namespace spmvml {
+
+const char* regressor_name(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kMlp: return "MLP regressor";
+    case RegressorKind::kMlpEnsemble: return "MLP Ensemble Regressor";
+    case RegressorKind::kXgboost: return "XGBST regressor";
+    case RegressorKind::kDecisionTree: return "decs. tree regressor";
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid RegressorKind");
+  return "";
+}
+
+ml::RegressorPtr make_regressor(RegressorKind kind, bool fast) {
+  switch (kind) {
+    case RegressorKind::kMlp: {
+      ml::MlpParams p;
+      p.epochs = fast ? 15 : 60;
+      return std::make_unique<ml::MlpRegressor>(p);
+    }
+    case RegressorKind::kMlpEnsemble: {
+      ml::MlpParams p;
+      p.epochs = fast ? 15 : 50;
+      return std::make_unique<ml::MlpEnsembleRegressor>(p, fast ? 3 : 5);
+    }
+    case RegressorKind::kXgboost: {
+      ml::GbtParams p;
+      p.n_estimators = fast ? 40 : 200;
+      p.max_depth = 6;
+      return std::make_unique<ml::GbtRegressor>(p);
+    }
+    case RegressorKind::kDecisionTree: {
+      ml::TreeParams p;
+      p.max_depth = 16;
+      p.min_samples_leaf = 2;
+      return std::make_unique<ml::DecisionTreeRegressor>(p);
+    }
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid RegressorKind");
+  return nullptr;
+}
+
+PerfModel::PerfModel(RegressorKind kind, FeatureSet feature_set,
+                     std::span<const Format> formats, bool fast)
+    : kind_(kind),
+      feature_set_(feature_set),
+      formats_(formats.begin(), formats.end()),
+      fast_(fast) {
+  SPMVML_ENSURE(!formats_.empty(), "need formats");
+}
+
+void PerfModel::fit(const LabeledCorpus& corpus, int arch, Precision prec) {
+  models_.clear();
+  for (Format f : formats_) {
+    const auto study =
+        make_format_regression_study(corpus, arch, prec, f, feature_set_);
+    auto model = make_regressor(kind_, fast_);
+    model->fit(study.data.x, study.data.targets);
+    models_.push_back(std::move(model));
+  }
+}
+
+double PerfModel::predict_seconds(const FeatureVector& features,
+                                  Format format) const {
+  const auto it = std::find(formats_.begin(), formats_.end(), format);
+  SPMVML_ENSURE(it != formats_.end(), "format not modeled");
+  const auto idx = static_cast<std::size_t>(it - formats_.begin());
+  SPMVML_ENSURE(idx < models_.size(), "model not fitted");
+  const double target = models_[idx]->predict(features.select(feature_set_));
+  return regression_target_to_seconds(target);
+}
+
+std::vector<double> PerfModel::predict_all(
+    const FeatureVector& features) const {
+  std::vector<double> out;
+  out.reserve(formats_.size());
+  for (Format f : formats_) out.push_back(predict_seconds(features, f));
+  return out;
+}
+
+void PerfModel::save(std::ostream& out) const {
+  SPMVML_ENSURE(models_.size() == formats_.size(), "model not fitted");
+  ml::io::write_tag(out, "perf_model");
+  ml::io::write_scalar(out, static_cast<int>(kind_));
+  ml::io::write_scalar(out, static_cast<int>(feature_set_));
+  std::vector<int> fmts;
+  for (Format f : formats_) fmts.push_back(static_cast<int>(f));
+  ml::io::write_vector(out, fmts);
+  for (const auto& model : models_) model->save(out);
+}
+
+PerfModel PerfModel::load_model(std::istream& in) {
+  ml::io::read_tag(in, "perf_model");
+  const int kind = ml::io::read_scalar<int>(in);
+  SPMVML_ENSURE(kind >= 0 && kind <= static_cast<int>(RegressorKind::kDecisionTree),
+                "bad regressor kind");
+  const int set = ml::io::read_scalar<int>(in);
+  SPMVML_ENSURE(set >= 0 && set < kNumFeatureSets, "bad feature set");
+  const auto fmts = ml::io::read_vector<int>(in);
+  std::vector<Format> formats;
+  for (int f : fmts) {
+    SPMVML_ENSURE(f >= 0 && f < kNumFormats, "bad format");
+    formats.push_back(static_cast<Format>(f));
+  }
+  PerfModel model(static_cast<RegressorKind>(kind),
+                  static_cast<FeatureSet>(set), formats);
+  for (std::size_t i = 0; i < formats.size(); ++i) {
+    model.models_.push_back(make_regressor(model.kind_, false));
+    model.models_.back()->load(in);
+  }
+  return model;
+}
+
+JointPerfModel::JointPerfModel(RegressorKind kind, FeatureSet feature_set,
+                               std::span<const Format> formats, bool fast)
+    : kind_(kind),
+      feature_set_(feature_set),
+      formats_(formats.begin(), formats.end()),
+      model_(make_regressor(kind, fast)) {
+  SPMVML_ENSURE(!formats_.empty(), "need formats");
+}
+
+void JointPerfModel::fit(const LabeledCorpus& corpus, int arch,
+                         Precision prec) {
+  const auto study = make_joint_regression_study(corpus, arch, prec, formats_,
+                                                 feature_set_);
+  model_->fit(study.data.x, study.data.targets);
+}
+
+double JointPerfModel::predict_seconds(const FeatureVector& features,
+                                       Format format) const {
+  const auto it = std::find(formats_.begin(), formats_.end(), format);
+  SPMVML_ENSURE(it != formats_.end(), "format not modeled");
+  std::vector<double> x = features.select(feature_set_);
+  for (std::size_t k = 0; k < formats_.size(); ++k)
+    x.push_back(formats_[k] == format ? 1.0 : 0.0);
+  return regression_target_to_seconds(model_->predict(x));
+}
+
+}  // namespace spmvml

@@ -1,0 +1,82 @@
+// Performance modeling (§VI): predict SpMV execution time per format.
+//
+// Two shapes, as in the paper:
+//  * per-format models (§VI-B) — one regressor per storage format;
+//  * a joint model (§VI-A)      — one regressor over (features ⊕ format
+//    one-hot) samples covering all formats at once.
+// Regressors train on log10(seconds); predictions are returned in seconds.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+
+#include "core/study.hpp"
+#include "ml/model.hpp"
+
+namespace spmvml {
+
+/// Regressor families used in §VI.
+enum class RegressorKind : int {
+  kMlp = 0,
+  kMlpEnsemble = 1,
+  kXgboost = 2,
+  kDecisionTree = 3,
+};
+
+const char* regressor_name(RegressorKind kind);
+
+/// Untrained regressor with tuned defaults; `fast` shrinks effort.
+ml::RegressorPtr make_regressor(RegressorKind kind, bool fast = false);
+
+/// Per-format performance model.
+class PerfModel {
+ public:
+  PerfModel(RegressorKind kind, FeatureSet feature_set,
+            std::span<const Format> formats, bool fast = false);
+
+  void fit(const LabeledCorpus& corpus, int arch, Precision prec);
+
+  /// Predicted SpMV seconds for `format` on a matrix with `features`.
+  double predict_seconds(const FeatureVector& features, Format format) const;
+
+  /// Predicted seconds for every modeled format (order = formats()).
+  std::vector<double> predict_all(const FeatureVector& features) const;
+
+  std::span<const Format> formats() const { return formats_; }
+  FeatureSet feature_set() const { return feature_set_; }
+
+  /// Persist the fitted per-format regressors; load_model() restores an
+  /// inference-ready copy.
+  void save(std::ostream& out) const;
+  static PerfModel load_model(std::istream& in);
+
+ private:
+  RegressorKind kind_;
+  FeatureSet feature_set_;
+  std::vector<Format> formats_;
+  bool fast_;
+  std::vector<ml::RegressorPtr> models_;  // parallel to formats_
+};
+
+/// Joint model over (features ⊕ format one-hot).
+class JointPerfModel {
+ public:
+  JointPerfModel(RegressorKind kind, FeatureSet feature_set,
+                 std::span<const Format> formats, bool fast = false);
+
+  void fit(const LabeledCorpus& corpus, int arch, Precision prec);
+
+  double predict_seconds(const FeatureVector& features, Format format) const;
+
+  std::span<const Format> formats() const { return formats_; }
+
+ private:
+  RegressorKind kind_;
+  FeatureSet feature_set_;
+  std::vector<Format> formats_;
+  ml::RegressorPtr model_;
+};
+
+}  // namespace spmvml

@@ -1,0 +1,113 @@
+#include "core/study.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+double seconds_to_regression_target(double seconds) {
+  SPMVML_ENSURE(seconds > 0.0, "non-positive time");
+  // Times span ~5 decades; training on log10 keeps MSE meaningful across
+  // the range (ablated in bench/ablation_oracle).
+  return std::log10(seconds);
+}
+
+double regression_target_to_seconds(double target) {
+  return std::pow(10.0, target);
+}
+
+ClassificationStudy make_classification_study(
+    const LabeledCorpus& corpus, int arch, Precision prec,
+    std::span<const Format> candidates, FeatureSet feature_set,
+    bool drop_coo_best) {
+  SPMVML_ENSURE(!candidates.empty(), "no candidate formats");
+  ClassificationStudy study;
+  study.candidates.assign(candidates.begin(), candidates.end());
+  for (const auto& rec : corpus.records) {
+    if (drop_coo_best) {
+      // §V-A: skip matrices where COO wins outright over all six formats.
+      bool coo_best = true;
+      const double coo_t = rec.time(arch, prec, Format::kCoo);
+      for (Format f : kAllFormats)
+        if (f != Format::kCoo && rec.time(arch, prec, f) < coo_t)
+          coo_best = false;
+      if (coo_best) continue;
+    }
+    study.data.x.push_back(rec.features.select(feature_set));
+    study.data.labels.push_back(rec.best_among(arch, prec, candidates));
+    std::vector<double> row_times;
+    row_times.reserve(candidates.size());
+    for (Format f : candidates) row_times.push_back(rec.time(arch, prec, f));
+    study.times.push_back(std::move(row_times));
+  }
+  study.data.validate();
+  return study;
+}
+
+RegressionStudy make_joint_regression_study(const LabeledCorpus& corpus,
+                                            int arch, Precision prec,
+                                            std::span<const Format> formats,
+                                            FeatureSet feature_set) {
+  SPMVML_ENSURE(!formats.empty(), "no formats");
+  RegressionStudy study;
+  for (const auto& rec : corpus.records) {
+    const auto base = rec.features.select(feature_set);
+    for (std::size_t fi = 0; fi < formats.size(); ++fi) {
+      std::vector<double> x = base;
+      for (std::size_t k = 0; k < formats.size(); ++k)
+        x.push_back(k == fi ? 1.0 : 0.0);  // format one-hot
+      const double t = rec.time(arch, prec, formats[fi]);
+      study.data.x.push_back(std::move(x));
+      study.data.targets.push_back(seconds_to_regression_target(t));
+      study.seconds.push_back(t);
+    }
+  }
+  study.data.validate();
+  return study;
+}
+
+RegressionStudy make_format_regression_study(const LabeledCorpus& corpus,
+                                             int arch, Precision prec,
+                                             Format format,
+                                             FeatureSet feature_set) {
+  RegressionStudy study;
+  for (const auto& rec : corpus.records) {
+    const double t = rec.time(arch, prec, format);
+    study.data.x.push_back(rec.features.select(feature_set));
+    study.data.targets.push_back(seconds_to_regression_target(t));
+    study.seconds.push_back(t);
+  }
+  study.data.validate();
+  return study;
+}
+
+CooCensus coo_census(const LabeledCorpus& corpus, int arch, Precision prec) {
+  CooCensus census;
+  census.total = corpus.size();
+  double penalty_sum = 0.0;
+  std::size_t penalty_count = 0;
+  for (const auto& rec : corpus.records) {
+    const double coo_t = rec.time(arch, prec, Format::kCoo);
+    double best_other6 = std::numeric_limits<double>::infinity();
+    for (Format f : kAllFormats)
+      if (f != Format::kCoo)
+        best_other6 = std::min(best_other6, rec.time(arch, prec, f));
+    if (coo_t < best_other6) {
+      ++census.coo_best_all6;
+      penalty_sum += best_other6 / coo_t;
+      ++penalty_count;
+    }
+    double best_basic = std::numeric_limits<double>::infinity();
+    for (Format f : kBasicFormats)
+      best_basic = std::min(best_basic, rec.time(arch, prec, f));
+    if (coo_t < best_basic) ++census.coo_best_basic4;
+  }
+  census.mean_exclusion_penalty =
+      penalty_count > 0 ? penalty_sum / static_cast<double>(penalty_count)
+                        : 1.0;
+  return census;
+}
+
+}  // namespace spmvml

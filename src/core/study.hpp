@@ -1,0 +1,68 @@
+// Study assembly: turn a LabeledCorpus into ML datasets for one
+// (GPU, precision) configuration — the unit every results table varies.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/label_collector.hpp"
+#include "ml/dataset.hpp"
+
+namespace spmvml {
+
+/// Classification study (§V): features -> best-format label.
+struct ClassificationStudy {
+  ml::Dataset data;                    // x = selected features, labels set
+  std::vector<Format> candidates;      // label index -> format
+  /// Full candidate-time row per sample (same order as candidates), for
+  /// slowdown analysis and indirect classification.
+  std::vector<std::vector<double>> times;
+};
+
+/// Build the classification study.
+///  * candidates: e.g. kBasicFormats (Tables IV–VI) or kAllFormats (VII–IX)
+///  * drop_coo_best: apply §V-A — remove matrices whose best format is COO
+///    (only meaningful when COO is not in `candidates`).
+ClassificationStudy make_classification_study(
+    const LabeledCorpus& corpus, int arch, Precision prec,
+    std::span<const Format> candidates, FeatureSet feature_set,
+    bool drop_coo_best = false);
+
+/// Regression study (§VI): predict execution time.
+/// Joint mode appends a one-hot format encoding to the features so one
+/// model covers all 6 formats (the paper's "combined" model); per-format
+/// mode emits one dataset per format.
+struct RegressionStudy {
+  ml::Dataset data;   // targets = log10(seconds); see note below
+  /// Raw measured seconds per sample (targets are log-transformed).
+  std::vector<double> seconds;
+};
+
+/// Joint study over all formats in `formats`.
+RegressionStudy make_joint_regression_study(const LabeledCorpus& corpus,
+                                            int arch, Precision prec,
+                                            std::span<const Format> formats,
+                                            FeatureSet feature_set);
+
+/// Single-format study (§VI-B).
+RegressionStudy make_format_regression_study(const LabeledCorpus& corpus,
+                                             int arch, Precision prec,
+                                             Format format,
+                                             FeatureSet feature_set);
+
+/// Undo the log transform applied to regression targets.
+double regression_target_to_seconds(double target);
+double seconds_to_regression_target(double seconds);
+
+/// §V-A census: fraction of matrices whose fastest format is COO, plus the
+/// mean penalty (best-other / best) over those cases.
+struct CooCensus {
+  std::size_t total = 0;
+  std::size_t coo_best_all6 = 0;   // COO beats the other five
+  std::size_t coo_best_basic4 = 0; // COO beats ELL/CSR/HYB
+  double mean_exclusion_penalty = 1.0;
+};
+CooCensus coo_census(const LabeledCorpus& corpus, int arch, Precision prec);
+
+}  // namespace spmvml

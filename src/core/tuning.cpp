@@ -1,0 +1,92 @@
+#include "core/tuning.hpp"
+
+#include "common/error.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace spmvml {
+
+std::vector<ml::ParamPoint> paper_grid(ModelKind kind, bool fast) {
+  std::map<std::string, std::vector<double>> axes;
+  switch (kind) {
+    case ModelKind::kXgboost:
+      axes = {{"n_estimators", {50, 100, 200, 500}},
+              {"max_depth", {32, 64, 128}},
+              {"learning_rate", {0.1, 0.01}}};
+      break;
+    case ModelKind::kSvm:
+      axes = {{"C", {100, 1000, 10000}}, {"gamma", {0.1, 0.01, 0.001}}};
+      break;
+    case ModelKind::kDecisionTree:
+      axes = {{"max_depth", {8, 16, 32}}, {"min_samples_leaf", {1, 2, 8}}};
+      break;
+    case ModelKind::kMlp:
+    case ModelKind::kMlpEnsemble:
+      axes = {{"epochs", {30, 60}}, {"learning_rate", {1e-3, 3e-4}}};
+      break;
+  }
+  if (fast) {
+    for (auto& [name, values] : axes) {
+      (void)name;
+      values.resize(std::min<std::size_t>(values.size(), 2));
+    }
+  }
+  return ml::make_grid(axes);
+}
+
+ml::ClassifierPtr make_classifier_with(ModelKind kind,
+                                       const ml::ParamPoint& params) {
+  auto get = [&](const char* name, double fallback) {
+    const auto it = params.find(name);
+    return it == params.end() ? fallback : it->second;
+  };
+  switch (kind) {
+    case ModelKind::kXgboost: {
+      ml::GbtParams p;
+      p.n_estimators = static_cast<int>(get("n_estimators", 150));
+      p.max_depth = static_cast<int>(get("max_depth", 6));
+      p.learning_rate = get("learning_rate", 0.1);
+      return std::make_unique<ml::GbtClassifier>(p);
+    }
+    case ModelKind::kSvm: {
+      ml::SvmParams p;
+      p.c = get("C", 10.0);
+      p.gamma = get("gamma", 0.1);
+      return std::make_unique<ml::SvmClassifier>(p);
+    }
+    case ModelKind::kDecisionTree: {
+      ml::TreeParams p;
+      p.max_depth = static_cast<int>(get("max_depth", 16));
+      p.min_samples_leaf = static_cast<int>(get("min_samples_leaf", 2));
+      return std::make_unique<ml::DecisionTreeClassifier>(p);
+    }
+    case ModelKind::kMlp: {
+      ml::MlpParams p;
+      p.epochs = static_cast<int>(get("epochs", 60));
+      p.learning_rate = get("learning_rate", 1e-3);
+      return std::make_unique<ml::MlpClassifier>(p);
+    }
+    case ModelKind::kMlpEnsemble: {
+      ml::MlpParams p;
+      p.epochs = static_cast<int>(get("epochs", 60));
+      p.learning_rate = get("learning_rate", 1e-3);
+      return std::make_unique<ml::MlpEnsembleClassifier>(p, 5);
+    }
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid ModelKind");
+  return nullptr;
+}
+
+ml::GridSearchResult tune_classifier(ModelKind kind, const ml::Dataset& data,
+                                     int folds, std::uint64_t seed,
+                                     bool fast) {
+  return ml::grid_search_classifier(
+      [kind](const ml::ParamPoint& point) {
+        return make_classifier_with(kind, point);
+      },
+      paper_grid(kind, fast), data, folds, seed);
+}
+
+}  // namespace spmvml

@@ -1,0 +1,30 @@
+// Hyper-parameter tuning (§IV-D): the paper's GridSearchCV protocol with
+// its published grids —
+//   XGBoost: n_estimators {50,100,200,500}, max_depth {32,64,128},
+//            learning_rate {.1,.01}
+//   SVM:     C {100,1000,10000}, gamma {.1,.01,.001}
+// scored by stratified k-fold cross-validation accuracy.
+#pragma once
+
+#include "core/format_selector.hpp"
+#include "ml/grid_search.hpp"
+
+namespace spmvml {
+
+/// The paper's §IV-D grid for `kind` (decision tree and MLP get small
+/// pragmatic grids; the paper only specifies XGBoost's and SVM's).
+/// `fast` truncates each axis to its first entries.
+std::vector<ml::ParamPoint> paper_grid(ModelKind kind, bool fast = false);
+
+/// Instantiate a classifier with explicit hyper-parameters (keys as in
+/// paper_grid); unspecified values fall back to the tuned defaults.
+ml::ClassifierPtr make_classifier_with(ModelKind kind,
+                                       const ml::ParamPoint& params);
+
+/// Run GridSearchCV over paper_grid(kind) and return the winning point
+/// plus its CV score.
+ml::GridSearchResult tune_classifier(ModelKind kind, const ml::Dataset& data,
+                                     int folds, std::uint64_t seed,
+                                     bool fast = false);
+
+}  // namespace spmvml

@@ -1,0 +1,43 @@
+#include "features/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+std::vector<float> density_image(const Csr<double>& m, int size) {
+  SPMVML_ENSURE(size > 0, "image size must be positive");
+  const auto cells = static_cast<std::size_t>(size) *
+                     static_cast<std::size_t>(size);
+  std::vector<float> counts(cells, 0.0f);
+  if (m.rows() == 0 || m.cols() == 0) return counts;
+
+  const double row_scale = static_cast<double>(size) /
+                           static_cast<double>(m.rows());
+  const double col_scale = static_cast<double>(size) /
+                           static_cast<double>(m.cols());
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const auto pr = std::min<index_t>(
+        size - 1, static_cast<index_t>(static_cast<double>(r) * row_scale));
+    for (index_t p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      const auto pc = std::min<index_t>(
+          size - 1, static_cast<index_t>(
+                        static_cast<double>(m.col_idx()[p]) * col_scale));
+      counts[static_cast<std::size_t>(pr) * static_cast<std::size_t>(size) +
+             static_cast<std::size_t>(pc)] += 1.0f;
+    }
+  }
+  // Log scale then normalise: cell populations span many decades.
+  float max_v = 0.0f;
+  for (float& v : counts) {
+    v = std::log1p(v);
+    max_v = std::max(max_v, v);
+  }
+  if (max_v > 0.0f)
+    for (float& v : counts) v /= max_v;
+  return counts;
+}
+
+}  // namespace spmvml

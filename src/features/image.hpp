@@ -1,0 +1,16 @@
+// Fixed-size image representation of a sparse matrix (Zhao et al.,
+// PPoPP'18 — the CNN-based format-selection approach the paper compares
+// against in §VII). The matrix is divided into size x size cells; each
+// pixel is the log-scaled density of its cell, normalised to [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+/// size*size row-major pixels in [0, 1]. O(nnz).
+std::vector<float> density_image(const Csr<double>& m, int size = 32);
+
+}  // namespace spmvml

@@ -1,0 +1,43 @@
+#include "gpusim/arch.hpp"
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+const char* precision_name(Precision p) {
+  return p == Precision::kSingle ? "single" : "double";
+}
+
+GpuArch tesla_k40c() {
+  GpuArch a;
+  a.name = "K80c";  // the paper labels the Kepler box K80c/K40c interchangeably
+  a.sms = 13;
+  a.cores_per_sm = 192;
+  a.clock_ghz = 0.824;
+  a.mem_bw_gbps = 288.0;
+  a.l2_bytes = static_cast<std::int64_t>(1.5 * 1024 * 1024);
+  a.warp_size = 32;
+  a.launch_overhead_s = 5e-6;
+  a.atomic_throughput_gops = 0.6;
+  a.dp_ratio = 1.0 / 3.0;  // GK110B double-precision throttle
+  return a;
+}
+
+GpuArch tesla_p100() {
+  GpuArch a;
+  a.name = "P100";
+  a.sms = 56;
+  a.cores_per_sm = 64;
+  a.clock_ghz = 1.328;
+  a.mem_bw_gbps = 732.0;
+  a.l2_bytes = 4 * 1024 * 1024;
+  a.warp_size = 32;
+  a.launch_overhead_s = 3.5e-6;
+  a.atomic_throughput_gops = 2.5;
+  a.dp_ratio = 0.5;  // GP100 1:2 double precision
+  return a;
+}
+
+std::vector<GpuArch> paper_testbeds() { return {tesla_k40c(), tesla_p100()}; }
+
+}  // namespace spmvml

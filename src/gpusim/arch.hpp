@@ -1,0 +1,60 @@
+// GPU architecture descriptors (the paper's Table III testbeds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spmvml {
+
+/// Scalar value precision of the SpMV study.
+enum class Precision : int { kSingle = 0, kDouble = 1 };
+
+inline constexpr int kNumPrecisions = 2;
+
+const char* precision_name(Precision p);
+inline int value_bytes(Precision p) { return p == Precision::kSingle ? 4 : 8; }
+
+/// Static architecture parameters that drive the cost model.
+struct GpuArch {
+  std::string name;
+  int sms = 0;                 // streaming multiprocessors
+  int cores_per_sm = 0;
+  double clock_ghz = 0.0;
+  double mem_bw_gbps = 0.0;    // peak DRAM bandwidth, GB/s
+  std::int64_t l2_bytes = 0;
+  int warp_size = 32;
+  double launch_overhead_s = 0.0;  // fixed per-kernel launch latency
+  double atomic_throughput_gops = 0.0;  // global atomic adds per second (G)
+  double dp_ratio = 1.0;  // double-precision FLOP rate / single rate
+
+  /// Peak FLOP/s assuming FMA (2 flops per core-cycle).
+  double peak_flops(Precision p) const {
+    const double base =
+        static_cast<double>(sms) * cores_per_sm * clock_ghz * 1e9 * 2.0;
+    return p == Precision::kDouble ? base * dp_ratio : base;
+  }
+
+  /// Lane-instruction issue rate (lane-cycles per second).
+  double lane_rate() const {
+    return static_cast<double>(sms) * cores_per_sm * clock_ghz * 1e9;
+  }
+
+  /// Resident warps the device can keep in flight (occupancy proxy).
+  double concurrent_warps() const {
+    return static_cast<double>(sms) * 64.0;  // 64 resident warps/SM
+  }
+};
+
+/// GPU 1 of Table III: Tesla K40c — 13 Kepler SMs, 192 cores/SM, 824 MHz,
+/// 12 GB, 1.5 MB L2 (288 GB/s GDDR5).
+GpuArch tesla_k40c();
+
+/// GPU 2 of Table III: Tesla P100 — 56 Pascal SMs, 64 cores/SM, 1328 MHz,
+/// 16 GB, 4 MB L2 (732 GB/s HBM2).
+GpuArch tesla_p100();
+
+/// Both testbeds in paper order (K80c/K40c first).
+std::vector<GpuArch> paper_testbeds();
+
+}  // namespace spmvml

@@ -1,0 +1,189 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+namespace {
+
+constexpr double kIdxBytes = 4.0;  // 32-bit device indices
+
+/// Expected DRAM bytes fetched to gather x[col] for every nonzero.
+double gather_bytes(const RowSummary& s, const GpuArch& arch, Precision prec,
+                    const CostParams& p) {
+  if (s.nnz == 0) return 0.0;
+  const double w = value_bytes(prec);
+  const double elems_per_line = p.gather_line_bytes / w;
+
+  // Spatial locality: consecutive columns within a row share sectors.
+  const double stride = std::max(1.0, s.avg_stride);
+  double miss = std::min(1.0, stride / elems_per_line);
+
+  // Temporal locality: if x (or the per-row working span) fits in L2 with
+  // room for cross-warp reuse, most gathers hit.
+  const double x_bytes = static_cast<double>(s.cols) * w;
+  const double capacity_hit = std::clamp(
+      static_cast<double>(arch.l2_bytes) * p.l2_reuse_boost / x_bytes, 0.0,
+      1.0);
+  miss *= (1.0 - 0.9 * capacity_hit);
+
+  // Banded structures walk x almost sequentially.
+  miss *= (1.0 - p.band_hit_bonus * s.band_fraction);
+  miss = std::max(miss, p.min_miss);
+  return static_cast<double>(s.nnz) * p.gather_line_bytes * miss;
+}
+
+double max3(double a, double b, double c) { return std::max(a, std::max(b, c)); }
+
+}  // namespace
+
+CostBreakdown simulate_cost(const RowSummary& s, Format f, const GpuArch& arch,
+                            Precision prec, const CostParams& p) {
+  CostBreakdown out;
+  const double w = value_bytes(prec);
+  const double bw = arch.mem_bw_gbps * 1e9;
+  const double lane_rate = arch.lane_rate();
+  const double nnz = static_cast<double>(s.nnz);
+  const double rows = static_cast<double>(s.rows);
+  const double y_bytes = rows * w;
+  const double gather = gather_bytes(s, arch, prec, p);
+  out.gather_bytes = gather;
+  out.flop_time = 2.0 * nnz / arch.peak_flops(prec);
+
+  double launches = 1.0;
+  double setup = p.setup_cycles_basic;
+  double traffic = 0.0;
+  double eff = 1.0;
+  double exec_steps = 0.0;
+  double atomics = 0.0;
+  double tail = 0.0;
+
+  // Single-warp / single-thread throughput for makespan-tail terms.
+  const double warp_step_rate = arch.clock_ghz * 1e9 / p.cycles_per_step;
+  const double row_max = static_cast<double>(s.row_max);
+
+  switch (f) {
+    case Format::kCoo: {
+      traffic = nnz * (2.0 * kIdxBytes + w) + gather + y_bytes;
+      eff = p.eff_coo;
+      exec_steps = nnz * 1.8;  // product + in-kernel segmented scan
+      // The flat COO kernel reduces segments in shared memory and commits
+      // warp-boundary carries with global atomics (~one per 32 items).
+      atomics = (rows + nnz) * p.atomics_per_warp_chunk;
+      launches = p.launches_coo;
+      break;
+    }
+    case Format::kCsr: {
+      // Adaptive kernel: take the better of vector (warp-per-row) and
+      // scalar (thread-per-row) — what a tuned cuSPARSE csrmv does.
+      // Both pay a makespan tail: the longest row is ground by one warp
+      // (vector) or one thread (scalar) while the device drains.
+      const double tail_vec = (row_max / 32.0) / warp_step_rate;
+      const double tail_sca = row_max / warp_step_rate;
+
+      const double eff_vec =
+          p.eff_csr_vector *
+          std::clamp(s.row_mu / 32.0, p.csr_vector_short_row_floor, 1.0);
+      const double base = nnz * (kIdxBytes + w) + rows * 2.0 * kIdxBytes +
+                          gather + y_bytes;
+      const double t_mem_vec = base / (bw * eff_vec);
+      const double t_exec_vec =
+          s.csr_vector_lane_steps * p.cycles_per_step / lane_rate;
+      const double t_vec = std::max(t_mem_vec, t_exec_vec) + tail_vec;
+
+      const double base_scalar =
+          nnz * (kIdxBytes + w) * p.scalar_amplification +
+          rows * 2.0 * kIdxBytes + gather + y_bytes;
+      const double t_mem_sca = base_scalar / (bw * p.eff_csr_vector);
+      const double t_exec_sca =
+          s.csr_scalar_lane_steps * p.cycles_per_step / lane_rate;
+      const double t_sca = std::max(t_mem_sca, t_exec_sca) + tail_sca;
+
+      if (t_vec <= t_sca) {
+        traffic = base;
+        eff = eff_vec;
+        exec_steps = s.csr_vector_lane_steps;
+        tail = tail_vec;
+      } else {
+        traffic = base_scalar;
+        eff = p.eff_csr_vector;
+        exec_steps = s.csr_scalar_lane_steps;
+        tail = tail_sca;
+      }
+      break;
+    }
+    case Format::kEll: {
+      const double slots = rows * row_max;
+      traffic = slots * (kIdxBytes + w) +
+                gather * p.texture_gather_factor + y_bytes;
+      eff = p.eff_ell;
+      exec_steps = slots;  // padded slots execute (predicated) too
+      // Thread-per-row: every thread walks `width` slots; the closing
+      // warp runs row_max steps alone.
+      tail = row_max / warp_step_rate;
+      break;
+    }
+    case Format::kHyb: {
+      const double ell_slots = rows * static_cast<double>(s.hyb_width);
+      const double spill = static_cast<double>(s.hyb_spill);
+      traffic = ell_slots * (kIdxBytes + w) + spill * (2.0 * kIdxBytes + w) +
+                gather * p.texture_gather_factor + y_bytes;
+      eff = p.eff_hyb;
+      exec_steps = ell_slots + spill * 1.3;
+      // Spill entries flush through the COO kernel's segmented reduction;
+      // the ELL part's tail is capped at the split width.
+      atomics = spill * p.atomics_per_warp_chunk;
+      tail = static_cast<double>(s.hyb_width) / warp_step_rate;
+      launches = p.launches_hyb;
+      setup = 2.0 * p.setup_cycles_basic;
+      break;
+    }
+    case Format::kCsr5: {
+      const double tiles = std::ceil(nnz / (32.0 * 16.0));
+      traffic = nnz * (kIdxBytes + w) + tiles * 64.0 + gather + y_bytes;
+      eff = p.eff_csr5;
+      // The in-tile transpose/segmented-sum costs grow mildly with row
+      // irregularity (more segments per tile).
+      exec_steps = nnz * (p.csr5_exec_overhead +
+                          0.04 * std::min(s.row_cv(), 5.0));
+      atomics = 0.3 * tiles * p.atomics_per_row;  // cross-tile carries
+      setup = p.setup_cycles_csr5;
+      launches = p.launches_csr5;
+      break;
+    }
+    case Format::kMergeCsr: {
+      traffic = nnz * (kIdxBytes + w) + rows * kIdxBytes + gather + y_bytes;
+      eff = p.eff_merge;
+      exec_steps = (nnz + rows) * p.merge_exec_overhead;
+      setup = p.setup_cycles_merge;
+      launches = p.launches_merge;
+      break;
+    }
+  }
+
+  out.traffic_bytes = traffic;
+  out.memory_time = traffic / (bw * eff);
+  out.exec_time =
+      (exec_steps * p.cycles_per_step + setup) / lane_rate;
+  out.atomic_time = atomics / (arch.atomic_throughput_gops * 1e9);
+  out.launch_time = launches * arch.launch_overhead_s;
+  out.tail_time = tail;
+  out.total_time = out.launch_time +
+                   max3(out.memory_time, out.exec_time, out.flop_time) +
+                   out.atomic_time + out.tail_time;
+  return out;
+}
+
+double simulate_time(const RowSummary& s, Format f, const GpuArch& arch,
+                     Precision prec, const CostParams& params) {
+  return simulate_cost(s, f, arch, prec, params).total_time;
+}
+
+double to_gflops(const RowSummary& s, double seconds) {
+  SPMVML_ENSURE(seconds > 0.0, "non-positive time");
+  return 2.0 * static_cast<double>(s.nnz) / seconds / 1e9;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,51 @@
+#include "gpusim/oracle.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spmvml {
+
+MeasurementOracle::MeasurementOracle(GpuArch arch, Precision prec,
+                                     MeasurementConfig config,
+                                     CostParams params)
+    : arch_(std::move(arch)), prec_(prec), config_(config), params_(params) {
+  SPMVML_ENSURE(config_.reps >= 1, "need at least one repetition");
+  SPMVML_ENSURE(config_.rep_sigma >= 0.0 && config_.systematic_sigma >= 0.0,
+                "noise sigmas must be non-negative");
+}
+
+Measurement MeasurementOracle::measure(const RowSummary& s, Format f,
+                                       std::uint64_t matrix_seed) const {
+  const double model_time = simulate_time(s, f, arch_, prec_, params_);
+
+  // Seed ties the noise to the full measurement identity.
+  std::uint64_t salt = hash_combine(matrix_seed,
+                                    static_cast<std::uint64_t>(f) * 1000003);
+  salt = hash_combine(salt, std::hash<std::string>{}(arch_.name));
+  salt = hash_combine(salt, static_cast<std::uint64_t>(prec_) + 17);
+  Rng rng(salt);
+
+  const double systematic = std::exp(rng.normal(0.0, config_.systematic_sigma));
+  double sum = 0.0;
+  for (int r = 0; r < config_.reps; ++r)
+    sum += model_time * systematic * std::exp(rng.normal(0.0, config_.rep_sigma));
+  const double mean = sum / config_.reps;
+
+  Measurement m;
+  m.seconds = mean;
+  m.gflops = to_gflops(s, mean);
+  return m;
+}
+
+std::array<Measurement, kNumFormats> MeasurementOracle::measure_all(
+    const RowSummary& s, std::uint64_t matrix_seed) const {
+  std::array<Measurement, kNumFormats> out;
+  for (int i = 0; i < kNumFormats; ++i)
+    out[static_cast<std::size_t>(i)] =
+        measure(s, static_cast<Format>(i), matrix_seed);
+  return out;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,57 @@
+// Measurement oracle: what "running SpMV 50 times and averaging" returns.
+//
+// Layers two kinds of stochasticity on the deterministic cost model:
+//  * per-repetition timing jitter (log-normal, averages out over reps,
+//    exactly like the paper's 50-run averaging methodology §IV-B), and
+//  * a per-(matrix, format, arch, precision) *systematic* factor that does
+//    NOT average out — modeling kernel/structure interactions the cost
+//    model leaves out. This is the irreducible error an ML model trained
+//    on structural features faces on real hardware.
+// Both are seeded from the matrix's identity, so the oracle is a pure
+// function and every experiment is reproducible.
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/format.hpp"
+
+namespace spmvml {
+
+struct MeasurementConfig {
+  int reps = 50;                   // paper: 50 runs averaged
+  double rep_sigma = 0.04;         // log-normal per-run jitter
+  double systematic_sigma = 0.02; // per-(matrix,format) fixed deviation
+};
+
+/// A measurement: mean time over reps plus the implied GFLOPS.
+struct Measurement {
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+class MeasurementOracle {
+ public:
+  MeasurementOracle(GpuArch arch, Precision prec,
+                    MeasurementConfig config = {}, CostParams params = {});
+
+  const GpuArch& arch() const { return arch_; }
+  Precision precision() const { return prec_; }
+
+  /// Timed SpMV for one (matrix, format); matrix_seed identifies the
+  /// matrix (the GenSpec seed, or any stable id for external matrices).
+  Measurement measure(const RowSummary& s, Format f,
+                      std::uint64_t matrix_seed) const;
+
+  /// Measure all six formats at once (shares the summary scan).
+  std::array<Measurement, kNumFormats> measure_all(
+      const RowSummary& s, std::uint64_t matrix_seed) const;
+
+ private:
+  GpuArch arch_;
+  Precision prec_;
+  MeasurementConfig config_;
+  CostParams params_;
+};
+
+}  // namespace spmvml

@@ -1,0 +1,389 @@
+#include "ml/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spmvml::ml {
+
+/// Everything the backward pass needs from one forward pass.
+struct CnnClassifier::Activations {
+  Tensor input;        // 1 x S x S
+  Tensor conv1, pool1; // c1 x S x S, c1 x S/2 x S/2
+  Tensor conv2, pool2; // c2 x S/2 x S/2, c2 x S/4 x S/4
+  std::vector<int> pool1_arg, pool2_arg;  // argmax flat indices
+  std::vector<float> fc1;                 // hidden (post-ReLU)
+  std::vector<float> logits;              // K raw outputs
+};
+
+CnnClassifier::CnnClassifier(CnnParams params) : params_(params) {
+  SPMVML_ENSURE(params_.image_size % 4 == 0,
+                "image_size must be divisible by 4 (two 2x2 pools)");
+}
+
+std::vector<CnnClassifier::Param*> CnnClassifier::all_params() {
+  return {&conv1_w_, &conv1_b_, &conv2_w_, &conv2_b_,
+          &fc1_w_,   &fc1_b_,   &fc2_w_,   &fc2_b_};
+}
+
+void CnnClassifier::forward(const std::vector<float>& image,
+                            Activations& act) const {
+  const int s = params_.image_size;
+  const int c1 = params_.conv1_channels, c2 = params_.conv2_channels;
+  SPMVML_ENSURE(static_cast<int>(image.size()) == s * s,
+                "image size mismatch");
+
+  act.input.init(1, s, s);
+  std::copy(image.begin(), image.end(), act.input.v.begin());
+
+  // conv1 + ReLU.
+  act.conv1.init(c1, s, s);
+  for (int oc = 0; oc < c1; ++oc) {
+    const float bias = conv1_b_.v[static_cast<std::size_t>(oc)];
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        float sum = bias;
+        for (int ky = -1; ky <= 1; ++ky) {
+          const int yy = y + ky;
+          if (yy < 0 || yy >= s) continue;
+          for (int kx = -1; kx <= 1; ++kx) {
+            const int xx = x + kx;
+            if (xx < 0 || xx >= s) continue;
+            sum += conv1_w_.v[static_cast<std::size_t>(
+                       (oc * 9) + (ky + 1) * 3 + (kx + 1))] *
+                   act.input.at(0, yy, xx);
+          }
+        }
+        act.conv1.at(oc, y, x) = sum > 0.0f ? sum : 0.0f;
+      }
+    }
+  }
+
+  // pool1 (2x2 max).
+  const int h1 = s / 2;
+  act.pool1.init(c1, h1, h1);
+  act.pool1_arg.assign(act.pool1.v.size(), 0);
+  for (int ch = 0; ch < c1; ++ch) {
+    for (int y = 0; y < h1; ++y) {
+      for (int x = 0; x < h1; ++x) {
+        float best = -1e30f;
+        int arg = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const float v = act.conv1.at(ch, 2 * y + dy, 2 * x + dx);
+            if (v > best) {
+              best = v;
+              arg = ((ch * s) + 2 * y + dy) * s + 2 * x + dx;
+            }
+          }
+        }
+        act.pool1.at(ch, y, x) = best;
+        act.pool1_arg[static_cast<std::size_t>((ch * h1 + y) * h1 + x)] = arg;
+      }
+    }
+  }
+
+  // conv2 + ReLU (c1 -> c2 channels).
+  act.conv2.init(c2, h1, h1);
+  for (int oc = 0; oc < c2; ++oc) {
+    const float bias = conv2_b_.v[static_cast<std::size_t>(oc)];
+    for (int y = 0; y < h1; ++y) {
+      for (int x = 0; x < h1; ++x) {
+        float sum = bias;
+        for (int ic = 0; ic < c1; ++ic) {
+          for (int ky = -1; ky <= 1; ++ky) {
+            const int yy = y + ky;
+            if (yy < 0 || yy >= h1) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const int xx = x + kx;
+              if (xx < 0 || xx >= h1) continue;
+              sum += conv2_w_.v[static_cast<std::size_t>(
+                         ((oc * c1 + ic) * 9) + (ky + 1) * 3 + (kx + 1))] *
+                     act.pool1.at(ic, yy, xx);
+            }
+          }
+        }
+        act.conv2.at(oc, y, x) = sum > 0.0f ? sum : 0.0f;
+      }
+    }
+  }
+
+  // pool2.
+  const int h2 = h1 / 2;
+  act.pool2.init(c2, h2, h2);
+  act.pool2_arg.assign(act.pool2.v.size(), 0);
+  for (int ch = 0; ch < c2; ++ch) {
+    for (int y = 0; y < h2; ++y) {
+      for (int x = 0; x < h2; ++x) {
+        float best = -1e30f;
+        int arg = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const float v = act.conv2.at(ch, 2 * y + dy, 2 * x + dx);
+            if (v > best) {
+              best = v;
+              arg = ((ch * h1) + 2 * y + dy) * h1 + 2 * x + dx;
+            }
+          }
+        }
+        act.pool2.at(ch, y, x) = best;
+        act.pool2_arg[static_cast<std::size_t>((ch * h2 + y) * h2 + x)] = arg;
+      }
+    }
+  }
+
+  // fc1 + ReLU.
+  const int flat = flat_size_;
+  act.fc1.assign(static_cast<std::size_t>(params_.hidden), 0.0f);
+  for (int o = 0; o < params_.hidden; ++o) {
+    float sum = fc1_b_.v[static_cast<std::size_t>(o)];
+    const float* w = &fc1_w_.v[static_cast<std::size_t>(o) *
+                               static_cast<std::size_t>(flat)];
+    for (int i = 0; i < flat; ++i)
+      sum += w[i] * act.pool2.v[static_cast<std::size_t>(i)];
+    act.fc1[static_cast<std::size_t>(o)] = sum > 0.0f ? sum : 0.0f;
+  }
+
+  // fc2 (logits).
+  act.logits.assign(static_cast<std::size_t>(num_classes_), 0.0f);
+  for (int o = 0; o < num_classes_; ++o) {
+    float sum = fc2_b_.v[static_cast<std::size_t>(o)];
+    const float* w = &fc2_w_.v[static_cast<std::size_t>(o) *
+                               static_cast<std::size_t>(params_.hidden)];
+    for (int i = 0; i < params_.hidden; ++i)
+      sum += w[i] * act.fc1[static_cast<std::size_t>(i)];
+    act.logits[static_cast<std::size_t>(o)] = sum;
+  }
+}
+
+void CnnClassifier::backward(const Activations& act,
+                             const std::vector<float>& grad_out,
+                             std::vector<std::vector<float>>& grads) const {
+  const int s = params_.image_size;
+  const int c1 = params_.conv1_channels, c2 = params_.conv2_channels;
+  const int h1 = s / 2;
+  const int flat = flat_size_;
+
+  // fc2 backward.
+  std::vector<float> d_fc1(static_cast<std::size_t>(params_.hidden), 0.0f);
+  for (int o = 0; o < num_classes_; ++o) {
+    const float d = grad_out[static_cast<std::size_t>(o)];
+    grads[7][static_cast<std::size_t>(o)] += d;  // fc2_b
+    float* gw = &grads[6][static_cast<std::size_t>(o) *
+                          static_cast<std::size_t>(params_.hidden)];
+    const float* w = &fc2_w_.v[static_cast<std::size_t>(o) *
+                               static_cast<std::size_t>(params_.hidden)];
+    for (int i = 0; i < params_.hidden; ++i) {
+      gw[i] += d * act.fc1[static_cast<std::size_t>(i)];
+      d_fc1[static_cast<std::size_t>(i)] += d * w[i];
+    }
+  }
+  for (int i = 0; i < params_.hidden; ++i)
+    if (act.fc1[static_cast<std::size_t>(i)] <= 0.0f)
+      d_fc1[static_cast<std::size_t>(i)] = 0.0f;
+
+  // fc1 backward.
+  std::vector<float> d_pool2(static_cast<std::size_t>(flat), 0.0f);
+  for (int o = 0; o < params_.hidden; ++o) {
+    const float d = d_fc1[static_cast<std::size_t>(o)];
+    if (d == 0.0f) continue;
+    grads[5][static_cast<std::size_t>(o)] += d;  // fc1_b
+    float* gw = &grads[4][static_cast<std::size_t>(o) *
+                          static_cast<std::size_t>(flat)];
+    const float* w = &fc1_w_.v[static_cast<std::size_t>(o) *
+                               static_cast<std::size_t>(flat)];
+    for (int i = 0; i < flat; ++i) {
+      gw[i] += d * act.pool2.v[static_cast<std::size_t>(i)];
+      d_pool2[static_cast<std::size_t>(i)] += d * w[i];
+    }
+  }
+
+  // pool2 backward -> d_conv2 (post-ReLU grad routed through argmax).
+  std::vector<float> d_conv2(
+      static_cast<std::size_t>(c2) * h1 * h1, 0.0f);
+  for (std::size_t i = 0; i < d_pool2.size(); ++i)
+    d_conv2[static_cast<std::size_t>(act.pool2_arg[i])] += d_pool2[i];
+  // ReLU derivative of conv2.
+  for (std::size_t i = 0; i < d_conv2.size(); ++i)
+    if (act.conv2.v[i] <= 0.0f) d_conv2[i] = 0.0f;
+
+  // conv2 backward.
+  std::vector<float> d_pool1(static_cast<std::size_t>(c1) * h1 * h1, 0.0f);
+  for (int oc = 0; oc < c2; ++oc) {
+    for (int y = 0; y < h1; ++y) {
+      for (int x = 0; x < h1; ++x) {
+        const float d =
+            d_conv2[static_cast<std::size_t>((oc * h1 + y) * h1 + x)];
+        if (d == 0.0f) continue;
+        grads[3][static_cast<std::size_t>(oc)] += d;  // conv2_b
+        for (int ic = 0; ic < c1; ++ic) {
+          for (int ky = -1; ky <= 1; ++ky) {
+            const int yy = y + ky;
+            if (yy < 0 || yy >= h1) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const int xx = x + kx;
+              if (xx < 0 || xx >= h1) continue;
+              const auto widx = static_cast<std::size_t>(
+                  ((oc * c1 + ic) * 9) + (ky + 1) * 3 + (kx + 1));
+              grads[2][widx] += d * act.pool1.at(ic, yy, xx);
+              d_pool1[static_cast<std::size_t>((ic * h1 + yy) * h1 + xx)] +=
+                  d * conv2_w_.v[widx];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // pool1 backward -> d_conv1, ReLU derivative.
+  std::vector<float> d_conv1(static_cast<std::size_t>(c1) * s * s, 0.0f);
+  for (std::size_t i = 0; i < d_pool1.size(); ++i)
+    d_conv1[static_cast<std::size_t>(act.pool1_arg[i])] += d_pool1[i];
+  for (std::size_t i = 0; i < d_conv1.size(); ++i)
+    if (act.conv1.v[i] <= 0.0f) d_conv1[i] = 0.0f;
+
+  // conv1 backward (input grads not needed).
+  for (int oc = 0; oc < c1; ++oc) {
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        const float d = d_conv1[static_cast<std::size_t>((oc * s + y) * s + x)];
+        if (d == 0.0f) continue;
+        grads[1][static_cast<std::size_t>(oc)] += d;  // conv1_b
+        for (int ky = -1; ky <= 1; ++ky) {
+          const int yy = y + ky;
+          if (yy < 0 || yy >= s) continue;
+          for (int kx = -1; kx <= 1; ++kx) {
+            const int xx = x + kx;
+            if (xx < 0 || xx >= s) continue;
+            grads[0][static_cast<std::size_t>((oc * 9) + (ky + 1) * 3 +
+                                              (kx + 1))] +=
+                d * act.input.at(0, yy, xx);
+          }
+        }
+      }
+    }
+  }
+}
+
+void CnnClassifier::fit(const ImageSet& images, const std::vector<int>& labels) {
+  SPMVML_ENSURE(!images.empty() && images.size() == labels.size(),
+                "bad training data");
+  num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
+  SPMVML_ENSURE(num_classes_ >= 2, "need at least two classes");
+  const int s = params_.image_size;
+  const int c1 = params_.conv1_channels, c2 = params_.conv2_channels;
+  flat_size_ = c2 * (s / 4) * (s / 4);
+
+  Rng rng(hash_combine(params_.seed, 0xCADDE11ULL));
+  auto he_init = [&](Param& p, std::size_t n, int fan_in) {
+    p.init(n);
+    const double scale = std::sqrt(2.0 / fan_in);
+    for (auto& w : p.v) w = static_cast<float>(rng.normal(0.0, scale));
+  };
+  he_init(conv1_w_, static_cast<std::size_t>(c1) * 9, 9);
+  conv1_b_.init(static_cast<std::size_t>(c1));
+  he_init(conv2_w_, static_cast<std::size_t>(c2) * c1 * 9, c1 * 9);
+  conv2_b_.init(static_cast<std::size_t>(c2));
+  he_init(fc1_w_, static_cast<std::size_t>(params_.hidden) * flat_size_,
+          flat_size_);
+  fc1_b_.init(static_cast<std::size_t>(params_.hidden));
+  he_init(fc2_w_, static_cast<std::size_t>(num_classes_) * params_.hidden,
+          params_.hidden);
+  fc2_b_.init(static_cast<std::size_t>(num_classes_));
+  step_ = 0;
+
+  auto params = all_params();
+  std::vector<std::vector<float>> grads(params.size());
+
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), 0);
+  Activations act;
+  std::vector<float> grad_out;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(params_.batch_size)) {
+      const std::size_t stop = std::min(
+          order.size(), start + static_cast<std::size_t>(params_.batch_size));
+      for (std::size_t g = 0; g < params.size(); ++g)
+        grads[g].assign(params[g]->v.size(), 0.0f);
+      const float inv = 1.0f / static_cast<float>(stop - start);
+
+      for (std::size_t idx = start; idx < stop; ++idx) {
+        const std::size_t i = order[idx];
+        forward(images[i], act);
+        // Softmax cross-entropy gradient.
+        grad_out.assign(static_cast<std::size_t>(num_classes_), 0.0f);
+        float mx = act.logits[0];
+        for (float v : act.logits) mx = std::max(mx, v);
+        float denom = 0.0f;
+        for (int k = 0; k < num_classes_; ++k) {
+          grad_out[static_cast<std::size_t>(k)] =
+              std::exp(act.logits[static_cast<std::size_t>(k)] - mx);
+          denom += grad_out[static_cast<std::size_t>(k)];
+        }
+        for (int k = 0; k < num_classes_; ++k) {
+          grad_out[static_cast<std::size_t>(k)] =
+              (grad_out[static_cast<std::size_t>(k)] / denom -
+               (labels[i] == k ? 1.0f : 0.0f)) *
+              inv;
+        }
+        backward(act, grad_out, grads);
+      }
+
+      // Adam step.
+      ++step_;
+      constexpr float b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+      const float c1m = 1.0f - std::pow(b1, static_cast<float>(step_));
+      const float c2m = 1.0f - std::pow(b2, static_cast<float>(step_));
+      const auto lr = static_cast<float>(params_.learning_rate);
+      for (std::size_t g = 0; g < params.size(); ++g) {
+        auto& p = *params[g];
+        for (std::size_t i = 0; i < p.v.size(); ++i) {
+          p.m[i] = b1 * p.m[i] + (1.0f - b1) * grads[g][i];
+          p.a[i] = b2 * p.a[i] + (1.0f - b2) * grads[g][i] * grads[g][i];
+          p.v[i] -= lr * (p.m[i] / c1m) / (std::sqrt(p.a[i] / c2m) + eps);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> CnnClassifier::predict_proba(
+    const std::vector<float>& image) const {
+  SPMVML_ENSURE(num_classes_ > 0, "CNN not fitted");
+  Activations act;
+  forward(image, act);
+  std::vector<double> probs(static_cast<std::size_t>(num_classes_));
+  double mx = act.logits[0];
+  for (float v : act.logits) mx = std::max<double>(mx, v);
+  double denom = 0.0;
+  for (int k = 0; k < num_classes_; ++k) {
+    probs[static_cast<std::size_t>(k)] =
+        std::exp(act.logits[static_cast<std::size_t>(k)] - mx);
+    denom += probs[static_cast<std::size_t>(k)];
+  }
+  for (double& p : probs) p /= denom;
+  return probs;
+}
+
+int CnnClassifier::predict(const std::vector<float>& image) const {
+  const auto p = predict_proba(image);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> CnnClassifier::predict_batch(const ImageSet& images) const {
+  std::vector<int> out;
+  out.reserve(images.size());
+  for (const auto& img : images) out.push_back(predict(img));
+  return out;
+}
+
+}  // namespace spmvml::ml

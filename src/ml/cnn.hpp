@@ -1,0 +1,91 @@
+// Small convolutional network for matrix-image classification — the
+// Zhao et al. (PPoPP'18) approach the paper's §VII compares against.
+//
+// Fixed architecture on an S x S single-channel image:
+//   conv 3x3 (1 -> c1), ReLU, maxpool 2x2,
+//   conv 3x3 (c1 -> c2), ReLU, maxpool 2x2,
+//   dense -> hidden, ReLU, dense -> K, softmax.
+// Trained with minibatch Adam on cross-entropy. Deliberately compact: the
+// point is reproducing the comparison, not a DL framework.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace spmvml::ml {
+
+struct CnnParams {
+  int image_size = 32;
+  int conv1_channels = 8;
+  int conv2_channels = 16;
+  int hidden = 32;
+  int epochs = 25;
+  int batch_size = 16;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 19;
+};
+
+/// Image matrix: one row per sample, image_size^2 floats in [0,1].
+using ImageSet = std::vector<std::vector<float>>;
+
+class CnnClassifier {
+ public:
+  explicit CnnClassifier(CnnParams params = {});
+
+  /// Train on images with integer class labels in [0, K).
+  void fit(const ImageSet& images, const std::vector<int>& labels);
+
+  int predict(const std::vector<float>& image) const;
+  std::vector<double> predict_proba(const std::vector<float>& image) const;
+
+  std::vector<int> predict_batch(const ImageSet& images) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Tensor {
+    int c = 0, h = 0, w = 0;
+    std::vector<float> v;  // c*h*w, channel-major
+    float& at(int ch, int y, int x) {
+      return v[static_cast<std::size_t>((ch * h + y) * w + x)];
+    }
+    float at(int ch, int y, int x) const {
+      return v[static_cast<std::size_t>((ch * h + y) * w + x)];
+    }
+    void init(int c_, int h_, int w_) {
+      c = c_;
+      h = h_;
+      w = w_;
+      v.assign(static_cast<std::size_t>(c) * h * w, 0.0f);
+    }
+  };
+
+  /// Parameter block with Adam moments.
+  struct Param {
+    std::vector<float> v, m, a;  // value, first, second moment
+    void init(std::size_t n) {
+      v.assign(n, 0.0f);
+      m.assign(n, 0.0f);
+      a.assign(n, 0.0f);
+    }
+  };
+
+  struct Activations;  // per-sample forward state (defined in .cpp)
+
+  void forward(const std::vector<float>& image, Activations& act) const;
+  void backward(const Activations& act, const std::vector<float>& grad_out,
+                std::vector<std::vector<float>>& grads) const;
+
+  CnnParams params_;
+  int num_classes_ = 0;
+  // conv weights: (out_c, in_c, 3, 3) flattened; dense row-major.
+  Param conv1_w_, conv1_b_, conv2_w_, conv2_b_;
+  Param fc1_w_, fc1_b_, fc2_w_, fc2_b_;
+  int flat_size_ = 0;
+  std::int64_t step_ = 0;
+
+  std::vector<Param*> all_params();
+};
+
+}  // namespace spmvml::ml

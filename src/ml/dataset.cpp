@@ -1,0 +1,157 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ml/serialize.hpp"
+
+namespace spmvml::ml {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.x.reserve(indices.size());
+  if (!labels.empty()) out.labels.reserve(indices.size());
+  if (!targets.empty()) out.targets.reserve(indices.size());
+  for (std::size_t i : indices) {
+    SPMVML_ENSURE(i < size(), "subset index out of range");
+    out.x.push_back(x[i]);
+    if (!labels.empty()) out.labels.push_back(labels[i]);
+    if (!targets.empty()) out.targets.push_back(targets[i]);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  for (const auto& row : x)
+    SPMVML_ENSURE(static_cast<int>(row.size()) == num_features(),
+                  "ragged feature matrix");
+  SPMVML_ENSURE(labels.empty() || labels.size() == x.size(),
+                "labels size mismatch");
+  SPMVML_ENSURE(targets.empty() || targets.size() == x.size(),
+                "targets size mismatch");
+}
+
+namespace {
+
+/// Indices grouped by label (single group when labels are absent).
+std::map<int, std::vector<std::size_t>> strata(const Dataset& data) {
+  std::map<int, std::vector<std::size_t>> groups;
+  if (data.labels.empty()) {
+    auto& all = groups[0];
+    all.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) all[i] = i;
+  } else {
+    for (std::size_t i = 0; i < data.size(); ++i)
+      groups[data.labels[i]].push_back(i);
+  }
+  return groups;
+}
+
+void shuffle_indices(std::vector<std::size_t>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1],
+              v[static_cast<std::size_t>(rng.uniform_int(0,
+                  static_cast<std::int64_t>(i) - 1))]);
+}
+
+}  // namespace
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+split_indices(const Dataset& data, double test_fraction, std::uint64_t seed) {
+  SPMVML_ENSURE(test_fraction > 0.0 && test_fraction < 1.0,
+                "test_fraction must be in (0,1)");
+  Rng rng(hash_combine(seed, 0x7e57ULL));
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& [label, idx] : strata(data)) {
+    (void)label;
+    shuffle_indices(idx, rng);
+    const auto n_test = static_cast<std::size_t>(
+        std::llround(static_cast<double>(idx.size()) * test_fraction));
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      (i < n_test ? test_idx : train_idx).push_back(idx[i]);
+  }
+  // Shuffle again so downstream minibatching sees mixed classes.
+  shuffle_indices(train_idx, rng);
+  shuffle_indices(test_idx, rng);
+  return {std::move(train_idx), std::move(test_idx)};
+}
+
+TrainTestSplit train_test_split(const Dataset& data, double test_fraction,
+                                std::uint64_t seed) {
+  auto [train_idx, test_idx] = split_indices(data, test_fraction, seed);
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+k_folds(const Dataset& data, int k, std::uint64_t seed) {
+  SPMVML_ENSURE(k >= 2, "need k >= 2 folds");
+  Rng rng(hash_combine(seed, 0xf01d5ULL));
+  std::vector<std::vector<std::size_t>> fold_members(
+      static_cast<std::size_t>(k));
+  for (auto& [label, idx] : strata(data)) {
+    (void)label;
+    shuffle_indices(idx, rng);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      fold_members[i % static_cast<std::size_t>(k)].push_back(idx[i]);
+  }
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+      out;
+  for (int f = 0; f < k; ++f) {
+    std::vector<std::size_t> train, test = fold_members[static_cast<std::size_t>(f)];
+    for (int g = 0; g < k; ++g)
+      if (g != f)
+        train.insert(train.end(), fold_members[static_cast<std::size_t>(g)].begin(),
+                     fold_members[static_cast<std::size_t>(g)].end());
+    shuffle_indices(train, rng);
+    out.emplace_back(std::move(train), std::move(test));
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  SPMVML_ENSURE(!x.empty(), "cannot fit scaler on empty data");
+  const std::size_t d = x.front().size();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    StreamingStats st;
+    for (const auto& row : x) st.add(row[j]);
+    mean_[j] = st.mean();
+    std_[j] = st.stddev() > 1e-12 ? st.stddev() : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& row) const {
+  SPMVML_ENSURE(fitted(), "scaler not fitted");
+  SPMVML_ENSURE(row.size() == mean_.size(), "dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  return out;
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  io::write_tag(out, "scaler");
+  io::write_vector(out, mean_);
+  io::write_vector(out, std_);
+}
+
+void StandardScaler::load(std::istream& in) {
+  io::read_tag(in, "scaler");
+  mean_ = io::read_vector<double>(in);
+  std_ = io::read_vector<double>(in);
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace spmvml::ml

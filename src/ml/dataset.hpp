@@ -1,0 +1,69 @@
+// Dataset container + split/fold/scaling utilities for the ML layer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+namespace spmvml::ml {
+
+/// Row-major sample matrix: X[i] is sample i's feature vector.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Supervised dataset. `labels` is used by classifiers, `targets` by
+/// regressors; either may be empty when unused.
+struct Dataset {
+  Matrix x;
+  std::vector<int> labels;
+  std::vector<double> targets;
+
+  std::size_t size() const { return x.size(); }
+  int num_features() const {
+    return x.empty() ? 0 : static_cast<int>(x.front().size());
+  }
+
+  /// Subset by sample indices (copies rows).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Throws if rows are ragged or label/target sizes mismatch.
+  void validate() const;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with `test_fraction` of samples held out; stratified by
+/// label when labels are present (the paper's 80-20 protocol §IV-B).
+TrainTestSplit train_test_split(const Dataset& data, double test_fraction,
+                                std::uint64_t seed);
+
+/// Index-level variant of train_test_split, for callers that must keep
+/// side arrays (e.g. per-sample format times) aligned with the split.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+split_indices(const Dataset& data, double test_fraction, std::uint64_t seed);
+
+/// K-fold partition: returns (train_indices, test_indices) per fold,
+/// stratified by label when labels are present (the paper's 5-fold CV).
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+k_folds(const Dataset& data, int k, std::uint64_t seed);
+
+/// Feature standardiser: z = (x - mean) / std per column.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  std::vector<double> transform(const std::vector<double>& row) const;
+  Matrix transform(const Matrix& x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace spmvml::ml

@@ -1,0 +1,324 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+using detail::TreeNode;
+
+/// Result of the best-split search at one node.
+struct Split {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+/// Generic recursive CART builder. `impurity` and `leaf_fill` close over
+/// task-specific state (class counts vs target sums).
+class Builder {
+ public:
+  Builder(const Matrix& x, TreeParams params)
+      : x_(x), params_(params), num_features_(x.empty() ? 0 : static_cast<int>(x.front().size())) {}
+
+  virtual ~Builder() = default;
+
+  int build(std::vector<std::size_t> idx, int depth,
+            std::vector<TreeNode>& nodes) {
+    const int me = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    fill_leaf(idx, nodes[static_cast<std::size_t>(me)]);
+    if (depth >= params_.max_depth ||
+        static_cast<int>(idx.size()) < params_.min_samples_split ||
+        is_pure(idx)) {
+      return me;
+    }
+    const Split split = best_split(idx);
+    if (split.feature < 0 || split.gain <= 1e-12) return me;
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : idx) {
+      (x_[i][static_cast<std::size_t>(split.feature)] <= split.threshold
+           ? left_idx
+           : right_idx)
+          .push_back(i);
+    }
+    if (static_cast<int>(left_idx.size()) < params_.min_samples_leaf ||
+        static_cast<int>(right_idx.size()) < params_.min_samples_leaf) {
+      return me;
+    }
+    idx.clear();
+    idx.shrink_to_fit();
+    const int left = build(std::move(left_idx), depth + 1, nodes);
+    const int right = build(std::move(right_idx), depth + 1, nodes);
+    nodes[static_cast<std::size_t>(me)].feature = split.feature;
+    nodes[static_cast<std::size_t>(me)].threshold = split.threshold;
+    nodes[static_cast<std::size_t>(me)].left = left;
+    nodes[static_cast<std::size_t>(me)].right = right;
+    return me;
+  }
+
+ protected:
+  virtual bool is_pure(const std::vector<std::size_t>& idx) const = 0;
+  virtual void fill_leaf(const std::vector<std::size_t>& idx,
+                         TreeNode& node) const = 0;
+  /// Impurity-weighted score of a candidate partition; larger is better.
+  virtual Split best_split(const std::vector<std::size_t>& idx) const = 0;
+
+  const Matrix& x_;
+  TreeParams params_;
+  int num_features_;
+};
+
+class ClassBuilder final : public Builder {
+ public:
+  ClassBuilder(const Matrix& x, const std::vector<int>& y, int k,
+               TreeParams params)
+      : Builder(x, params), y_(y), k_(k) {}
+
+ private:
+  bool is_pure(const std::vector<std::size_t>& idx) const override {
+    for (std::size_t i = 1; i < idx.size(); ++i)
+      if (y_[idx[i]] != y_[idx[0]]) return false;
+    return true;
+  }
+
+  void fill_leaf(const std::vector<std::size_t>& idx,
+                 TreeNode& node) const override {
+    node.distribution.assign(static_cast<std::size_t>(k_), 0.0);
+    for (std::size_t i : idx)
+      node.distribution[static_cast<std::size_t>(y_[i])] += 1.0;
+    for (double& d : node.distribution) d /= static_cast<double>(idx.size());
+  }
+
+  static double gini(const std::vector<double>& counts, double total) {
+    double g = 1.0;
+    for (double c : counts) {
+      const double p = c / total;
+      g -= p * p;
+    }
+    return g;
+  }
+
+  Split best_split(const std::vector<std::size_t>& idx) const override {
+    const double n = static_cast<double>(idx.size());
+    std::vector<double> total_counts(static_cast<std::size_t>(k_), 0.0);
+    for (std::size_t i : idx)
+      total_counts[static_cast<std::size_t>(y_[i])] += 1.0;
+    const double parent = gini(total_counts, n);
+
+    Split best;
+    std::vector<std::size_t> order(idx);
+    std::vector<double> left_counts(static_cast<std::size_t>(k_));
+    for (int f = 0; f < num_features_; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return x_[a][static_cast<std::size_t>(f)] <
+                         x_[b][static_cast<std::size_t>(f)];
+                });
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+        left_counts[static_cast<std::size_t>(y_[order[pos]])] += 1.0;
+        const double xl = x_[order[pos]][static_cast<std::size_t>(f)];
+        const double xr = x_[order[pos + 1]][static_cast<std::size_t>(f)];
+        if (xl == xr) continue;
+        const double nl = static_cast<double>(pos + 1);
+        const double nr = n - nl;
+        std::vector<double> right_counts(total_counts);
+        for (int c = 0; c < k_; ++c)
+          right_counts[static_cast<std::size_t>(c)] -=
+              left_counts[static_cast<std::size_t>(c)];
+        const double gain = parent - (nl / n) * gini(left_counts, nl) -
+                            (nr / n) * gini(right_counts, nr);
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = 0.5 * (xl + xr);
+        }
+      }
+    }
+    return best;
+  }
+
+  const std::vector<int>& y_;
+  int k_;
+};
+
+class RegBuilder final : public Builder {
+ public:
+  RegBuilder(const Matrix& x, const std::vector<double>& y, TreeParams params)
+      : Builder(x, params), y_(y) {}
+
+ private:
+  bool is_pure(const std::vector<std::size_t>& idx) const override {
+    for (std::size_t i = 1; i < idx.size(); ++i)
+      if (y_[idx[i]] != y_[idx[0]]) return false;
+    return true;
+  }
+
+  void fill_leaf(const std::vector<std::size_t>& idx,
+                 TreeNode& node) const override {
+    double sum = 0.0;
+    for (std::size_t i : idx) sum += y_[i];
+    node.value = sum / static_cast<double>(idx.size());
+  }
+
+  Split best_split(const std::vector<std::size_t>& idx) const override {
+    const double n = static_cast<double>(idx.size());
+    double total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i : idx) {
+      total_sum += y_[i];
+      total_sq += y_[i] * y_[i];
+    }
+    const double parent_sse = total_sq - total_sum * total_sum / n;
+
+    Split best;
+    std::vector<std::size_t> order(idx);
+    for (int f = 0; f < num_features_; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return x_[a][static_cast<std::size_t>(f)] <
+                         x_[b][static_cast<std::size_t>(f)];
+                });
+      double left_sum = 0.0, left_sq = 0.0;
+      for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+        const double yv = y_[order[pos]];
+        left_sum += yv;
+        left_sq += yv * yv;
+        const double xl = x_[order[pos]][static_cast<std::size_t>(f)];
+        const double xr = x_[order[pos + 1]][static_cast<std::size_t>(f)];
+        if (xl == xr) continue;
+        const double nl = static_cast<double>(pos + 1);
+        const double nr = n - nl;
+        const double sse_l = left_sq - left_sum * left_sum / nl;
+        const double right_sum = total_sum - left_sum;
+        const double sse_r =
+            (total_sq - left_sq) - right_sum * right_sum / nr;
+        const double gain = parent_sse - sse_l - sse_r;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = 0.5 * (xl + xr);
+        }
+      }
+    }
+    return best;
+  }
+
+  const std::vector<double>& y_;
+};
+
+const TreeNode& descend(const std::vector<TreeNode>& nodes,
+                        const std::vector<double>& row) {
+  SPMVML_ENSURE(!nodes.empty(), "tree not fitted");
+  int cur = 0;
+  while (nodes[static_cast<std::size_t>(cur)].feature >= 0) {
+    const auto& node = nodes[static_cast<std::size_t>(cur)];
+    cur = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return nodes[static_cast<std::size_t>(cur)];
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeParams params)
+    : params_(params) {}
+
+void DecisionTreeClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  SPMVML_ENSURE(!x.empty() && x.size() == y.size(), "bad training data");
+  num_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  nodes_.clear();
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  ClassBuilder builder(x, y, num_classes_, params_);
+  builder.build(std::move(idx), 0, nodes_);
+}
+
+int DecisionTreeClassifier::predict(const std::vector<double>& row) const {
+  const auto& dist = descend(nodes_, row).distribution;
+  return static_cast<int>(std::max_element(dist.begin(), dist.end()) -
+                          dist.begin());
+}
+
+std::vector<double> DecisionTreeClassifier::predict_proba(
+    const std::vector<double>& row) const {
+  return descend(nodes_, row).distribution;
+}
+
+namespace {
+
+void save_nodes(std::ostream& out, const std::vector<TreeNode>& nodes) {
+  io::write_scalar(out, nodes.size());
+  for (const auto& n : nodes) {
+    out << n.feature << ' ';
+    io::write_scalar(out, n.threshold);
+    out << n.left << ' ' << n.right << ' ';
+    io::write_scalar(out, n.value);
+    io::write_vector(out, n.distribution);
+  }
+}
+
+std::vector<TreeNode> load_nodes(std::istream& in) {
+  const auto count = io::read_scalar<std::size_t>(in);
+  SPMVML_ENSURE(count < (1u << 28), "model stream corrupt: node count");
+  std::vector<TreeNode> nodes(count);
+  for (auto& n : nodes) {
+    n.feature = io::read_scalar<int>(in);
+    n.threshold = io::read_scalar<double>(in);
+    n.left = io::read_scalar<int>(in);
+    n.right = io::read_scalar<int>(in);
+    n.value = io::read_scalar<double>(in);
+    n.distribution = io::read_vector<double>(in);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+void DecisionTreeClassifier::save(std::ostream& out) const {
+  io::write_tag(out, "dtree_classifier");
+  io::write_scalar(out, num_classes_);
+  save_nodes(out, nodes_);
+}
+
+void DecisionTreeClassifier::load(std::istream& in) {
+  io::read_tag(in, "dtree_classifier");
+  num_classes_ = io::read_scalar<int>(in);
+  nodes_ = load_nodes(in);
+}
+
+void DecisionTreeRegressor::save(std::ostream& out) const {
+  io::write_tag(out, "dtree_regressor");
+  save_nodes(out, nodes_);
+}
+
+void DecisionTreeRegressor::load(std::istream& in) {
+  io::read_tag(in, "dtree_regressor");
+  nodes_ = load_nodes(in);
+}
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
+    : params_(params) {}
+
+void DecisionTreeRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  SPMVML_ENSURE(!x.empty() && x.size() == y.size(), "bad training data");
+  nodes_.clear();
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  RegBuilder builder(x, y, params_);
+  builder.build(std::move(idx), 0, nodes_);
+}
+
+double DecisionTreeRegressor::predict(const std::vector<double>& row) const {
+  return descend(nodes_, row).value;
+}
+
+}  // namespace spmvml::ml

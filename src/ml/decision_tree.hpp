@@ -1,0 +1,71 @@
+// CART decision tree — the "decision tree" baseline of §II-B.1.
+//
+// Exact greedy splitting: each node sorts candidate thresholds per feature
+// and picks the split maximising Gini gain (classification) or variance
+// reduction (regression).
+#pragma once
+
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace spmvml::ml {
+
+struct TreeParams {
+  int max_depth = 16;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+};
+
+namespace detail {
+
+/// Shared node storage for classification and regression trees.
+struct TreeNode {
+  int feature = -1;          // -1 marks a leaf
+  double threshold = 0.0;    // go left when x[feature] <= threshold
+  int left = -1, right = -1; // child indices
+  std::vector<double> distribution;  // class probabilities (classification)
+  double value = 0.0;                // mean target (regression)
+};
+
+}  // namespace detail
+
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeParams params = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const std::vector<double>& row) const override;
+  std::vector<double> predict_proba(
+      const std::vector<double>& row) const override;
+
+  int num_classes() const { return num_classes_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  TreeParams params_;
+  int num_classes_ = 0;
+  std::vector<detail::TreeNode> nodes_;
+};
+
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeParams params = {});
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  double predict(const std::vector<double>& row) const override;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  TreeParams params_;
+  std::vector<detail::TreeNode> nodes_;
+};
+
+}  // namespace spmvml::ml

@@ -1,0 +1,364 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/serialize.hpp"
+
+namespace spmvml::ml {
+namespace detail {
+
+double GradTree::predict(const std::vector<double>& row) const {
+  if (nodes.empty()) return 0.0;
+  int cur = 0;
+  while (nodes[static_cast<std::size_t>(cur)].feature >= 0) {
+    const auto& n = nodes[static_cast<std::size_t>(cur)];
+    cur = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right;
+  }
+  return nodes[static_cast<std::size_t>(cur)].weight;
+}
+
+void GbtCore::configure(const GbtParams& params, int num_features) {
+  params_ = params;
+  num_features_ = num_features;
+  split_counts_.assign(static_cast<std::size_t>(num_features), 0.0);
+  gain_sums_.assign(static_cast<std::size_t>(num_features), 0.0);
+  sorted_.clear();
+  x_cache_ = nullptr;
+}
+
+void GbtCore::ensure_presorted(const Matrix& x) {
+  if (x_cache_ == &x && !sorted_.empty()) return;
+  x_cache_ = &x;
+  const auto n = static_cast<std::uint32_t>(x.size());
+  sorted_.assign(static_cast<std::size_t>(num_features_), {});
+  for (int f = 0; f < num_features_; ++f) {
+    auto& ord = sorted_[static_cast<std::size_t>(f)];
+    ord.resize(n);
+    std::iota(ord.begin(), ord.end(), 0u);
+    std::sort(ord.begin(), ord.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return x[a][static_cast<std::size_t>(f)] <
+             x[b][static_cast<std::size_t>(f)];
+    });
+  }
+}
+
+GradTree GbtCore::fit_tree(const Matrix& x, const std::vector<double>& grad,
+                           const std::vector<double>& hess,
+                           std::uint64_t tree_seed) {
+  ensure_presorted(x);
+  const std::size_t n = x.size();
+  const double lambda = params_.reg_lambda;
+
+  // Row subsampling: excluded rows get node -1 and never contribute.
+  std::vector<int> node_of(n, 0);
+  if (params_.subsample < 1.0) {
+    Rng rng(hash_combine(tree_seed, 0x5ab5a3D1eULL));
+    for (std::size_t i = 0; i < n; ++i)
+      if (!rng.bernoulli(params_.subsample)) node_of[i] = -1;
+  }
+
+  GradTree tree;
+  tree.nodes.emplace_back();
+  std::vector<int> live_nodes = {0};  // nodes open at the current level
+
+  struct NodeStats {
+    double g = 0.0, h = 0.0;
+  };
+  std::vector<NodeStats> stats(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (node_of[i] < 0) continue;
+    stats[0].g += grad[i];
+    stats[0].h += hess[i];
+  }
+  tree.nodes[0].weight = -stats[0].g / (stats[0].h + lambda);
+
+  struct Candidate {
+    double gain = 0.0;
+    int feature = -1;
+    double threshold = 0.0;
+  };
+
+  for (int depth = 0; depth < params_.max_depth && !live_nodes.empty();
+       ++depth) {
+    // Per-live-node best split search, one sweep per feature.
+    std::vector<Candidate> best(tree.nodes.size());
+    std::vector<NodeStats> left_acc(tree.nodes.size());
+    std::vector<double> prev_value(tree.nodes.size());
+    std::vector<char> has_prev(tree.nodes.size());
+
+    for (int f = 0; f < num_features_; ++f) {
+      for (int nid : live_nodes) {
+        left_acc[static_cast<std::size_t>(nid)] = {};
+        has_prev[static_cast<std::size_t>(nid)] = 0;
+      }
+      for (std::uint32_t i : sorted_[static_cast<std::size_t>(f)]) {
+        const int nid = node_of[i];
+        if (nid < 0 || tree.nodes[static_cast<std::size_t>(nid)].feature >= 0)
+          continue;
+        auto& acc = left_acc[static_cast<std::size_t>(nid)];
+        const double v = x[i][static_cast<std::size_t>(f)];
+        if (has_prev[static_cast<std::size_t>(nid)] &&
+            v > prev_value[static_cast<std::size_t>(nid)] && acc.h > 0.0) {
+          // Evaluate the split between prev_value and v.
+          const auto& tot = stats[static_cast<std::size_t>(nid)];
+          const double gl = acc.g, hl = acc.h;
+          const double gr = tot.g - gl, hr = tot.h - hl;
+          if (hl >= params_.min_child_weight &&
+              hr >= params_.min_child_weight) {
+            const double gain =
+                0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) -
+                       tot.g * tot.g / (tot.h + lambda)) -
+                params_.gamma;
+            if (gain > best[static_cast<std::size_t>(nid)].gain) {
+              best[static_cast<std::size_t>(nid)] = {
+                  gain, f, 0.5 * (prev_value[static_cast<std::size_t>(nid)] + v)};
+            }
+          }
+        }
+        acc.g += grad[i];
+        acc.h += hess[i];
+        prev_value[static_cast<std::size_t>(nid)] = v;
+        has_prev[static_cast<std::size_t>(nid)] = 1;
+      }
+    }
+
+    // Materialise accepted splits.
+    std::vector<int> next_level;
+    for (int nid : live_nodes) {
+      const auto& cand = best[static_cast<std::size_t>(nid)];
+      if (cand.feature < 0 || cand.gain <= 0.0) continue;
+      const int l = static_cast<int>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      const int r = static_cast<int>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      auto& node = tree.nodes[static_cast<std::size_t>(nid)];
+      node.feature = cand.feature;
+      node.threshold = cand.threshold;
+      node.left = l;
+      node.right = r;
+      split_counts_[static_cast<std::size_t>(cand.feature)] += 1.0;
+      gain_sums_[static_cast<std::size_t>(cand.feature)] += cand.gain;
+      next_level.push_back(l);
+      next_level.push_back(r);
+    }
+    if (next_level.empty()) break;
+
+    // Reassign samples and accumulate child stats.
+    stats.resize(tree.nodes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int nid = node_of[i];
+      if (nid < 0) continue;
+      const auto& node = tree.nodes[static_cast<std::size_t>(nid)];
+      if (node.feature < 0) continue;
+      const int child = x[i][static_cast<std::size_t>(node.feature)] <=
+                                node.threshold
+                            ? node.left
+                            : node.right;
+      node_of[i] = child;
+      stats[static_cast<std::size_t>(child)].g += grad[i];
+      stats[static_cast<std::size_t>(child)].h += hess[i];
+    }
+    for (int nid : next_level) {
+      auto& node = tree.nodes[static_cast<std::size_t>(nid)];
+      node.weight = -stats[static_cast<std::size_t>(nid)].g /
+                    (stats[static_cast<std::size_t>(nid)].h + lambda);
+    }
+    live_nodes = std::move(next_level);
+  }
+  return tree;
+}
+
+}  // namespace detail
+
+GbtClassifier::GbtClassifier(GbtParams params) : params_(params) {}
+
+void GbtClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  SPMVML_ENSURE(!x.empty() && x.size() == y.size(), "bad training data");
+  const std::size_t n = x.size();
+  num_features_ = static_cast<int>(x.front().size());
+  num_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  SPMVML_ENSURE(num_classes_ >= 2, "need at least two classes");
+
+  detail::GbtCore core;
+  core.configure(params_, num_features_);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.n_estimators) *
+                 static_cast<std::size_t>(num_classes_));
+
+  // Raw scores per (sample, class).
+  std::vector<double> scores(n * static_cast<std::size_t>(num_classes_), 0.0);
+  std::vector<double> grad(n), hess(n);
+
+  for (int round = 0; round < params_.n_estimators; ++round) {
+    for (int k = 0; k < num_classes_; ++k) {
+      // Softmax grad/hess for class k.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* s = &scores[i * static_cast<std::size_t>(num_classes_)];
+        double mx = s[0];
+        for (int c = 1; c < num_classes_; ++c) mx = std::max(mx, s[c]);
+        double denom = 0.0;
+        for (int c = 0; c < num_classes_; ++c) denom += std::exp(s[c] - mx);
+        const double pk = std::exp(s[k] - mx) / denom;
+        grad[i] = pk - (y[i] == k ? 1.0 : 0.0);
+        hess[i] = std::max(pk * (1.0 - pk), 1e-6);
+      }
+      auto tree = core.fit_tree(
+          x, grad, hess,
+          hash_combine(params_.seed,
+                       static_cast<std::uint64_t>(round) * 131 +
+                           static_cast<std::uint64_t>(k)));
+      for (std::size_t i = 0; i < n; ++i)
+        scores[i * static_cast<std::size_t>(num_classes_) +
+               static_cast<std::size_t>(k)] +=
+            params_.learning_rate * tree.predict(x[i]);
+      trees_.push_back(std::move(tree));
+    }
+  }
+  importance_weight_ = core.split_counts();
+  importance_gain_ = core.gain_sums();
+}
+
+std::vector<double> GbtClassifier::raw_scores(
+    const std::vector<double>& row) const {
+  std::vector<double> s(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t)
+    s[t % static_cast<std::size_t>(num_classes_)] +=
+        params_.learning_rate * trees_[t].predict(row);
+  return s;
+}
+
+int GbtClassifier::predict(const std::vector<double>& row) const {
+  const auto s = raw_scores(row);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<double> GbtClassifier::predict_proba(
+    const std::vector<double>& row) const {
+  auto s = raw_scores(row);
+  const double mx = *std::max_element(s.begin(), s.end());
+  double denom = 0.0;
+  for (double& v : s) {
+    v = std::exp(v - mx);
+    denom += v;
+  }
+  for (double& v : s) v /= denom;
+  return s;
+}
+
+std::vector<double> GbtClassifier::feature_importance_weight() const {
+  return importance_weight_;
+}
+
+std::vector<double> GbtClassifier::feature_importance_gain() const {
+  return importance_gain_;
+}
+
+namespace {
+
+void save_trees(std::ostream& out, const std::vector<detail::GradTree>& trees) {
+  io::write_scalar(out, trees.size());
+  for (const auto& tree : trees) {
+    io::write_scalar(out, tree.nodes.size());
+    for (const auto& n : tree.nodes) {
+      out << n.feature << ' ';
+      io::write_scalar(out, n.threshold);
+      out << n.left << ' ' << n.right << ' ';
+      io::write_scalar(out, n.weight);
+    }
+  }
+}
+
+std::vector<detail::GradTree> load_trees(std::istream& in) {
+  const auto count = io::read_scalar<std::size_t>(in);
+  SPMVML_ENSURE(count < (1u << 26), "model stream corrupt: tree count");
+  std::vector<detail::GradTree> trees(count);
+  for (auto& tree : trees) {
+    const auto nodes = io::read_scalar<std::size_t>(in);
+    SPMVML_ENSURE(nodes < (1u << 28), "model stream corrupt: node count");
+    tree.nodes.resize(nodes);
+    for (auto& n : tree.nodes) {
+      n.feature = io::read_scalar<int>(in);
+      n.threshold = io::read_scalar<double>(in);
+      n.left = io::read_scalar<int>(in);
+      n.right = io::read_scalar<int>(in);
+      n.weight = io::read_scalar<double>(in);
+    }
+  }
+  return trees;
+}
+
+}  // namespace
+
+void GbtClassifier::save(std::ostream& out) const {
+  io::write_tag(out, "gbt_classifier");
+  io::write_scalar(out, num_classes_);
+  io::write_scalar(out, num_features_);
+  io::write_scalar(out, params_.learning_rate);
+  save_trees(out, trees_);
+  io::write_vector(out, importance_weight_);
+  io::write_vector(out, importance_gain_);
+}
+
+void GbtClassifier::load(std::istream& in) {
+  io::read_tag(in, "gbt_classifier");
+  num_classes_ = io::read_scalar<int>(in);
+  num_features_ = io::read_scalar<int>(in);
+  params_.learning_rate = io::read_scalar<double>(in);
+  trees_ = load_trees(in);
+  importance_weight_ = io::read_vector<double>(in);
+  importance_gain_ = io::read_vector<double>(in);
+}
+
+void GbtRegressor::save(std::ostream& out) const {
+  io::write_tag(out, "gbt_regressor");
+  io::write_scalar(out, params_.learning_rate);
+  io::write_scalar(out, base_score_);
+  save_trees(out, trees_);
+}
+
+void GbtRegressor::load(std::istream& in) {
+  io::read_tag(in, "gbt_regressor");
+  params_.learning_rate = io::read_scalar<double>(in);
+  base_score_ = io::read_scalar<double>(in);
+  trees_ = load_trees(in);
+}
+
+GbtRegressor::GbtRegressor(GbtParams params) : params_(params) {}
+
+void GbtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  SPMVML_ENSURE(!x.empty() && x.size() == y.size(), "bad training data");
+  const std::size_t n = x.size();
+  detail::GbtCore core;
+  core.configure(params_, static_cast<int>(x.front().size()));
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.n_estimators));
+
+  base_score_ = std::accumulate(y.begin(), y.end(), 0.0) /
+                static_cast<double>(n);
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n), hess(n, 1.0);
+  for (int round = 0; round < params_.n_estimators; ++round) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+    auto tree = core.fit_tree(
+        x, grad, hess,
+        hash_combine(params_.seed, static_cast<std::uint64_t>(round) + 997));
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += params_.learning_rate * tree.predict(x[i]);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbtRegressor::predict(const std::vector<double>& row) const {
+  double out = base_score_;
+  for (const auto& tree : trees_)
+    out += params_.learning_rate * tree.predict(row);
+  return out;
+}
+
+}  // namespace spmvml::ml

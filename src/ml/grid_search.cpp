@@ -1,0 +1,82 @@
+#include "ml/grid_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml::ml {
+
+std::vector<ParamPoint> make_grid(
+    const std::map<std::string, std::vector<double>>& axes) {
+  std::vector<ParamPoint> grid = {{}};
+  for (const auto& [name, values] : axes) {
+    SPMVML_ENSURE(!values.empty(), "empty grid axis: " + name);
+    std::vector<ParamPoint> next;
+    next.reserve(grid.size() * values.size());
+    for (const auto& point : grid) {
+      for (double v : values) {
+        ParamPoint p = point;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+GridSearchResult grid_search_classifier(const ClassifierFactory& factory,
+                                        const std::vector<ParamPoint>& grid,
+                                        const Dataset& data, int folds,
+                                        std::uint64_t seed) {
+  SPMVML_ENSURE(!grid.empty(), "empty grid");
+  const auto splits = k_folds(data, folds, seed);
+  GridSearchResult best;
+  best.best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& point : grid) {
+    double score_sum = 0.0;
+    for (const auto& [train_idx, test_idx] : splits) {
+      const Dataset train = data.subset(train_idx);
+      const Dataset test = data.subset(test_idx);
+      auto model = factory(point);
+      model->fit(train.x, train.labels);
+      score_sum += accuracy(test.labels, model->predict_batch(test.x));
+    }
+    const double score = score_sum / static_cast<double>(splits.size());
+    if (score > best.best_score) {
+      best.best_score = score;
+      best.best_params = point;
+    }
+  }
+  return best;
+}
+
+GridSearchResult grid_search_regressor(const RegressorFactory& factory,
+                                       const std::vector<ParamPoint>& grid,
+                                       const Dataset& data, int folds,
+                                       std::uint64_t seed) {
+  SPMVML_ENSURE(!grid.empty(), "empty grid");
+  const auto splits = k_folds(data, folds, seed);
+  GridSearchResult best;
+  best.best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& point : grid) {
+    double score_sum = 0.0;
+    for (const auto& [train_idx, test_idx] : splits) {
+      const Dataset train = data.subset(train_idx);
+      const Dataset test = data.subset(test_idx);
+      auto model = factory(point);
+      model->fit(train.x, train.targets);
+      score_sum -= relative_mean_error(test.targets, model->predict_batch(test.x));
+    }
+    const double score = score_sum / static_cast<double>(splits.size());
+    if (score > best.best_score) {
+      best.best_score = score;
+      best.best_params = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace spmvml::ml

@@ -1,0 +1,42 @@
+// GridSearchCV equivalent (§IV-D): exhaustive hyper-parameter search
+// scored by stratified k-fold cross-validation accuracy (classification)
+// or negative RME (regression).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace spmvml::ml {
+
+/// One hyper-parameter assignment, e.g. {"max_depth": 6, "lr": 0.1}.
+using ParamPoint = std::map<std::string, double>;
+
+/// Cartesian product of per-parameter value lists.
+std::vector<ParamPoint> make_grid(
+    const std::map<std::string, std::vector<double>>& axes);
+
+using ClassifierFactory = std::function<ClassifierPtr(const ParamPoint&)>;
+using RegressorFactory = std::function<RegressorPtr(const ParamPoint&)>;
+
+struct GridSearchResult {
+  ParamPoint best_params;
+  double best_score = 0.0;  // mean CV accuracy, or -RME for regression
+};
+
+/// k-fold CV over every grid point; returns the best assignment.
+GridSearchResult grid_search_classifier(const ClassifierFactory& factory,
+                                        const std::vector<ParamPoint>& grid,
+                                        const Dataset& data, int folds,
+                                        std::uint64_t seed);
+
+GridSearchResult grid_search_regressor(const RegressorFactory& factory,
+                                       const std::vector<ParamPoint>& grid,
+                                       const Dataset& data, int folds,
+                                       std::uint64_t seed);
+
+}  // namespace spmvml::ml

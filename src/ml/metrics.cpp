@@ -1,0 +1,69 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spmvml::ml {
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  SPMVML_ENSURE(truth.size() == pred.size() && !truth.empty(),
+                "accuracy needs equal-sized, non-empty vectors");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == pred[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+std::vector<std::vector<int>> confusion_matrix(const std::vector<int>& truth,
+                                               const std::vector<int>& pred,
+                                               int num_classes) {
+  SPMVML_ENSURE(truth.size() == pred.size(), "size mismatch");
+  std::vector<std::vector<int>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<int>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    SPMVML_ENSURE(truth[i] >= 0 && truth[i] < num_classes &&
+                      pred[i] >= 0 && pred[i] < num_classes,
+                  "class out of range");
+    ++m[static_cast<std::size_t>(truth[i])][static_cast<std::size_t>(pred[i])];
+  }
+  return m;
+}
+
+double relative_mean_error(const std::vector<double>& measured,
+                           const std::vector<double>& predicted) {
+  SPMVML_ENSURE(measured.size() == predicted.size() && !measured.empty(),
+                "RME needs equal-sized, non-empty vectors");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    SPMVML_ENSURE(measured[i] > 0.0, "measured values must be positive");
+    sum += std::abs(predicted[i] - measured[i]) / measured[i];
+  }
+  return sum / static_cast<double>(measured.size());
+}
+
+SlowdownBins slowdown_bins(const std::vector<double>& slowdowns) {
+  SlowdownBins b;
+  for (double s : slowdowns) {
+    SPMVML_ENSURE(s >= 1.0 - 1e-9, "slowdown ratios must be >= 1");
+    if (s <= 1.0 + 1e-9) {
+      ++b.no_slowdown;
+    } else {
+      ++b.any_slowdown;
+      if (s >= 1.2) ++b.ge_1_2;
+      if (s >= 1.5) ++b.ge_1_5;
+      if (s >= 2.0) ++b.ge_2_0;
+    }
+  }
+  return b;
+}
+
+double mean_slowdown(const std::vector<double>& slowdowns) {
+  SPMVML_ENSURE(!slowdowns.empty(), "empty slowdown vector");
+  double sum = 0.0;
+  for (double s : slowdowns) sum += s;
+  return sum / static_cast<double>(slowdowns.size());
+}
+
+}  // namespace spmvml::ml

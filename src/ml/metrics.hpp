@@ -1,0 +1,35 @@
+// Evaluation metrics used throughout the paper's result sections.
+#pragma once
+
+#include <vector>
+
+namespace spmvml::ml {
+
+/// Fraction of predictions equal to truth.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// K x K confusion matrix: entry [t][p] counts truth t predicted as p.
+std::vector<std::vector<int>> confusion_matrix(const std::vector<int>& truth,
+                                               const std::vector<int>& pred,
+                                               int num_classes);
+
+/// Relative mean error: mean(|pred - measured| / measured) — §VI's metric.
+double relative_mean_error(const std::vector<double>& measured,
+                           const std::vector<double>& predicted);
+
+/// Slowdown histogram of Tables XI–XIII. slowdowns[i] is
+/// t(predicted format) / t(best format) for sample i (>= 1.0).
+struct SlowdownBins {
+  int no_slowdown = 0;      // predicted format == best (ratio == 1)
+  int any_slowdown = 0;     // ratio > 1 (cumulative)
+  int ge_1_2 = 0;           // ratio >= 1.2
+  int ge_1_5 = 0;           // ratio >= 1.5
+  int ge_2_0 = 0;           // ratio >= 2.0
+};
+
+SlowdownBins slowdown_bins(const std::vector<double>& slowdowns);
+
+/// Mean of the slowdown ratios (1.0 = perfect selection).
+double mean_slowdown(const std::vector<double>& slowdowns);
+
+}  // namespace spmvml::ml

@@ -1,0 +1,63 @@
+// Abstract model interfaces of the ML layer.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace spmvml::ml {
+
+/// Multiclass classifier interface.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on samples `x` with integer class labels `y` in [0, K).
+  virtual void fit(const Matrix& x, const std::vector<int>& y) = 0;
+
+  /// Predicted class for one sample.
+  virtual int predict(const std::vector<double>& row) const = 0;
+
+  /// Class-probability estimates (uniform fallback for margin models).
+  virtual std::vector<double> predict_proba(
+      const std::vector<double>& row) const = 0;
+
+  /// Serialize the fitted model to a stream (text format; see
+  /// ml/serialize.hpp). load() restores an inference-ready model.
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
+
+  std::vector<int> predict_batch(const Matrix& x) const {
+    std::vector<int> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+/// Scalar regressor interface.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Matrix& x, const std::vector<double>& y) = 0;
+  virtual double predict(const std::vector<double>& row) const = 0;
+
+  /// Serialize the fitted model; load() restores an inference-ready model.
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
+
+  std::vector<double> predict_batch(const Matrix& x) const {
+    std::vector<double> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+}  // namespace spmvml::ml

@@ -1,0 +1,80 @@
+// Tiny text-based serialization helpers shared by the model save/load
+// implementations. The format is line-oriented tokens: human-inspectable,
+// deterministic, and round-trips doubles exactly via max_digits10.
+#pragma once
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spmvml::ml::io {
+
+/// Write a tag token (sanity anchor for load-time checks).
+inline void write_tag(std::ostream& out, const std::string& tag) {
+  out << tag << '\n';
+}
+
+/// Consume and verify a tag token.
+inline void read_tag(std::istream& in, const std::string& tag) {
+  std::string got;
+  in >> got;
+  SPMVML_ENSURE(static_cast<bool>(in) && got == tag,
+                "model stream corrupt: expected tag '" + tag + "', got '" +
+                    got + "'");
+}
+
+inline void write_scalar(std::ostream& out, double v) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10) << v
+      << '\n';
+}
+inline void write_scalar(std::ostream& out, int v) { out << v << '\n'; }
+inline void write_scalar(std::ostream& out, std::size_t v) { out << v << '\n'; }
+
+template <typename T>
+T read_scalar(std::istream& in) {
+  T v{};
+  in >> v;
+  SPMVML_ENSURE(static_cast<bool>(in), "model stream truncated");
+  return v;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  out << v.size();
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const T& x : v) out << ' ' << x;
+  out << '\n';
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto n = read_scalar<std::size_t>(in);
+  SPMVML_ENSURE(n < (1u << 28), "model stream corrupt: absurd vector size");
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    in >> x;
+    SPMVML_ENSURE(static_cast<bool>(in), "model stream truncated");
+  }
+  return v;
+}
+
+inline void write_matrix(std::ostream& out,
+                         const std::vector<std::vector<double>>& m) {
+  write_scalar(out, m.size());
+  for (const auto& row : m) write_vector(out, row);
+}
+
+inline std::vector<std::vector<double>> read_matrix(std::istream& in) {
+  const auto n = read_scalar<std::size_t>(in);
+  SPMVML_ENSURE(n < (1u << 28), "model stream corrupt: absurd matrix size");
+  std::vector<std::vector<double>> m(n);
+  for (auto& row : m) row = read_vector<double>(in);
+  return m;
+}
+
+}  // namespace spmvml::ml::io

@@ -1,0 +1,273 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/serialize.hpp"
+
+namespace spmvml::ml {
+namespace detail {
+
+namespace {
+
+double rbf(const std::vector<double>& a, const std::vector<double>& b,
+           double gamma) {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-gamma * d2);
+}
+
+}  // namespace
+
+void BinarySvm::fit(const Matrix& x, const std::vector<int>& y,
+                    const SvmParams& p) {
+  SPMVML_ENSURE(x.size() == y.size() && !x.empty(), "bad SVM training data");
+  const std::size_t n = x.size();
+  gamma_ = p.gamma;
+
+  // Full kernel cache — pair subsets in this study stay < ~2500 samples.
+  std::vector<std::vector<float>> k(n, std::vector<float>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      k[i][j] = k[j][i] = static_cast<float>(rbf(x[i], x[j], gamma_));
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> err(n);  // f(x_i) - y_i with current alphas
+  for (std::size_t i = 0; i < n; ++i) err[i] = -static_cast<double>(y[i]);
+  double b = 0.0;
+
+  Rng rng(p.seed);
+  // One (i, j) update; returns true when the pair made progress.
+  auto try_update = [&](std::size_t i, std::size_t j) -> bool {
+    if (i == j) return false;
+    const double yi = y[i], yj = y[j];
+    const double ei = err[i], ej = err[j];
+    const double ai_old = alpha[i], aj_old = alpha[j];
+    double lo, hi;
+    if (yi != yj) {
+      lo = std::max(0.0, aj_old - ai_old);
+      hi = std::min(p.c, p.c + aj_old - ai_old);
+    } else {
+      lo = std::max(0.0, ai_old + aj_old - p.c);
+      hi = std::min(p.c, ai_old + aj_old);
+    }
+    if (hi - lo < 1e-12) return false;
+    const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+    if (eta >= -1e-12) return false;
+
+    double aj = aj_old - yj * (ei - ej) / eta;
+    aj = std::clamp(aj, lo, hi);
+    if (std::abs(aj - aj_old) < 1e-8 * (aj + aj_old + 1e-8)) return false;
+    const double ai = ai_old + yi * yj * (aj_old - aj);
+
+    const double b1 = b - ei - yi * (ai - ai_old) * k[i][i] -
+                      yj * (aj - aj_old) * k[i][j];
+    const double b2 = b - ej - yi * (ai - ai_old) * k[i][j] -
+                      yj * (aj - aj_old) * k[j][j];
+    double new_b;
+    if (ai > 0.0 && ai < p.c) {
+      new_b = b1;
+    } else if (aj > 0.0 && aj < p.c) {
+      new_b = b2;
+    } else {
+      new_b = 0.5 * (b1 + b2);
+    }
+
+    const double di = yi * (ai - ai_old);
+    const double dj = yj * (aj - aj_old);
+    for (std::size_t t = 0; t < n; ++t)
+      err[t] += di * k[i][t] + dj * k[j][t] + (new_b - b);
+    alpha[i] = ai;
+    alpha[j] = aj;
+    b = new_b;
+    return true;
+  };
+
+  int passes = 0, iters = 0;
+  while (passes < p.max_passes && iters < p.max_iters) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n && iters < p.max_iters; ++i) {
+      const double yi = y[i];
+      const double ei = err[i];
+      if (!((yi * ei < -p.tol && alpha[i] < p.c) ||
+            (yi * ei > p.tol && alpha[i] > 0.0))) {
+        continue;
+      }
+      // First choice: maximise |E_i - E_j| (Platt's heuristic); if that
+      // pair cannot make progress, fall back to random partners so a
+      // degenerate argmax cannot wedge the solver.
+      std::size_t j = i;
+      double best = -1.0;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (cand == i) continue;
+        const double gap = std::abs(ei - err[cand]);
+        if (gap > best) {
+          best = gap;
+          j = cand;
+        }
+      }
+      bool progressed = try_update(i, j);
+      for (int attempt = 0; attempt < 4 && !progressed; ++attempt) {
+        progressed = try_update(
+            i, static_cast<std::size_t>(
+                   rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+      }
+      if (progressed) {
+        ++changed;
+        ++iters;
+      }
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  bias_ = b;
+  support_.clear();
+  alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      support_.push_back(x[i]);
+      alpha_y_.push_back(alpha[i] * y[i]);
+    }
+  }
+}
+
+double BinarySvm::decision(const std::vector<double>& row) const {
+  double f = bias_;
+  for (std::size_t s = 0; s < support_.size(); ++s)
+    f += alpha_y_[s] * rbf(support_[s], row, gamma_);
+  return f;
+}
+
+void BinarySvm::save(std::ostream& out) const {
+  io::write_tag(out, "binary_svm");
+  io::write_scalar(out, bias_);
+  io::write_scalar(out, gamma_);
+  io::write_vector(out, alpha_y_);
+  io::write_matrix(out, support_);
+}
+
+void BinarySvm::load(std::istream& in) {
+  io::read_tag(in, "binary_svm");
+  bias_ = io::read_scalar<double>(in);
+  gamma_ = io::read_scalar<double>(in);
+  alpha_y_ = io::read_vector<double>(in);
+  support_ = io::read_matrix(in);
+  SPMVML_ENSURE(alpha_y_.size() == support_.size(),
+                "model stream corrupt: SV count mismatch");
+}
+
+}  // namespace detail
+
+void SvmClassifier::save(std::ostream& out) const {
+  io::write_tag(out, "svm_classifier");
+  io::write_scalar(out, num_classes_);
+  scaler_.save(out);
+  io::write_scalar(out, pairs_.size());
+  for (const auto& pair : pairs_) {
+    io::write_scalar(out, pair.a);
+    io::write_scalar(out, pair.b);
+    pair.svm.save(out);
+  }
+}
+
+void SvmClassifier::load(std::istream& in) {
+  io::read_tag(in, "svm_classifier");
+  num_classes_ = io::read_scalar<int>(in);
+  scaler_.load(in);
+  const auto count = io::read_scalar<std::size_t>(in);
+  SPMVML_ENSURE(count < 4096, "bad pair count");
+  pairs_.assign(count, {});
+  for (auto& pair : pairs_) {
+    pair.a = io::read_scalar<int>(in);
+    pair.b = io::read_scalar<int>(in);
+    pair.svm.load(in);
+  }
+}
+
+SvmClassifier::SvmClassifier(SvmParams params) : params_(params) {}
+
+namespace {
+
+/// Signed log compression: sign(v) * log1p(|v|). Monotone, preserves
+/// sign, tames count features spanning decades.
+double slog(double v) { return v >= 0.0 ? std::log1p(v) : -std::log1p(-v); }
+
+}  // namespace
+
+std::vector<double> SvmClassifier::preprocess(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) out[j] = slog(row[j]);
+  return scaler_.fitted() ? scaler_.transform(out) : out;
+}
+
+void SvmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  SPMVML_ENSURE(!x.empty() && x.size() == y.size(), "bad training data");
+  num_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+
+  // Pipeline: signed log (count features span decades) then standardise.
+  Matrix logged;
+  logged.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> lr(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) lr[j] = slog(row[j]);
+    logged.push_back(std::move(lr));
+  }
+  scaler_.fit(logged);
+  const Matrix xs = scaler_.transform(logged);
+
+  pairs_.clear();
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int b = a + 1; b < num_classes_; ++b) {
+      Matrix px;
+      std::vector<int> py;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (y[i] == a) {
+          px.push_back(xs[i]);
+          py.push_back(+1);
+        } else if (y[i] == b) {
+          px.push_back(xs[i]);
+          py.push_back(-1);
+        }
+      }
+      // A pair with a missing class can never be queried decisively; skip.
+      if (px.empty() ||
+          std::all_of(py.begin(), py.end(), [&](int v) { return v == py[0]; }))
+        continue;
+      Pair pair;
+      pair.a = a;
+      pair.b = b;
+      pair.svm.fit(px, py, params_);
+      pairs_.push_back(std::move(pair));
+    }
+  }
+}
+
+std::vector<double> SvmClassifier::predict_proba(
+    const std::vector<double>& row) const {
+  SPMVML_ENSURE(num_classes_ > 0, "SVM not fitted");
+  const auto rs = preprocess(row);
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& pair : pairs_) {
+    const double d = pair.svm.decision(rs);
+    ++votes[static_cast<std::size_t>(d > 0.0 ? pair.a : pair.b)];
+  }
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0.0)
+    for (double& v : votes) v /= total;
+  return votes;
+}
+
+int SvmClassifier::predict(const std::vector<double>& row) const {
+  const auto votes = predict_proba(row);
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace spmvml::ml

@@ -1,0 +1,77 @@
+// Multiclass SVM (§II-B.2): binary soft-margin SVC with an RBF kernel
+// trained by SMO (Platt's simplified variant with a full kernel cache and
+// a randomised second-choice fallback), combined one-vs-one with majority
+// voting — the construction behind scikit-learn's SVC that the paper uses
+// (its C/gamma grid is §IV-D's).
+//
+// Inputs are log1p-transformed and standardised internally; RBF margins
+// are meaningless on raw count features that span ten orders of
+// magnitude.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace spmvml::ml {
+
+struct SvmParams {
+  double c = 10.0;      // soft-margin penalty
+  double gamma = 0.1;   // RBF width (on log1p + standardised features)
+  double tol = 1e-3;    // KKT tolerance
+  int max_passes = 8;   // SMO sweeps without progress before stopping
+  int max_iters = 40000;
+  std::uint64_t seed = 11;
+};
+
+namespace detail {
+
+/// Binary SVC; labels must be +1/-1.
+class BinarySvm {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y, const SvmParams& p);
+  /// Decision value f(x); classify by sign.
+  double decision(const std::vector<double>& row) const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  Matrix support_;
+  std::vector<double> alpha_y_;  // alpha_i * y_i for support vectors
+  double bias_ = 0.0;
+  double gamma_ = 0.0;
+};
+
+}  // namespace detail
+
+class SvmClassifier final : public Classifier {
+ public:
+  explicit SvmClassifier(SvmParams params = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const std::vector<double>& row) const override;
+  /// Vote shares over classes (not calibrated probabilities).
+  std::vector<double> predict_proba(
+      const std::vector<double>& row) const override;
+
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  /// log1p on non-negative inputs, then z-score (the internal pipeline).
+  std::vector<double> preprocess(const std::vector<double>& row) const;
+
+  SvmParams params_;
+  int num_classes_ = 0;
+  StandardScaler scaler_;
+  struct Pair {
+    int a = 0, b = 0;  // classes: decision > 0 votes a, else b
+    detail::BinarySvm svm;
+  };
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace spmvml::ml

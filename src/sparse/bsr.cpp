@@ -1,0 +1,127 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Bsr<ValueT> Bsr<ValueT>::from_csr(const Csr<ValueT>& csr, index_t b) {
+  SPMVML_ENSURE(b >= 1, "block size must be positive");
+  Bsr bsr;
+  bsr.rows_ = csr.rows();
+  bsr.cols_ = csr.cols();
+  bsr.nnz_ = csr.nnz();
+  bsr.b_ = b;
+  bsr.block_rows_ = (csr.rows() + b - 1) / b;
+
+  bsr.block_row_ptr_.assign(static_cast<std::size_t>(bsr.block_rows_) + 1, 0);
+  // Per block-row: map block-column -> block storage slot, built in order.
+  for (index_t br = 0; br < bsr.block_rows_; ++br) {
+    std::map<index_t, index_t> slots;  // block col -> slot
+    const index_t r_lo = br * b;
+    const index_t r_hi = std::min<index_t>(csr.rows(), r_lo + b);
+    for (index_t r = r_lo; r < r_hi; ++r)
+      for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p)
+        slots.emplace(csr.col_idx()[p] / b, 0);
+
+    const auto base = static_cast<index_t>(bsr.block_cols_.size());
+    index_t k = 0;
+    for (auto& [bc, slot] : slots) {
+      slot = base + k++;
+      bsr.block_cols_.push_back(bc);
+    }
+    bsr.blocks_.resize(bsr.block_cols_.size() *
+                           static_cast<std::size_t>(b) *
+                           static_cast<std::size_t>(b),
+                       ValueT{});
+    for (index_t r = r_lo; r < r_hi; ++r) {
+      for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p) {
+        const index_t c = csr.col_idx()[p];
+        const index_t slot = slots[c / b];
+        bsr.blocks_[static_cast<std::size_t>(slot) *
+                        static_cast<std::size_t>(b) *
+                        static_cast<std::size_t>(b) +
+                    static_cast<std::size_t>((r - r_lo) * b + (c % b))] =
+            csr.values()[p];
+      }
+    }
+    bsr.block_row_ptr_[static_cast<std::size_t>(br) + 1] =
+        static_cast<index_t>(bsr.block_cols_.size());
+  }
+  return bsr;
+}
+
+template <typename ValueT>
+double Bsr<ValueT>::fill_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(num_blocks()) * static_cast<double>(b_) *
+         static_cast<double>(b_) / static_cast<double>(nnz_);
+}
+
+template <typename ValueT>
+void Bsr<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  for (index_t br = 0; br < block_rows_; ++br) {
+    const index_t r_lo = br * b_;
+    for (index_t s = block_row_ptr_[br]; s < block_row_ptr_[br + 1]; ++s) {
+      const index_t c_lo = block_cols_[static_cast<std::size_t>(s)] * b_;
+      const ValueT* block = &blocks_[static_cast<std::size_t>(s) *
+                                     static_cast<std::size_t>(b_) *
+                                     static_cast<std::size_t>(b_)];
+      for (index_t i = 0; i < b_ && r_lo + i < rows_; ++i) {
+        ValueT sum{};
+        for (index_t j = 0; j < b_ && c_lo + j < cols_; ++j)
+          sum += block[i * b_ + j] * x[c_lo + j];
+        y[r_lo + i] += sum;
+      }
+    }
+  }
+}
+
+template <typename ValueT>
+std::int64_t Bsr<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return (block_rows_ + 1) * idx +
+         static_cast<std::int64_t>(block_cols_.size()) * idx +
+         static_cast<std::int64_t>(blocks_.size()) *
+             static_cast<std::int64_t>(sizeof(ValueT));
+}
+
+template <typename ValueT>
+void Bsr<ValueT>::validate() const {
+  SPMVML_ENSURE(b_ >= 1, "bad block size");
+  SPMVML_ENSURE(static_cast<index_t>(block_row_ptr_.size()) ==
+                    block_rows_ + 1,
+                "block_row_ptr size mismatch");
+  SPMVML_ENSURE(block_row_ptr_.back() ==
+                    static_cast<index_t>(block_cols_.size()),
+                "block count mismatch");
+  SPMVML_ENSURE(blocks_.size() == block_cols_.size() *
+                                      static_cast<std::size_t>(b_) *
+                                      static_cast<std::size_t>(b_),
+                "block storage size mismatch");
+  const index_t block_col_count = (cols_ + b_ - 1) / b_;
+  for (index_t br = 0; br < block_rows_; ++br) {
+    for (index_t s = block_row_ptr_[br]; s < block_row_ptr_[br + 1]; ++s) {
+      SPMVML_ENSURE(block_cols_[static_cast<std::size_t>(s)] >= 0 &&
+                        block_cols_[static_cast<std::size_t>(s)] <
+                            block_col_count,
+                    "block column out of range");
+      if (s > block_row_ptr_[br])
+        SPMVML_ENSURE(block_cols_[static_cast<std::size_t>(s) - 1] <
+                          block_cols_[static_cast<std::size_t>(s)],
+                      "block columns must ascend within a block row");
+    }
+  }
+}
+
+template class Bsr<float>;
+template class Bsr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,58 @@
+// BSR (block sparse row) — CSR over dense b x b blocks; the format GPU
+// libraries offer for block-structured multi-physics systems (the paper's
+// §VII notes Zhao et al. handle BSR on GPUs). Register-blocked SpMV
+// amortises index loads over b^2 values but pays zero-fill for partially
+// occupied blocks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Bsr {
+ public:
+  Bsr() = default;
+
+  /// Convert from CSR with block edge `b` (rows/cols are padded up to a
+  /// multiple of b logically; padding never materialises values).
+  static Bsr from_csr(const Csr<ValueT>& csr, index_t b = 4);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t block_size() const { return b_; }
+  index_t num_blocks() const {
+    return static_cast<index_t>(block_cols_.size());
+  }
+
+  /// Stored slots (blocks * b^2) over useful entries.
+  double fill_ratio() const;
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t b_ = 0;
+  index_t block_rows_ = 0;
+  std::vector<index_t> block_row_ptr_;  // block_rows+1
+  std::vector<index_t> block_cols_;     // block-column index per block
+  std::vector<ValueT> blocks_;          // num_blocks * b*b, row-major blocks
+};
+
+extern template class Bsr<float>;
+extern template class Bsr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,80 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Coo<ValueT>::Coo(index_t rows, index_t cols, std::vector<index_t> row_idx,
+                 std::vector<index_t> col_idx, std::vector<ValueT> values)
+    : rows_(rows),
+      cols_(cols),
+      row_idx_(std::move(row_idx)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  validate();
+}
+
+template <typename ValueT>
+Coo<ValueT> Coo<ValueT>::from_csr(const Csr<ValueT>& csr) {
+  std::vector<index_t> row_idx(static_cast<std::size_t>(csr.nnz()));
+  for (index_t r = 0; r < csr.rows(); ++r)
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p)
+      row_idx[static_cast<std::size_t>(p)] = r;
+  return Coo(csr.rows(), csr.cols(), std::move(row_idx),
+             {csr.col_idx().begin(), csr.col_idx().end()},
+             {csr.values().begin(), csr.values().end()});
+}
+
+template <typename ValueT>
+void Coo<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  // Product phase + segmented reduction with a running carry, flushed on
+  // each row boundary — the sequential projection of warp segmented scan.
+  ValueT carry{};
+  index_t current_row = nnz() > 0 ? row_idx_[0] : 0;
+  for (index_t i = 0; i < nnz(); ++i) {
+    if (row_idx_[i] != current_row) {
+      y[current_row] += carry;
+      carry = ValueT{};
+      current_row = row_idx_[i];
+    }
+    carry += values_[i] * x[col_idx_[i]];
+  }
+  if (nnz() > 0) y[current_row] += carry;
+}
+
+template <typename ValueT>
+std::int64_t Coo<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return nnz() * (2 * idx + static_cast<std::int64_t>(sizeof(ValueT)));
+}
+
+template <typename ValueT>
+void Coo<ValueT>::validate() const {
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  SPMVML_ENSURE(row_idx_.size() == values_.size() &&
+                    col_idx_.size() == values_.size(),
+                "COO arrays must have equal length");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    SPMVML_ENSURE(row_idx_[i] >= 0 && row_idx_[i] < rows_,
+                  "row index out of range");
+    SPMVML_ENSURE(col_idx_[i] >= 0 && col_idx_[i] < cols_,
+                  "col index out of range");
+    if (i > 0)
+      SPMVML_ENSURE(row_idx_[i - 1] < row_idx_[i] ||
+                        (row_idx_[i - 1] == row_idx_[i] &&
+                         col_idx_[i - 1] < col_idx_[i]),
+                    "COO entries must be sorted row-major, no duplicates");
+  }
+}
+
+template class Coo<float>;
+template class Coo<double>;
+
+}  // namespace spmvml

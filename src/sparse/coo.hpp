@@ -1,0 +1,55 @@
+// COO (coordinate) format — three parallel arrays of row/col/value.
+//
+// The SpMV kernel mirrors the Bell & Garland GPU strategy: compute all
+// products, then a segmented reduction by row (here a sequential scan with
+// carry, which is the serial projection of the same algorithm).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Coo {
+ public:
+  Coo() = default;
+
+  /// Takes ownership of prebuilt arrays sorted row-major; validates.
+  Coo(index_t rows, index_t cols, std::vector<index_t> row_idx,
+      std::vector<index_t> col_idx, std::vector<ValueT> values);
+
+  static Coo from_csr(const Csr<ValueT>& csr);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  std::span<const index_t> row_idx() const { return row_idx_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const ValueT> values() const { return values_; }
+
+  /// y = A*x via product + segmented reduction over the row index stream.
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_idx_;
+  std::vector<index_t> col_idx_;
+  std::vector<ValueT> values_;
+};
+
+extern template class Coo<float>;
+extern template class Coo<double>;
+
+}  // namespace spmvml

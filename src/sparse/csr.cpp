@@ -1,0 +1,133 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Csr<ValueT>::Csr(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+                 std::vector<index_t> col_idx, std::vector<ValueT> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  validate();
+}
+
+template <typename ValueT>
+Csr<ValueT> Csr<ValueT>::from_triplets(index_t rows, index_t cols,
+                                       std::vector<Triplet<ValueT>> entries) {
+  SPMVML_ENSURE(rows >= 0 && cols >= 0, "negative dimensions");
+  for (const auto& e : entries) {
+    SPMVML_ENSURE(e.row >= 0 && e.row < rows, "triplet row out of range");
+    SPMVML_ENSURE(e.col >= 0 && e.col < cols, "triplet col out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet<ValueT>& a, const Triplet<ValueT>& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Sum duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].row == entries[i].row &&
+        entries[out - 1].col == entries[i].col) {
+      entries[out - 1].value += entries[i].value;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> col_idx(entries.size());
+  std::vector<ValueT> values(entries.size());
+  for (const auto& e : entries) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    col_idx[i] = entries[i].col;
+    values[i] = entries[i].value;
+  }
+  return Csr(rows, cols, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+template <typename ValueT>
+Csr<ValueT> Csr<ValueT>::from_coo(const Coo<ValueT>& coo) {
+  std::vector<Triplet<ValueT>> entries;
+  entries.reserve(static_cast<std::size_t>(coo.nnz()));
+  for (index_t i = 0; i < coo.nnz(); ++i)
+    entries.push_back({coo.row_idx()[i], coo.col_idx()[i], coo.values()[i]});
+  return from_triplets(coo.rows(), coo.cols(), std::move(entries));
+}
+
+template <typename ValueT>
+void Csr<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  for (index_t r = 0; r < rows_; ++r) {
+    ValueT sum{};
+    for (index_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p)
+      sum += values_[p] * x[col_idx_[p]];
+    y[r] = sum;
+  }
+}
+
+template <typename ValueT>
+std::int64_t Csr<ValueT>::bytes() const {
+  const std::int64_t idx = 4;  // 32-bit device indices
+  return (rows_ + 1) * idx + nnz() * idx +
+         nnz() * static_cast<std::int64_t>(sizeof(ValueT));
+}
+
+template <typename ValueT>
+void Csr<ValueT>::validate() const {
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  SPMVML_ENSURE(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
+                "row_ptr size must be rows+1");
+  SPMVML_ENSURE(row_ptr_.front() == 0, "row_ptr[0] must be 0");
+  SPMVML_ENSURE(row_ptr_.back() == static_cast<index_t>(col_idx_.size()),
+                "row_ptr[rows] must equal nnz");
+  SPMVML_ENSURE(col_idx_.size() == values_.size(),
+                "col_idx and values must have equal length");
+  for (index_t r = 0; r < rows_; ++r) {
+    SPMVML_ENSURE(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr must be monotone");
+    for (index_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      SPMVML_ENSURE(col_idx_[p] >= 0 && col_idx_[p] < cols_,
+                    "column index out of range");
+      if (p > row_ptr_[r])
+        SPMVML_ENSURE(col_idx_[p - 1] < col_idx_[p],
+                      "columns within a row must be strictly increasing");
+    }
+  }
+}
+
+template <typename ValueT>
+Csr<ValueT> Csr<ValueT>::transpose() const {
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t p = 0; p < nnz(); ++p)
+    ++row_ptr[static_cast<std::size_t>(col_idx_[p]) + 1];
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+
+  std::vector<index_t> col_idx(static_cast<std::size_t>(nnz()));
+  std::vector<ValueT> values(static_cast<std::size_t>(nnz()));
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t r = 0; r < rows_; ++r) {
+    for (index_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const index_t dst = cursor[static_cast<std::size_t>(col_idx_[p])]++;
+      col_idx[static_cast<std::size_t>(dst)] = r;
+      values[static_cast<std::size_t>(dst)] = values_[p];
+    }
+  }
+  return Csr(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+template class Csr<float>;
+template class Csr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,78 @@
+// Compressed Sparse Row (CSR) — the hub format of the library.
+//
+// All other formats convert from/to Csr; the synthetic generators emit Csr;
+// feature extraction and the GPU simulator's structural digest both scan
+// Csr. Invariants (sorted row_ptr, in-range sorted column indices) are
+// checked by validate() and established by the canonical constructors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Coo;  // forward declaration; defined in sparse/coo.hpp
+
+/// CSR sparse matrix: row_ptr (rows+1), col_idx and values (nnz each),
+/// entries of a row stored contiguously with strictly increasing columns.
+template <typename ValueT>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of prebuilt arrays; validates invariants.
+  Csr(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+      std::vector<index_t> col_idx, std::vector<ValueT> values);
+
+  /// Build from (possibly unsorted, possibly duplicated) triplets;
+  /// duplicates are summed, matching Matrix Market semantics.
+  static Csr from_triplets(index_t rows, index_t cols,
+                           std::vector<Triplet<ValueT>> entries);
+
+  /// Convert from COO (asserts the COO is sorted row-major).
+  static Csr from_coo(const Coo<ValueT>& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  std::span<const index_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const ValueT> values() const { return values_; }
+  std::span<ValueT> values_mut() { return values_; }
+
+  /// Number of stored entries in row i.
+  index_t row_nnz(index_t i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
+
+  /// y = A*x. Sequential row-wise kernel (the "scalar CSR" kernel of
+  /// Bell & Garland, executed on CPU). x.size()==cols, y.size()==rows.
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  /// Device-memory footprint in bytes for the given value width.
+  /// Index arrays are counted at 4 bytes each, matching the 32-bit
+  /// indices GPU SpMV libraries use.
+  std::int64_t bytes() const;
+
+  /// Throws spmvml::Error if any structural invariant is violated.
+  void validate() const;
+
+  /// Transpose (used by the CG example for A^T when needed).
+  Csr transpose() const;
+
+  bool operator==(const Csr& other) const = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_ = {0};
+  std::vector<index_t> col_idx_;
+  std::vector<ValueT> values_;
+};
+
+extern template class Csr<float>;
+extern template class Csr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,173 @@
+#include "sparse/csr5.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Csr5<ValueT> Csr5<ValueT>::from_csr(const Csr<ValueT>& csr, index_t omega,
+                                    index_t sigma) {
+  SPMVML_ENSURE(omega > 0 && sigma > 0, "omega and sigma must be positive");
+  Csr5 m;
+  m.rows_ = csr.rows();
+  m.cols_ = csr.cols();
+  m.omega_ = omega;
+  m.sigma_ = sigma;
+
+  const index_t nnz = csr.nnz();
+  const index_t tile = omega * sigma;
+  m.num_full_tiles_ = nnz / tile;
+
+  // row_of[p] and row-start flags in original CSR order.
+  std::vector<index_t> row_of(static_cast<std::size_t>(nnz));
+  m.flags_.assign(static_cast<std::size_t>((nnz + 63) / 64), 0);
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    const index_t begin = csr.row_ptr()[r], end = csr.row_ptr()[r + 1];
+    for (index_t p = begin; p < end; ++p) row_of[static_cast<std::size_t>(p)] = r;
+    if (begin < end)
+      m.flags_[static_cast<std::size_t>(begin >> 6)] |= 1ULL << (begin & 63);
+  }
+
+  // seg_rows_: destination row for every flagged position, in order.
+  for (index_t p = 0; p < nnz; ++p)
+    if (m.flag(p)) m.seg_rows_.push_back(row_of[static_cast<std::size_t>(p)]);
+
+  // Prefix counts of flags let each lane find its first segment slot.
+  std::vector<index_t> flags_before(static_cast<std::size_t>(nnz) + 1, 0);
+  for (index_t p = 0; p < nnz; ++p)
+    flags_before[static_cast<std::size_t>(p) + 1] =
+        flags_before[static_cast<std::size_t>(p)] + (m.flag(p) ? 1 : 0);
+
+  const index_t total_tiles = (nnz + tile - 1) / tile;
+  m.tile_ptr_.resize(static_cast<std::size_t>(total_tiles));
+  m.lane_row_.assign(static_cast<std::size_t>(m.num_full_tiles_ * omega), 0);
+  m.lane_seg_.assign(static_cast<std::size_t>(m.num_full_tiles_ * omega), 0);
+
+  m.values_.resize(static_cast<std::size_t>(nnz));
+  m.col_idx_.resize(static_cast<std::size_t>(nnz));
+  for (index_t t = 0; t < total_tiles; ++t) {
+    const index_t start = t * tile;
+    m.tile_ptr_[static_cast<std::size_t>(t)] =
+        row_of[static_cast<std::size_t>(start)];
+    if (t < m.num_full_tiles_) {
+      for (index_t c = 0; c < omega; ++c) {
+        const index_t lane_start = start + c * sigma;
+        m.lane_row_[static_cast<std::size_t>(t * omega + c)] =
+            row_of[static_cast<std::size_t>(lane_start)];
+        m.lane_seg_[static_cast<std::size_t>(t * omega + c)] =
+            flags_before[static_cast<std::size_t>(lane_start)];
+        for (index_t s = 0; s < sigma; ++s) {
+          const index_t orig = lane_start + s;
+          const index_t stored = start + s * omega + c;
+          m.values_[static_cast<std::size_t>(stored)] =
+              csr.values()[static_cast<std::size_t>(orig)];
+          m.col_idx_[static_cast<std::size_t>(stored)] =
+              csr.col_idx()[static_cast<std::size_t>(orig)];
+        }
+      }
+    } else {
+      // Tail tile: natural order.
+      for (index_t p = start; p < nnz; ++p) {
+        m.values_[static_cast<std::size_t>(p)] =
+            csr.values()[static_cast<std::size_t>(p)];
+        m.col_idx_[static_cast<std::size_t>(p)] =
+            csr.col_idx()[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  // Tail metadata reuses seg_rows_ via flags_before at runtime, stored in
+  // lane_seg_-style scalars below.
+  m.tail_row_ = nnz > m.num_full_tiles_ * tile
+                    ? row_of[static_cast<std::size_t>(m.num_full_tiles_ * tile)]
+                    : 0;
+  m.tail_seg_ = nnz > m.num_full_tiles_ * tile
+                    ? flags_before[static_cast<std::size_t>(m.num_full_tiles_ *
+                                                            tile)]
+                    : 0;
+  return m;
+}
+
+template <typename ValueT>
+void Csr5<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  const index_t tile = tile_size();
+  for (index_t t = 0; t < num_full_tiles_; ++t) {
+    const index_t start = t * tile;
+    for (index_t c = 0; c < omega_; ++c) {
+      index_t row = lane_row_[static_cast<std::size_t>(t * omega_ + c)];
+      index_t si = lane_seg_[static_cast<std::size_t>(t * omega_ + c)];
+      ValueT sum{};
+      bool has = false;
+      for (index_t s = 0; s < sigma_; ++s) {
+        const index_t orig = start + c * sigma_ + s;
+        if (flag(orig)) {
+          if (has) {
+            y[row] += sum;
+            sum = ValueT{};
+            has = false;
+          }
+          row = seg_rows_[static_cast<std::size_t>(si++)];
+        }
+        const index_t stored = start + s * omega_ + c;
+        sum += values_[static_cast<std::size_t>(stored)] *
+               x[col_idx_[static_cast<std::size_t>(stored)]];
+        has = true;
+      }
+      if (has) y[row] += sum;
+    }
+  }
+  // Tail: natural order with the same segmented-carry logic.
+  const index_t tail_start = num_full_tiles_ * tile;
+  if (tail_start < nnz()) {
+    index_t row = tail_row_;
+    index_t si = tail_seg_;
+    ValueT sum{};
+    bool has = false;
+    for (index_t p = tail_start; p < nnz(); ++p) {
+      if (flag(p)) {
+        if (has) {
+          y[row] += sum;
+          sum = ValueT{};
+          has = false;
+        }
+        row = seg_rows_[static_cast<std::size_t>(si++)];
+      }
+      sum += values_[static_cast<std::size_t>(p)] *
+             x[col_idx_[static_cast<std::size_t>(p)]];
+      has = true;
+    }
+    if (has) y[row] += sum;
+  }
+}
+
+template <typename ValueT>
+std::int64_t Csr5<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return nnz() * (idx + static_cast<std::int64_t>(sizeof(ValueT))) +
+         static_cast<std::int64_t>(tile_ptr_.size()) * idx +
+         static_cast<std::int64_t>(flags_.size()) * 8 +
+         static_cast<std::int64_t>(lane_row_.size()) * idx +
+         static_cast<std::int64_t>(lane_seg_.size()) * idx +
+         static_cast<std::int64_t>(seg_rows_.size()) * idx;
+}
+
+template <typename ValueT>
+void Csr5<ValueT>::validate() const {
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  SPMVML_ENSURE(values_.size() == col_idx_.size(), "array size mismatch");
+  for (index_t c : col_idx_)
+    SPMVML_ENSURE(c >= 0 && c < cols_, "column index out of range");
+  SPMVML_ENSURE(
+      static_cast<index_t>(lane_row_.size()) == num_full_tiles_ * omega_,
+      "lane_row size mismatch");
+}
+
+template class Csr5<float>;
+template class Csr5<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,80 @@
+// CSR5 (Liu & Vinter, ICS'15) — CSR extended with 2D tiling for load
+// balance (§II-A.5).
+//
+// The nonzero stream is partitioned into tiles of omega*sigma entries.
+// Inside a full tile, lane c owns the contiguous original positions
+// [tile_start + c*sigma, tile_start + (c+1)*sigma); storage is transposed
+// (stored position tile_start + s*omega + c) so that on a GPU all omega
+// lanes load consecutive addresses each step — the layout in Fig. 1(d).
+// Row boundaries inside tiles are tracked with packed bit flags plus, per
+// segment start, the explicit destination row (our rendition of the
+// paper's tile_desc y_offset/seg_offset metadata; explicit rows keep empty
+// rows correct without the speculative pass of the CUDA code). A trailing
+// partial tile is kept in natural order.
+//
+// SpMV is a per-lane segmented reduction with += carries across lane and
+// tile boundaries, the serial projection of CSR5's fast segmented sum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Csr5 {
+ public:
+  Csr5() = default;
+
+  /// omega = lanes per tile (GPU warp fraction), sigma = entries per lane.
+  static Csr5 from_csr(const Csr<ValueT>& csr, index_t omega = 32,
+                       index_t sigma = 16);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  index_t omega() const { return omega_; }
+  index_t sigma() const { return sigma_; }
+
+  /// Number of full (omega*sigma) tiles; a shorter tail may follow.
+  index_t num_full_tiles() const { return num_full_tiles_; }
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t tile_size() const { return omega_ * sigma_; }
+  bool flag(index_t original_pos) const {
+    return (flags_[static_cast<std::size_t>(original_pos >> 6)] >>
+            (original_pos & 63)) & 1u;
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t omega_ = 0;
+  index_t sigma_ = 0;
+  index_t num_full_tiles_ = 0;
+  std::vector<ValueT> values_;    // tile-transposed within full tiles
+  std::vector<index_t> col_idx_;  // same permutation as values_
+  std::vector<index_t> tile_ptr_;   // first row touched by each tile
+  std::vector<std::uint64_t> flags_;  // row-start bit per original position
+  std::vector<index_t> lane_row_;   // row of each lane's first element
+  std::vector<index_t> lane_seg_;   // first seg_rows_ slot at/after lane start
+  std::vector<index_t> seg_rows_;   // destination row per flagged position
+  index_t tail_row_ = 0;            // row of the tail tile's first element
+  index_t tail_seg_ = 0;            // seg_rows_ slot at the tail start
+};
+
+extern template class Csr5<float>;
+extern template class Csr5<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,91 @@
+#include "sparse/dia.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Dia<ValueT> Dia<ValueT>::from_csr(const Csr<ValueT>& csr, index_t max_diags) {
+  // First pass: which diagonals are occupied?
+  std::map<index_t, index_t> diag_counts;
+  for (index_t r = 0; r < csr.rows(); ++r)
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p)
+      ++diag_counts[csr.col_idx()[p] - r];
+  SPMVML_ENSURE(max_diags == 0 ||
+                    static_cast<index_t>(diag_counts.size()) <= max_diags,
+                "matrix needs " + std::to_string(diag_counts.size()) +
+                    " diagonals; DIA capped at " + std::to_string(max_diags));
+
+  Dia dia;
+  dia.rows_ = csr.rows();
+  dia.cols_ = csr.cols();
+  dia.nnz_ = csr.nnz();
+  dia.offsets_.reserve(diag_counts.size());
+  std::map<index_t, index_t> slot_of;
+  for (const auto& [offset, count] : diag_counts) {
+    (void)count;
+    slot_of[offset] = static_cast<index_t>(dia.offsets_.size());
+    dia.offsets_.push_back(offset);
+  }
+  dia.data_.assign(static_cast<std::size_t>(dia.offsets_.size()) *
+                       static_cast<std::size_t>(dia.rows_),
+                   ValueT{});
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p) {
+      const index_t d = slot_of[csr.col_idx()[p] - r];
+      dia.data_[static_cast<std::size_t>(d) *
+                    static_cast<std::size_t>(dia.rows_) +
+                static_cast<std::size_t>(r)] = csr.values()[p];
+    }
+  }
+  return dia;
+}
+
+template <typename ValueT>
+double Dia<ValueT>::fill_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(offsets_.size()) * static_cast<double>(rows_) /
+         static_cast<double>(nnz_);
+}
+
+template <typename ValueT>
+void Dia<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    const index_t offset = offsets_[d];
+    const ValueT* lane = &data_[d * static_cast<std::size_t>(rows_)];
+    const index_t r_lo = std::max<index_t>(0, -offset);
+    const index_t r_hi = std::min<index_t>(rows_, cols_ - offset);
+    for (index_t r = r_lo; r < r_hi; ++r)
+      y[r] += lane[r] * x[r + offset];
+  }
+}
+
+template <typename ValueT>
+std::int64_t Dia<ValueT>::bytes() const {
+  return static_cast<std::int64_t>(offsets_.size()) * 4 +
+         static_cast<std::int64_t>(data_.size()) *
+             static_cast<std::int64_t>(sizeof(ValueT));
+}
+
+template <typename ValueT>
+void Dia<ValueT>::validate() const {
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  SPMVML_ENSURE(data_.size() == offsets_.size() *
+                                    static_cast<std::size_t>(rows_),
+                "DIA data size mismatch");
+  for (std::size_t d = 1; d < offsets_.size(); ++d)
+    SPMVML_ENSURE(offsets_[d - 1] < offsets_[d],
+                  "DIA offsets must be strictly ascending");
+}
+
+template class Dia<float>;
+template class Dia<double>;
+
+}  // namespace spmvml

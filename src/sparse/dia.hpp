@@ -1,0 +1,58 @@
+// DIA (diagonal) format — the format Zhao et al.'s CPU study adds to the
+// candidate set (§VII). Stores one dense array per occupied diagonal;
+// unbeatable for banded stencils, catastrophic for unstructured matrices
+// (every occupied diagonal costs a full rows-length lane).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Dia {
+ public:
+  Dia() = default;
+
+  /// Convert from CSR. Throws if the matrix would need more than
+  /// `max_diags` diagonals (DIA is only sane for banded structures);
+  /// max_diags 0 means "no limit".
+  static Dia from_csr(const Csr<ValueT>& csr, index_t max_diags = 0);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t num_diagonals() const {
+    return static_cast<index_t>(offsets_.size());
+  }
+
+  /// Stored slots over useful entries (the DIA fill penalty).
+  double fill_ratio() const;
+
+  std::span<const index_t> offsets() const { return offsets_; }
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  std::vector<index_t> offsets_;  // diagonal offsets (col - row), ascending
+  // data_[d * rows_ + r] = A(r, r + offsets_[d]), zero when out of range
+  // or absent.
+  std::vector<ValueT> data_;
+};
+
+extern template class Dia<float>;
+extern template class Dia<double>;
+
+}  // namespace spmvml

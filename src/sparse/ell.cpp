@@ -1,0 +1,91 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Ell<ValueT> Ell<ValueT>::from_csr(const Csr<ValueT>& csr, index_t width) {
+  index_t max_len = 0;
+  for (index_t r = 0; r < csr.rows(); ++r)
+    max_len = std::max(max_len, csr.row_nnz(r));
+  if (width == 0) width = max_len;
+  SPMVML_ENSURE(width >= max_len,
+                "ELL width smaller than the longest row; use HYB to split");
+
+  Ell ell;
+  ell.rows_ = csr.rows();
+  ell.cols_ = csr.cols();
+  ell.width_ = width;
+  ell.nnz_ = csr.nnz();
+  const std::size_t slots = static_cast<std::size_t>(ell.rows_) *
+                            static_cast<std::size_t>(width);
+  ell.col_idx_.assign(slots, kPad);
+  ell.values_.assign(slots, ValueT{});
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    index_t k = 0;
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p, ++k) {
+      const std::size_t slot = static_cast<std::size_t>(k) *
+                                   static_cast<std::size_t>(ell.rows_) +
+                               static_cast<std::size_t>(r);
+      ell.col_idx_[slot] = csr.col_idx()[p];
+      ell.values_[slot] = csr.values()[p];
+    }
+  }
+  return ell;
+}
+
+template <typename ValueT>
+double Ell<ValueT>::padding_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(rows_) * static_cast<double>(width_) /
+         static_cast<double>(nnz_);
+}
+
+template <typename ValueT>
+void Ell<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  // Column-major walk: matches the coalesced access order of the GPU
+  // kernel (all rows advance slot k together).
+  for (index_t k = 0; k < width_; ++k) {
+    const std::size_t base = static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(rows_);
+    for (index_t r = 0; r < rows_; ++r) {
+      const index_t c = col_idx_[base + static_cast<std::size_t>(r)];
+      if (c != kPad) y[r] += values_[base + static_cast<std::size_t>(r)] * x[c];
+    }
+  }
+}
+
+template <typename ValueT>
+std::int64_t Ell<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return rows_ * width_ * (idx + static_cast<std::int64_t>(sizeof(ValueT)));
+}
+
+template <typename ValueT>
+void Ell<ValueT>::validate() const {
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0 && width_ >= 0, "negative sizes");
+  const std::size_t slots = static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(width_);
+  SPMVML_ENSURE(col_idx_.size() == slots && values_.size() == slots,
+                "ELL arrays must be rows*width");
+  index_t counted = 0;
+  for (std::size_t i = 0; i < col_idx_.size(); ++i) {
+    const index_t c = col_idx_[i];
+    SPMVML_ENSURE(c == kPad || (c >= 0 && c < cols_),
+                  "ELL column index out of range");
+    if (c != kPad) ++counted;
+  }
+  SPMVML_ENSURE(counted == nnz_, "ELL nnz bookkeeping mismatch");
+}
+
+template class Ell<float>;
+template class Ell<double>;
+
+}  // namespace spmvml

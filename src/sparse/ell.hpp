@@ -1,0 +1,65 @@
+// ELLPACK format — every row padded to the same width, stored column-major
+// so that thread-per-row GPU kernels read coalesced columns (§II-A.3).
+//
+// Padding slots carry column index kPad (-1) and value 0, and are skipped by
+// the kernel. The padding ratio (stored / useful entries) is the quantity
+// that makes ELL lose on high-variance matrices; it is exposed for the
+// simulator and the benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Ell {
+ public:
+  /// Sentinel column index marking a padding slot.
+  static constexpr index_t kPad = -1;
+
+  Ell() = default;
+
+  /// Convert from CSR. width 0 (default) uses the max row length;
+  /// a positive width caps storage (entries beyond it are rejected —
+  /// callers wanting truncation should use Hyb instead).
+  static Ell from_csr(const Csr<ValueT>& csr, index_t width = 0);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t width() const { return width_; }
+  index_t nnz() const { return nnz_; }
+
+  /// Stored (incl. padding) over useful entries; 1.0 = no padding.
+  /// Returns 1.0 for empty matrices.
+  double padding_ratio() const;
+
+  /// Element at (row r, slot k) in the column-major layout.
+  index_t col_at(index_t r, index_t k) const { return col_idx_[k * rows_ + r]; }
+  ValueT val_at(index_t r, index_t k) const { return values_[k * rows_ + r]; }
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  index_t nnz_ = 0;
+  // Column-major: slot k of all rows is contiguous ([k*rows, (k+1)*rows)).
+  std::vector<index_t> col_idx_;
+  std::vector<ValueT> values_;
+};
+
+extern template class Ell<float>;
+extern template class Ell<double>;
+
+}  // namespace spmvml

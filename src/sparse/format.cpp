@@ -1,0 +1,27 @@
+#include "sparse/format.hpp"
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+const char* format_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "COO";
+    case Format::kCsr: return "CSR";
+    case Format::kEll: return "ELL";
+    case Format::kHyb: return "HYB";
+    case Format::kCsr5: return "CSR5";
+    case Format::kMergeCsr: return "merge-CSR";
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid Format value");
+  return "";
+}
+
+Format parse_format(const std::string& name) {
+  for (Format f : kAllFormats)
+    if (name == format_name(f)) return f;
+  SPMVML_ENSURE(false, "unknown format name: " + name);
+  return Format::kCsr;
+}
+
+}  // namespace spmvml

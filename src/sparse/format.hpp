@@ -1,0 +1,37 @@
+// Storage-format enumeration shared across the library.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace spmvml {
+
+/// The six storage formats the paper selects between (§II-A).
+enum class Format : int {
+  kCoo = 0,
+  kCsr = 1,
+  kEll = 2,
+  kHyb = 3,
+  kCsr5 = 4,
+  kMergeCsr = 5,
+};
+
+inline constexpr int kNumFormats = 6;
+
+/// All formats in enum order; handy for range-for in studies/benches.
+inline constexpr std::array<Format, kNumFormats> kAllFormats = {
+    Format::kCoo, Format::kCsr,  Format::kEll,
+    Format::kHyb, Format::kCsr5, Format::kMergeCsr};
+
+/// The three "basic" formats of the paper's Tables IV–VI.
+inline constexpr std::array<Format, 3> kBasicFormats = {
+    Format::kEll, Format::kCsr, Format::kHyb};
+
+/// Human-readable name ("COO", "CSR", "ELL", "HYB", "CSR5", "merge-CSR").
+const char* format_name(Format f);
+
+/// Parse a name as produced by format_name; throws spmvml::Error on
+/// unknown names.
+Format parse_format(const std::string& name);
+
+}  // namespace spmvml

@@ -1,0 +1,95 @@
+#include "sparse/hyb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+namespace {
+
+template <typename ValueT>
+index_t pick_width(const Csr<ValueT>& csr, HybThreshold rule) {
+  if (csr.rows() == 0) return 0;
+  if (rule == HybThreshold::kNnzMu) {
+    const double mu = static_cast<double>(csr.nnz()) /
+                      static_cast<double>(csr.rows());
+    return static_cast<index_t>(std::ceil(mu));
+  }
+  // Bell–Garland: pick the largest width such that at least 2/3 of rows
+  // have length <= width (i.e. at most 1/3 of rows spill past it).
+  std::vector<index_t> lengths(static_cast<std::size_t>(csr.rows()));
+  for (index_t r = 0; r < csr.rows(); ++r)
+    lengths[static_cast<std::size_t>(r)] = csr.row_nnz(r);
+  std::sort(lengths.begin(), lengths.end());
+  const std::size_t q = (lengths.size() * 2) / 3;
+  return std::max<index_t>(1, lengths[std::min(q, lengths.size() - 1)]);
+}
+
+}  // namespace
+
+template <typename ValueT>
+Hyb<ValueT> Hyb<ValueT>::from_csr(const Csr<ValueT>& csr, HybThreshold rule) {
+  return from_csr_with_width(csr, pick_width(csr, rule));
+}
+
+template <typename ValueT>
+Hyb<ValueT> Hyb<ValueT>::from_csr_with_width(const Csr<ValueT>& csr,
+                                             index_t width) {
+  SPMVML_ENSURE(width >= 0, "negative HYB width");
+  // Split CSR into an ELL prefix (first `width` entries of each row) and a
+  // COO spill of the rest, then reuse the two sub-format constructors.
+  std::vector<Triplet<ValueT>> ell_entries;
+  std::vector<index_t> coo_rows, coo_cols;
+  std::vector<ValueT> coo_vals;
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    index_t k = 0;
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p, ++k) {
+      if (k < width) {
+        ell_entries.push_back({r, csr.col_idx()[p], csr.values()[p]});
+      } else {
+        coo_rows.push_back(r);
+        coo_cols.push_back(csr.col_idx()[p]);
+        coo_vals.push_back(csr.values()[p]);
+      }
+    }
+  }
+  Hyb hyb;
+  const auto ell_csr =
+      Csr<ValueT>::from_triplets(csr.rows(), csr.cols(), std::move(ell_entries));
+  hyb.ell_ = Ell<ValueT>::from_csr(ell_csr, width);
+  hyb.coo_ = Coo<ValueT>(csr.rows(), csr.cols(), std::move(coo_rows),
+                         std::move(coo_cols), std::move(coo_vals));
+  return hyb;
+}
+
+template <typename ValueT>
+double Hyb<ValueT>::coo_fraction() const {
+  const index_t total = nnz();
+  if (total == 0) return 0.0;
+  return static_cast<double>(coo_.nnz()) / static_cast<double>(total);
+}
+
+template <typename ValueT>
+void Hyb<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  ell_.spmv(x, y);
+  // COO kernel accumulates into y; replicate that by adding its result.
+  std::vector<ValueT> spill(y.size());
+  coo_.spmv(x, spill);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += spill[i];
+}
+
+template <typename ValueT>
+void Hyb<ValueT>::validate() const {
+  ell_.validate();
+  coo_.validate();
+  SPMVML_ENSURE(ell_.rows() == coo_.rows() && ell_.cols() == coo_.cols(),
+                "HYB parts must agree on dimensions");
+}
+
+template class Hyb<float>;
+template class Hyb<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,64 @@
+// HYB format — ELL for the "regular" prefix of each row, COO spill for the
+// excess (§II-A.4).
+//
+// Two threshold rules are implemented:
+//  * kNnzMu       — ELL width = ceil(average nnz per row); the rule the
+//                   paper uses.
+//  * kBellGarland — width chosen so at most 1/3 of rows spill, the
+//                   heuristic of the original cusp HYB.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+/// Strategy for picking the ELL/COO split width.
+enum class HybThreshold {
+  kNnzMu,        // ceil(mean row length) — the paper's choice
+  kBellGarland,  // largest width where >= 2/3 of rows fit fully
+};
+
+template <typename ValueT>
+class Hyb {
+ public:
+  Hyb() = default;
+
+  static Hyb from_csr(const Csr<ValueT>& csr,
+                      HybThreshold rule = HybThreshold::kNnzMu);
+
+  /// Explicit split width (entries at slots >= width go to COO).
+  static Hyb from_csr_with_width(const Csr<ValueT>& csr, index_t width);
+
+  index_t rows() const { return ell_.rows(); }
+  index_t cols() const { return ell_.cols(); }
+  index_t nnz() const { return ell_.nnz() + coo_.nnz(); }
+  index_t ell_width() const { return ell_.width(); }
+
+  const Ell<ValueT>& ell_part() const { return ell_; }
+  const Coo<ValueT>& coo_part() const { return coo_; }
+
+  /// Fraction of entries stored in the COO spill.
+  double coo_fraction() const;
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const { return ell_.bytes() + coo_.bytes(); }
+
+  void validate() const;
+
+ private:
+  Ell<ValueT> ell_;
+  Coo<ValueT> coo_;
+};
+
+extern template class Hyb<float>;
+extern template class Hyb<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,107 @@
+#include "sparse/merge_csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+MergeCoordinate MergeCsr<ValueT>::merge_path_search(
+    index_t diagonal, std::span<const index_t> row_ptr, index_t rows,
+    index_t nnz) {
+  // Binary search along the diagonal for the split between consumed
+  // row-ends (list A = row_ptr[1..rows]) and consumed nonzeros (list B).
+  index_t lo = std::max<index_t>(diagonal - nnz, 0);
+  index_t hi = std::min(diagonal, rows);
+  while (lo < hi) {
+    const index_t pivot = (lo + hi) / 2;
+    if (row_ptr[static_cast<std::size_t>(pivot) + 1] <= diagonal - pivot - 1)
+      lo = pivot + 1;
+    else
+      hi = pivot;
+  }
+  return {lo, diagonal - lo};
+}
+
+template <typename ValueT>
+MergeCsr<ValueT> MergeCsr<ValueT>::from_csr(const Csr<ValueT>& csr,
+                                            index_t num_partitions) {
+  SPMVML_ENSURE(num_partitions >= 1, "need at least one partition");
+  MergeCsr m;
+  m.rows_ = csr.rows();
+  m.cols_ = csr.cols();
+  m.row_ptr_.assign(csr.row_ptr().begin(), csr.row_ptr().end());
+  m.col_idx_.assign(csr.col_idx().begin(), csr.col_idx().end());
+  m.values_.assign(csr.values().begin(), csr.values().end());
+
+  const index_t path_len = m.rows_ + csr.nnz();
+  num_partitions = std::min(num_partitions, std::max<index_t>(path_len, 1));
+  m.starts_.resize(static_cast<std::size_t>(num_partitions) + 1);
+  for (index_t p = 0; p <= num_partitions; ++p) {
+    const index_t diagonal = path_len * p / num_partitions;
+    m.starts_[static_cast<std::size_t>(p)] =
+        merge_path_search(diagonal, m.row_ptr_, m.rows_, csr.nnz());
+  }
+  return m;
+}
+
+template <typename ValueT>
+void MergeCsr<ValueT>::spmv(std::span<const ValueT> x,
+                            std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  std::fill(y.begin(), y.end(), ValueT{});
+  for (index_t part = 0; part < num_partitions(); ++part) {
+    MergeCoordinate cur = starts_[static_cast<std::size_t>(part)];
+    const MergeCoordinate end = starts_[static_cast<std::size_t>(part) + 1];
+    ValueT sum{};
+    // Walk the merge path: consume a nonzero while there is one left in
+    // the current row, otherwise consume the row end and flush.
+    while (cur.row < end.row || cur.nz < end.nz) {
+      if (cur.row < rows_ &&
+          cur.nz < row_ptr_[static_cast<std::size_t>(cur.row) + 1] &&
+          cur.nz < nnz()) {
+        sum += values_[static_cast<std::size_t>(cur.nz)] *
+               x[col_idx_[static_cast<std::size_t>(cur.nz)]];
+        ++cur.nz;
+      } else {
+        y[cur.row] += sum;
+        sum = ValueT{};
+        ++cur.row;
+      }
+    }
+    // Carry-out for a row split across partitions.
+    if (cur.row < rows_) y[cur.row] += sum;
+  }
+}
+
+template <typename ValueT>
+std::int64_t MergeCsr<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return (rows_ + 1) * idx + nnz() * idx +
+         nnz() * static_cast<std::int64_t>(sizeof(ValueT)) +
+         static_cast<std::int64_t>(starts_.size()) * 2 * idx;
+}
+
+template <typename ValueT>
+void MergeCsr<ValueT>::validate() const {
+  SPMVML_ENSURE(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
+                "row_ptr size mismatch");
+  SPMVML_ENSURE(!starts_.empty(), "partition table missing");
+  SPMVML_ENSURE(starts_.front().row == 0 && starts_.front().nz == 0,
+                "first partition must start at origin");
+  SPMVML_ENSURE(starts_.back().row == rows_ && starts_.back().nz == nnz(),
+                "last partition must end at terminus");
+  for (std::size_t p = 1; p < starts_.size(); ++p) {
+    SPMVML_ENSURE(starts_[p].row >= starts_[p - 1].row &&
+                      starts_[p].nz >= starts_[p - 1].nz,
+                  "partition coordinates must be monotone");
+  }
+}
+
+template class MergeCsr<float>;
+template class MergeCsr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,76 @@
+// Merge-based CSR SpMV (Merrill & Garland, PPoPP'16) — §II-A.6.
+//
+// Works on the standard CSR arrays. The computation is modeled as a merge
+// of two lists: the row-end offsets (row_ptr[1..rows]) and the natural
+// numbers indexing nonzeros. The merge path has length rows+nnz and is cut
+// into equal pieces with a 2D diagonal binary search, so every "thread"
+// (partition) gets the same amount of work regardless of row-length skew.
+// Partial row sums at partition edges are resolved with += carries into a
+// zero-initialised y (the serial projection of the CUDA fix-up pass).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+/// A (row, nonzero) coordinate on the merge path.
+struct MergeCoordinate {
+  index_t row = 0;
+  index_t nz = 0;
+};
+
+template <typename ValueT>
+class MergeCsr {
+ public:
+  MergeCsr() = default;
+
+  /// num_partitions models the GPU thread count; any value >= 1 yields the
+  /// same result (a property-tested invariant).
+  static MergeCsr from_csr(const Csr<ValueT>& csr, index_t num_partitions = 256);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  index_t num_partitions() const {
+    return static_cast<index_t>(starts_.size()) - 1;
+  }
+
+  /// Starting coordinate of partition p (exposed for tests/benches).
+  MergeCoordinate partition_start(index_t p) const { return starts_[static_cast<std::size_t>(p)]; }
+
+  /// Raw CSR arrays (the parallel kernel in parallel_spmv.hpp needs them).
+  std::span<const index_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const ValueT> values() const { return values_; }
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+  /// The diagonal binary search the GPU kernel runs per thread: finds the
+  /// merge-path coordinate at distance `diagonal` from the origin.
+  static MergeCoordinate merge_path_search(index_t diagonal,
+                                           std::span<const index_t> row_ptr,
+                                           index_t rows, index_t nnz);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<ValueT> values_;
+  std::vector<MergeCoordinate> starts_;  // num_partitions+1 entries
+};
+
+extern template class MergeCsr<float>;
+extern template class MergeCsr<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,95 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csr<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
+                "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  SPMVML_ENSURE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  SPMVML_ENSURE(lowercase(object) == "matrix", "only 'matrix' objects supported");
+  SPMVML_ENSURE(lowercase(fmt) == "coordinate",
+                "only 'coordinate' (sparse) format supported");
+  field = lowercase(field);
+  symmetry = lowercase(symmetry);
+  const bool pattern = field == "pattern";
+  SPMVML_ENSURE(pattern || field == "real" || field == "integer",
+                "unsupported field type: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  SPMVML_ENSURE(symmetric || symmetry == "general",
+                "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t rows = 0, cols = 0, declared_nnz = 0;
+  dims >> rows >> cols >> declared_nnz;
+  SPMVML_ENSURE(rows > 0 && cols > 0 && declared_nnz >= 0,
+                "bad dimensions line");
+
+  std::vector<Triplet<double>> entries;
+  entries.reserve(static_cast<std::size_t>(declared_nnz) * (symmetric ? 2 : 1));
+  for (index_t i = 0; i < declared_nnz; ++i) {
+    SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
+                  "fewer entries than declared");
+    std::istringstream entry(line);
+    index_t r = 0, c = 0;
+    double v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    SPMVML_ENSURE(!entry.fail(), "malformed entry line: " + line);
+    SPMVML_ENSURE(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  "entry index out of range");
+    entries.push_back({r - 1, c - 1, v});
+    if (symmetric && r != c) entries.push_back({c - 1, r - 1, v});
+  }
+  return Csr<double>::from_triplets(rows, cols, std::move(entries));
+}
+
+Csr<double> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  SPMVML_ENSURE(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr<double>& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by spmvml\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (index_t r = 0; r < m.rows(); ++r)
+    for (index_t p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p)
+      out << (r + 1) << ' ' << (m.col_idx()[p] + 1) << ' ' << m.values()[p]
+          << '\n';
+}
+
+void write_matrix_market(const std::string& path, const Csr<double>& m) {
+  std::ofstream out(path);
+  SPMVML_ENSURE(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(out, m);
+  SPMVML_ENSURE(out.good(), "write failed for " + path);
+}
+
+}  // namespace spmvml

@@ -1,0 +1,149 @@
+// Shared-memory parallel SpMV kernels (OpenMP when available).
+//
+// The serial kernels in each format class are the reference semantics;
+// these variants parallelise the formats whose work decomposes cleanly:
+//   * CSR  — row-parallel (each row owned by one task; no races).
+//   * ELL  — row-parallel over the column-major slots.
+//   * HYB  — parallel ELL part + serial COO spill (the spill is small by
+//            construction).
+//   * merge-CSR — the real merge-path decomposition: y is zero-filled,
+//     every partition accumulates the rows whose boundary it owns (each
+//     such flush is unique to one partition, so writes are race-free),
+//     and one trailing carry (row, partial) per partition is applied in a
+//     serial second phase — exactly the CUDA kernel's fix-up pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hyb.hpp"
+#include "sparse/merge_csr.hpp"
+
+namespace spmvml {
+
+/// y = A*x, rows in parallel.
+template <typename ValueT>
+void spmv_parallel(const Csr<ValueT>& a,
+                   std::type_identity_t<std::span<const ValueT>> x,
+                   std::type_identity_t<std::span<ValueT>> y) {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  parallel_for(a.rows(), [&](index_t r) {
+    ValueT sum{};
+    for (index_t p = row_ptr[static_cast<std::size_t>(r)];
+         p < row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
+      sum += values[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
+    y[static_cast<std::size_t>(r)] = sum;
+  });
+}
+
+/// y = A*x, rows in parallel over the ELL slots.
+template <typename ValueT>
+void spmv_parallel(const Ell<ValueT>& a,
+                   std::type_identity_t<std::span<const ValueT>> x,
+                   std::type_identity_t<std::span<ValueT>> y) {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
+  parallel_for(a.rows(), [&](index_t r) {
+    ValueT sum{};
+    for (index_t k = 0; k < a.width(); ++k) {
+      const index_t c = a.col_at(r, k);
+      if (c != Ell<ValueT>::kPad)
+        sum += a.val_at(r, k) * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  });
+}
+
+/// y = A*x: parallel ELL prefix + serial COO spill.
+template <typename ValueT>
+void spmv_parallel(const Hyb<ValueT>& a,
+                   std::type_identity_t<std::span<const ValueT>> x,
+                   std::type_identity_t<std::span<ValueT>> y) {
+  spmv_parallel(a.ell_part(), x, y);
+  const auto& coo = a.coo_part();
+  for (index_t i = 0; i < coo.nnz(); ++i)
+    y[static_cast<std::size_t>(coo.row_idx()[static_cast<std::size_t>(i)])] +=
+        coo.values()[static_cast<std::size_t>(i)] *
+        x[static_cast<std::size_t>(
+            coo.col_idx()[static_cast<std::size_t>(i)])];
+}
+
+/// y = A*x via the two-phase parallel merge-path algorithm.
+template <typename ValueT>
+void spmv_parallel(const MergeCsr<ValueT>& a,
+                   std::type_identity_t<std::span<const ValueT>> x,
+                   std::type_identity_t<std::span<ValueT>> y) {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
+  const index_t parts = a.num_partitions();
+
+  struct Carry {
+    index_t row = -1;
+    ValueT value{};
+  };
+  std::vector<Carry> carries(static_cast<std::size_t>(parts));
+
+  // Zero-fill so every phase-1 write can be '+=' (each non-carry flush is
+  // unique to one partition — no races).
+  parallel_for(a.rows(),
+               [&](index_t r) { y[static_cast<std::size_t>(r)] = ValueT{}; });
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+
+  parallel_for(parts, [&](index_t part) {
+    MergeCoordinate cur = a.partition_start(part);
+    const MergeCoordinate end = a.partition_start(part + 1);
+    auto& carry = carries[static_cast<std::size_t>(part)];
+    ValueT sum{};
+    bool first_flush = true;
+    while (cur.row < end.row || cur.nz < end.nz) {
+      if (cur.row < a.rows() &&
+          cur.nz < row_ptr[static_cast<std::size_t>(cur.row) + 1] &&
+          cur.nz < a.nnz()) {
+        sum += values[static_cast<std::size_t>(cur.nz)] *
+               x[static_cast<std::size_t>(
+                   col_idx[static_cast<std::size_t>(cur.nz)])];
+        ++cur.nz;
+      } else {
+        if (first_flush) {
+          // May belong to a row begun in an earlier partition: stash it
+          // for the serial fix-up.
+          carry.row = cur.row;
+          carry.value = sum;
+          first_flush = false;
+        } else {
+          y[static_cast<std::size_t>(cur.row)] += sum;
+        }
+        sum = ValueT{};
+        ++cur.row;
+      }
+    }
+    // Trailing partial of the row the partition ends inside.
+    if (cur.row < a.rows()) {
+      if (first_flush) {
+        carry.row = cur.row;
+        carry.value = sum;
+      } else {
+        y[static_cast<std::size_t>(cur.row)] += sum;
+      }
+    }
+  });
+
+  // Phase 2: serial carry fix-up.
+  for (const auto& c : carries)
+    if (c.row >= 0 && c.row < a.rows())
+      y[static_cast<std::size_t>(c.row)] += c.value;
+}
+
+}  // namespace spmvml

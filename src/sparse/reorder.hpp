@@ -1,0 +1,29 @@
+// Bandwidth-reducing reordering (reverse Cuthill–McKee).
+//
+// SpMV's x-gather locality — the very channel the GPU cost model charges
+// for — depends on the matrix ordering. RCM relabels a square matrix so
+// nonzeros cluster near the diagonal, often flipping which storage format
+// wins (demonstrated in bench/reordering_study).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+/// Reverse Cuthill–McKee ordering of the symmetrised pattern of a square
+/// matrix. Returns `order` such that new row i is old row order[i];
+/// disconnected components are processed from lowest-degree seeds.
+std::vector<index_t> rcm_ordering(const Csr<double>& m);
+
+/// Symmetric permutation A' = P A P^T: new row i is old row order[i] and
+/// columns are relabelled the same way. `order` must be a permutation.
+Csr<double> permute_symmetric(const Csr<double>& m,
+                              std::span<const index_t> order);
+
+/// Matrix bandwidth: max |col - row| over stored entries (0 if empty).
+index_t bandwidth(const Csr<double>& m);
+
+}  // namespace spmvml

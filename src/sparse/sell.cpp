@@ -1,0 +1,133 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+Sell<ValueT> Sell<ValueT>::from_csr(const Csr<ValueT>& csr, index_t c,
+                                    index_t sigma) {
+  SPMVML_ENSURE(c >= 1, "slice height must be positive");
+  SPMVML_ENSURE(sigma >= c && sigma % c == 0,
+                "sigma must be a positive multiple of C");
+  Sell sell;
+  sell.rows_ = csr.rows();
+  sell.cols_ = csr.cols();
+  sell.nnz_ = csr.nnz();
+  sell.c_ = c;
+
+  // Sort rows by descending length within each sigma window.
+  sell.perm_.resize(static_cast<std::size_t>(csr.rows()));
+  std::iota(sell.perm_.begin(), sell.perm_.end(), 0);
+  for (index_t w = 0; w < csr.rows(); w += sigma) {
+    const auto begin = sell.perm_.begin() + w;
+    const auto end =
+        sell.perm_.begin() + std::min<index_t>(csr.rows(), w + sigma);
+    std::stable_sort(begin, end, [&](index_t a, index_t b) {
+      return csr.row_nnz(a) > csr.row_nnz(b);
+    });
+  }
+
+  const index_t slices = (csr.rows() + c - 1) / c;
+  sell.slice_ptr_.assign(static_cast<std::size_t>(slices) + 1, 0);
+  sell.slice_width_.assign(static_cast<std::size_t>(slices), 0);
+  for (index_t s = 0; s < slices; ++s) {
+    index_t width = 0;
+    for (index_t i = 0; i < c; ++i) {
+      const index_t sr = s * c + i;
+      if (sr >= csr.rows()) break;
+      width = std::max(width, csr.row_nnz(sell.perm_[static_cast<std::size_t>(sr)]));
+    }
+    sell.slice_width_[static_cast<std::size_t>(s)] = width;
+    sell.slice_ptr_[static_cast<std::size_t>(s) + 1] =
+        sell.slice_ptr_[static_cast<std::size_t>(s)] + width * c;
+  }
+
+  const auto slots = static_cast<std::size_t>(sell.slice_ptr_.back());
+  sell.col_idx_.assign(slots, kPad);
+  sell.values_.assign(slots, ValueT{});
+  for (index_t s = 0; s < slices; ++s) {
+    const index_t base = sell.slice_ptr_[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < c; ++i) {
+      const index_t sr = s * c + i;
+      if (sr >= csr.rows()) break;
+      const index_t orig = sell.perm_[static_cast<std::size_t>(sr)];
+      index_t k = 0;
+      for (index_t p = csr.row_ptr()[orig]; p < csr.row_ptr()[orig + 1];
+           ++p, ++k) {
+        // Column-major within the slice: slot k of all C rows contiguous.
+        const auto at = static_cast<std::size_t>(base + k * c + i);
+        sell.col_idx_[at] = csr.col_idx()[p];
+        sell.values_[at] = csr.values()[p];
+      }
+    }
+  }
+  return sell;
+}
+
+template <typename ValueT>
+double Sell<ValueT>::padding_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(slice_ptr_.back()) / static_cast<double>(nnz_);
+}
+
+template <typename ValueT>
+void Sell<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  for (index_t s = 0; s < num_slices(); ++s) {
+    const index_t base = slice_ptr_[static_cast<std::size_t>(s)];
+    const index_t width = slice_width_[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < c_; ++i) {
+      const index_t sr = s * c_ + i;
+      if (sr >= rows_) break;
+      ValueT sum{};
+      for (index_t k = 0; k < width; ++k) {
+        const auto at = static_cast<std::size_t>(base + k * c_ + i);
+        const index_t col = col_idx_[at];
+        if (col != kPad) sum += values_[at] * x[col];
+      }
+      y[perm_[static_cast<std::size_t>(sr)]] = sum;
+    }
+  }
+  // Rows beyond the last slice cannot exist; empty rows got sum 0 above.
+}
+
+template <typename ValueT>
+std::int64_t Sell<ValueT>::bytes() const {
+  const std::int64_t idx = 4;
+  return static_cast<std::int64_t>(col_idx_.size()) *
+             (idx + static_cast<std::int64_t>(sizeof(ValueT))) +
+         rows_ * idx +  // permutation
+         static_cast<std::int64_t>(slice_ptr_.size()) * idx;
+}
+
+template <typename ValueT>
+void Sell<ValueT>::validate() const {
+  SPMVML_ENSURE(c_ >= 1, "bad slice height");
+  SPMVML_ENSURE(static_cast<index_t>(perm_.size()) == rows_,
+                "permutation size mismatch");
+  std::vector<char> seen(static_cast<std::size_t>(rows_), 0);
+  for (index_t r : perm_) {
+    SPMVML_ENSURE(r >= 0 && r < rows_, "permutation entry out of range");
+    SPMVML_ENSURE(!seen[static_cast<std::size_t>(r)],
+                  "permutation entry repeated");
+    seen[static_cast<std::size_t>(r)] = 1;
+  }
+  index_t counted = 0;
+  for (index_t c : col_idx_) {
+    SPMVML_ENSURE(c == kPad || (c >= 0 && c < cols_),
+                  "column index out of range");
+    if (c != kPad) ++counted;
+  }
+  SPMVML_ENSURE(counted == nnz_, "SELL nnz bookkeeping mismatch");
+}
+
+template class Sell<float>;
+template class Sell<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,63 @@
+// SELL-C-sigma (sliced ELLPACK with row sorting) — the storage scheme
+// underlying yaSpMV (§II's reference [5]) and Kreutzer et al.'s
+// cross-platform SpMV. Rows are sorted by length inside windows of sigma
+// rows, then packed into slices of C rows, each padded only to its own
+// slice's maximum — ELL's coalescing with a fraction of its padding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmvml {
+
+template <typename ValueT>
+class Csr;
+
+template <typename ValueT>
+class Sell {
+ public:
+  static constexpr index_t kPad = -1;
+
+  Sell() = default;
+
+  /// slice height C and sorting window sigma (a multiple of C; sigma == C
+  /// disables reordering beyond the slice itself).
+  static Sell from_csr(const Csr<ValueT>& csr, index_t c = 32,
+                       index_t sigma = 128);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t slice_height() const { return c_; }
+  index_t num_slices() const {
+    return static_cast<index_t>(slice_ptr_.size()) - 1;
+  }
+
+  /// Stored slots over useful entries; between 1.0 and ELL's ratio.
+  double padding_ratio() const;
+
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
+
+  std::int64_t bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t c_ = 0;
+  std::vector<index_t> perm_;       // storage row s holds original row perm_[s]
+  std::vector<index_t> slice_ptr_;  // start offset of each slice's data
+  std::vector<index_t> slice_width_;
+  // Per slice: column-major C x width block at slice_ptr_[s].
+  std::vector<index_t> col_idx_;
+  std::vector<ValueT> values_;
+};
+
+extern template class Sell<float>;
+extern template class Sell<double>;
+
+}  // namespace spmvml

@@ -1,0 +1,90 @@
+// Runtime-dispatched SpMV over any of the six formats.
+//
+// AnyMatrix owns one concrete representation; build(format, csr) converts
+// a CSR master copy into the requested format. This is the type the
+// format-selector examples hand back to users.
+#pragma once
+
+#include <span>
+#include <variant>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/csr5.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/format.hpp"
+#include "sparse/hyb.hpp"
+#include "sparse/merge_csr.hpp"
+
+namespace spmvml {
+
+/// Sum-type over the six storage formats.
+template <typename ValueT>
+class AnyMatrix {
+ public:
+  AnyMatrix() = default;
+
+  /// Convert `csr` into the requested format.
+  static AnyMatrix build(Format format, const Csr<ValueT>& csr) {
+    AnyMatrix m;
+    m.format_ = format;
+    switch (format) {
+      case Format::kCoo: m.impl_ = Coo<ValueT>::from_csr(csr); break;
+      case Format::kCsr: m.impl_ = csr; break;
+      case Format::kEll: m.impl_ = Ell<ValueT>::from_csr(csr); break;
+      case Format::kHyb: m.impl_ = Hyb<ValueT>::from_csr(csr); break;
+      case Format::kCsr5: m.impl_ = Csr5<ValueT>::from_csr(csr); break;
+      case Format::kMergeCsr: m.impl_ = MergeCsr<ValueT>::from_csr(csr); break;
+    }
+    return m;
+  }
+
+  Format format() const { return format_; }
+
+  index_t rows() const {
+    return std::visit([](const auto& m) { return m.rows(); }, impl_);
+  }
+  index_t cols() const {
+    return std::visit([](const auto& m) { return m.cols(); }, impl_);
+  }
+  index_t nnz() const {
+    return std::visit([](const auto& m) { return m.nnz(); }, impl_);
+  }
+  std::int64_t bytes() const {
+    return std::visit([](const auto& m) { return m.bytes(); }, impl_);
+  }
+
+  /// y = A*x using the stored format's kernel.
+  void spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+    std::visit([&](const auto& m) { m.spmv(x, y); }, impl_);
+  }
+
+ private:
+  // Default-constructed AnyMatrix holds an empty COO (the variant's first
+  // alternative); format_ matches it.
+  Format format_ = Format::kCoo;
+  std::variant<Coo<ValueT>, Csr<ValueT>, Ell<ValueT>, Hyb<ValueT>,
+               Csr5<ValueT>, MergeCsr<ValueT>>
+      impl_;
+};
+
+/// Dense reference y = A*x computed straight from CSR with per-row
+/// long-double accumulation; the oracle all format kernels are tested
+/// against.
+template <typename ValueT>
+void spmv_reference(const Csr<ValueT>& a,
+                    std::type_identity_t<std::span<const ValueT>> x,
+                    std::type_identity_t<std::span<ValueT>> y) {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
+  for (index_t r = 0; r < a.rows(); ++r) {
+    long double sum = 0.0L;
+    for (index_t p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p)
+      sum += static_cast<long double>(a.values()[p]) *
+             static_cast<long double>(x[a.col_idx()[p]]);
+    y[r] = static_cast<ValueT>(sum);
+  }
+}
+
+}  // namespace spmvml

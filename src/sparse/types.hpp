@@ -1,0 +1,20 @@
+// Shared index/value typedefs for the sparse-matrix substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvml {
+
+/// Row/column index type. 64-bit keeps products like rows*max_nnz safe for
+/// the largest corpus buckets without overflow checks at every call site.
+using index_t = std::int64_t;
+
+/// Triplet (COO entry): row, column, value.
+template <typename ValueT>
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  ValueT value{};
+};
+
+}  // namespace spmvml

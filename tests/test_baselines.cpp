@@ -1,0 +1,147 @@
+// Baseline selector tests (§VII comparisons).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/study.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml {
+namespace {
+
+const LabeledCorpus& shared_corpus() {
+  static const LabeledCorpus corpus = collect_corpus(make_small_plan(40, 404));
+  return corpus;
+}
+
+TEST(AnalyticalModel, PredictsPositiveTimes) {
+  const AnalyticalModel model(tesla_p100(), Precision::kDouble);
+  for (const auto& rec : shared_corpus().records)
+    for (Format f : kAllFormats)
+      EXPECT_GT(model.predict_seconds(rec.features, f), 0.0);
+}
+
+TEST(AnalyticalModel, PunishesEllPadding) {
+  const AnalyticalModel model(tesla_k40c(), Precision::kDouble);
+  FeatureVector regular;
+  regular.values[kNRows] = 100000;
+  regular.values[kNnzTot] = 1000000;
+  regular.values[kNnzMu] = 10;
+  regular.values[kNnzMax] = 10;
+  FeatureVector skewed = regular;
+  skewed.values[kNnzMax] = 5000;
+  EXPECT_GT(model.predict_seconds(skewed, Format::kEll),
+            100.0 * model.predict_seconds(regular, Format::kEll));
+  // merge is insensitive to the max row.
+  EXPECT_NEAR(model.predict_seconds(skewed, Format::kMergeCsr),
+              model.predict_seconds(regular, Format::kMergeCsr), 1e-9);
+}
+
+TEST(AnalyticalModel, SelectionBeatsChance) {
+  const AnalyticalModel model(tesla_p100(), Precision::kDouble);
+  const auto study = make_classification_study(
+      shared_corpus(), 1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet123);
+  std::vector<int> pred;
+  for (const auto& rec : shared_corpus().records)
+    pred.push_back(model.select(rec.features, kAllFormats));
+  EXPECT_GT(ml::accuracy(study.data.labels, pred), 1.5 / 6.0);
+}
+
+TEST(SamplingSelector, SampleKeepsPrefixRows) {
+  Csr<double> m(4, 4, {0, 2, 4, 6, 8}, {0, 1, 1, 2, 0, 3, 2, 3},
+                {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto s = SamplingSelector::sample_rows(m, 0.5);
+  EXPECT_EQ(s.nnz(), 4);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 4);
+  EXPECT_DOUBLE_EQ(s.values()[3], 4.0);
+}
+
+TEST(SamplingSelector, FullFractionReturnsWholeMatrix) {
+  Csr<double> m(3, 3, {0, 1, 2, 3}, {0, 1, 2}, {1, 2, 3});
+  const auto s = SamplingSelector::sample_rows(m, 1.0);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.nnz(), 3);
+}
+
+TEST(SamplingSelector, RejectsBadFraction) {
+  Csr<double> m(1, 1, {0, 1}, {0}, {1.0});
+  EXPECT_THROW(SamplingSelector::sample_rows(m, 0.0), Error);
+  EXPECT_THROW(SamplingSelector::sample_rows(m, 1.5), Error);
+}
+
+TEST(SamplingSelector, PicksPlausibleFormats) {
+  const MeasurementOracle oracle(tesla_p100(), Precision::kDouble);
+  const SamplingSelector selector(oracle, 0.3);
+  GenSpec spec;
+  spec.family = MatrixFamily::kBanded;
+  spec.rows = 50000;
+  spec.cols = 50000;
+  spec.row_mu = 12;
+  spec.seed = 77;
+  const auto m = generate(spec);
+  const int pick = selector.select(m, spec.seed, kAllFormats);
+  ASSERT_GE(pick, 0);
+  ASSERT_LT(pick, static_cast<int>(kAllFormats.size()));
+  // A regular banded matrix must not pick COO.
+  EXPECT_NE(kAllFormats[static_cast<std::size_t>(pick)], Format::kCoo);
+}
+
+class FixedProbaModel final : public ml::Classifier {
+ public:
+  explicit FixedProbaModel(std::vector<double> p) : p_(std::move(p)) {}
+  void fit(const ml::Matrix&, const std::vector<int>&) override {}
+  int predict(const std::vector<double>&) const override {
+    return static_cast<int>(std::max_element(p_.begin(), p_.end()) -
+                            p_.begin());
+  }
+  std::vector<double> predict_proba(const std::vector<double>&) const override {
+    return p_;
+  }
+  void save(std::ostream&) const override {}
+  void load(std::istream&) override {}
+
+ private:
+  std::vector<double> p_;
+};
+
+TEST(ConfidenceSelector, TrustsConfidentModel) {
+  const FixedProbaModel model({0.9, 0.05, 0.05});
+  const ConfidenceSelector selector(model, 0.7);
+  const std::vector<double> times = {5.0, 1.0, 2.0};  // measured says 1
+  const auto choice = selector.select({}, times);
+  EXPECT_EQ(choice.label, 0);  // confident: no execution
+  EXPECT_FALSE(choice.executed);
+}
+
+TEST(ConfidenceSelector, ExecutesTopTwoWhenUnsure) {
+  const FixedProbaModel model({0.4, 0.35, 0.25});
+  const ConfidenceSelector selector(model, 0.7);
+  const std::vector<double> times = {5.0, 1.0, 0.1};
+  const auto choice = selector.select({}, times);
+  EXPECT_TRUE(choice.executed);
+  // Candidates 0 and 1 are executed; 1 measures faster. (2 is fastest but
+  // not probable enough to be tried — the SMAT trade-off.)
+  EXPECT_EQ(choice.label, 1);
+}
+
+TEST(ConfidenceSelector, ImprovesAccuracyOnRealStudy) {
+  const auto study = make_classification_study(
+      shared_corpus(), 1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  auto model = make_classifier(ModelKind::kXgboost, true);
+  model->fit(study.data.x, study.data.labels);
+  const ConfidenceSelector hybrid(*model, 0.9);
+
+  std::vector<int> plain, confident;
+  for (std::size_t i = 0; i < study.data.size(); ++i) {
+    plain.push_back(model->predict(study.data.x[i]));
+    confident.push_back(hybrid.select(study.data.x[i], study.times[i]).label);
+  }
+  EXPECT_GE(ml::accuracy(study.data.labels, confident),
+            ml::accuracy(study.data.labels, plain));
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,154 @@
+// Density-image extraction and CNN tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "features/image.hpp"
+#include "ml/cnn.hpp"
+#include "ml/metrics.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+TEST(DensityImage, DiagonalMatrixLightsDiagonalPixels) {
+  // 64x64 identity -> 8x8 image with mass only on the diagonal.
+  std::vector<index_t> row_ptr(65), cols(64);
+  std::vector<double> vals(64, 1.0);
+  for (index_t i = 0; i < 64; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] = i + 1;
+    cols[static_cast<std::size_t>(i)] = i;
+  }
+  Csr<double> m(64, 64, std::move(row_ptr), std::move(cols), std::move(vals));
+  const auto img = density_image(m, 8);
+  ASSERT_EQ(img.size(), 64u);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      if (y == x) {
+        EXPECT_GT(img[static_cast<std::size_t>(y * 8 + x)], 0.9f);
+      } else {
+        EXPECT_FLOAT_EQ(img[static_cast<std::size_t>(y * 8 + x)], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(DensityImage, NormalisedToUnitRange) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 5000;
+  spec.cols = 5000;
+  spec.row_mu = 10.0;
+  spec.seed = 3;
+  const auto img = density_image(generate(spec), 32);
+  float mx = 0.0f;
+  for (float v : img) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    mx = std::max(mx, v);
+  }
+  EXPECT_FLOAT_EQ(mx, 1.0f);
+}
+
+TEST(DensityImage, EmptyMatrixIsBlack) {
+  Csr<double> m(4, 4, {0, 0, 0, 0, 0}, {}, {});
+  for (float v : density_image(m, 8)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(DensityImage, DistinguishesStructureFamilies) {
+  // Banded vs uniform images must differ substantially.
+  GenSpec banded;
+  banded.family = MatrixFamily::kBanded;
+  banded.rows = 4000;
+  banded.cols = 4000;
+  banded.row_mu = 8;
+  banded.seed = 1;
+  GenSpec uniform = banded;
+  uniform.family = MatrixFamily::kUniformRandom;
+  const auto a = density_image(generate(banded), 16);
+  const auto b = density_image(generate(uniform), 16);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff / static_cast<double>(a.size()), 0.1);
+}
+
+TEST(Cnn, RejectsBadImageSize) {
+  ml::CnnParams p;
+  p.image_size = 30;  // not divisible by 4
+  EXPECT_THROW(ml::CnnClassifier{p}, Error);
+}
+
+TEST(Cnn, LearnsCornerVersusCenterBlobs) {
+  // Synthetic task: bright blob in the top-left corner (class 0) vs in
+  // the centre (class 1) vs bottom-right (class 2).
+  ml::CnnParams p;
+  p.image_size = 16;
+  p.conv1_channels = 4;
+  p.conv2_channels = 8;
+  p.hidden = 16;
+  p.epochs = 14;
+  ml::CnnClassifier cnn(p);
+
+  Rng rng(5);
+  auto blob_image = [&](int cy, int cx) {
+    std::vector<float> img(16 * 16, 0.0f);
+    for (int dy = -2; dy <= 2; ++dy)
+      for (int dx = -2; dx <= 2; ++dx) {
+        const int y = cy + dy, x = cx + dx;
+        if (y >= 0 && y < 16 && x >= 0 && x < 16)
+          img[static_cast<std::size_t>(y * 16 + x)] =
+              0.7f + 0.3f * static_cast<float>(rng.uniform());
+      }
+    return img;
+  };
+  ml::ImageSet images;
+  std::vector<int> labels;
+  for (int i = 0; i < 240; ++i) {
+    const int k = i % 3;
+    const int jitter_y = static_cast<int>(rng.uniform_int(-1, 1));
+    const int jitter_x = static_cast<int>(rng.uniform_int(-1, 1));
+    const int cy = (k == 0 ? 3 : (k == 1 ? 8 : 13)) + jitter_y;
+    const int cx = (k == 0 ? 3 : (k == 1 ? 8 : 13)) + jitter_x;
+    images.push_back(blob_image(cy, cx));
+    labels.push_back(k);
+  }
+  cnn.fit(images, labels);
+  EXPECT_GT(ml::accuracy(labels, cnn.predict_batch(images)), 0.9);
+}
+
+TEST(Cnn, ProbabilitiesSumToOne) {
+  ml::CnnParams p;
+  p.image_size = 8;
+  p.conv1_channels = 2;
+  p.conv2_channels = 4;
+  p.hidden = 8;
+  p.epochs = 2;
+  ml::CnnClassifier cnn(p);
+  ml::ImageSet images;
+  std::vector<int> labels;
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> img(64);
+    for (auto& v : img) v = static_cast<float>(rng.uniform());
+    images.push_back(std::move(img));
+    labels.push_back(i % 2);
+  }
+  cnn.fit(images, labels);
+  const auto probs = cnn.predict_proba(images[0]);
+  double sum = 0.0;
+  for (double v : probs) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Cnn, PredictBeforeFitThrows) {
+  ml::CnnClassifier cnn;
+  EXPECT_THROW(cnn.predict(std::vector<float>(32 * 32, 0.0f)), Error);
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,136 @@
+// Decision tree tests: axis-aligned concepts are learned exactly, depth
+// limits bound the tree, regression splits reduce variance.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+TEST(DecisionTree, LearnsSingleThreshold) {
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 50 ? 0 : 1);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.predict({10.0}), 0);
+  EXPECT_EQ(tree.predict({90.0}), 1);
+  EXPECT_EQ(tree.predict({49.4}), 0);
+  EXPECT_EQ(tree.predict({49.6}), 1);
+}
+
+TEST(DecisionTree, LearnsXorWithDepthTwo) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    x.push_back({a, b});
+    y.push_back((a > 0.5) != (b > 0.5) ? 1 : 0);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  EXPECT_GT(accuracy(y, tree.predict_batch(x)), 0.95);
+}
+
+TEST(DecisionTree, MulticlassBands) {
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i / 100);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.predict({50.0}), 0);
+  EXPECT_EQ(tree.predict({150.0}), 1);
+  EXPECT_EQ(tree.predict({250.0}), 2);
+}
+
+TEST(DecisionTree, PredictProbaIsDistribution) {
+  Matrix x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<int> y = {0, 0, 1, 1};
+  DecisionTreeClassifier tree;
+  tree.fit(x, y);
+  const auto p = tree.predict_proba({0.5});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTree, DepthZeroIsMajorityVote) {
+  Matrix x = {{0.0}, {1.0}, {2.0}};
+  std::vector<int> y = {1, 1, 0};
+  TreeParams params;
+  params.max_depth = 0;
+  DecisionTreeClassifier tree(params);
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict({5.0}), 1);
+}
+
+TEST(DecisionTree, MinSamplesLeafLimitsSplits) {
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i % 2);
+  }
+  TreeParams params;
+  params.min_samples_leaf = 6;  // no split can satisfy both sides
+  DecisionTreeClassifier tree(params);
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1);
+}
+
+TEST(DecisionTree, RejectsEmptyData) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.fit({}, {}), Error);
+}
+
+TEST(DecisionTreeRegressor, FitsPiecewiseConstant) {
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 100 ? 2.0 : 8.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict({25.0}), 2.0, 1e-9);
+  EXPECT_NEAR(tree.predict({175.0}), 8.0, 1e-9);
+}
+
+TEST(DecisionTreeRegressor, ApproximatesSmoothFunction) {
+  Matrix x;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    x.push_back({v});
+    y.push_back(v * v);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  double max_err = 0.0;
+  for (double v = 0.5; v < 9.5; v += 0.5)
+    max_err = std::max(max_err, std::abs(tree.predict({v}) - v * v));
+  EXPECT_LT(max_err, 5.0);  // ~100-leaf resolution on [0,100] range
+}
+
+TEST(DecisionTreeRegressor, ConstantTargetSingleNode) {
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {4.0, 4.0, 4.0};
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_DOUBLE_EQ(tree.predict({9.0}), 4.0);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

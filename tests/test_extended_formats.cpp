@@ -1,0 +1,207 @@
+// Tests for the extended formats of §VII's related work: DIA, BSR and
+// SELL-C-sigma — construction invariants, SpMV equality with the CSR
+// reference across structure families, and their signature trade-offs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+Csr<double> small_matrix() {
+  return Csr<double>(4, 6, {0, 2, 3, 7, 7}, {0, 1, 2, 0, 3, 4, 5},
+                     {1, 2, 3, 4, 5, 6, 7});
+}
+
+std::vector<double> random_x(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+TEST(Dia, TridiagonalUsesThreeDiagonals) {
+  std::vector<Triplet<double>> t;
+  for (index_t i = 0; i < 10; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i < 9) t.push_back({i, i + 1, -1.0});
+  }
+  const auto dia = Dia<double>::from_csr(Csr<double>::from_triplets(10, 10, t));
+  dia.validate();
+  EXPECT_EQ(dia.num_diagonals(), 3);
+  EXPECT_EQ(dia.offsets()[0], -1);
+  EXPECT_EQ(dia.offsets()[1], 0);
+  EXPECT_EQ(dia.offsets()[2], 1);
+  EXPECT_NEAR(dia.fill_ratio(), 30.0 / 28.0, 1e-12);
+}
+
+TEST(Dia, SpmvMatchesReference) {
+  const auto m = small_matrix();
+  const auto dia = Dia<double>::from_csr(m);
+  dia.validate();
+  const auto x = random_x(m.cols(), 1);
+  std::vector<double> expect(4), y(4);
+  spmv_reference(m, x, expect);
+  dia.spmv(x, y);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+TEST(Dia, CapRejectsUnstructuredMatrices) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 500;
+  spec.cols = 500;
+  spec.row_mu = 8;
+  spec.seed = 2;
+  const auto m = generate(spec);
+  EXPECT_THROW(Dia<double>::from_csr(m, 32), Error);
+}
+
+TEST(Bsr, BlocksCoverEntriesExactly) {
+  const auto m = small_matrix();
+  const auto bsr = Bsr<double>::from_csr(m, 2);
+  bsr.validate();
+  EXPECT_EQ(bsr.nnz(), 7);
+  EXPECT_EQ(bsr.block_size(), 2);
+  // Blocks: rows {0,1} touch block-cols {0,1}; rows {2,3} touch {0,1,2}.
+  EXPECT_EQ(bsr.num_blocks(), 5);
+  EXPECT_NEAR(bsr.fill_ratio(), 5.0 * 4.0 / 7.0, 1e-12);
+}
+
+TEST(Bsr, SpmvMatchesReferenceForManyBlockSizes) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kBlockRandom;
+  spec.rows = 300;
+  spec.cols = 300;
+  spec.row_mu = 12;
+  spec.block_size = 4;
+  spec.seed = 3;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 4);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+  for (index_t b : {1, 2, 3, 4, 7, 16}) {
+    const auto bsr = Bsr<double>::from_csr(m, b);
+    bsr.validate();
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    bsr.spmv(x, y);
+    for (index_t r = 0; r < m.rows(); ++r)
+      ASSERT_NEAR(y[static_cast<std::size_t>(r)],
+                  expect[static_cast<std::size_t>(r)], 1e-10)
+          << "b=" << b;
+  }
+}
+
+TEST(Bsr, BlockStructuredMatricesFillWell) {
+  GenSpec blocky;
+  blocky.family = MatrixFamily::kBlockRandom;
+  blocky.rows = 1000;
+  blocky.cols = 1000;
+  blocky.row_mu = 12;
+  blocky.block_size = 8;
+  blocky.seed = 5;
+  GenSpec scattered = blocky;
+  scattered.family = MatrixFamily::kUniformRandom;
+  const auto fill_blocky =
+      Bsr<double>::from_csr(generate(blocky), 4).fill_ratio();
+  const auto fill_scattered =
+      Bsr<double>::from_csr(generate(scattered), 4).fill_ratio();
+  EXPECT_LT(fill_blocky, 0.5 * fill_scattered);
+}
+
+TEST(Sell, PaddingBetweenOneAndEll) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 2000;
+  spec.cols = 2000;
+  spec.row_mu = 10;
+  spec.row_cv = 1.5;
+  spec.seed = 6;
+  const auto m = generate(spec);
+  const auto sell = Sell<double>::from_csr(m, 32, 256);
+  sell.validate();
+  const auto ell = Ell<double>::from_csr(m);
+  EXPECT_GE(sell.padding_ratio(), 1.0);
+  EXPECT_LT(sell.padding_ratio(), 0.5 * ell.padding_ratio());
+}
+
+TEST(Sell, SortingWindowReducesPadding) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 3000;
+  spec.cols = 3000;
+  spec.row_mu = 8;
+  spec.seed = 7;
+  const auto m = generate(spec);
+  const auto unsorted = Sell<double>::from_csr(m, 32, 32);
+  const auto sorted = Sell<double>::from_csr(m, 32, 1024);
+  EXPECT_LT(sorted.padding_ratio(), unsorted.padding_ratio());
+}
+
+TEST(Sell, SpmvMatchesReferenceAcrossShapes) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 500;
+  spec.cols = 520;
+  spec.row_mu = 7;
+  spec.seed = 8;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 9);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+  for (auto [c, sigma] : {std::pair<index_t, index_t>{1, 1},
+                          {4, 16},
+                          {32, 32},
+                          {32, 512},
+                          {64, 128}}) {
+    const auto sell = Sell<double>::from_csr(m, c, sigma);
+    sell.validate();
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    sell.spmv(x, y);
+    for (index_t r = 0; r < m.rows(); ++r)
+      ASSERT_NEAR(y[static_cast<std::size_t>(r)],
+                  expect[static_cast<std::size_t>(r)], 1e-10)
+          << "C=" << c << " sigma=" << sigma;
+  }
+}
+
+TEST(Sell, RejectsBadSigma) {
+  const auto m = small_matrix();
+  EXPECT_THROW(Sell<double>::from_csr(m, 32, 48), Error);  // not multiple
+  EXPECT_THROW(Sell<double>::from_csr(m, 32, 16), Error);  // below C
+}
+
+TEST(ExtendedFormats, EmptyRowsHandledEverywhere) {
+  Csr<double> m(5, 5, {0, 0, 2, 2, 2, 3}, {1, 3, 0}, {1.0, 2.0, 3.0});
+  const std::vector<double> x = {1, 1, 1, 1, 1};
+  std::vector<double> expect(5);
+  spmv_reference(m, x, expect);
+  {
+    std::vector<double> y(5, -1);
+    Dia<double>::from_csr(m).spmv(x, y);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  }
+  {
+    std::vector<double> y(5, -1);
+    Bsr<double>::from_csr(m, 2).spmv(x, y);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  }
+  {
+    std::vector<double> y(5, -1);
+    Sell<double>::from_csr(m, 2, 4).spmv(x, y);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  }
+}
+
+}  // namespace
+}  // namespace spmvml

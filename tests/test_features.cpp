@@ -1,0 +1,188 @@
+// Feature extraction tests: hand-computed 17-feature vectors, feature-set
+// projection, and consistency with the RowSummary digest.
+#include <gtest/gtest.h>
+#include <cmath>
+#include <algorithm>
+
+#include "common/error.hpp"
+
+#include "features/features.hpp"
+#include "gpusim/row_summary.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+Csr<double> small_matrix() {
+  // row 0: cols 0,1 (one chunk of 2)
+  // row 1: col 2   (one chunk of 1)
+  // row 2: cols 0, 3,4,5 (chunks of 1 and 3)
+  // row 3: empty
+  return Csr<double>(4, 6, {0, 2, 3, 7, 7}, {0, 1, 2, 0, 3, 4, 5},
+                     {1, 2, 3, 4, 5, 6, 7});
+}
+
+TEST(Features, HandComputedValues) {
+  const auto f = extract_features(small_matrix());
+  EXPECT_DOUBLE_EQ(f[kNRows], 4.0);
+  EXPECT_DOUBLE_EQ(f[kNCols], 6.0);
+  EXPECT_DOUBLE_EQ(f[kNnzTot], 7.0);
+  EXPECT_DOUBLE_EQ(f[kNnzMu], 1.75);
+  EXPECT_NEAR(f[kNnzFrac], 100.0 * 7.0 / 24.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f[kNnzMax], 4.0);
+  EXPECT_DOUBLE_EQ(f[kNnzMin], 0.0);
+  // Row lengths {2,1,4,0}: population stddev = sqrt(2.1875).
+  EXPECT_NEAR(f[kNnzSigma], std::sqrt(2.1875), 1e-12);
+  // Chunks: {2},{1},{1,3} -> 4 chunks total.
+  EXPECT_DOUBLE_EQ(f[kNnzbTot], 4.0);
+  // Chunks per row: {1,1,2,0} -> mean 1.0.
+  EXPECT_DOUBLE_EQ(f[kNnzbMu], 1.0);
+  EXPECT_DOUBLE_EQ(f[kNnzbMax], 2.0);
+  EXPECT_DOUBLE_EQ(f[kNnzbMin], 0.0);
+  // Chunk sizes: {2,1,1,3} -> mean 1.75, max 3, min 1.
+  EXPECT_DOUBLE_EQ(f[kSnzbMu], 1.75);
+  EXPECT_DOUBLE_EQ(f[kSnzbMax], 3.0);
+  EXPECT_DOUBLE_EQ(f[kSnzbMin], 1.0);
+}
+
+TEST(Features, SetSizesMatchPaper) {
+  EXPECT_EQ(feature_set_indices(FeatureSet::kSet1).size(), 5u);
+  EXPECT_EQ(feature_set_indices(FeatureSet::kSet12).size(), 11u);
+  EXPECT_EQ(feature_set_indices(FeatureSet::kSet123).size(), 17u);
+  EXPECT_EQ(feature_set_indices(FeatureSet::kImportant).size(), 7u);
+}
+
+TEST(Features, SetsAreNested) {
+  const auto s1 = feature_set_indices(FeatureSet::kSet1);
+  const auto s12 = feature_set_indices(FeatureSet::kSet12);
+  const auto s123 = feature_set_indices(FeatureSet::kSet123);
+  for (int id : s1)
+    EXPECT_NE(std::find(s12.begin(), s12.end(), id), s12.end());
+  for (int id : s12)
+    EXPECT_NE(std::find(s123.begin(), s123.end(), id), s123.end());
+}
+
+TEST(Features, ImportantSetIsSubsetOfAll) {
+  for (int id : feature_set_indices(FeatureSet::kImportant)) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kNumFeatures);
+  }
+}
+
+TEST(Features, SelectProjectsInOrder) {
+  const auto f = extract_features(small_matrix());
+  const auto s1 = f.select(FeatureSet::kSet1);
+  ASSERT_EQ(s1.size(), 5u);
+  EXPECT_DOUBLE_EQ(s1[0], 4.0);   // n_rows
+  EXPECT_DOUBLE_EQ(s1[2], 7.0);   // nnz_tot
+}
+
+TEST(Features, SelectRejectsBadIndices) {
+  const auto f = extract_features(small_matrix());
+  const std::vector<int> bad = {0, 99};
+  EXPECT_THROW(f.select(bad), Error);
+}
+
+TEST(Features, NamesAreUniqueAndStable) {
+  EXPECT_STREQ(feature_name(kNRows), "n_rows");
+  EXPECT_STREQ(feature_name(kNnzbTot), "nnzb_tot");
+  EXPECT_STREQ(feature_name(kSnzbMin), "snzb_min");
+  for (int i = 0; i < kNumFeatures; ++i)
+    for (int j = i + 1; j < kNumFeatures; ++j)
+      EXPECT_STRNE(feature_name(i), feature_name(j));
+  EXPECT_THROW(feature_name(17), Error);
+}
+
+TEST(Features, AgreeWithRowSummaryOnSharedStats) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 3000;
+  spec.cols = 3000;
+  spec.row_mu = 8.0;
+  spec.seed = 21;
+  const auto m = generate(spec);
+  const auto f = extract_features(m);
+  const auto s = summarize(m);
+  // Different summation orders (direct ratio vs Welford): compare with a
+  // relative tolerance.
+  EXPECT_NEAR(f[kNnzMu], s.row_mu, 1e-9 * s.row_mu);
+  EXPECT_NEAR(f[kNnzSigma], s.row_sigma, 1e-6 * (1.0 + s.row_sigma));
+  EXPECT_DOUBLE_EQ(f[kNnzMax], static_cast<double>(s.row_max));
+  EXPECT_DOUBLE_EQ(f[kNnzbTot], static_cast<double>(s.total_chunks));
+}
+
+TEST(SampledFeatures, ExactWhenFractionIsOne) {
+  const auto m = small_matrix();
+  const auto exact = extract_features(m);
+  const auto sampled = extract_features_sampled(m, 1.0);
+  for (int i = 0; i < kNumFeatures; ++i)
+    EXPECT_DOUBLE_EQ(sampled[i], exact[i]);
+}
+
+TEST(SampledFeatures, Set1AlwaysExact) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 20000;
+  spec.cols = 21000;
+  spec.row_mu = 9;
+  spec.seed = 31;
+  const auto m = generate(spec);
+  const auto exact = extract_features(m);
+  const auto sampled = extract_features_sampled(m, 0.05, 2);
+  for (int id : feature_set_indices(FeatureSet::kSet1))
+    EXPECT_DOUBLE_EQ(sampled[id], exact[id]) << feature_name(id);
+}
+
+TEST(SampledFeatures, MeansApproximateExactScan) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 50000;
+  spec.cols = 50000;
+  spec.row_mu = 12;
+  spec.row_cv = 0.8;
+  spec.seed = 33;
+  const auto m = generate(spec);
+  const auto exact = extract_features(m);
+  const auto sampled = extract_features_sampled(m, 0.1, 3);
+  for (int id : {kNnzSigma, kNnzbMu, kSnzbMu}) {
+    EXPECT_NEAR(sampled[id], exact[id], 0.1 * (1.0 + exact[id]))
+        << feature_name(id);
+  }
+  // Rescaled total chunk count within 10%.
+  EXPECT_NEAR(sampled[kNnzbTot], exact[kNnzbTot], 0.1 * exact[kNnzbTot]);
+}
+
+TEST(SampledFeatures, DeterministicPerSeed) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 10000;
+  spec.cols = 10000;
+  spec.row_mu = 8;
+  spec.seed = 34;
+  const auto m = generate(spec);
+  const auto a = extract_features_sampled(m, 0.2, 9);
+  const auto b = extract_features_sampled(m, 0.2, 9);
+  for (int i = 0; i < kNumFeatures; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SampledFeatures, RejectsNonPositiveFraction) {
+  EXPECT_THROW(extract_features_sampled(small_matrix(), 0.0), Error);
+}
+
+TEST(Features, EmptyMatrixIsAllZeros) {
+  Csr<double> m(0, 0, {0}, {}, {});
+  const auto f = extract_features(m);
+  for (int i = 0; i < kNumFeatures; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(Features, DenseSingleRow) {
+  Csr<double> m(1, 5, {0, 5}, {0, 1, 2, 3, 4}, {1, 1, 1, 1, 1});
+  const auto f = extract_features(m);
+  EXPECT_DOUBLE_EQ(f[kNnzbTot], 1.0);   // one big chunk
+  EXPECT_DOUBLE_EQ(f[kSnzbMax], 5.0);
+  EXPECT_DOUBLE_EQ(f[kNnzFrac], 100.0);
+  EXPECT_DOUBLE_EQ(f[kNnzSigma], 0.0);
+}
+
+}  // namespace
+}  // namespace spmvml

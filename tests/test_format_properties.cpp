@@ -1,0 +1,212 @@
+// Property-based cross-format tests: for randomly generated matrices from
+// every structure family, all six formats must compute the same y = A*x
+// (up to floating-point reassociation), conversions must preserve nnz, and
+// partition/tile shape choices must not affect results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+std::vector<double> random_x(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+double rel_err(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-30});
+  return std::abs(a - b) / scale;
+}
+
+using Param = std::tuple<MatrixFamily, double /*mu*/, double /*cv*/,
+                         std::uint64_t /*seed*/>;
+
+class AllFormatsAgree : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AllFormatsAgree, SpmvMatchesReference) {
+  const auto [family, mu, cv, seed] = GetParam();
+  GenSpec spec;
+  spec.family = family;
+  spec.rows = 400;
+  spec.cols = 450;
+  spec.row_mu = mu;
+  spec.row_cv = cv;
+  spec.seed = seed;
+  const auto m = generate(spec);
+  m.validate();
+  ASSERT_GT(m.nnz(), 0);
+
+  const auto x = random_x(m.cols(), seed ^ 0xabcdULL);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    any.spmv(x, y);
+    for (index_t r = 0; r < m.rows(); ++r) {
+      ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                        expect[static_cast<std::size_t>(r)]),
+                1e-10)
+          << format_name(f) << " row " << r << " family "
+          << family_name(family);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AllFormatsAgree,
+    ::testing::Combine(
+        ::testing::Values(MatrixFamily::kBanded, MatrixFamily::kStencil,
+                          MatrixFamily::kUniformRandom,
+                          MatrixFamily::kPowerLaw, MatrixFamily::kBlockRandom,
+                          MatrixFamily::kGeomGraph),
+        ::testing::Values(3.0, 12.0),
+        ::testing::Values(0.2, 1.5),
+        ::testing::Values(1ULL, 99ULL)));
+
+class ConversionPreservesNnz : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConversionPreservesNnz, AllFormats) {
+  const auto [family, mu, cv, seed] = GetParam();
+  GenSpec spec;
+  spec.family = family;
+  spec.rows = 300;
+  spec.cols = 300;
+  spec.row_mu = mu;
+  spec.row_cv = cv;
+  spec.seed = seed;
+  const auto m = generate(spec);
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    EXPECT_EQ(any.nnz(), m.nnz()) << format_name(f);
+    EXPECT_EQ(any.rows(), m.rows()) << format_name(f);
+    EXPECT_EQ(any.cols(), m.cols()) << format_name(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ConversionPreservesNnz,
+    ::testing::Combine(
+        ::testing::Values(MatrixFamily::kUniformRandom,
+                          MatrixFamily::kPowerLaw, MatrixFamily::kBanded),
+        ::testing::Values(6.0),
+        ::testing::Values(0.8),
+        ::testing::Values(3ULL, 4ULL, 5ULL)));
+
+class MergePartitionInvariance
+    : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(MergePartitionInvariance, ResultIndependentOfPartitions) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 500;
+  spec.cols = 500;
+  spec.row_mu = 9.0;
+  spec.seed = 77;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 123);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+
+  const auto mc = MergeCsr<double>::from_csr(m, GetParam());
+  mc.validate();
+  std::vector<double> y(static_cast<std::size_t>(m.rows()));
+  mc.spmv(x, y);
+  for (index_t r = 0; r < m.rows(); ++r)
+    ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                      expect[static_cast<std::size_t>(r)]),
+              1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, MergePartitionInvariance,
+                         ::testing::Values(1, 2, 7, 32, 255, 4096));
+
+class Csr5TileInvariance
+    : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(Csr5TileInvariance, ResultIndependentOfTileShape) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 400;
+  spec.cols = 400;
+  spec.row_mu = 7.0;
+  spec.row_cv = 2.0;
+  spec.seed = 31;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 321);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+
+  const auto [omega, sigma] = GetParam();
+  const auto c5 = Csr5<double>::from_csr(m, omega, sigma);
+  c5.validate();
+  std::vector<double> y(static_cast<std::size_t>(m.rows()));
+  c5.spmv(x, y);
+  for (index_t r = 0; r < m.rows(); ++r)
+    ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                      expect[static_cast<std::size_t>(r)]),
+              1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, Csr5TileInvariance,
+    ::testing::Values(std::pair<index_t, index_t>{1, 1},
+                      std::pair<index_t, index_t>{4, 4},
+                      std::pair<index_t, index_t>{32, 16},
+                      std::pair<index_t, index_t>{16, 64},
+                      std::pair<index_t, index_t>{128, 3}));
+
+TEST(EdgeCases, SingleEntryMatrixAllFormats) {
+  Csr<double> m(1, 1, {0, 1}, {0}, {2.5});
+  std::vector<double> x = {2.0};
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y(1);
+    any.spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 5.0) << format_name(f);
+  }
+}
+
+TEST(EdgeCases, AllRowsEmptyExceptLast) {
+  Csr<double> m(5, 3, {0, 0, 0, 0, 0, 2}, {0, 2}, {1.0, 2.0});
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y(5, -1.0);
+    any.spmv(x, y);
+    for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(y[r], 0.0) << format_name(f);
+    EXPECT_DOUBLE_EQ(y[4], 3.0) << format_name(f);
+  }
+}
+
+TEST(EdgeCases, FullyDenseRow) {
+  // One row owning every column stresses ELL width and CSR5 flags.
+  const index_t n = 100;
+  std::vector<index_t> row_ptr = {0, n, n + 1};
+  std::vector<index_t> cols(static_cast<std::size_t>(n) + 1);
+  std::vector<double> vals(static_cast<std::size_t>(n) + 1, 1.0);
+  for (index_t c = 0; c < n; ++c) cols[static_cast<std::size_t>(c)] = c;
+  cols.back() = 0;
+  Csr<double> m(2, n, std::move(row_ptr), std::move(cols), std::move(vals));
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y(2);
+    any.spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[0], static_cast<double>(n)) << format_name(f);
+    EXPECT_DOUBLE_EQ(y[1], 1.0) << format_name(f);
+  }
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,288 @@
+// Unit tests for each storage format: construction, conversion, SpMV on
+// hand-checked matrices, invariants, and edge cases (empty rows, empty
+// matrices, single entries, dense rows).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/spmv.hpp"
+
+namespace spmvml {
+namespace {
+
+/// The 4x6 example of the paper's Fig. 1 style: mixed row lengths,
+/// a contiguous run, and an empty-ish pattern.
+Csr<double> small_matrix() {
+  // row 0: (0,0)=1 (0,1)=2
+  // row 1: (1,2)=3
+  // row 2: (2,0)=4 (2,3)=5 (2,4)=6 (2,5)=7
+  // row 3: empty
+  return Csr<double>(4, 6, {0, 2, 3, 7, 7}, {0, 1, 2, 0, 3, 4, 5},
+                     {1, 2, 3, 4, 5, 6, 7});
+}
+
+std::vector<double> unit_x(index_t n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::iota(x.begin(), x.end(), 1.0);  // 1, 2, 3, ...
+  return x;
+}
+
+TEST(Csr, SpmvMatchesHandResult) {
+  const auto m = small_matrix();
+  const auto x = unit_x(6);
+  std::vector<double> y(4);
+  m.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1 * 1 + 2 * 2);
+  EXPECT_DOUBLE_EQ(y[1], 3 * 3);
+  EXPECT_DOUBLE_EQ(y[2], 4 * 1 + 5 * 4 + 6 * 5 + 7 * 6);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(Csr, FromTripletsSortsAndSumsDuplicates) {
+  std::vector<Triplet<double>> t = {
+      {1, 2, 1.0}, {0, 1, 2.0}, {1, 2, 3.0}, {0, 0, 4.0}};
+  const auto m = Csr<double>::from_triplets(2, 3, t);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.col_idx()[0], 0);
+  EXPECT_EQ(m.col_idx()[1], 1);
+  EXPECT_DOUBLE_EQ(m.values()[2], 4.0);  // 1+3 summed at (1,2)
+}
+
+TEST(Csr, RejectsOutOfRangeTriplets) {
+  std::vector<Triplet<double>> t = {{0, 5, 1.0}};
+  EXPECT_THROW(Csr<double>::from_triplets(2, 3, t), Error);
+}
+
+TEST(Csr, ValidateCatchesBadRowPtr) {
+  EXPECT_THROW(Csr<double>(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}), Error);
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  EXPECT_THROW(Csr<double>(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}), Error);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const auto m = small_matrix();
+  const auto tt = m.transpose().transpose();
+  EXPECT_EQ(m, tt);
+}
+
+TEST(Csr, TransposeSpmvConsistent) {
+  // (A^T x)_j == sum_i A_ij x_i
+  const auto m = small_matrix();
+  const auto t = m.transpose();
+  const auto x = unit_x(4);
+  std::vector<double> y(6);
+  t.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1 * 1 + 4 * 3);  // col 0 entries: (0,0)=1,(2,0)=4
+  EXPECT_DOUBLE_EQ(y[5], 7 * 3);
+}
+
+TEST(Csr, EmptyMatrix) {
+  Csr<double> m(0, 0, {0}, {}, {});
+  std::vector<double> x, y;
+  m.spmv(x, y);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Coo, RoundTripThroughCsr) {
+  const auto m = small_matrix();
+  const auto coo = Coo<double>::from_csr(m);
+  const auto back = Csr<double>::from_coo(coo);
+  EXPECT_EQ(m, back);
+}
+
+TEST(Coo, SpmvMatchesReference) {
+  const auto m = small_matrix();
+  const auto coo = Coo<double>::from_csr(m);
+  const auto x = unit_x(6);
+  std::vector<double> expect(4), y(4);
+  spmv_reference(m, x, expect);
+  coo.spmv(x, y);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+}
+
+TEST(Coo, ValidateRejectsUnsorted) {
+  EXPECT_THROW(Coo<double>(2, 2, {1, 0}, {0, 0}, {1.0, 1.0}), Error);
+}
+
+TEST(Coo, ValidateRejectsDuplicates) {
+  EXPECT_THROW(Coo<double>(2, 2, {0, 0}, {1, 1}, {1.0, 1.0}), Error);
+}
+
+TEST(Ell, WidthIsMaxRowLength) {
+  const auto ell = Ell<double>::from_csr(small_matrix());
+  EXPECT_EQ(ell.width(), 4);
+  EXPECT_EQ(ell.nnz(), 7);
+}
+
+TEST(Ell, PaddingRatio) {
+  const auto ell = Ell<double>::from_csr(small_matrix());
+  // 4 rows x width 4 = 16 slots over 7 entries.
+  EXPECT_DOUBLE_EQ(ell.padding_ratio(), 16.0 / 7.0);
+}
+
+TEST(Ell, ColumnMajorLayoutSlots) {
+  const auto ell = Ell<double>::from_csr(small_matrix());
+  EXPECT_EQ(ell.col_at(0, 0), 0);
+  EXPECT_EQ(ell.col_at(0, 1), 1);
+  EXPECT_EQ(ell.col_at(0, 2), Ell<double>::kPad);
+  EXPECT_EQ(ell.col_at(3, 0), Ell<double>::kPad);  // empty row fully padded
+}
+
+TEST(Ell, SpmvMatchesReference) {
+  const auto m = small_matrix();
+  const auto ell = Ell<double>::from_csr(m);
+  const auto x = unit_x(6);
+  std::vector<double> expect(4), y(4);
+  spmv_reference(m, x, expect);
+  ell.spmv(x, y);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+}
+
+TEST(Ell, RejectsWidthSmallerThanLongestRow) {
+  EXPECT_THROW(Ell<double>::from_csr(small_matrix(), 2), Error);
+}
+
+TEST(Hyb, SplitsAtMeanRowLength) {
+  const auto m = small_matrix();  // mu = 7/4 -> width ceil = 2
+  const auto hyb = Hyb<double>::from_csr(m, HybThreshold::kNnzMu);
+  EXPECT_EQ(hyb.ell_width(), 2);
+  EXPECT_EQ(hyb.ell_part().nnz() + hyb.coo_part().nnz(), 7);
+  EXPECT_EQ(hyb.coo_part().nnz(), 2);  // row 2 spills entries 3 and 4
+}
+
+TEST(Hyb, CooFraction) {
+  const auto hyb = Hyb<double>::from_csr(small_matrix());
+  EXPECT_NEAR(hyb.coo_fraction(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(Hyb, SpmvMatchesReference) {
+  const auto m = small_matrix();
+  for (auto rule : {HybThreshold::kNnzMu, HybThreshold::kBellGarland}) {
+    const auto hyb = Hyb<double>::from_csr(m, rule);
+    const auto x = unit_x(6);
+    std::vector<double> expect(4), y(4);
+    spmv_reference(m, x, expect);
+    hyb.spmv(x, y);
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  }
+}
+
+TEST(Hyb, ZeroWidthPutsEverythingInCoo) {
+  const auto hyb = Hyb<double>::from_csr_with_width(small_matrix(), 0);
+  EXPECT_EQ(hyb.ell_part().nnz(), 0);
+  EXPECT_EQ(hyb.coo_part().nnz(), 7);
+  const auto x = unit_x(6);
+  std::vector<double> y(4);
+  hyb.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Csr5, TileCountAndPermutation) {
+  const auto m = small_matrix();
+  const auto c5 = Csr5<double>::from_csr(m, 2, 2);  // tile = 4 entries
+  EXPECT_EQ(c5.num_full_tiles(), 1);  // 7 nnz -> 1 full tile + tail of 3
+  EXPECT_EQ(c5.nnz(), 7);
+}
+
+TEST(Csr5, SpmvMatchesReferenceAcrossTileShapes) {
+  const auto m = small_matrix();
+  const auto x = unit_x(6);
+  std::vector<double> expect(4);
+  spmv_reference(m, x, expect);
+  for (index_t omega : {1, 2, 3, 32}) {
+    for (index_t sigma : {1, 2, 5, 16}) {
+      const auto c5 = Csr5<double>::from_csr(m, omega, sigma);
+      std::vector<double> y(4);
+      c5.spmv(x, y);
+      for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(y[i], expect[i])
+            << "omega=" << omega << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Csr5, RejectsBadTileShape) {
+  EXPECT_THROW(Csr5<double>::from_csr(small_matrix(), 0, 4), Error);
+}
+
+TEST(MergeCsr, PartitionEndpoints) {
+  const auto m = small_matrix();
+  const auto mc = MergeCsr<double>::from_csr(m, 3);
+  mc.validate();
+  EXPECT_EQ(mc.partition_start(0).row, 0);
+  EXPECT_EQ(mc.partition_start(0).nz, 0);
+  const auto last = mc.partition_start(mc.num_partitions());
+  EXPECT_EQ(last.row, 4);
+  EXPECT_EQ(last.nz, 7);
+}
+
+TEST(MergeCsr, MergePathSearchSplitsEvenly) {
+  // Merge path of small_matrix: rows+nnz = 11 decisions.
+  const auto m = small_matrix();
+  const auto mid = MergeCsr<double>::merge_path_search(
+      5, m.row_ptr(), m.rows(), m.nnz());
+  EXPECT_EQ(mid.row + mid.nz, 5);
+  // Coordinate must be a valid path point: nz within the row's span.
+  EXPECT_GE(mid.nz, m.row_ptr()[mid.row]);
+}
+
+TEST(MergeCsr, SpmvMatchesReferenceForAnyPartitionCount) {
+  const auto m = small_matrix();
+  const auto x = unit_x(6);
+  std::vector<double> expect(4);
+  spmv_reference(m, x, expect);
+  for (index_t parts : {1, 2, 3, 5, 11, 64}) {
+    const auto mc = MergeCsr<double>::from_csr(m, parts);
+    std::vector<double> y(4);
+    mc.spmv(x, y);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(y[i], expect[i]) << "parts=" << parts;
+  }
+}
+
+TEST(AnyMatrix, DispatchesAllFormats) {
+  const auto m = small_matrix();
+  const auto x = unit_x(6);
+  std::vector<double> expect(4);
+  spmv_reference(m, x, expect);
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    EXPECT_EQ(any.format(), f);
+    EXPECT_EQ(any.rows(), 4);
+    EXPECT_EQ(any.cols(), 6);
+    EXPECT_EQ(any.nnz(), 7);
+    EXPECT_GT(any.bytes(), 0);
+    std::vector<double> y(4);
+    any.spmv(x, y);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(y[i], expect[i]) << format_name(f);
+  }
+}
+
+TEST(Format, NamesRoundTrip) {
+  for (Format f : kAllFormats) EXPECT_EQ(parse_format(format_name(f)), f);
+  EXPECT_THROW(parse_format("DIA"), Error);
+}
+
+TEST(FormatBytes, EllCostsMoreThanCsrOnSkewedMatrix) {
+  const auto m = small_matrix();
+  EXPECT_GT(Ell<double>::from_csr(m).bytes(), m.bytes());
+}
+
+TEST(FloatFormats, SpmvWorksInSinglePrecision) {
+  Csr<float> m(2, 2, {0, 1, 2}, {0, 1}, {2.0f, 3.0f});
+  std::vector<float> x = {1.0f, 2.0f}, y(2);
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<float>::build(f, m);
+    any.spmv(x, y);
+    EXPECT_FLOAT_EQ(y[0], 2.0f) << format_name(f);
+    EXPECT_FLOAT_EQ(y[1], 6.0f) << format_name(f);
+  }
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,179 @@
+// Gradient-boosted tree tests: boosting improves on stumps, multiclass
+// softmax behaves, feature importance identifies the informative feature,
+// subsampling stays deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+/// Noisy 2D three-class blobs.
+void make_blobs(int n, Matrix& x, std::vector<int>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  const double cx[3] = {0.0, 4.0, 2.0};
+  const double cy[3] = {0.0, 0.0, 3.5};
+  for (int i = 0; i < n; ++i) {
+    const int k = i % 3;
+    x.push_back({cx[k] + rng.normal(0.0, 0.8), cy[k] + rng.normal(0.0, 0.8)});
+    y.push_back(k);
+  }
+}
+
+TEST(Gbt, SeparatesBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(600, x, y, 1);
+  GbtParams p;
+  p.n_estimators = 30;
+  p.max_depth = 3;
+  GbtClassifier gbt(p);
+  gbt.fit(x, y);
+  EXPECT_GT(accuracy(y, gbt.predict_batch(x)), 0.95);
+}
+
+TEST(Gbt, BeatsShallowSingleTreeOnAdditiveProblem) {
+  // y depends additively on 3 features; boosting of depth-1 stumps can
+  // represent it, a single depth-1 tree cannot.
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(2);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(), b = rng.uniform(), c = rng.uniform();
+    x.push_back({a, b, c});
+    y.push_back(a + b + c > 1.5 ? 1 : 0);
+  }
+  TreeParams stump_params;
+  stump_params.max_depth = 1;
+  DecisionTreeClassifier stump(stump_params);
+  stump.fit(x, y);
+
+  GbtParams p;
+  p.n_estimators = 60;
+  p.max_depth = 1;
+  GbtClassifier gbt(p);
+  gbt.fit(x, y);
+
+  EXPECT_GT(accuracy(y, gbt.predict_batch(x)), accuracy(y, stump.predict_batch(x)) + 0.05);
+}
+
+TEST(Gbt, ProbabilitiesSumToOne) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(300, x, y, 3);
+  GbtParams p;
+  p.n_estimators = 10;
+  GbtClassifier gbt(p);
+  gbt.fit(x, y);
+  const auto probs = gbt.predict_proba({1.0, 1.0});
+  ASSERT_EQ(probs.size(), 3u);
+  double sum = 0.0;
+  for (double v : probs) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Gbt, ImportanceFindsInformativeFeature) {
+  // Feature 1 decides the label; features 0 and 2 are noise.
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double informative = rng.uniform();
+    x.push_back({rng.uniform(), informative, rng.uniform()});
+    y.push_back(informative > 0.5 ? 1 : 0);
+  }
+  GbtParams p;
+  p.n_estimators = 20;
+  p.max_depth = 3;
+  GbtClassifier gbt(p);
+  gbt.fit(x, y);
+  const auto weight = gbt.feature_importance_weight();
+  const auto gain = gbt.feature_importance_gain();
+  ASSERT_EQ(weight.size(), 3u);
+  EXPECT_GT(weight[1], weight[0]);
+  EXPECT_GT(weight[1], weight[2]);
+  EXPECT_GT(gain[1], gain[0] + gain[2]);
+}
+
+TEST(Gbt, DeterministicForSeed) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(200, x, y, 5);
+  GbtParams p;
+  p.n_estimators = 15;
+  p.subsample = 0.7;
+  GbtClassifier a(p), b(p);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (const auto& row : x) EXPECT_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(Gbt, RejectsSingleClass) {
+  Matrix x = {{1.0}, {2.0}};
+  std::vector<int> y = {0, 0};
+  GbtClassifier gbt;
+  EXPECT_THROW(gbt.fit(x, y), Error);
+}
+
+TEST(GbtRegressor, FitsLinearFunction) {
+  Matrix x;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 600; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    x.push_back({v});
+    y.push_back(3.0 * v + 1.0);
+  }
+  GbtParams p;
+  p.n_estimators = 150;
+  p.max_depth = 4;
+  GbtRegressor gbt(p);
+  gbt.fit(x, y);
+  for (double v = 0.1; v < 0.95; v += 0.1)
+    EXPECT_NEAR(gbt.predict({v}), 3.0 * v + 1.0, 0.25);
+}
+
+TEST(GbtRegressor, MoreRoundsReduceTrainingError) {
+  Matrix x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0.0, 6.28);
+    x.push_back({v});
+    y.push_back(std::sin(v));
+  }
+  auto train_rmse = [&](int rounds) {
+    GbtParams p;
+    p.n_estimators = rounds;
+    p.max_depth = 3;
+    GbtRegressor gbt(p);
+    gbt.fit(x, y);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = gbt.predict(x[i]) - y[i];
+      sse += e * e;
+    }
+    return std::sqrt(sse / static_cast<double>(x.size()));
+  };
+  EXPECT_LT(train_rmse(80), train_rmse(5));
+}
+
+TEST(GbtRegressor, ConstantTarget) {
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  GbtRegressor gbt;
+  gbt.fit(x, y);
+  EXPECT_NEAR(gbt.predict({2.0}), 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

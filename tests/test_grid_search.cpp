@@ -1,0 +1,78 @@
+// Grid search tests: cartesian grids, CV scoring picks the better
+// hyper-parameters on constructed tasks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/grid_search.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+TEST(MakeGrid, CartesianProduct) {
+  const auto grid = make_grid({{"a", {1.0, 2.0}}, {"b", {10.0, 20.0, 30.0}}});
+  EXPECT_EQ(grid.size(), 6u);
+  // Every combination appears exactly once.
+  int seen = 0;
+  for (const auto& p : grid)
+    if (p.at("a") == 2.0 && p.at("b") == 30.0) ++seen;
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(MakeGrid, EmptyAxisThrows) {
+  EXPECT_THROW(make_grid({{"a", {}}}), Error);
+}
+
+TEST(GridSearch, PrefersDeeperTreeOnXor) {
+  // XOR needs depth >= 2; grid must discover that depth 1 is inadequate.
+  Dataset d;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    d.x.push_back({a, b});
+    d.labels.push_back((a > 0.5) != (b > 0.5) ? 1 : 0);
+  }
+  const auto grid = make_grid({{"max_depth", {1.0, 4.0}}});
+  const auto result = grid_search_classifier(
+      [](const ParamPoint& p) -> ClassifierPtr {
+        TreeParams tp;
+        tp.max_depth = static_cast<int>(p.at("max_depth"));
+        return std::make_unique<DecisionTreeClassifier>(tp);
+      },
+      grid, d, 4, 9);
+  EXPECT_DOUBLE_EQ(result.best_params.at("max_depth"), 4.0);
+  EXPECT_GT(result.best_score, 0.8);
+}
+
+TEST(GridSearch, RegressorPicksUsefulDepth) {
+  Dataset d;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    d.x.push_back({v});
+    d.targets.push_back(v * v + 1.0);
+  }
+  const auto grid = make_grid({{"max_depth", {1.0, 8.0}}});
+  const auto result = grid_search_regressor(
+      [](const ParamPoint& p) -> RegressorPtr {
+        TreeParams tp;
+        tp.max_depth = static_cast<int>(p.at("max_depth"));
+        return std::make_unique<DecisionTreeRegressor>(tp);
+      },
+      grid, d, 3, 10);
+  EXPECT_DOUBLE_EQ(result.best_params.at("max_depth"), 8.0);
+}
+
+TEST(GridSearch, EmptyGridThrows) {
+  Dataset d;
+  d.x = {{1.0}};
+  d.labels = {0};
+  EXPECT_THROW(grid_search_classifier(
+                   [](const ParamPoint&) -> ClassifierPtr { return nullptr; },
+                   {}, d, 2, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

@@ -1,0 +1,137 @@
+// Label collection tests: streaming collection, CSV round trip, cache
+// reuse and invalidation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "core/label_collector.hpp"
+
+namespace spmvml {
+namespace {
+
+CorpusPlan tiny_plan() { return make_small_plan(6, 77); }
+
+TEST(LabelCollector, CollectsOneRecordPerMatrix) {
+  const auto corpus = collect_corpus(tiny_plan());
+  EXPECT_EQ(corpus.size(), 6u);
+  for (const auto& rec : corpus.records) {
+    EXPECT_GT(rec.nnz, 0.0);
+    for (int a = 0; a < kNumArchs; ++a)
+      for (int p = 0; p < kNumPrecisions; ++p)
+        for (Format f : kAllFormats)
+          EXPECT_GT(rec.time(a, static_cast<Precision>(p), f), 0.0);
+  }
+}
+
+TEST(LabelCollector, FeaturesMatchDirectExtraction) {
+  const auto plan = tiny_plan();
+  const auto corpus = collect_corpus(plan);
+  const auto m = generate(plan.specs[0]);
+  const auto f = extract_features(m);
+  for (int i = 0; i < kNumFeatures; ++i)
+    EXPECT_DOUBLE_EQ(corpus.records[0].features[i], f[i]);
+}
+
+TEST(LabelCollector, ProgressCallbackFires) {
+  std::size_t calls = 0, last_total = 0;
+  CollectOptions opts;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    EXPECT_EQ(done, calls);
+    last_total = total;
+  };
+  collect_corpus(tiny_plan(), opts);
+  EXPECT_EQ(calls, 6u);
+  EXPECT_EQ(last_total, 6u);
+}
+
+TEST(LabelCollector, BestAmongPicksArgmin) {
+  const auto corpus = collect_corpus(tiny_plan());
+  const auto& rec = corpus.records[0];
+  const int best = rec.best_among(0, Precision::kDouble, kAllFormats);
+  const double best_t =
+      rec.time(0, Precision::kDouble, kAllFormats[static_cast<std::size_t>(best)]);
+  for (Format f : kAllFormats)
+    EXPECT_LE(best_t, rec.time(0, Precision::kDouble, f));
+}
+
+TEST(LabelCollector, GflopsConsistentWithTime) {
+  const auto corpus = collect_corpus(tiny_plan());
+  const auto& rec = corpus.records[0];
+  const double t = rec.time(1, Precision::kSingle, Format::kCsr);
+  EXPECT_NEAR(rec.gflops(1, Precision::kSingle, Format::kCsr),
+              2.0 * rec.nnz / t / 1e9, 1e-9);
+}
+
+TEST(LabelCollector, CsvRoundTrip) {
+  const auto corpus = collect_corpus(tiny_plan());
+  const auto path = testing::TempDir() + "/spmvml_corpus_test.csv";
+  save_corpus_csv(path, corpus, tiny_plan().size());
+  const auto loaded = load_corpus_csv(path);
+  ASSERT_EQ(loaded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].seed, corpus.records[i].seed);
+    EXPECT_EQ(loaded.records[i].bucket, corpus.records[i].bucket);
+    for (int f = 0; f < kNumFeatures; ++f)
+      EXPECT_DOUBLE_EQ(loaded.records[i].features[f],
+                       corpus.records[i].features[f]);
+    EXPECT_DOUBLE_EQ(loaded.records[i].time(1, Precision::kDouble,
+                                            Format::kCsr5),
+                     corpus.records[i].time(1, Precision::kDouble,
+                                            Format::kCsr5));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LabelCollector, LoadOrCollectUsesCache) {
+  const auto path = testing::TempDir() + "/spmvml_cache_test.csv";
+  std::remove(path.c_str());
+  const auto plan = tiny_plan();
+  const auto first = load_or_collect(path, plan);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const auto second = load_or_collect(path, plan);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_DOUBLE_EQ(first.records[2].time(0, Precision::kSingle, Format::kEll),
+                   second.records[2].time(0, Precision::kSingle, Format::kEll));
+  // A different-sized plan invalidates the cache.
+  const auto bigger = load_or_collect(path, make_small_plan(8, 77));
+  EXPECT_EQ(bigger.size(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(LabelCollector, MemoryLimitExcludesMonsterEllImages) {
+  // A power-law matrix with a huge max row makes the ELL image explode;
+  // a tight limit must drop it while keeping the small matrices.
+  CorpusPlan plan = tiny_plan();
+  GenSpec monster;
+  monster.family = MatrixFamily::kPowerLaw;
+  monster.rows = 60000;
+  monster.cols = 60000;
+  monster.row_mu = 10;
+  monster.alpha = 1.3;
+  monster.seed = 314;
+  plan.specs.push_back(monster);
+  plan.bucket_of.push_back(3);
+
+  CollectOptions strict;
+  strict.format_memory_limit = 50000000;  // 50 MB budget
+  const auto filtered = collect_corpus(plan, strict);
+  CollectOptions off;
+  off.format_memory_limit = 0;
+  const auto unfiltered = collect_corpus(plan, off);
+  EXPECT_EQ(unfiltered.size(), plan.size());
+  EXPECT_LT(filtered.size(), unfiltered.size());
+}
+
+TEST(LabelCollector, DeterministicAcrossRuns) {
+  const auto a = collect_corpus(tiny_plan());
+  const auto b = collect_corpus(tiny_plan());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.records[i].time(0, Precision::kDouble, Format::kHyb),
+                     b.records[i].time(0, Precision::kDouble, Format::kHyb));
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,130 @@
+// Mathematical property tests that hold for every format and matrix:
+// linearity of SpMV, the adjoint identity with the transpose, and
+// value-independence of structural features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/features.hpp"
+#include "gpusim/oracle.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+Csr<double> test_matrix(std::uint64_t seed) {
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 600;
+  spec.cols = 640;
+  spec.row_mu = 8.0;
+  spec.row_cv = 1.0;
+  spec.seed = seed;
+  return generate(spec);
+}
+
+std::vector<double> random_vec(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(MathProperties, SpmvIsLinearInX) {
+  // A(a*x1 + b*x2) == a*A*x1 + b*A*x2 for every format.
+  const auto m = test_matrix(1);
+  const auto x1 = random_vec(m.cols(), 2);
+  const auto x2 = random_vec(m.cols(), 3);
+  const double a = 2.5, b = -0.75;
+  std::vector<double> combo(x1.size());
+  for (std::size_t i = 0; i < x1.size(); ++i)
+    combo[i] = a * x1[i] + b * x2[i];
+
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y1(static_cast<std::size_t>(m.rows()));
+    std::vector<double> y2(y1.size()), y_combo(y1.size());
+    any.spmv(x1, y1);
+    any.spmv(x2, y2);
+    any.spmv(combo, y_combo);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+      ASSERT_NEAR(y_combo[i], a * y1[i] + b * y2[i],
+                  1e-9 * (1.0 + std::abs(y_combo[i])))
+          << format_name(f);
+  }
+}
+
+TEST(MathProperties, AdjointIdentityWithTranspose) {
+  // y^T (A x) == x^T (A^T y).
+  const auto m = test_matrix(4);
+  const auto t = m.transpose();
+  const auto x = random_vec(m.cols(), 5);
+  const auto y = random_vec(m.rows(), 6);
+
+  std::vector<double> ax(static_cast<std::size_t>(m.rows()));
+  std::vector<double> aty(static_cast<std::size_t>(m.cols()));
+  m.spmv(x, ax);
+  t.spmv(y, aty);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) lhs += y[i] * ax[i];
+  for (std::size_t i = 0; i < aty.size(); ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+TEST(MathProperties, ZeroVectorMapsToZero) {
+  const auto m = test_matrix(7);
+  const std::vector<double> zero(static_cast<std::size_t>(m.cols()), 0.0);
+  for (Format f : kAllFormats) {
+    const auto any = AnyMatrix<double>::build(f, m);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()), 42.0);
+    any.spmv(zero, y);
+    for (double v : y) ASSERT_DOUBLE_EQ(v, 0.0) << format_name(f);
+  }
+}
+
+TEST(MathProperties, FeaturesIgnoreValues) {
+  // The 17 features (and the oracle's structural digest) depend on the
+  // sparsity pattern only: scaling every value must not move them.
+  auto m = test_matrix(8);
+  const auto before = extract_features(m);
+  const auto summary_before = summarize(m);
+  for (auto& v : m.values_mut()) v *= -3.75;
+  const auto after = extract_features(m);
+  const auto summary_after = summarize(m);
+  for (int i = 0; i < kNumFeatures; ++i)
+    EXPECT_DOUBLE_EQ(before[i], after[i]) << feature_name(i);
+  EXPECT_DOUBLE_EQ(summary_before.avg_stride, summary_after.avg_stride);
+  EXPECT_DOUBLE_EQ(summary_before.band_fraction, summary_after.band_fraction);
+}
+
+TEST(MathProperties, OracleTimeIsValueIndependent) {
+  auto m = test_matrix(9);
+  const MeasurementOracle oracle(tesla_p100(), Precision::kDouble);
+  const double t1 =
+      oracle.measure(summarize(m), Format::kCsr5, 11).seconds;
+  for (auto& v : m.values_mut()) v *= 10.0;
+  const double t2 =
+      oracle.measure(summarize(m), Format::kCsr5, 11).seconds;
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(MathProperties, GflopsTimesTimeIsWork) {
+  const auto m = test_matrix(10);
+  const auto s = summarize(m);
+  const MeasurementOracle oracle(tesla_k40c(), Precision::kSingle);
+  for (Format f : kAllFormats) {
+    const auto meas = oracle.measure(s, f, 3);
+    EXPECT_NEAR(meas.gflops * meas.seconds * 1e9,
+                2.0 * static_cast<double>(m.nnz()),
+                1e-3 * static_cast<double>(m.nnz()))
+        << format_name(f);
+  }
+}
+
+}  // namespace
+}  // namespace spmvml

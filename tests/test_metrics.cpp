@@ -1,0 +1,71 @@
+// Metric tests: accuracy, confusion matrix, RME, slowdown binning.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+TEST(Accuracy, CountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({0, 1, 2, 1}, {0, 1, 1, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({1}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 1}, {0, 0}), 0.0);
+}
+
+TEST(Accuracy, RejectsMismatchedSizes) {
+  EXPECT_THROW(accuracy({1, 2}, {1}), Error);
+  EXPECT_THROW(accuracy({}, {}), Error);
+}
+
+TEST(Confusion, PlacesCountsAtTruthPredicted) {
+  const auto m = confusion_matrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[0][1], 1);
+  EXPECT_EQ(m[1][0], 1);
+  EXPECT_EQ(m[1][1], 2);
+}
+
+TEST(Confusion, RejectsOutOfRangeClass) {
+  EXPECT_THROW(confusion_matrix({0, 3}, {0, 0}, 2), Error);
+}
+
+TEST(Rme, MatchesHandComputation) {
+  // |8-10|/10 = .2, |12-12|/12 = 0 -> mean .1
+  EXPECT_DOUBLE_EQ(relative_mean_error({10.0, 12.0}, {8.0, 12.0}), 0.1);
+}
+
+TEST(Rme, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(relative_mean_error({5.0, 7.0}, {5.0, 7.0}), 0.0);
+}
+
+TEST(Rme, RejectsNonPositiveMeasured) {
+  EXPECT_THROW(relative_mean_error({0.0}, {1.0}), Error);
+}
+
+TEST(Slowdown, BinsAreCumulative) {
+  const auto b = slowdown_bins({1.0, 1.0, 1.1, 1.3, 1.7, 2.5});
+  EXPECT_EQ(b.no_slowdown, 2);
+  EXPECT_EQ(b.any_slowdown, 4);
+  EXPECT_EQ(b.ge_1_2, 3);
+  EXPECT_EQ(b.ge_1_5, 2);
+  EXPECT_EQ(b.ge_2_0, 1);
+}
+
+TEST(Slowdown, AllPerfect) {
+  const auto b = slowdown_bins({1.0, 1.0});
+  EXPECT_EQ(b.no_slowdown, 2);
+  EXPECT_EQ(b.any_slowdown, 0);
+}
+
+TEST(Slowdown, RejectsRatioBelowOne) {
+  EXPECT_THROW(slowdown_bins({0.5}), Error);
+}
+
+TEST(Slowdown, MeanSlowdown) {
+  EXPECT_DOUBLE_EQ(mean_slowdown({1.0, 2.0}), 1.5);
+  EXPECT_THROW(mean_slowdown({}), Error);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

@@ -1,0 +1,129 @@
+// Dataset utilities: stratified splits, k-fold coverage, scaler behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "ml/dataset.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+Dataset toy_dataset(int n) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    d.x.push_back({static_cast<double>(i), static_cast<double>(i % 3)});
+    d.labels.push_back(i % 3);
+    d.targets.push_back(static_cast<double>(i) * 0.5);
+  }
+  return d;
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  const auto d = toy_dataset(10);
+  const auto s = d.subset({1, 4, 7});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.x[1][0], 4.0);
+  EXPECT_EQ(s.labels[2], 7 % 3);
+  EXPECT_DOUBLE_EQ(s.targets[0], 0.5);
+}
+
+TEST(Dataset, SubsetRejectsOutOfRange) {
+  const auto d = toy_dataset(3);
+  EXPECT_THROW(d.subset({5}), Error);
+}
+
+TEST(Dataset, ValidateCatchesRaggedRows) {
+  Dataset d;
+  d.x = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(Split, SizesMatchFraction) {
+  // Four strata of 25 each: 20% of every stratum is exactly 5, so the
+  // stratified split must produce exactly 20/80.
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.x.push_back({static_cast<double>(i)});
+    d.labels.push_back(i % 4);
+  }
+  const auto split = train_test_split(d, 0.2, 1);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+}
+
+TEST(Split, IsStratifiedByLabel) {
+  Dataset d;
+  for (int i = 0; i < 90; ++i) {
+    d.x.push_back({static_cast<double>(i)});
+    d.labels.push_back(i < 60 ? 0 : 1);  // 2:1 imbalance
+  }
+  const auto split = train_test_split(d, 0.3, 2);
+  int test_zeros = static_cast<int>(
+      std::count(split.test.labels.begin(), split.test.labels.end(), 0));
+  EXPECT_EQ(test_zeros, 18);  // 30% of 60
+  EXPECT_EQ(split.test.size(), 27u);
+}
+
+TEST(Split, DeterministicPerSeedAndDisjoint) {
+  const auto d = toy_dataset(50);
+  const auto a = train_test_split(d, 0.2, 7);
+  const auto b = train_test_split(d, 0.2, 7);
+  EXPECT_EQ(a.test.x, b.test.x);
+  // Disjointness: every original row appears exactly once.
+  std::multiset<double> seen;
+  for (const auto& row : a.train.x) seen.insert(row[0]);
+  for (const auto& row : a.test.x) seen.insert(row[0]);
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(std::set<double>(seen.begin(), seen.end()).size(), 50u);
+}
+
+TEST(KFold, CoversEverySampleExactlyOnce) {
+  const auto d = toy_dataset(53);
+  const auto folds = k_folds(d, 5, 3);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> tested;
+  for (const auto& [train, test] : folds) {
+    EXPECT_EQ(train.size() + test.size(), 53u);
+    for (std::size_t i : test) {
+      EXPECT_TRUE(tested.insert(i).second) << "sample tested twice";
+    }
+    // Train and test disjoint.
+    for (std::size_t i : test)
+      EXPECT_EQ(std::find(train.begin(), train.end(), i), train.end());
+  }
+  EXPECT_EQ(tested.size(), 53u);
+}
+
+TEST(KFold, RejectsSingleFold) {
+  const auto d = toy_dataset(10);
+  EXPECT_THROW(k_folds(d, 1, 0), Error);
+}
+
+TEST(Scaler, ZeroMeanUnitVariance) {
+  Matrix x = {{1.0, 10.0}, {3.0, 10.0}, {5.0, 10.0}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  const auto z = scaler.transform(x);
+  double mean0 = (z[0][0] + z[1][0] + z[2][0]) / 3.0;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(z[2][0] - z[0][0], 2.0 * std::sqrt(3.0 / 2.0), 1e-9);
+  // Constant column: std clamped to 1, values become 0.
+  EXPECT_DOUBLE_EQ(z[0][1], 0.0);
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), Error);
+}
+
+TEST(Scaler, DimensionMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit({{1.0, 2.0}});
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), Error);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

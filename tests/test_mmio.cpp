@@ -1,0 +1,127 @@
+// Matrix Market I/O tests: round trips, symmetric expansion, pattern
+// files, malformed input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/mmio.hpp"
+
+namespace spmvml {
+namespace {
+
+TEST(Mmio, ReadsGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 0.25\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.values()[0], 1.5);
+  EXPECT_EQ(m.col_idx()[1], 2);  // 1-based 3 -> 0-based 2
+}
+
+TEST(Mmio, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 5.0\n"
+      "3 2 7.0\n");
+  const auto m = read_matrix_market(in);
+  // Diagonal stays single; off-diagonals mirrored: 1 + 2*2 = 5 entries.
+  EXPECT_EQ(m.nnz(), 5);
+  // (0,1) must now exist with value 5.
+  bool found = false;
+  for (index_t p = m.row_ptr()[0]; p < m.row_ptr()[1]; ++p)
+    if (m.col_idx()[p] == 1 && m.values()[p] == 5.0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Mmio, PatternEntriesGetUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.values()[0], 1.0);
+}
+
+TEST(Mmio, IntegerFieldAccepted) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 1 7\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.values()[0], 7.0);
+}
+
+TEST(Mmio, RoundTripPreservesMatrix) {
+  std::vector<Triplet<double>> t = {
+      {0, 0, 1.0}, {0, 3, 2.0}, {2, 1, -3.5}, {4, 4, 0.125}};
+  const auto m = Csr<double>::from_triplets(5, 5, t);
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  std::istringstream in(out.str());
+  const auto back = read_matrix_market(in);
+  EXPECT_EQ(m, back);
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  std::istringstream in("not a matrix market file\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 1.0 0.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "1 1\n"
+      "1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndices) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, FileRoundTrip) {
+  const auto path = testing::TempDir() + "/spmvml_mmio_test.mtx";
+  const auto m = Csr<double>::from_triplets(3, 3, {{0, 0, 1.0}, {2, 2, 2.0}});
+  write_matrix_market(path, m);
+  const auto back = read_matrix_market(path);
+  EXPECT_EQ(m, back);
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market("/nonexistent/path.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace spmvml

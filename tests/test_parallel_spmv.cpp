@@ -1,0 +1,130 @@
+// Parallel SpMV kernels must agree with the serial reference for every
+// structure family and partition count — including the merge-path
+// two-phase carry fix-up on rows spanning many partitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/parallel_spmv.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+std::vector<double> random_x(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+double rel_err(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-30});
+  return std::abs(a - b) / scale;
+}
+
+class ParallelMatchesSerial : public ::testing::TestWithParam<MatrixFamily> {};
+
+TEST_P(ParallelMatchesSerial, AllKernels) {
+  GenSpec spec;
+  spec.family = GetParam();
+  spec.rows = 1500;
+  spec.cols = 1600;
+  spec.row_mu = 9.0;
+  spec.row_cv = 1.2;
+  spec.seed = 17;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 99);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  spmv_reference(m, x, expect);
+
+  auto check = [&](std::span<const double> y, const char* what) {
+    for (index_t r = 0; r < m.rows(); ++r)
+      ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                        expect[static_cast<std::size_t>(r)]),
+                1e-10)
+          << what << " row " << r;
+  };
+
+  std::vector<double> y(static_cast<std::size_t>(m.rows()));
+  spmv_parallel(m, x, y);
+  check(y, "CSR");
+
+  const auto ell = Ell<double>::from_csr(m);
+  spmv_parallel(ell, x, y);
+  check(y, "ELL");
+
+  const auto hyb = Hyb<double>::from_csr(m);
+  spmv_parallel(hyb, x, y);
+  check(y, "HYB");
+
+  const auto merge = MergeCsr<double>::from_csr(m, 64);
+  spmv_parallel(merge, x, y);
+  check(y, "merge-CSR");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ParallelMatchesSerial,
+    ::testing::Values(MatrixFamily::kBanded, MatrixFamily::kStencil,
+                      MatrixFamily::kUniformRandom, MatrixFamily::kPowerLaw,
+                      MatrixFamily::kBlockRandom, MatrixFamily::kGeomGraph));
+
+class MergeParallelPartitions : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(MergeParallelPartitions, RowSpanningManyPartitions) {
+  // One enormous row followed by many small ones: the big row spans many
+  // merge partitions, exercising the carry fix-up heavily.
+  std::vector<Triplet<double>> t;
+  Rng rng(3);
+  for (index_t c = 0; c < 3000; c += 2) t.push_back({0, c, rng.uniform()});
+  for (index_t r = 1; r < 400; ++r)
+    t.push_back({r, rng.uniform_int(0, 2999), rng.uniform()});
+  const auto m = Csr<double>::from_triplets(400, 3000, std::move(t));
+  const auto x = random_x(m.cols(), 4);
+  std::vector<double> expect(400);
+  spmv_reference(m, x, expect);
+
+  const auto merge = MergeCsr<double>::from_csr(m, GetParam());
+  std::vector<double> y(400);
+  spmv_parallel(merge, x, y);
+  for (index_t r = 0; r < 400; ++r)
+    ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                      expect[static_cast<std::size_t>(r)]),
+              1e-10)
+        << "parts=" << GetParam() << " row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, MergeParallelPartitions,
+                         ::testing::Values(1, 2, 3, 17, 64, 500, 1900));
+
+TEST(ParallelSpmv, SerialAndParallelCsrBitIdentical) {
+  // Same summation order per row -> bit-identical, not just close.
+  GenSpec spec;
+  spec.family = MatrixFamily::kUniformRandom;
+  spec.rows = 800;
+  spec.cols = 800;
+  spec.row_mu = 11.0;
+  spec.seed = 5;
+  const auto m = generate(spec);
+  const auto x = random_x(m.cols(), 6);
+  std::vector<double> serial(800), parallel(800);
+  m.spmv(x, serial);
+  spmv_parallel(m, x, parallel);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelSpmv, EmptyRowsProduceZero) {
+  Csr<double> m(5, 3, {0, 0, 2, 2, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y(5, -7.0);
+  spmv_parallel(MergeCsr<double>::from_csr(m, 4), x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[4], 3.0);
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,116 @@
+// End-to-end pipeline test: small corpus -> labels -> 80/20 split ->
+// train XGBoost -> held-out accuracy beats chance; indirect classification
+// with tolerance is at least as accurate as without.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "core/format_selector.hpp"
+#include "core/indirect.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml {
+namespace {
+
+const LabeledCorpus& shared_corpus() {
+  static const LabeledCorpus corpus =
+      collect_corpus(make_corpus_plan(0.06, 2018));  // ~140 matrices
+  return corpus;
+}
+
+TEST(Pipeline, HeldOutAccuracyBeatsMajority) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  const auto split = ml::train_test_split(study.data, 0.2, 1);
+
+  auto model = make_classifier(ModelKind::kXgboost, /*fast=*/true);
+  model->fit(split.train.x, split.train.labels);
+  const double acc =
+      ml::accuracy(split.test.labels, model->predict_batch(split.test.x));
+
+  std::map<int, int> counts;
+  for (int label : split.test.labels) ++counts[label];
+  int majority = 0;
+  for (const auto& [l, c] : counts) majority = std::max(majority, c);
+  const double baseline = static_cast<double>(majority) /
+                          static_cast<double>(split.test.labels.size());
+  EXPECT_GT(acc, baseline);
+  EXPECT_GT(acc, 0.4);  // far above 1/6 chance on 6 formats
+}
+
+TEST(Pipeline, RicherFeaturesDoNotHurt) {
+  // Feature sets 1+2 should beat set 1 alone (the paper's core finding).
+  auto accuracy_for = [&](FeatureSet set) {
+    const auto study = make_classification_study(
+        shared_corpus(), 1, Precision::kDouble, kAllFormats, set);
+    const auto split = ml::train_test_split(study.data, 0.2, 3);
+    auto model = make_classifier(ModelKind::kXgboost, true);
+    model->fit(split.train.x, split.train.labels);
+    return ml::accuracy(split.test.labels, model->predict_batch(split.test.x));
+  };
+  EXPECT_GE(accuracy_for(FeatureSet::kSet12) + 0.03,
+            accuracy_for(FeatureSet::kSet1));
+}
+
+TEST(Pipeline, IndirectToleranceAccuracyMonotoneInTolerance) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet123);
+  PerfModel model(RegressorKind::kXgboost, FeatureSet::kSet123, kAllFormats,
+                  true);
+  model.fit(shared_corpus(), 0, Precision::kDouble);
+  IndirectSelector selector(std::move(model));
+
+  std::vector<int> chosen;
+  for (std::size_t i = 0; i < shared_corpus().size(); ++i) {
+    const Format f = selector.select(shared_corpus().records[i].features);
+    const auto it = std::find(kAllFormats.begin(), kAllFormats.end(), f);
+    chosen.push_back(static_cast<int>(it - kAllFormats.begin()));
+  }
+  const double strict = tolerance_accuracy(chosen, study.times, 0.0);
+  const double tolerant = tolerance_accuracy(chosen, study.times, 0.05);
+  EXPECT_GE(tolerant, strict);
+  EXPECT_GT(tolerant, 0.4);
+}
+
+TEST(Pipeline, SelectionSlowdownsMostlySmall) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet12);
+  const auto split = ml::train_test_split(study.data, 0.2, 5);
+  auto model = make_classifier(ModelKind::kXgboost, true);
+  model->fit(split.train.x, split.train.labels);
+
+  // Score on the full study (times rows align with study.data order).
+  std::vector<int> chosen;
+  for (const auto& row : study.data.x) chosen.push_back(model->predict(row));
+  const auto slowdowns = selection_slowdowns(chosen, study.times);
+  const auto bins = ml::slowdown_bins(slowdowns);
+  // Mispredictions exist but catastrophic (>2x) ones must be rare.
+  EXPECT_LT(static_cast<double>(bins.ge_2_0) /
+                static_cast<double>(slowdowns.size()),
+            0.15);
+  EXPECT_LT(ml::mean_slowdown(slowdowns), 1.5);
+}
+
+TEST(Pipeline, LabelDistributionHasMultipleWinners) {
+  // The corpus must not be degenerate: at least 3 of 6 formats win
+  // somewhere, and the top class stays below 80% (otherwise the
+  // classification problem the paper studies would be trivial).
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet1);
+  std::map<int, int> counts;
+  for (int label : study.data.labels) ++counts[label];
+  EXPECT_GE(counts.size(), 3u);
+  int majority = 0;
+  for (const auto& [l, c] : counts) majority = std::max(majority, c);
+  EXPECT_LT(static_cast<double>(majority) /
+                static_cast<double>(study.data.labels.size()),
+            0.8);
+}
+
+}  // namespace
+}  // namespace spmvml

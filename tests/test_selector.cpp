@@ -1,0 +1,86 @@
+// FormatSelector tests: every model kind trains and predicts, selection
+// beats a majority-class baseline on a learnable corpus, API contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "core/format_selector.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml {
+namespace {
+
+const LabeledCorpus& shared_corpus() {
+  static const LabeledCorpus corpus = collect_corpus(make_small_plan(60, 555));
+  return corpus;
+}
+
+TEST(ModelKind, NamesAreDistinct) {
+  std::map<std::string, int> seen;
+  for (int k = 0; k < kNumModelKinds; ++k)
+    ++seen[model_name(static_cast<ModelKind>(k))];
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumModelKinds));
+}
+
+TEST(MakeClassifier, AllKindsInstantiable) {
+  for (int k = 0; k < kNumModelKinds; ++k) {
+    const auto model = make_classifier(static_cast<ModelKind>(k), true);
+    EXPECT_NE(model, nullptr);
+  }
+}
+
+TEST(FormatSelector, TrainsAndPredictsValidFormats) {
+  FormatSelector selector(ModelKind::kDecisionTree, FeatureSet::kSet12,
+                          kAllFormats, /*fast=*/true);
+  selector.fit(shared_corpus(), 0, Precision::kDouble);
+  const auto m = generate(make_small_plan(1, 999).specs[0]);
+  const Format f = selector.select(m);
+  EXPECT_NE(std::find(kAllFormats.begin(), kAllFormats.end(), f),
+            kAllFormats.end());
+}
+
+TEST(FormatSelector, BeatsMajorityBaselineInSample) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet123);
+  FormatSelector selector(ModelKind::kXgboost, FeatureSet::kSet123,
+                          kAllFormats, /*fast=*/true);
+  selector.fit(study.data.x, study.data.labels);
+
+  std::vector<int> pred;
+  for (const auto& row : study.data.x)
+    pred.push_back(selector.predict_label(row));
+  const double acc = ml::accuracy(study.data.labels, pred);
+
+  std::map<int, int> counts;
+  for (int label : study.data.labels) ++counts[label];
+  int majority = 0;
+  for (const auto& [label, count] : counts) majority = std::max(majority, count);
+  const double baseline =
+      static_cast<double>(majority) /
+      static_cast<double>(study.data.labels.size());
+  EXPECT_GT(acc, baseline);
+}
+
+TEST(FormatSelector, SelectorsForBasicFormatsStayInCandidateSet) {
+  FormatSelector selector(ModelKind::kDecisionTree, FeatureSet::kSet1,
+                          kBasicFormats, true);
+  selector.fit(shared_corpus(), 1, Precision::kSingle);
+  for (int i = 0; i < 5; ++i) {
+    const auto m = generate(make_small_plan(5, 111).specs[static_cast<std::size_t>(i)]);
+    const Format f = selector.select(m);
+    EXPECT_NE(std::find(kBasicFormats.begin(), kBasicFormats.end(), f),
+              kBasicFormats.end());
+  }
+}
+
+TEST(FormatSelector, RejectsEmptyCandidates) {
+  EXPECT_THROW(
+      FormatSelector(ModelKind::kDecisionTree, FeatureSet::kSet1, {}),
+      Error);
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,114 @@
+// Study assembly tests: labels are argmins, times rows align, feature-set
+// projection, joint one-hot layout, COO census, log-target round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/study.hpp"
+
+namespace spmvml {
+namespace {
+
+const LabeledCorpus& shared_corpus() {
+  static const LabeledCorpus corpus = collect_corpus(make_small_plan(20, 321));
+  return corpus;
+}
+
+TEST(Study, LabelsAreArgminOverCandidates) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet123);
+  ASSERT_EQ(study.data.size(), shared_corpus().size());
+  for (std::size_t i = 0; i < study.data.size(); ++i) {
+    const auto& row = study.times[i];
+    const auto best =
+        std::min_element(row.begin(), row.end()) - row.begin();
+    EXPECT_EQ(study.data.labels[i], static_cast<int>(best));
+  }
+}
+
+TEST(Study, FeatureSetControlsWidth) {
+  for (auto [set, width] :
+       {std::pair{FeatureSet::kSet1, 5}, std::pair{FeatureSet::kSet12, 11},
+        std::pair{FeatureSet::kSet123, 17},
+        std::pair{FeatureSet::kImportant, 7}}) {
+    const auto study = make_classification_study(
+        shared_corpus(), 1, Precision::kSingle, kBasicFormats, set);
+    EXPECT_EQ(study.data.num_features(), width);
+  }
+}
+
+TEST(Study, BasicFormatsYieldLabelsInRange) {
+  const auto study = make_classification_study(
+      shared_corpus(), 0, Precision::kSingle, kBasicFormats,
+      FeatureSet::kSet12);
+  for (int label : study.data.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  EXPECT_EQ(study.candidates.size(), 3u);
+}
+
+TEST(Study, DropCooBestFiltersRows) {
+  const auto all = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kBasicFormats,
+      FeatureSet::kSet12, false);
+  const auto filtered = make_classification_study(
+      shared_corpus(), 0, Precision::kDouble, kBasicFormats,
+      FeatureSet::kSet12, true);
+  EXPECT_LE(filtered.data.size(), all.data.size());
+  const auto census = coo_census(shared_corpus(), 0, Precision::kDouble);
+  EXPECT_EQ(all.data.size() - filtered.data.size(), census.coo_best_all6);
+}
+
+TEST(Study, JointRegressionAppendsOneHot) {
+  const auto study = make_joint_regression_study(
+      shared_corpus(), 1, Precision::kDouble, kAllFormats,
+      FeatureSet::kSet1);
+  EXPECT_EQ(study.data.size(), shared_corpus().size() * kNumFormats);
+  EXPECT_EQ(study.data.num_features(), 5 + kNumFormats);
+  // One-hot block sums to 1 per sample.
+  for (const auto& row : study.data.x) {
+    double onehot = 0.0;
+    for (int k = 0; k < kNumFormats; ++k)
+      onehot += row[static_cast<std::size_t>(5 + k)];
+    EXPECT_DOUBLE_EQ(onehot, 1.0);
+  }
+}
+
+TEST(Study, RegressionTargetsAreLogSeconds) {
+  const auto study = make_format_regression_study(
+      shared_corpus(), 0, Precision::kDouble, Format::kMergeCsr,
+      FeatureSet::kSet123);
+  ASSERT_EQ(study.data.size(), shared_corpus().size());
+  for (std::size_t i = 0; i < study.data.size(); ++i) {
+    EXPECT_NEAR(regression_target_to_seconds(study.data.targets[i]),
+                study.seconds[i], study.seconds[i] * 1e-9);
+  }
+}
+
+TEST(Study, TargetTransformRoundTrips) {
+  for (double t : {1e-6, 3.2e-4, 0.5}) {
+    EXPECT_NEAR(regression_target_to_seconds(seconds_to_regression_target(t)),
+                t, t * 1e-12);
+  }
+  EXPECT_THROW(seconds_to_regression_target(0.0), Error);
+}
+
+TEST(Study, CooCensusCountsAreBounded) {
+  const auto census = coo_census(shared_corpus(), 0, Precision::kDouble);
+  EXPECT_EQ(census.total, shared_corpus().size());
+  EXPECT_LE(census.coo_best_all6, census.coo_best_basic4);
+  EXPECT_GE(census.mean_exclusion_penalty, 1.0);
+}
+
+TEST(Study, EmptyCandidatesThrows) {
+  EXPECT_THROW(make_classification_study(shared_corpus(), 0,
+                                         Precision::kDouble, {},
+                                         FeatureSet::kSet1),
+               Error);
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,116 @@
+// SVM tests: separable problems, RBF nonlinearity, one-vs-one multiclass,
+// vote-share outputs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm.hpp"
+
+namespace spmvml::ml {
+namespace {
+
+TEST(Svm, LinearlySeparableBinary) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int k = i % 2;
+    x.push_back({(k == 0 ? -2.0 : 2.0) + rng.normal(0.0, 0.5),
+                 rng.normal(0.0, 0.5)});
+    y.push_back(k);
+  }
+  SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict_batch(x)), 0.97);
+}
+
+TEST(Svm, RbfSolvesCircularConcept) {
+  // Inner disc vs outer ring — not linearly separable.
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double r = (i % 2 == 0) ? rng.uniform(0.0, 1.0)
+                                  : rng.uniform(2.0, 3.0);
+    const double theta = rng.uniform(0.0, 6.28318);
+    x.push_back({r * std::cos(theta), r * std::sin(theta)});
+    y.push_back(i % 2);
+  }
+  SvmParams p;
+  p.c = 100.0;
+  p.gamma = 1.0;
+  SvmClassifier svm(p);
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict_batch(x)), 0.95);
+}
+
+TEST(Svm, ThreeClassOneVsOne) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(3);
+  const double cx[3] = {0.0, 5.0, 2.5};
+  const double cy[3] = {0.0, 0.0, 4.0};
+  for (int i = 0; i < 300; ++i) {
+    const int k = i % 3;
+    x.push_back({cx[k] + rng.normal(0.0, 0.6), cy[k] + rng.normal(0.0, 0.6)});
+    y.push_back(k);
+  }
+  SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict_batch(x)), 0.95);
+}
+
+TEST(Svm, VoteSharesFormDistribution) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(4);
+  for (int i = 0; i < 90; ++i) {
+    const int k = i % 3;
+    x.push_back({static_cast<double>(k) * 3.0 + rng.normal(0.0, 0.3)});
+    y.push_back(k);
+  }
+  SvmClassifier svm;
+  svm.fit(x, y);
+  const auto votes = svm.predict_proba({3.0});
+  ASSERT_EQ(votes.size(), 3u);
+  double sum = 0.0;
+  for (double v : votes) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Svm, HandlesClassMissingFromGrid) {
+  // Labels 0 and 2 present, 1 absent: pairs with class 1 are skipped and
+  // prediction still works over observed classes.
+  Matrix x = {{0.0}, {0.1}, {5.0}, {5.1}, {0.05}, {5.05}};
+  std::vector<int> y = {0, 0, 2, 2, 0, 2};
+  SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_EQ(svm.predict({0.0}), 0);
+  EXPECT_EQ(svm.predict({5.0}), 2);
+}
+
+TEST(Svm, ScalesWildFeatureRanges) {
+  // One feature in [0,1], one in [0, 1e7]: internal standardisation must
+  // keep the informative small-range feature usable.
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int k = i % 2;
+    x.push_back({(k == 0 ? 0.2 : 0.8) + rng.normal(0.0, 0.05),
+                 rng.uniform(0.0, 1e7)});
+    y.push_back(k);
+  }
+  SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict_batch(x)), 0.9);
+}
+
+TEST(Svm, PredictBeforeFitThrows) {
+  SvmClassifier svm;
+  EXPECT_THROW(svm.predict({1.0}), Error);
+}
+
+}  // namespace
+}  // namespace spmvml::ml

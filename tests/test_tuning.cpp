@@ -1,0 +1,70 @@
+// Tuning module tests: paper grids, classifier instantiation with
+// explicit params, end-to-end tune on a small learnable problem.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/tuning.hpp"
+#include "ml/metrics.hpp"
+
+namespace spmvml {
+namespace {
+
+TEST(Tuning, PaperGridSizesMatchSectionIVD) {
+  // XGBoost: 4 x 3 x 2 = 24 points; SVM: 3 x 3 = 9 points.
+  EXPECT_EQ(paper_grid(ModelKind::kXgboost).size(), 24u);
+  EXPECT_EQ(paper_grid(ModelKind::kSvm).size(), 9u);
+}
+
+TEST(Tuning, FastModeTruncatesAxes) {
+  EXPECT_LE(paper_grid(ModelKind::kXgboost, true).size(), 8u);
+  EXPECT_LE(paper_grid(ModelKind::kSvm, true).size(), 4u);
+}
+
+TEST(Tuning, GridContainsPublishedValues) {
+  const auto grid = paper_grid(ModelKind::kXgboost);
+  bool found = false;
+  for (const auto& p : grid)
+    if (p.at("n_estimators") == 500 && p.at("max_depth") == 128 &&
+        p.at("learning_rate") == 0.01)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Tuning, MakeClassifierWithAppliesParams) {
+  for (int k = 0; k < kNumModelKinds; ++k) {
+    const auto kind = static_cast<ModelKind>(k);
+    const auto grid = paper_grid(kind, true);
+    ASSERT_FALSE(grid.empty());
+    auto model = make_classifier_with(kind, grid.front());
+    EXPECT_NE(model, nullptr) << model_name(kind);
+  }
+}
+
+TEST(Tuning, UnknownKeysFallBackToDefaults) {
+  ml::ParamPoint p = {{"bogus", 1.0}};
+  auto model = make_classifier_with(ModelKind::kXgboost, p);
+  EXPECT_NE(model, nullptr);
+}
+
+TEST(Tuning, TuneSelectsWorkingConfig) {
+  // Simple separable 3-class task; any sensible grid point should win
+  // with high CV accuracy.
+  ml::Dataset data;
+  Rng rng(7);
+  for (int i = 0; i < 240; ++i) {
+    const int k = i % 3;
+    data.x.push_back({static_cast<double>(k) * 2.0 + rng.normal(0.0, 0.4)});
+    data.labels.push_back(k);
+  }
+  const auto result =
+      tune_classifier(ModelKind::kDecisionTree, data, 3, 5, true);
+  EXPECT_GT(result.best_score, 0.9);
+  auto model = make_classifier_with(ModelKind::kDecisionTree,
+                                    result.best_params);
+  model->fit(data.x, data.labels);
+  EXPECT_GT(ml::accuracy(data.labels, model->predict_batch(data.x)), 0.9);
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -1,0 +1,209 @@
+// spmvml — command-line front end for the library's train/select/predict
+// workflow.
+//
+//   spmvml train   --out sel.model [--arch P100] [--precision double]
+//                  [--model xgboost|svm|mlp|tree] [--features set1|set12|
+//                  set123|imp] [--scale 0.25]
+//   spmvml train-perf --out perf.model [--arch P100] [--scale 0.25]
+//   spmvml select  --model sel.model  <matrix.mtx>
+//   spmvml predict --model perf.model <matrix.mtx>
+//   spmvml inspect <matrix.mtx>
+//
+// Matrix arguments are Matrix Market files; synthetic matrices can be
+// produced with the format_explorer example instead.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/format_selector.hpp"
+#include "core/perf_model.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/reorder.hpp"
+
+using namespace spmvml;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  spmvml train      --out <file> [--arch K80c|P100] "
+               "[--precision single|double]\n"
+               "                    [--model xgboost|svm|mlp|tree] "
+               "[--features set1|set12|set123|imp] [--scale S]\n"
+               "  spmvml train-perf --out <file> [--arch ...] "
+               "[--precision ...] [--scale S]\n"
+               "  spmvml select     --model <file> <matrix.mtx>\n"
+               "  spmvml predict    --model <file> <matrix.mtx>\n"
+               "  spmvml inspect    <matrix.mtx>\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) usage();
+      args.options[a.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::string opt(const Args& a, const char* name, const char* fallback) {
+  const auto it = a.options.find(name);
+  return it == a.options.end() ? fallback : it->second;
+}
+
+int arch_of(const Args& a) {
+  const auto name = opt(a, "arch", "P100");
+  if (name == "K80c" || name == "K40c") return 0;
+  if (name == "P100") return 1;
+  usage();
+}
+
+Precision precision_of(const Args& a) {
+  const auto name = opt(a, "precision", "double");
+  if (name == "single") return Precision::kSingle;
+  if (name == "double") return Precision::kDouble;
+  usage();
+}
+
+FeatureSet features_of(const Args& a) {
+  const auto name = opt(a, "features", "set12");
+  if (name == "set1") return FeatureSet::kSet1;
+  if (name == "set12") return FeatureSet::kSet12;
+  if (name == "set123") return FeatureSet::kSet123;
+  if (name == "imp") return FeatureSet::kImportant;
+  usage();
+}
+
+ModelKind model_of(const Args& a) {
+  const auto name = opt(a, "model", "xgboost");
+  if (name == "xgboost") return ModelKind::kXgboost;
+  if (name == "svm") return ModelKind::kSvm;
+  if (name == "mlp") return ModelKind::kMlp;
+  if (name == "tree") return ModelKind::kDecisionTree;
+  usage();
+}
+
+LabeledCorpus corpus_of(const Args& a) {
+  const double scale = std::stod(opt(a, "scale", "0.25"));
+  std::printf("collecting training corpus (scale %.2f)...\n", scale);
+  CollectOptions options;
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 500 == 0) std::printf("  %zu/%zu\n", done, total);
+  };
+  return collect_corpus(make_corpus_plan(scale, 2018), options);
+}
+
+int cmd_train(const Args& a) {
+  const auto out_path = opt(a, "out", "");
+  if (out_path.empty()) usage();
+  const auto corpus = corpus_of(a);
+  FormatSelector selector(model_of(a), features_of(a), kAllFormats);
+  selector.fit(corpus, arch_of(a), precision_of(a));
+  std::ofstream out(out_path);
+  selector.save(out);
+  std::printf("selector written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_train_perf(const Args& a) {
+  const auto out_path = opt(a, "out", "");
+  if (out_path.empty()) usage();
+  const auto corpus = corpus_of(a);
+  PerfModel model(RegressorKind::kXgboost, features_of(a), kAllFormats);
+  model.fit(corpus, arch_of(a), precision_of(a));
+  std::ofstream out(out_path);
+  model.save(out);
+  std::printf("performance model written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_select(const Args& a) {
+  if (a.positional.empty()) usage();
+  std::ifstream in(opt(a, "model", "spmvml_selector.model"));
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open model file\n");
+    return 1;
+  }
+  const auto selector = FormatSelector::load_selector(in);
+  const auto matrix = read_matrix_market(a.positional.front());
+  std::printf("%s\n", format_name(selector.select(matrix)));
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  if (a.positional.empty()) usage();
+  std::ifstream in(opt(a, "model", "spmvml_perf.model"));
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open model file\n");
+    return 1;
+  }
+  const auto model = PerfModel::load_model(in);
+  const auto matrix = read_matrix_market(a.positional.front());
+  const auto features = extract_features(matrix);
+  TablePrinter table({"format", "predicted time (us)", "predicted GFLOPS"});
+  for (Format f : model.formats()) {
+    const double t = model.predict_seconds(features, f);
+    table.add_row({format_name(f), TablePrinter::fmt(t * 1e6, 1),
+                   TablePrinter::fmt(2.0 * static_cast<double>(matrix.nnz()) /
+                                         t / 1e9,
+                                     1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  if (a.positional.empty()) usage();
+  const auto matrix = read_matrix_market(a.positional.front());
+  const auto features = extract_features(matrix);
+  std::printf("%s: %lld x %lld, %lld nonzeros\n",
+              a.positional.front().c_str(),
+              static_cast<long long>(matrix.rows()),
+              static_cast<long long>(matrix.cols()),
+              static_cast<long long>(matrix.nnz()));
+  for (int id = 0; id < kNumFeatures; ++id)
+    std::printf("  %-11s = %.6g\n", feature_name(id), features[id]);
+  if (matrix.rows() == matrix.cols())
+    std::printf("  %-11s = %lld\n", "bandwidth",
+                static_cast<long long>(bandwidth(matrix)));
+  const auto summary = summarize(matrix);
+  std::printf("  %-11s = %.3f\n", "ell_padding", summary.ell_padding_ratio());
+  std::printf("  %-11s = %.3f\n", "band_frac", summary.band_fraction);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "train-perf") return cmd_train_perf(args);
+    if (cmd == "select") return cmd_select(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
