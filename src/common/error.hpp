@@ -3,6 +3,9 @@
 // The library throws spmvml::Error (derived from std::runtime_error) for
 // precondition and invariant violations via the SPMVML_ENSURE macro, so
 // callers can distinguish library-detected misuse from other failures.
+// Every Error carries an ErrorCategory so front ends (the CLI, services)
+// can map failure classes to distinct exit codes / responses without
+// string-matching messages.
 #pragma once
 
 #include <sstream>
@@ -11,20 +14,65 @@
 
 namespace spmvml {
 
+/// Coarse failure taxonomy. Categories are stable API: the CLI maps each
+/// to a distinct exit code (see error_exit_code).
+enum class ErrorCategory : int {
+  kGeneric = 0,           // precondition/invariant violation (default)
+  kParse = 1,             // malformed input text (Matrix Market, CSV)
+  kIo = 2,                // file open/read/write failures
+  kModelFormat = 3,       // corrupt/truncated serialized model stream
+  kInfeasibleFormat = 4,  // no candidate format satisfies feasibility
+  kMeasurement = 5,       // measurement/collection failure
+};
+
+inline const char* error_category_name(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kGeneric: return "generic";
+    case ErrorCategory::kParse: return "parse";
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kModelFormat: return "model-format";
+    case ErrorCategory::kInfeasibleFormat: return "infeasible-format";
+    case ErrorCategory::kMeasurement: return "measurement";
+  }
+  return "unknown";
+}
+
+/// Process exit code for a category (CLI contract; 2 is reserved for
+/// usage errors, 0 for success).
+inline int error_exit_code(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kGeneric: return 1;
+    case ErrorCategory::kParse: return 3;
+    case ErrorCategory::kIo: return 4;
+    case ErrorCategory::kModelFormat: return 5;
+    case ErrorCategory::kInfeasibleFormat: return 6;
+    case ErrorCategory::kMeasurement: return 7;
+  }
+  return 1;
+}
+
 /// Exception thrown for precondition/invariant violations inside spmvml.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCategory category = ErrorCategory::kGeneric)
+      : std::runtime_error(what), category_(category) {}
+
+  ErrorCategory category() const { return category_; }
+
+ private:
+  ErrorCategory category_;
 };
 
 namespace detail {
 
 [[noreturn]] inline void raise(const char* cond, const char* file, int line,
-                               const std::string& msg) {
+                               const std::string& msg,
+                               ErrorCategory category = ErrorCategory::kGeneric) {
   std::ostringstream os;
   os << "spmvml: check failed: " << cond << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), category);
 }
 
 }  // namespace detail
@@ -35,4 +83,11 @@ namespace detail {
 #define SPMVML_ENSURE(cond, msg)                                     \
   do {                                                               \
     if (!(cond)) ::spmvml::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Category-tagged variant: SPMVML_ENSURE_CAT(ok, ErrorCategory::kParse, msg)
+#define SPMVML_ENSURE_CAT(cond, category, msg)                        \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::spmvml::detail::raise(#cond, __FILE__, __LINE__, (msg), (category)); \
   } while (0)

@@ -1,5 +1,7 @@
 #include "core/format_selector.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "ml/serialize.hpp"
 #include "ml/decision_tree.hpp"
@@ -92,6 +94,47 @@ Format FormatSelector::select(const Csr<double>& matrix) const {
   return select(extract_features(matrix));
 }
 
+Selection FormatSelector::select_feasible(const FeatureVector& features,
+                                          const FeasibilityFn& feasible) const {
+  SPMVML_ENSURE(static_cast<bool>(feasible), "null feasibility predicate");
+  Selection result;
+  result.predicted = select(features);
+  result.format = result.predicted;
+  if (feasible(result.predicted)) return result;
+
+  // Fall back to the feasible candidate the classifier likes best.
+  const auto proba = model_->predict_proba(features.select(feature_set_));
+  double best_p = -1.0;
+  bool found = false;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (!feasible(candidates_[i])) continue;
+    const double p = i < proba.size() ? proba[i] : 0.0;
+    if (!found || p > best_p) {
+      best_p = p;
+      result.format = candidates_[i];
+      found = true;
+    }
+  }
+  if (!found) {
+    // CSR is the always-feasible floor: its arrays ARE the input matrix,
+    // so if CSR does not fit, no selection can run at all.
+    const auto csr = std::find(candidates_.begin(), candidates_.end(),
+                               Format::kCsr);
+    SPMVML_ENSURE_CAT(csr != candidates_.end(),
+                      ErrorCategory::kInfeasibleFormat,
+                      "no candidate format is feasible under the given "
+                      "constraints");
+    result.format = Format::kCsr;
+  }
+  result.fallback = true;
+  return result;
+}
+
+Selection FormatSelector::select_feasible(const Csr<double>& matrix,
+                                          const FeasibilityFn& feasible) const {
+  return select_feasible(extract_features(matrix), feasible);
+}
+
 void FormatSelector::save(std::ostream& out) const {
   ml::io::write_tag(out, "format_selector");
   ml::io::write_scalar(out, static_cast<int>(kind_));
@@ -105,13 +148,16 @@ void FormatSelector::save(std::ostream& out) const {
 FormatSelector FormatSelector::load_selector(std::istream& in) {
   ml::io::read_tag(in, "format_selector");
   const int kind = ml::io::read_scalar<int>(in);
-  SPMVML_ENSURE(kind >= 0 && kind < kNumModelKinds, "bad model kind");
+  SPMVML_ENSURE_CAT(kind >= 0 && kind < kNumModelKinds,
+                    ErrorCategory::kModelFormat, "bad model kind");
   const int set = ml::io::read_scalar<int>(in);
-  SPMVML_ENSURE(set >= 0 && set < kNumFeatureSets, "bad feature set");
+  SPMVML_ENSURE_CAT(set >= 0 && set < kNumFeatureSets,
+                    ErrorCategory::kModelFormat, "bad feature set");
   const auto cands = ml::io::read_vector<int>(in);
   std::vector<Format> formats;
   for (int c : cands) {
-    SPMVML_ENSURE(c >= 0 && c < kNumFormats, "bad candidate format");
+    SPMVML_ENSURE_CAT(c >= 0 && c < kNumFormats, ErrorCategory::kModelFormat,
+                      "bad candidate format");
     formats.push_back(static_cast<Format>(c));
   }
   FormatSelector selector(static_cast<ModelKind>(kind),

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "core/study.hpp"
+#include "gpusim/fault.hpp"
 #include "ml/model.hpp"
 
 namespace spmvml {
@@ -23,6 +24,15 @@ enum class ModelKind : int {
 inline constexpr int kNumModelKinds = 5;
 
 const char* model_name(ModelKind kind);
+
+/// Outcome of a feasibility-constrained selection. `predicted` is the
+/// model's unconstrained pick; `format` is the served choice after the
+/// feasibility predicate (== predicted unless `fallback`).
+struct Selection {
+  Format format = Format::kCsr;
+  Format predicted = Format::kCsr;
+  bool fallback = false;
+};
 
 /// Instantiate an untrained classifier with the library's tuned defaults.
 /// `fast` shrinks training effort for smoke runs.
@@ -43,6 +53,17 @@ class FormatSelector {
   /// Predicted best format for an unseen matrix.
   Format select(const Csr<double>& matrix) const;
   Format select(const FeatureVector& features) const;
+
+  /// Feasibility-constrained selection: never returns a format the
+  /// predicate rejects. When the model's pick is infeasible, falls back
+  /// to the feasible candidate the classifier ranks highest (by class
+  /// probability); when *no* candidate is feasible, serves CSR — the
+  /// always-feasible floor (its arrays are the input itself) — if it is a
+  /// candidate, and throws Error(kInfeasibleFormat) otherwise.
+  Selection select_feasible(const FeatureVector& features,
+                            const FeasibilityFn& feasible) const;
+  Selection select_feasible(const Csr<double>& matrix,
+                            const FeasibilityFn& feasible) const;
 
   /// Label-space prediction (index into candidates).
   int predict_label(const std::vector<double>& selected_features) const;

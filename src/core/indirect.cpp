@@ -13,6 +13,39 @@ Format IndirectSelector::select(const FeatureVector& features) const {
   return model_.formats()[static_cast<std::size_t>(best - predicted.begin())];
 }
 
+Selection IndirectSelector::select_feasible(
+    const FeatureVector& features, const FeasibilityFn& feasible) const {
+  SPMVML_ENSURE(static_cast<bool>(feasible), "null feasibility predicate");
+  const auto predicted = model_.predict_all(features);
+  const auto formats = model_.formats();
+
+  Selection result;
+  const auto best = std::min_element(predicted.begin(), predicted.end());
+  result.predicted = formats[static_cast<std::size_t>(best - predicted.begin())];
+  result.format = result.predicted;
+  if (feasible(result.predicted)) return result;
+
+  double best_t = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < formats.size(); ++i) {
+    if (!feasible(formats[i])) continue;
+    if (predicted[i] < best_t) {
+      best_t = predicted[i];
+      result.format = formats[i];
+      found = true;
+    }
+  }
+  if (!found) {
+    const auto csr = std::find(formats.begin(), formats.end(), Format::kCsr);
+    SPMVML_ENSURE_CAT(csr != formats.end(), ErrorCategory::kInfeasibleFormat,
+                      "no modeled format is feasible under the given "
+                      "constraints");
+    result.format = Format::kCsr;
+  }
+  result.fallback = true;
+  return result;
+}
+
 double tolerance_accuracy(const std::vector<int>& chosen,
                           const std::vector<std::vector<double>>& times,
                           double tolerance) {

@@ -4,6 +4,7 @@
 // is within (1 + tolerance) of the measured best.
 #pragma once
 
+#include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
 
 namespace spmvml {
@@ -14,6 +15,13 @@ class IndirectSelector {
 
   /// Format with the smallest predicted time.
   Format select(const FeatureVector& features) const;
+
+  /// Feasibility-constrained selection: smallest predicted time among
+  /// formats the predicate accepts. Falls back to CSR (the always-feasible
+  /// floor) when nothing is feasible, throwing Error(kInfeasibleFormat) if
+  /// CSR is not modeled.
+  Selection select_feasible(const FeatureVector& features,
+                            const FeasibilityFn& feasible) const;
 
   const PerfModel& model() const { return model_; }
 

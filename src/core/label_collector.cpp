@@ -1,9 +1,11 @@
 #include "core/label_collector.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "gpusim/row_summary.hpp"
@@ -13,9 +15,10 @@ namespace spmvml {
 int MatrixRecord::best_among(int arch, Precision prec,
                              std::span<const Format> candidates) const {
   SPMVML_ENSURE(!candidates.empty(), "no candidate formats");
-  int best = 0;
+  int best = -1;
   double best_t = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!valid(arch, prec, candidates[i])) continue;
     const double t = time(arch, prec, candidates[i]);
     if (t < best_t) {
       best_t = t;
@@ -25,31 +28,105 @@ int MatrixRecord::best_among(int arch, Precision prec,
   return best;
 }
 
+int MatrixRecord::num_valid(int arch, Precision prec) const {
+  int n = 0;
+  for (Format f : kAllFormats)
+    if (valid(arch, prec, f)) ++n;
+  return n;
+}
+
+bool MatrixRecord::fully_valid() const {
+  for (int a = 0; a < kNumArchs; ++a)
+    for (int p = 0; p < kNumPrecisions; ++p)
+      if (num_valid(a, static_cast<Precision>(p)) != kNumFormats) return false;
+  return true;
+}
+
+namespace {
+
+/// Measure one cell, retrying transient failures with capped exponential
+/// backoff. Structural failures (OOM, timeout) return immediately.
+Measurement measure_with_retry(const MeasurementOracle& oracle,
+                               const RowSummary& summary, Format f,
+                               std::uint64_t seed,
+                               const CollectOptions& options,
+                               CollectStats& stats) {
+  Measurement m;
+  for (int attempt = 0;; ++attempt) {
+    m = oracle.measure(summary, f, seed, attempt);
+    if (!is_retryable(m.status) || attempt >= options.max_retries) break;
+    ++stats.transient_retries;
+    if (options.backoff_base_s > 0.0) {
+      const double delay = std::min(
+          options.backoff_base_s * static_cast<double>(1 << attempt),
+          options.backoff_cap_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  return m;
+}
+
+/// Try to restore a checkpoint matching this plan. Returns the number of
+/// plan entries already processed (0 = start from scratch).
+std::size_t try_resume(const CorpusPlan& plan, const CollectOptions& options,
+                       LabeledCorpus& corpus) {
+  if (options.checkpoint_path.empty() ||
+      !std::filesystem::exists(options.checkpoint_path))
+    return 0;
+  try {
+    std::size_t cached_plan = 0, cached_done = 0;
+    std::uint64_t cached_hash = 0;
+    LabeledCorpus cached = load_corpus_csv(options.checkpoint_path,
+                                           &cached_plan, &cached_hash,
+                                           &cached_done);
+    if (cached_plan == plan.size() && cached_hash == plan_fingerprint(plan) &&
+        cached_done <= plan.size() && cached.size() <= cached_done) {
+      corpus.records = std::move(cached.records);
+      corpus.stats.resumed_records = corpus.records.size();
+      return cached_done;
+    }
+  } catch (const Error&) {
+    // Corrupt or stale checkpoint: re-collect from scratch.
+  }
+  return 0;
+}
+
+}  // namespace
+
 LabeledCorpus collect_corpus(const CorpusPlan& plan,
                              const CollectOptions& options) {
   LabeledCorpus corpus;
   corpus.records.reserve(plan.size());
+  CollectStats& stats = corpus.stats;
+
+  const std::uint64_t fingerprint = plan_fingerprint(plan);
+  const std::size_t start = try_resume(plan, options, corpus);
 
   // One oracle per (arch, precision); they share the cost parameters.
   const auto archs = paper_testbeds();
   SPMVML_ENSURE(archs.size() == kNumArchs, "expected two testbeds");
+  MeasurementConfig measurement = options.measurement;
+  measurement.faults = options.faults;
   std::vector<MeasurementOracle> oracles;
   for (const auto& arch : archs)
     for (int p = 0; p < kNumPrecisions; ++p)
-      oracles.emplace_back(arch, static_cast<Precision>(p),
-                           options.measurement, options.cost);
+      oracles.emplace_back(arch, static_cast<Precision>(p), measurement,
+                           options.cost);
 
-  for (std::size_t m = 0; m < plan.size(); ++m) {
+  for (std::size_t m = start; m < plan.size(); ++m) {
     const GenSpec& spec = plan.specs[m];
     const Csr<double> matrix = generate(spec);
     const RowSummary summary = summarize(matrix);
+    ++stats.attempted;
 
-    // §IV-C: exclude matrices at least one format cannot execute (the
-    // ELL image is by far the largest; 12 bytes per padded slot).
-    if (options.format_memory_limit > 0) {
+    // §IV-C as a wholesale filter, kept for the fault-free configuration
+    // (the ELL image is by far the largest; 12 bytes per padded slot).
+    // With faults enabled, infeasible formats fail per-cell instead.
+    if (!options.faults.enabled && options.format_memory_limit > 0) {
       const double ell_bytes = static_cast<double>(summary.rows) *
                                static_cast<double>(summary.row_max) * 12.0;
       if (ell_bytes > static_cast<double>(options.format_memory_limit)) {
+        ++stats.dropped_prefilter;
         if (options.progress) options.progress(m + 1, plan.size());
         continue;
       }
@@ -64,68 +141,136 @@ LabeledCorpus collect_corpus(const CorpusPlan& plan,
     rec.nnz = static_cast<double>(matrix.nnz());
     rec.features = extract_features(matrix);
 
+    std::size_t valid_cells = 0;
     for (int a = 0; a < kNumArchs; ++a) {
       for (int p = 0; p < kNumPrecisions; ++p) {
         const auto& oracle =
             oracles[static_cast<std::size_t>(a * kNumPrecisions + p)];
-        const auto times = oracle.measure_all(summary, spec.seed);
-        for (int f = 0; f < kNumFormats; ++f)
+        for (int f = 0; f < kNumFormats; ++f) {
+          const Measurement cell = measure_with_retry(
+              oracle, summary, static_cast<Format>(f), spec.seed, options,
+              stats);
           rec.seconds[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)]
-                     [static_cast<std::size_t>(f)] =
-              times[static_cast<std::size_t>(f)].seconds;
+                     [static_cast<std::size_t>(f)] = cell.seconds;
+          if (cell.ok()) {
+            ++valid_cells;
+          } else {
+            ++stats.failed_cells;
+            switch (cell.status) {
+              case MeasurementStatus::kOom: ++stats.oom_cells; break;
+              case MeasurementStatus::kTimeout: ++stats.timeout_cells; break;
+              case MeasurementStatus::kTransient:
+                ++stats.transient_cells;
+                break;
+              case MeasurementStatus::kOk: break;
+            }
+          }
+        }
       }
     }
-    corpus.records.push_back(rec);
+
+    // A matrix is only dropped wholesale when *every* cell failed — there
+    // is nothing to learn from it.
+    if (valid_cells == 0) {
+      ++stats.dropped_all_failed;
+    } else {
+      corpus.records.push_back(rec);
+    }
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        (m + 1 - start) % options.checkpoint_every == 0 &&
+        m + 1 < plan.size()) {
+      save_corpus_csv(options.checkpoint_path, corpus, plan.size(),
+                      fingerprint, m + 1);
+    }
     if (options.progress) options.progress(m + 1, plan.size());
   }
+  stats.kept = corpus.records.size();
+  if (!options.checkpoint_path.empty())
+    save_corpus_csv(options.checkpoint_path, corpus, plan.size(), fingerprint,
+                    plan.size());
   return corpus;
 }
 
 void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
-                     std::size_t plan_size) {
-  std::ofstream out(path);
-  SPMVML_ENSURE(out.good(), "cannot open " + path + " for writing");
-  out << "# spmvml oracle v" << kOracleVersion << " plan " << plan_size
-      << '\n';
-  out << "seed,bucket,family,rows,cols,nnz";
-  for (int f = 0; f < kNumFeatures; ++f) out << ',' << feature_name(f);
-  for (int a = 0; a < kNumArchs; ++a)
-    for (int p = 0; p < kNumPrecisions; ++p)
-      for (int f = 0; f < kNumFormats; ++f)
-        out << ",t_a" << a << "p" << p << "f" << f;
-  out << '\n';
-  out.precision(17);
-  for (const auto& r : corpus.records) {
-    out << r.seed << ',' << r.bucket << ',' << r.family << ',' << r.rows
-        << ',' << r.cols << ',' << r.nnz;
-    for (int f = 0; f < kNumFeatures; ++f) out << ',' << r.features[f];
+                     std::size_t plan_size, std::uint64_t plan_hash,
+                     std::size_t done) {
+  // Write to a temp file and rename so a kill mid-write never leaves a
+  // truncated checkpoint behind (rename within a directory is atomic).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                      "cannot open " + tmp + " for writing");
+    out << "# spmvml oracle v" << kOracleVersion << " plan " << plan_size
+        << " hash " << plan_hash << " done " << done << '\n';
+    out << "seed,bucket,family,rows,cols,nnz";
+    for (int f = 0; f < kNumFeatures; ++f) out << ',' << feature_name(f);
     for (int a = 0; a < kNumArchs; ++a)
       for (int p = 0; p < kNumPrecisions; ++p)
         for (int f = 0; f < kNumFormats; ++f)
-          out << ','
-              << r.seconds[static_cast<std::size_t>(a)]
-                          [static_cast<std::size_t>(p)]
-                          [static_cast<std::size_t>(f)];
+          out << ",t_a" << a << "p" << p << "f" << f;
     out << '\n';
+    out.precision(17);
+    for (const auto& r : corpus.records) {
+      out << r.seed << ',' << r.bucket << ',' << r.family << ',' << r.rows
+          << ',' << r.cols << ',' << r.nnz;
+      for (int f = 0; f < kNumFeatures; ++f) out << ',' << r.features[f];
+      for (int a = 0; a < kNumArchs; ++a)
+        for (int p = 0; p < kNumPrecisions; ++p)
+          for (int f = 0; f < kNumFormats; ++f) {
+            const double t = r.seconds[static_cast<std::size_t>(a)]
+                                      [static_cast<std::size_t>(p)]
+                                      [static_cast<std::size_t>(f)];
+            // Failed cells round-trip as the literal "nan".
+            if (std::isfinite(t))
+              out << ',' << t;
+            else
+              out << ",nan";
+          }
+      out << '\n';
+    }
+    SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                      "write failed for " + tmp);
   }
-  SPMVML_ENSURE(out.good(), "write failed for " + path);
+  std::filesystem::rename(tmp, path);
+}
+
+void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
+                     std::size_t plan_size) {
+  save_corpus_csv(path, corpus, plan_size, 0, plan_size);
 }
 
 LabeledCorpus load_corpus_csv(const std::string& path,
-                              std::size_t* cached_plan_size) {
+                              std::size_t* cached_plan_size,
+                              std::uint64_t* cached_plan_hash,
+                              std::size_t* cached_done) {
   std::ifstream in(path);
-  SPMVML_ENSURE(in.good(), "cannot open " + path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo, "cannot open " + path);
   std::string line;
-  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)), "empty CSV");
+  SPMVML_ENSURE_CAT(static_cast<bool>(std::getline(in, line)),
+                    ErrorCategory::kParse, "empty CSV");
   const std::string prefix =
       "# spmvml oracle v" + std::to_string(kOracleVersion) + " plan ";
-  SPMVML_ENSURE(line.rfind(prefix, 0) == 0,
-                "corpus cache written by a different oracle version — "
-                "delete " + path);
-  if (cached_plan_size != nullptr)
-    *cached_plan_size = std::stoull(line.substr(prefix.size()));
-  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
-                "missing CSV header");
+  SPMVML_ENSURE_CAT(line.rfind(prefix, 0) == 0, ErrorCategory::kParse,
+                    "corpus cache written by a different oracle version — "
+                    "delete " + path);
+  {
+    std::istringstream header(line.substr(prefix.size()));
+    std::size_t plan_size = 0, done = 0;
+    std::uint64_t hash = 0;
+    std::string hash_kw, done_kw;
+    header >> plan_size >> hash_kw >> hash >> done_kw >> done;
+    SPMVML_ENSURE_CAT(static_cast<bool>(header) && hash_kw == "hash" &&
+                          done_kw == "done",
+                      ErrorCategory::kParse,
+                      "corpus cache header malformed — delete " + path);
+    if (cached_plan_size != nullptr) *cached_plan_size = plan_size;
+    if (cached_plan_hash != nullptr) *cached_plan_hash = hash;
+    if (cached_done != nullptr) *cached_done = done;
+  }
+  SPMVML_ENSURE_CAT(static_cast<bool>(std::getline(in, line)),
+                    ErrorCategory::kParse, "missing CSV header");
 
   LabeledCorpus corpus;
   while (std::getline(in, line)) {
@@ -133,8 +278,8 @@ LabeledCorpus load_corpus_csv(const std::string& path,
     std::istringstream row(line);
     std::string cell;
     auto next_cell = [&]() -> const std::string& {
-      SPMVML_ENSURE(static_cast<bool>(std::getline(row, cell, ',')),
-                    "truncated CSV row");
+      SPMVML_ENSURE_CAT(static_cast<bool>(std::getline(row, cell, ',')),
+                        ErrorCategory::kParse, "truncated CSV row");
       return cell;
     };
     auto next = [&]() -> double { return std::stod(next_cell()); };
@@ -163,17 +308,24 @@ LabeledCorpus load_or_collect(const std::string& cache_path,
                               const CollectOptions& options) {
   if (std::filesystem::exists(cache_path)) {
     try {
-      std::size_t cached_plan = 0;
-      LabeledCorpus cached = load_corpus_csv(cache_path, &cached_plan);
-      if (cached_plan == plan.size()) return cached;
-      // Plan changed (e.g. different SPMVML_CORPUS_SCALE): re-collect.
+      std::size_t cached_plan = 0, cached_done = 0;
+      std::uint64_t cached_hash = 0;
+      LabeledCorpus cached = load_corpus_csv(cache_path, &cached_plan,
+                                             &cached_hash, &cached_done);
+      if (cached_plan == plan.size() &&
+          cached_hash == plan_fingerprint(plan) &&
+          cached_done == plan.size())
+        return cached;
+      // Plan changed (different SPMVML_CORPUS_SCALE / seed / contents) or
+      // the cache is a partial checkpoint: fall through to collection,
+      // which resumes matching checkpoints by itself.
     } catch (const Error&) {
       // Stale or corrupt cache (e.g. oracle version bump): re-collect.
     }
   }
-  LabeledCorpus corpus = collect_corpus(plan, options);
-  save_corpus_csv(cache_path, corpus, plan.size());
-  return corpus;
+  CollectOptions opts = options;
+  if (opts.checkpoint_path.empty()) opts.checkpoint_path = cache_path;
+  return collect_corpus(plan, opts);
 }
 
 }  // namespace spmvml

@@ -102,14 +102,17 @@ void PerfModel::save(std::ostream& out) const {
 PerfModel PerfModel::load_model(std::istream& in) {
   ml::io::read_tag(in, "perf_model");
   const int kind = ml::io::read_scalar<int>(in);
-  SPMVML_ENSURE(kind >= 0 && kind <= static_cast<int>(RegressorKind::kDecisionTree),
-                "bad regressor kind");
+  SPMVML_ENSURE_CAT(
+      kind >= 0 && kind <= static_cast<int>(RegressorKind::kDecisionTree),
+      ErrorCategory::kModelFormat, "bad regressor kind");
   const int set = ml::io::read_scalar<int>(in);
-  SPMVML_ENSURE(set >= 0 && set < kNumFeatureSets, "bad feature set");
+  SPMVML_ENSURE_CAT(set >= 0 && set < kNumFeatureSets,
+                    ErrorCategory::kModelFormat, "bad feature set");
   const auto fmts = ml::io::read_vector<int>(in);
   std::vector<Format> formats;
   for (int f : fmts) {
-    SPMVML_ENSURE(f >= 0 && f < kNumFormats, "bad format");
+    SPMVML_ENSURE_CAT(f >= 0 && f < kNumFormats, ErrorCategory::kModelFormat,
+                      "bad format");
     formats.push_back(static_cast<Format>(f));
   }
   PerfModel model(static_cast<RegressorKind>(kind),

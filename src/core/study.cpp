@@ -28,18 +28,27 @@ ClassificationStudy make_classification_study(
   for (const auto& rec : corpus.records) {
     if (drop_coo_best) {
       // §V-A: skip matrices where COO wins outright over all six formats.
-      bool coo_best = true;
+      bool coo_best = rec.valid(arch, prec, Format::kCoo);
       const double coo_t = rec.time(arch, prec, Format::kCoo);
       for (Format f : kAllFormats)
-        if (f != Format::kCoo && rec.time(arch, prec, f) < coo_t)
+        if (f != Format::kCoo && rec.valid(arch, prec, f) &&
+            rec.time(arch, prec, f) < coo_t)
           coo_best = false;
       if (coo_best) continue;
     }
+    // Partial labels: the best-format label only considers formats that
+    // measured successfully; matrices where *every* candidate failed
+    // carry no label and are skipped.
+    const int label = rec.best_among(arch, prec, candidates);
+    if (label < 0) continue;
     study.data.x.push_back(rec.features.select(feature_set));
-    study.data.labels.push_back(rec.best_among(arch, prec, candidates));
+    study.data.labels.push_back(label);
     std::vector<double> row_times;
     row_times.reserve(candidates.size());
-    for (Format f : candidates) row_times.push_back(rec.time(arch, prec, f));
+    for (Format f : candidates)
+      row_times.push_back(rec.valid(arch, prec, f)
+                              ? rec.time(arch, prec, f)
+                              : std::numeric_limits<double>::infinity());
     study.times.push_back(std::move(row_times));
   }
   study.data.validate();
@@ -55,6 +64,8 @@ RegressionStudy make_joint_regression_study(const LabeledCorpus& corpus,
   for (const auto& rec : corpus.records) {
     const auto base = rec.features.select(feature_set);
     for (std::size_t fi = 0; fi < formats.size(); ++fi) {
+      // Partial labels: failed cells contribute no regression sample.
+      if (!rec.valid(arch, prec, formats[fi])) continue;
       std::vector<double> x = base;
       for (std::size_t k = 0; k < formats.size(); ++k)
         x.push_back(k == fi ? 1.0 : 0.0);  // format one-hot
@@ -74,6 +85,7 @@ RegressionStudy make_format_regression_study(const LabeledCorpus& corpus,
                                              FeatureSet feature_set) {
   RegressionStudy study;
   for (const auto& rec : corpus.records) {
+    if (!rec.valid(arch, prec, format)) continue;
     const double t = rec.time(arch, prec, format);
     study.data.x.push_back(rec.features.select(feature_set));
     study.data.targets.push_back(seconds_to_regression_target(t));
@@ -89,19 +101,24 @@ CooCensus coo_census(const LabeledCorpus& corpus, int arch, Precision prec) {
   double penalty_sum = 0.0;
   std::size_t penalty_count = 0;
   for (const auto& rec : corpus.records) {
+    // Records whose COO cell failed cannot be COO-best.
+    if (!rec.valid(arch, prec, Format::kCoo)) continue;
     const double coo_t = rec.time(arch, prec, Format::kCoo);
     double best_other6 = std::numeric_limits<double>::infinity();
     for (Format f : kAllFormats)
-      if (f != Format::kCoo)
+      if (f != Format::kCoo && rec.valid(arch, prec, f))
         best_other6 = std::min(best_other6, rec.time(arch, prec, f));
     if (coo_t < best_other6) {
       ++census.coo_best_all6;
-      penalty_sum += best_other6 / coo_t;
-      ++penalty_count;
+      if (std::isfinite(best_other6)) {
+        penalty_sum += best_other6 / coo_t;
+        ++penalty_count;
+      }
     }
     double best_basic = std::numeric_limits<double>::infinity();
     for (Format f : kBasicFormats)
-      best_basic = std::min(best_basic, rec.time(arch, prec, f));
+      if (rec.valid(arch, prec, f))
+        best_basic = std::min(best_basic, rec.time(arch, prec, f));
     if (coo_t < best_basic) ++census.coo_best_basic4;
   }
   census.mean_exclusion_penalty =

@@ -15,6 +15,7 @@ GpuArch tesla_k40c() {
   a.cores_per_sm = 192;
   a.clock_ghz = 0.824;
   a.mem_bw_gbps = 288.0;
+  a.mem_bytes = 12LL * 1000 * 1000 * 1000;  // 12 GB GDDR5
   a.l2_bytes = static_cast<std::int64_t>(1.5 * 1024 * 1024);
   a.warp_size = 32;
   a.launch_overhead_s = 5e-6;
@@ -30,6 +31,7 @@ GpuArch tesla_p100() {
   a.cores_per_sm = 64;
   a.clock_ghz = 1.328;
   a.mem_bw_gbps = 732.0;
+  a.mem_bytes = 16LL * 1000 * 1000 * 1000;  // 16 GB HBM2
   a.l2_bytes = 4 * 1024 * 1024;
   a.warp_size = 32;
   a.launch_overhead_s = 3.5e-6;

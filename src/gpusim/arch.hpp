@@ -22,6 +22,7 @@ struct GpuArch {
   int cores_per_sm = 0;
   double clock_ghz = 0.0;
   double mem_bw_gbps = 0.0;    // peak DRAM bandwidth, GB/s
+  std::int64_t mem_bytes = 0;  // device DRAM capacity
   std::int64_t l2_bytes = 0;
   int warp_size = 32;
   double launch_overhead_s = 0.0;  // fixed per-kernel launch latency

@@ -30,7 +30,7 @@ namespace spmvml {
 
 /// Bumped whenever the cost model's defaults or structure change; label
 /// caches carry it so stale measurements are never silently reused.
-inline constexpr int kOracleVersion = 6;
+inline constexpr int kOracleVersion = 7;
 
 /// Tunable constants of the cost model (defaults reproduce the paper's
 /// qualitative format landscape; see bench/ablation_oracle).

@@ -1,0 +1,107 @@
+#include "gpusim/fault.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spmvml {
+
+namespace {
+constexpr double kIdxBytes = 4.0;  // 32-bit device indices
+}  // namespace
+
+const char* measurement_status_name(MeasurementStatus s) {
+  switch (s) {
+    case MeasurementStatus::kOk: return "ok";
+    case MeasurementStatus::kOom: return "oom";
+    case MeasurementStatus::kTimeout: return "timeout";
+    case MeasurementStatus::kTransient: return "transient";
+  }
+  return "unknown";
+}
+
+double format_device_bytes(const RowSummary& s, Format f, Precision prec) {
+  const double w = value_bytes(prec);
+  const double nnz = static_cast<double>(s.nnz);
+  const double rows = static_cast<double>(s.rows);
+  const double vectors = (rows + static_cast<double>(s.cols)) * w;
+  switch (f) {
+    case Format::kCoo:
+      return nnz * (2.0 * kIdxBytes + w) + vectors;
+    case Format::kCsr:
+      return nnz * (kIdxBytes + w) + (rows + 1.0) * kIdxBytes + vectors;
+    case Format::kEll:
+      return rows * static_cast<double>(s.row_max) * (kIdxBytes + w) + vectors;
+    case Format::kHyb:
+      return rows * static_cast<double>(s.hyb_width) * (kIdxBytes + w) +
+             static_cast<double>(s.hyb_spill) * (2.0 * kIdxBytes + w) +
+             vectors;
+    case Format::kCsr5: {
+      // CSR arrays + per-tile descriptors (32x16 tiles, 64 B each).
+      const double tiles = std::ceil(nnz / (32.0 * 16.0));
+      return nnz * (kIdxBytes + w) + (rows + 1.0) * kIdxBytes + tiles * 64.0 +
+             vectors;
+    }
+    case Format::kMergeCsr: {
+      // CSR arrays + merge-path partition starts (one int2 per 256 items).
+      const double partitions = std::ceil((nnz + rows) / 256.0);
+      return nnz * (kIdxBytes + w) + (rows + 1.0) * kIdxBytes +
+             partitions * 8.0 + vectors;
+    }
+  }
+  SPMVML_ENSURE(false, "unreachable: invalid Format");
+  return 0.0;
+}
+
+FaultModel::FaultModel(FaultConfig config, const GpuArch& arch,
+                       Precision prec)
+    : config_(config), arch_(arch), prec_(prec) {
+  SPMVML_ENSURE(config_.transient_rate >= 0.0 && config_.transient_rate < 1.0,
+                "transient rate must be in [0, 1)");
+  SPMVML_ENSURE(config_.memory_headroom > 0.0 && config_.memory_headroom <= 1.0,
+                "memory headroom must be in (0, 1]");
+}
+
+double FaultModel::usable_bytes() const {
+  const double capacity =
+      config_.device_memory_override > 0
+          ? static_cast<double>(config_.device_memory_override)
+          : static_cast<double>(arch_.mem_bytes);
+  return capacity * config_.memory_headroom;
+}
+
+MeasurementStatus FaultModel::classify(const RowSummary& s, Format f,
+                                       double model_seconds,
+                                       std::uint64_t matrix_seed,
+                                       int attempt) const {
+  if (!config_.enabled) return MeasurementStatus::kOk;
+  if (format_device_bytes(s, f, prec_) > usable_bytes())
+    return MeasurementStatus::kOom;
+  if (config_.timeout_seconds > 0.0 && model_seconds > config_.timeout_seconds)
+    return MeasurementStatus::kTimeout;
+  if (config_.transient_rate > 0.0) {
+    // Deterministic in the full measurement identity *and* the attempt, so
+    // a retry re-rolls the dice but a re-run of the experiment does not.
+    std::uint64_t salt = hash_combine(matrix_seed, 0xFA17FA17FA17FA17ULL);
+    salt = hash_combine(salt, static_cast<std::uint64_t>(f) * 1000003);
+    salt = hash_combine(salt, std::hash<std::string>{}(arch_.name));
+    salt = hash_combine(salt, static_cast<std::uint64_t>(prec_) + 17);
+    salt = hash_combine(salt, static_cast<std::uint64_t>(attempt) + 31);
+    Rng rng(salt);
+    if (rng.bernoulli(config_.transient_rate))
+      return MeasurementStatus::kTransient;
+  }
+  return MeasurementStatus::kOk;
+}
+
+FeasibilityFn make_memory_feasibility(const RowSummary& s, Precision prec,
+                                      std::int64_t budget_bytes) {
+  if (budget_bytes <= 0) return [](Format) { return true; };
+  const double budget = static_cast<double>(budget_bytes);
+  return [s, prec, budget](Format f) {
+    return format_device_bytes(s, f, prec) <= budget;
+  };
+}
+
+}  // namespace spmvml

@@ -1,0 +1,103 @@
+// Fault model for the measurement oracle (and feasibility predicates for
+// serving).
+//
+// Real measurement campaigns are full of per-format failures — the paper's
+// §IV-C drops ~400 of 2700 SuiteSparse matrices that "did not fit in the
+// GPU memory or failed to execute for one or more storage formats". This
+// module makes those failures a first-class, *deterministic* state:
+//
+//  * structural OOM     — a format's device image (ELL padding blow-up,
+//                         HYB/CSR5 auxiliary arrays) exceeds the device
+//                         memory; a pure function of the matrix digest.
+//  * kernel timeout     — the simulated kernel exceeds a watchdog budget
+//                         (pathological row skew makes the CSR/ELL makespan
+//                         tail arbitrarily long).
+//  * transient failure  — seed-derived launch failures at a configurable
+//                         rate; *retryable* (the outcome depends on the
+//                         attempt number, so a retry can succeed).
+//
+// The same device-image sizing powers feasibility-aware serving: a
+// selector can be constrained to formats that fit a memory budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/row_summary.hpp"
+#include "sparse/format.hpp"
+
+namespace spmvml {
+
+/// Outcome of one oracle measurement.
+enum class MeasurementStatus : int {
+  kOk = 0,
+  kOom = 1,        // device image exceeds memory (structural, not retryable)
+  kTimeout = 2,    // kernel watchdog fired (structural, not retryable)
+  kTransient = 3,  // launch failure (retryable: retry with attempt+1)
+};
+
+inline constexpr int kNumMeasurementStatuses = 4;
+
+const char* measurement_status_name(MeasurementStatus s);
+
+/// True for failure classes where re-running the same kernel can succeed.
+inline bool is_retryable(MeasurementStatus s) {
+  return s == MeasurementStatus::kTransient;
+}
+
+/// Estimated device-resident bytes for SpMV in format `f`: the format's
+/// own arrays plus the x and y vectors. 32-bit indices, as in the cost
+/// model. This is the quantity the OOM fault and the --mem-budget
+/// feasibility predicate gate on.
+double format_device_bytes(const RowSummary& s, Format f, Precision prec);
+
+/// Fault-injection knobs. Defaults keep the oracle infallible (the seed
+/// behavior); enable and tune per experiment.
+struct FaultConfig {
+  bool enabled = false;
+  /// Usable fraction of device memory (driver/context overhead).
+  double memory_headroom = 0.9;
+  /// Overrides the arch's mem_bytes when > 0 (for tests).
+  std::int64_t device_memory_override = 0;
+  /// Kernel watchdog: measurements whose model time exceeds this fail
+  /// with kTimeout. <= 0 disables the watchdog.
+  double timeout_seconds = 30.0;
+  /// Probability that one (cell, attempt) suffers a transient launch
+  /// failure. Deterministic in (matrix, format, arch, precision, attempt).
+  double transient_rate = 0.0;
+};
+
+/// Deterministic fault classifier: decides the status of one measurement
+/// before any timing happens.
+class FaultModel {
+ public:
+  FaultModel(FaultConfig config, const GpuArch& arch, Precision prec);
+
+  /// Status of measuring (matrix digest `s`, format `f`) on attempt
+  /// `attempt`. `model_seconds` is the noise-free cost-model time (drives
+  /// the watchdog). Priority: OOM > timeout > transient.
+  MeasurementStatus classify(const RowSummary& s, Format f,
+                             double model_seconds, std::uint64_t matrix_seed,
+                             int attempt) const;
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Effective usable device memory in bytes.
+  double usable_bytes() const;
+
+ private:
+  FaultConfig config_;
+  GpuArch arch_;
+  Precision prec_;
+};
+
+/// Per-format feasibility predicate for serving (true = may be selected).
+using FeasibilityFn = std::function<bool(Format)>;
+
+/// Predicate: format_device_bytes(s, f, prec) <= budget_bytes. A
+/// non-positive budget admits every format.
+FeasibilityFn make_memory_feasibility(const RowSummary& s, Precision prec,
+                                      std::int64_t budget_bytes);
+
+}  // namespace spmvml

@@ -1,6 +1,7 @@
 #include "gpusim/oracle.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -10,15 +11,30 @@ namespace spmvml {
 MeasurementOracle::MeasurementOracle(GpuArch arch, Precision prec,
                                      MeasurementConfig config,
                                      CostParams params)
-    : arch_(std::move(arch)), prec_(prec), config_(config), params_(params) {
+    : arch_(std::move(arch)),
+      prec_(prec),
+      config_(config),
+      params_(params),
+      faults_(config.faults, arch_, prec) {
   SPMVML_ENSURE(config_.reps >= 1, "need at least one repetition");
   SPMVML_ENSURE(config_.rep_sigma >= 0.0 && config_.systematic_sigma >= 0.0,
                 "noise sigmas must be non-negative");
 }
 
 Measurement MeasurementOracle::measure(const RowSummary& s, Format f,
-                                       std::uint64_t matrix_seed) const {
+                                       std::uint64_t matrix_seed,
+                                       int attempt) const {
   const double model_time = simulate_time(s, f, arch_, prec_, params_);
+
+  const MeasurementStatus status =
+      faults_.classify(s, f, model_time, matrix_seed, attempt);
+  if (status != MeasurementStatus::kOk) {
+    Measurement failed;
+    failed.seconds = std::numeric_limits<double>::quiet_NaN();
+    failed.gflops = std::numeric_limits<double>::quiet_NaN();
+    failed.status = status;
+    return failed;
+  }
 
   // Seed ties the noise to the full measurement identity.
   std::uint64_t salt = hash_combine(matrix_seed,
@@ -40,11 +56,11 @@ Measurement MeasurementOracle::measure(const RowSummary& s, Format f,
 }
 
 std::array<Measurement, kNumFormats> MeasurementOracle::measure_all(
-    const RowSummary& s, std::uint64_t matrix_seed) const {
+    const RowSummary& s, std::uint64_t matrix_seed, int attempt) const {
   std::array<Measurement, kNumFormats> out;
   for (int i = 0; i < kNumFormats; ++i)
     out[static_cast<std::size_t>(i)] =
-        measure(s, static_cast<Format>(i), matrix_seed);
+        measure(s, static_cast<Format>(i), matrix_seed, attempt);
   return out;
 }
 

@@ -9,10 +9,16 @@
 //    on structural features faces on real hardware.
 // Both are seeded from the matrix's identity, so the oracle is a pure
 // function and every experiment is reproducible.
+//
+// Measurements can also *fail*: with fault injection enabled (see
+// gpusim/fault.hpp) a measurement may come back with an OOM, timeout or
+// transient-launch-failure status instead of a time. Transients are
+// retryable — call measure() again with a higher attempt number.
 #pragma once
 
 #include "gpusim/arch.hpp"
 #include "gpusim/cost_model.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/row_summary.hpp"
 #include "sparse/format.hpp"
 
@@ -22,12 +28,17 @@ struct MeasurementConfig {
   int reps = 50;                   // paper: 50 runs averaged
   double rep_sigma = 0.04;         // log-normal per-run jitter
   double systematic_sigma = 0.02; // per-(matrix,format) fixed deviation
+  FaultConfig faults;             // disabled by default (infallible oracle)
 };
 
-/// A measurement: mean time over reps plus the implied GFLOPS.
+/// A measurement: mean time over reps plus the implied GFLOPS — or a
+/// failure status with NaN time.
 struct Measurement {
   double seconds = 0.0;
   double gflops = 0.0;
+  MeasurementStatus status = MeasurementStatus::kOk;
+
+  bool ok() const { return status == MeasurementStatus::kOk; }
 };
 
 class MeasurementOracle {
@@ -37,21 +48,25 @@ class MeasurementOracle {
 
   const GpuArch& arch() const { return arch_; }
   Precision precision() const { return prec_; }
+  const FaultModel& fault_model() const { return faults_; }
 
   /// Timed SpMV for one (matrix, format); matrix_seed identifies the
   /// matrix (the GenSpec seed, or any stable id for external matrices).
+  /// `attempt` re-rolls retryable faults only — the timing itself is
+  /// attempt-invariant.
   Measurement measure(const RowSummary& s, Format f,
-                      std::uint64_t matrix_seed) const;
+                      std::uint64_t matrix_seed, int attempt = 0) const;
 
   /// Measure all six formats at once (shares the summary scan).
   std::array<Measurement, kNumFormats> measure_all(
-      const RowSummary& s, std::uint64_t matrix_seed) const;
+      const RowSummary& s, std::uint64_t matrix_seed, int attempt = 0) const;
 
  private:
   GpuArch arch_;
   Precision prec_;
   MeasurementConfig config_;
   CostParams params_;
+  FaultModel faults_;
 };
 
 }  // namespace spmvml

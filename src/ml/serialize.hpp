@@ -23,9 +23,10 @@ inline void write_tag(std::ostream& out, const std::string& tag) {
 inline void read_tag(std::istream& in, const std::string& tag) {
   std::string got;
   in >> got;
-  SPMVML_ENSURE(static_cast<bool>(in) && got == tag,
-                "model stream corrupt: expected tag '" + tag + "', got '" +
-                    got + "'");
+  SPMVML_ENSURE_CAT(static_cast<bool>(in) && got == tag,
+                    ErrorCategory::kModelFormat,
+                    "model stream corrupt: expected tag '" + tag + "', got '" +
+                        got + "'");
 }
 
 inline void write_scalar(std::ostream& out, double v) {
@@ -39,7 +40,8 @@ template <typename T>
 T read_scalar(std::istream& in) {
   T v{};
   in >> v;
-  SPMVML_ENSURE(static_cast<bool>(in), "model stream truncated");
+  SPMVML_ENSURE_CAT(static_cast<bool>(in), ErrorCategory::kModelFormat,
+                    "model stream truncated");
   return v;
 }
 
@@ -54,11 +56,13 @@ void write_vector(std::ostream& out, const std::vector<T>& v) {
 template <typename T>
 std::vector<T> read_vector(std::istream& in) {
   const auto n = read_scalar<std::size_t>(in);
-  SPMVML_ENSURE(n < (1u << 28), "model stream corrupt: absurd vector size");
+  SPMVML_ENSURE_CAT(n < (1u << 28), ErrorCategory::kModelFormat,
+                    "model stream corrupt: absurd vector size");
   std::vector<T> v(n);
   for (auto& x : v) {
     in >> x;
-    SPMVML_ENSURE(static_cast<bool>(in), "model stream truncated");
+    SPMVML_ENSURE_CAT(static_cast<bool>(in), ErrorCategory::kModelFormat,
+                      "model stream truncated");
   }
   return v;
 }
@@ -71,7 +75,8 @@ inline void write_matrix(std::ostream& out,
 
 inline std::vector<std::vector<double>> read_matrix(std::istream& in) {
   const auto n = read_scalar<std::size_t>(in);
-  SPMVML_ENSURE(n < (1u << 28), "model stream corrupt: absurd matrix size");
+  SPMVML_ENSURE_CAT(n < (1u << 28), ErrorCategory::kModelFormat,
+                    "model stream corrupt: absurd matrix size");
   std::vector<std::vector<double>> m(n);
   for (auto& row : m) row = read_vector<double>(in);
   return m;

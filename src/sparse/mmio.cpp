@@ -17,51 +17,85 @@ std::string lowercase(std::string s) {
   return s;
 }
 
+/// getline that tolerates CRLF line endings (strips a trailing '\r') and
+/// tracks the 1-based line number for parse-error messages.
+bool getline_norm(std::istream& in, std::string& line, std::size_t& lineno) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ++lineno;
+  return true;
+}
+
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
+std::string at_line(std::size_t lineno) {
+  return " (line " + std::to_string(lineno) + ")";
+}
+
 }  // namespace
 
 Csr<double> read_matrix_market(std::istream& in) {
   std::string line;
-  SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
-                "empty Matrix Market stream");
+  std::size_t lineno = 0;
+  SPMVML_ENSURE_CAT(getline_norm(in, line, lineno), ErrorCategory::kParse,
+                    "empty Matrix Market stream");
   std::istringstream header(line);
   std::string banner, object, fmt, field, symmetry;
   header >> banner >> object >> fmt >> field >> symmetry;
-  SPMVML_ENSURE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
-  SPMVML_ENSURE(lowercase(object) == "matrix", "only 'matrix' objects supported");
-  SPMVML_ENSURE(lowercase(fmt) == "coordinate",
-                "only 'coordinate' (sparse) format supported");
+  SPMVML_ENSURE_CAT(banner == "%%MatrixMarket", ErrorCategory::kParse,
+                    "missing %%MatrixMarket banner" + at_line(lineno));
+  SPMVML_ENSURE_CAT(lowercase(object) == "matrix", ErrorCategory::kParse,
+                    "only 'matrix' objects supported" + at_line(lineno));
+  SPMVML_ENSURE_CAT(lowercase(fmt) == "coordinate", ErrorCategory::kParse,
+                    "only 'coordinate' (sparse) format supported" +
+                        at_line(lineno));
   field = lowercase(field);
   symmetry = lowercase(symmetry);
   const bool pattern = field == "pattern";
-  SPMVML_ENSURE(pattern || field == "real" || field == "integer",
-                "unsupported field type: " + field);
+  SPMVML_ENSURE_CAT(pattern || field == "real" || field == "integer",
+                    ErrorCategory::kParse,
+                    "unsupported field type: " + field + at_line(lineno));
   const bool symmetric = symmetry == "symmetric";
-  SPMVML_ENSURE(symmetric || symmetry == "general",
-                "unsupported symmetry: " + symmetry);
+  SPMVML_ENSURE_CAT(symmetric || symmetry == "general", ErrorCategory::kParse,
+                    "unsupported symmetry: " + symmetry + at_line(lineno));
 
-  // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  // Skip comments and blank lines before the dimensions line.
+  bool have_dims = false;
+  while (getline_norm(in, line, lineno)) {
+    if (is_blank(line) || line[line.find_first_not_of(" \t")] == '%') continue;
+    have_dims = true;
+    break;
   }
+  SPMVML_ENSURE_CAT(have_dims, ErrorCategory::kParse,
+                    "missing dimensions line" + at_line(lineno));
   std::istringstream dims(line);
   index_t rows = 0, cols = 0, declared_nnz = 0;
   dims >> rows >> cols >> declared_nnz;
-  SPMVML_ENSURE(rows > 0 && cols > 0 && declared_nnz >= 0,
-                "bad dimensions line");
+  SPMVML_ENSURE_CAT(!dims.fail() && rows > 0 && cols > 0 && declared_nnz >= 0,
+                    ErrorCategory::kParse, "bad dimensions line" +
+                        at_line(lineno));
 
   std::vector<Triplet<double>> entries;
   entries.reserve(static_cast<std::size_t>(declared_nnz) * (symmetric ? 2 : 1));
   for (index_t i = 0; i < declared_nnz; ++i) {
-    SPMVML_ENSURE(static_cast<bool>(std::getline(in, line)),
-                  "fewer entries than declared");
+    SPMVML_ENSURE_CAT(getline_norm(in, line, lineno), ErrorCategory::kParse,
+                      "fewer entries than declared" + at_line(lineno));
+    if (is_blank(line)) {
+      --i;  // tolerate stray blank lines between entries
+      continue;
+    }
     std::istringstream entry(line);
     index_t r = 0, c = 0;
     double v = 1.0;
     entry >> r >> c;
     if (!pattern) entry >> v;
-    SPMVML_ENSURE(!entry.fail(), "malformed entry line: " + line);
-    SPMVML_ENSURE(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                  "entry index out of range");
+    SPMVML_ENSURE_CAT(!entry.fail(), ErrorCategory::kParse,
+                      "malformed entry line: " + line + at_line(lineno));
+    SPMVML_ENSURE_CAT(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                      ErrorCategory::kParse,
+                      "entry index out of range" + at_line(lineno));
     entries.push_back({r - 1, c - 1, v});
     if (symmetric && r != c) entries.push_back({c - 1, r - 1, v});
   }
@@ -70,7 +104,7 @@ Csr<double> read_matrix_market(std::istream& in) {
 
 Csr<double> read_matrix_market(const std::string& path) {
   std::ifstream in(path);
-  SPMVML_ENSURE(in.good(), "cannot open " + path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo, "cannot open " + path);
   return read_matrix_market(in);
 }
 
@@ -87,9 +121,10 @@ void write_matrix_market(std::ostream& out, const Csr<double>& m) {
 
 void write_matrix_market(const std::string& path, const Csr<double>& m) {
   std::ofstream out(path);
-  SPMVML_ENSURE(out.good(), "cannot open " + path + " for writing");
+  SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                    "cannot open " + path + " for writing");
   write_matrix_market(out, m);
-  SPMVML_ENSURE(out.good(), "write failed for " + path);
+  SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo, "write failed for " + path);
 }
 
 }  // namespace spmvml

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -105,6 +106,30 @@ CorpusPlan make_small_plan(int n, std::uint64_t seed) {
     plan.bucket_of.push_back(static_cast<int>(b));
   }
   return plan;
+}
+
+std::uint64_t plan_fingerprint(const CorpusPlan& plan) {
+  const auto mix_double = [](std::uint64_t h, double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return hash_combine(h, bits);
+  };
+  std::uint64_t h = hash_combine(0x90A5F1A4ULL, plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const GenSpec& s = plan.specs[i];
+    h = hash_combine(h, static_cast<std::uint64_t>(s.family));
+    h = hash_combine(h, static_cast<std::uint64_t>(s.rows));
+    h = hash_combine(h, static_cast<std::uint64_t>(s.cols));
+    h = mix_double(h, s.row_mu);
+    h = mix_double(h, s.row_cv);
+    h = mix_double(h, s.band_frac);
+    h = mix_double(h, s.alpha);
+    h = hash_combine(h, static_cast<std::uint64_t>(s.block_size));
+    h = hash_combine(h, s.seed);
+    h = hash_combine(h, static_cast<std::uint64_t>(plan.bucket_of[i]));
+  }
+  return h;
 }
 
 }  // namespace spmvml

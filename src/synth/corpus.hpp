@@ -57,4 +57,10 @@ CorpusPlan make_corpus_plan(double scale, std::uint64_t seed);
 /// unit tests and smoke benches.
 CorpusPlan make_small_plan(int n, std::uint64_t seed);
 
+/// Content hash over every GenSpec and bucket assignment in the plan.
+/// Two plans with the same size but different scale/seed/bucket mix get
+/// different fingerprints — label caches carry this so a stale cache from
+/// a same-sized but different plan is never silently reused.
+std::uint64_t plan_fingerprint(const CorpusPlan& plan);
+
 }  // namespace spmvml

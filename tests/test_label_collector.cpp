@@ -125,6 +125,62 @@ TEST(LabelCollector, MemoryLimitExcludesMonsterEllImages) {
   EXPECT_LT(filtered.size(), unfiltered.size());
 }
 
+TEST(LabelCollector, CacheHeaderRoundTripsHashAndDone) {
+  const auto plan = tiny_plan();
+  const auto corpus = collect_corpus(plan);
+  const auto path = testing::TempDir() + "/spmvml_cache_header_test.csv";
+  save_corpus_csv(path, corpus, plan.size(), plan_fingerprint(plan), 4);
+  std::size_t size = 0, done = 0;
+  std::uint64_t hash = 0;
+  load_corpus_csv(path, &size, &hash, &done);
+  EXPECT_EQ(size, plan.size());
+  EXPECT_EQ(hash, plan_fingerprint(plan));
+  EXPECT_EQ(done, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(LabelCollector, LoadOrCollectInvalidatesOnPlanContentChange) {
+  // Two plans with identical sizes but different seeds: a stale cache from
+  // the first must not be served for the second.
+  const auto path = testing::TempDir() + "/spmvml_cache_content_test.csv";
+  std::remove(path.c_str());
+  const auto plan_a = make_small_plan(6, 77);
+  const auto plan_b = make_small_plan(6, 78);
+  ASSERT_EQ(plan_a.size(), plan_b.size());
+  load_or_collect(path, plan_a);
+  const auto from_b = load_or_collect(path, plan_b);
+  ASSERT_EQ(from_b.size(), plan_b.size());
+  for (std::size_t i = 0; i < plan_b.size(); ++i)
+    EXPECT_EQ(from_b.records[i].seed, plan_b.specs[i].seed);
+  // And the rewritten cache now serves plan_b from disk.
+  const auto again = load_or_collect(path, plan_b);
+  EXPECT_EQ(again.stats.attempted, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LabelCollector, LoadOrCollectResumesPartialCache) {
+  // A partial checkpoint left at the cache path is picked up and finished
+  // instead of being recollected from scratch.
+  const auto path = testing::TempDir() + "/spmvml_cache_partial_test.csv";
+  std::remove(path.c_str());
+  const auto plan = make_small_plan(10, 55);
+  const auto full = collect_corpus(plan);
+
+  LabeledCorpus partial;
+  partial.records.assign(full.records.begin(), full.records.begin() + 7);
+  save_corpus_csv(path, partial, plan.size(), plan_fingerprint(plan), 7);
+
+  const auto resumed = load_or_collect(path, plan);
+  EXPECT_EQ(resumed.stats.resumed_records, 7u);
+  EXPECT_EQ(resumed.stats.attempted, plan.size() - 7);
+  ASSERT_EQ(resumed.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    EXPECT_DOUBLE_EQ(resumed.records[i].time(0, Precision::kDouble,
+                                             Format::kCsr),
+                     full.records[i].time(0, Precision::kDouble, Format::kCsr));
+  std::remove(path.c_str());
+}
+
 TEST(LabelCollector, DeterministicAcrossRuns) {
   const auto a = collect_corpus(tiny_plan());
   const auto b = collect_corpus(tiny_plan());

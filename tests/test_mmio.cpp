@@ -123,5 +123,73 @@ TEST(Mmio, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market("/nonexistent/path.mtx"), Error);
 }
 
+TEST(Mmio, MissingFileErrorIsIoCategory) {
+  try {
+    read_matrix_market("/nonexistent/path.mtx");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+  }
+}
+
+TEST(Mmio, ToleratesCrlfLineEndings) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% dos-style comment\r\n"
+      "2 2 2\r\n"
+      "1 1 1.5\r\n"
+      "2 2 -2.0\r\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.values()[0], 1.5);
+  EXPECT_DOUBLE_EQ(m.values()[1], -2.0);
+}
+
+TEST(Mmio, ToleratesBlankLinesBeforeDimensions) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "\n"
+      "% comment after a blank line\n"
+      "   \n"
+      "2 2 1\n"
+      "1 2 3.0\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.values()[0], 3.0);
+}
+
+TEST(Mmio, ParseErrorsCarryLineNumberAndCategory) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 bogus 1.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kParse);
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Mmio, BadDimensionsReportLineNumber) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "0 -3 1\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kParse);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace spmvml

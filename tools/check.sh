@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plus an optional sanitizer pass.
+#
+#   tools/check.sh            # configure + build + ctest (the tier-1 gate)
+#   tools/check.sh --asan     # same, in a separate build dir with
+#                             # -fsanitize=address,undefined
+#
+# Both passes use their own build directory and leave ./build alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_suite() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== sanitizer pass (address;undefined) =="
+  run_suite build-asan "-DSPMVML_SANITIZE=address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+else
+  echo "== tier-1 verify =="
+  run_suite build
+fi
+
+echo "OK"

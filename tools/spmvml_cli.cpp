@@ -5,12 +5,17 @@
 //                  [--model xgboost|svm|mlp|tree] [--features set1|set12|
 //                  set123|imp] [--scale 0.25]
 //   spmvml train-perf --out perf.model [--arch P100] [--scale 0.25]
-//   spmvml select  --model sel.model  <matrix.mtx>
+//   spmvml select  --model sel.model [--mem-budget GB] <matrix.mtx>
 //   spmvml predict --model perf.model <matrix.mtx>
 //   spmvml inspect <matrix.mtx>
 //
 // Matrix arguments are Matrix Market files; synthetic matrices can be
 // produced with the format_explorer example instead.
+//
+// Exit codes: 0 success, 1 generic error, 2 usage, then one per
+// ErrorCategory — 3 parse, 4 io, 5 model-format, 6 infeasible-format,
+// 7 measurement (see common/error.hpp).
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +26,7 @@
 #include "common/table.hpp"
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/row_summary.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/reorder.hpp"
@@ -38,7 +44,8 @@ namespace {
                "[--features set1|set12|set123|imp] [--scale S]\n"
                "  spmvml train-perf --out <file> [--arch ...] "
                "[--precision ...] [--scale S]\n"
-               "  spmvml select     --model <file> <matrix.mtx>\n"
+               "  spmvml select     --model <file> [--mem-budget GB] "
+               "[--precision single|double] <matrix.mtx>\n"
                "  spmvml predict    --model <file> <matrix.mtx>\n"
                "  spmvml inspect    <matrix.mtx>\n");
   std::exit(2);
@@ -66,6 +73,30 @@ Args parse(int argc, char** argv, int from) {
 std::string opt(const Args& a, const char* name, const char* fallback) {
   const auto it = a.options.find(name);
   return it == a.options.end() ? fallback : it->second;
+}
+
+/// Validated numeric option: the whole token must parse as a finite
+/// double in [lo, hi]. Bad values are usage errors, not uncaught
+/// std::invalid_argument crashes.
+double numeric_opt(const Args& a, const char* name, double fallback,
+                   double lo, double hi) {
+  const auto it = a.options.find(name);
+  if (it == a.options.end()) return fallback;
+  const std::string& text = it->second;
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (text.empty() || consumed != text.size() || !std::isfinite(value) ||
+      value < lo || value > hi) {
+    std::fprintf(stderr, "spmvml: bad value for --%s: '%s'\n", name,
+                 text.c_str());
+    usage();
+  }
+  return value;
 }
 
 int arch_of(const Args& a) {
@@ -101,7 +132,7 @@ ModelKind model_of(const Args& a) {
 }
 
 LabeledCorpus corpus_of(const Args& a) {
-  const double scale = std::stod(opt(a, "scale", "0.25"));
+  const double scale = numeric_opt(a, "scale", 0.25, 1e-4, 100.0);
   std::printf("collecting training corpus (scale %.2f)...\n", scale);
   CollectOptions options;
   options.progress = [](std::size_t done, std::size_t total) {
@@ -117,6 +148,8 @@ int cmd_train(const Args& a) {
   FormatSelector selector(model_of(a), features_of(a), kAllFormats);
   selector.fit(corpus, arch_of(a), precision_of(a));
   std::ofstream out(out_path);
+  SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                    "cannot open " + out_path + " for writing");
   selector.save(out);
   std::printf("selector written to %s\n", out_path.c_str());
   return 0;
@@ -129,6 +162,8 @@ int cmd_train_perf(const Args& a) {
   PerfModel model(RegressorKind::kXgboost, features_of(a), kAllFormats);
   model.fit(corpus, arch_of(a), precision_of(a));
   std::ofstream out(out_path);
+  SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                    "cannot open " + out_path + " for writing");
   model.save(out);
   std::printf("performance model written to %s\n", out_path.c_str());
   return 0;
@@ -136,24 +171,43 @@ int cmd_train_perf(const Args& a) {
 
 int cmd_select(const Args& a) {
   if (a.positional.empty()) usage();
-  std::ifstream in(opt(a, "model", "spmvml_selector.model"));
-  if (!in.good()) {
-    std::fprintf(stderr, "cannot open model file\n");
-    return 1;
-  }
+  const auto model_path = opt(a, "model", "spmvml_selector.model");
+  std::ifstream in(model_path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo,
+                    "cannot open model file " + model_path);
   const auto selector = FormatSelector::load_selector(in);
   const auto matrix = read_matrix_market(a.positional.front());
+
+  // --mem-budget <GB>: constrain the selection to formats whose simulated
+  // device image fits the budget; report when a fallback happened.
+  const double budget_gb = numeric_opt(a, "mem-budget", 0.0, 0.0, 1e6);
+  if (budget_gb > 0.0) {
+    const auto summary = summarize(matrix);
+    const auto budget_bytes = static_cast<std::int64_t>(budget_gb * 1e9);
+    const auto feasible =
+        make_memory_feasibility(summary, precision_of(a), budget_bytes);
+    const Selection sel = selector.select_feasible(matrix, feasible);
+    if (sel.fallback)
+      std::fprintf(stderr,
+                   "note: predicted format %s exceeds --mem-budget %.3g GB "
+                   "(needs %.3g GB); fell back to %s\n",
+                   format_name(sel.predicted), budget_gb,
+                   format_device_bytes(summary, sel.predicted,
+                                       precision_of(a)) / 1e9,
+                   format_name(sel.format));
+    std::printf("%s\n", format_name(sel.format));
+    return 0;
+  }
   std::printf("%s\n", format_name(selector.select(matrix)));
   return 0;
 }
 
 int cmd_predict(const Args& a) {
   if (a.positional.empty()) usage();
-  std::ifstream in(opt(a, "model", "spmvml_perf.model"));
-  if (!in.good()) {
-    std::fprintf(stderr, "cannot open model file\n");
-    return 1;
-  }
+  const auto model_path = opt(a, "model", "spmvml_perf.model");
+  std::ifstream in(model_path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo,
+                    "cannot open model file " + model_path);
   const auto model = PerfModel::load_model(in);
   const auto matrix = read_matrix_market(a.positional.front());
   const auto features = extract_features(matrix);
@@ -202,6 +256,12 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const Error& e) {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 error_category_name(e.category()), e.what());
+    return error_exit_code(e.category());
+  } catch (const std::exception& e) {
+    // Nothing below main should leak a raw std::exception; if it does,
+    // fail cleanly instead of crashing with an uncaught-exception abort.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
