@@ -31,4 +31,9 @@ std::uint64_t root_seed() {
   return static_cast<std::uint64_t>(env_int("SPMVML_SEED", 2018));
 }
 
+int thread_count() {
+  return static_cast<int>(std::clamp<std::int64_t>(
+      env_int("SPMVML_THREADS", 1), 1, 256));
+}
+
 }  // namespace spmvml

@@ -5,6 +5,8 @@
 //                          smoke runs (default 0)
 //   SPMVML_SEED          — root seed for all experiments (default 2018,
 //                          the paper's publication year)
+//   SPMVML_THREADS       — worker threads for parallel collection and the
+//                          pipeline bench (default 1 = serial)
 #pragma once
 
 #include <cstdint>
@@ -28,5 +30,9 @@ bool fast_mode();
 
 /// Root experiment seed (SPMVML_SEED, default 2018).
 std::uint64_t root_seed();
+
+/// Worker-thread count for the collection pipeline (SPMVML_THREADS,
+/// default 1, clamped to [1, 256]). 1 means the serial code path.
+int thread_count();
 
 }  // namespace spmvml

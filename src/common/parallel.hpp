@@ -12,18 +12,29 @@
 
 namespace spmvml {
 
-/// Invoke fn(i) for i in [0, n). Parallel when OpenMP is available and the
-/// trip count is large enough to amortise scheduling.
+/// Invoke fn(i) for i in [0, n), going parallel only when the trip count
+/// reaches `min_parallel_n` (amortising scheduling overhead). Iterations
+/// are partitioned statically, so a body whose result depends only on `i`
+/// is deterministic regardless of thread count.
 template <typename Fn>
-void parallel_for(std::int64_t n, Fn&& fn) {
+void parallel_for(std::int64_t n, std::int64_t min_parallel_n, Fn&& fn) {
 #ifdef SPMVML_HAVE_OPENMP
-  if (n >= 1024 && omp_get_max_threads() > 1) {
+  if (n >= min_parallel_n && omp_get_max_threads() > 1) {
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+#else
+  (void)min_parallel_n;
 #endif
   for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Invoke fn(i) for i in [0, n). Parallel when OpenMP is available and the
+/// trip count is large enough to amortise scheduling.
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn) {
+  parallel_for(n, 1024, std::forward<Fn>(fn));
 }
 
 /// Number of worker threads the parallel_for above would use.

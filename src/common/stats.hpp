@@ -36,11 +36,23 @@ class StreamingStats {
   double min() const { return n_ > 0 ? min_ : 0.0; }
   double max() const { return n_ > 0 ? max_ : 0.0; }
 
-  /// Merge another accumulator into this one (parallel reduction support).
+  /// Merge another accumulator into this one (parallel reduction
+  /// support): the result is exactly the accumulator state for the
+  /// concatenation of both streams — count/sum/min/max are exact, and
+  /// mean/m2 use the pairwise (Chan et al.) update, which is
+  /// deterministic for a fixed merge order and at least as numerically
+  /// stable as the sequential Welford update. Parallel feature
+  /// extraction relies on a fixed block partition merged in row order,
+  /// so merged values never depend on the thread count.
   void merge(const StreamingStats& other) {
     if (other.n_ == 0) return;
-    if (n_ == 0) {
-      *this = other;
+    if (n_ == 0 || &other == this) {
+      const StreamingStats copy = other;  // self-merge safe
+      if (n_ == 0) {
+        *this = copy;
+        return;
+      }
+      merge(copy);
       return;
     }
     const double total = static_cast<double>(n_ + other.n_);

@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace spmvml {
+
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() { return tls_worker_index; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::submit_after(double delay_s, std::function<void()> task) {
+  if (delay_s <= 0.0) {
+    submit(std::move(task));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DelayedTask t;
+    t.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(delay_s));
+    t.seq = delayed_seq_++;
+    t.fn = std::move(task);
+    delayed_.push(std::move(t));
+    ++pending_;
+  }
+  // A worker may be sleeping past the new deadline; wake one to re-arm.
+  work_cv_.notify_one();
+}
+
+void ThreadPool::promote_due(Clock::time_point now) {
+  while (!delayed_.empty() && delayed_.top().ready_at <= now) {
+    // priority_queue::top() is const; the task is moved out via const_cast
+    // immediately before pop, which is safe because no other accessor
+    // observes the moved-from element.
+    ready_.push_back(std::move(const_cast<DelayedTask&>(delayed_.top()).fn));
+    delayed_.pop();
+  }
+}
+
+void ThreadPool::worker_loop(int index) {
+  tls_worker_index = index;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    promote_due(Clock::now());
+    if (!ready_.empty()) {
+      // promote_due may have made several tasks runnable at once; chain a
+      // wake-up so sibling workers pick up the rest.
+      if (ready_.size() > 1) work_cv_.notify_one();
+      std::function<void()> task = std::move(ready_.front());
+      ready_.pop_front();
+      lock.unlock();
+      task();
+      // Release the closure's captures before bookkeeping so wait_idle()
+      // returning implies task state has been destroyed.
+      task = nullptr;
+      lock.lock();
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    if (!delayed_.empty()) {
+      work_cv_.wait_until(lock, delayed_.top().ready_at);
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace spmvml

@@ -1,13 +1,20 @@
 #include "core/label_collector.hpp"
 
+#include <charconv>
 #include <chrono>
+#include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <limits>
-#include <sstream>
+#include <memory>
+#include <mutex>
+#include <string_view>
 #include <thread>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "gpusim/row_summary.hpp"
 
 namespace spmvml {
@@ -42,28 +49,93 @@ bool MatrixRecord::fully_valid() const {
   return true;
 }
 
+double backoff_delay_s(const CollectOptions& options, int attempt) {
+  if (options.backoff_base_s <= 0.0) return 0.0;
+  // exp2 saturates to +inf for huge exponents, so the min() against the
+  // cap is well-defined for any retry budget (1 << attempt would be UB
+  // past 30 on 32-bit int).
+  const double factor = std::exp2(static_cast<double>(std::min(attempt, 1023)));
+  return std::min(options.backoff_base_s * factor, options.backoff_cap_s);
+}
+
 namespace {
 
+/// Per-plan-entry accounting, merged into CollectStats in plan order so
+/// totals match the serial run exactly.
+struct EntryStats {
+  bool attempted = false;
+  bool dropped_prefilter = false;
+  bool dropped_all_failed = false;
+  std::size_t failed_cells = 0;
+  std::size_t oom_cells = 0;
+  std::size_t timeout_cells = 0;
+  std::size_t transient_cells = 0;
+  std::size_t transient_retries = 0;
+
+  void merge_into(CollectStats& s) const {
+    s.attempted += attempted ? 1 : 0;
+    s.dropped_prefilter += dropped_prefilter ? 1 : 0;
+    s.dropped_all_failed += dropped_all_failed ? 1 : 0;
+    s.failed_cells += failed_cells;
+    s.oom_cells += oom_cells;
+    s.timeout_cells += timeout_cells;
+    s.transient_cells += transient_cells;
+    s.transient_retries += transient_retries;
+  }
+};
+
+void count_failed_cell(MeasurementStatus status, EntryStats& stats) {
+  ++stats.failed_cells;
+  switch (status) {
+    case MeasurementStatus::kOom: ++stats.oom_cells; break;
+    case MeasurementStatus::kTimeout: ++stats.timeout_cells; break;
+    case MeasurementStatus::kTransient: ++stats.transient_cells; break;
+    case MeasurementStatus::kOk: break;
+  }
+}
+
 /// Measure one cell, retrying transient failures with capped exponential
-/// backoff. Structural failures (OOM, timeout) return immediately.
+/// backoff. Structural failures (OOM, timeout) return immediately. Serial
+/// path only — the parallel collector requeues on the pool instead of
+/// sleeping.
 Measurement measure_with_retry(const MeasurementOracle& oracle,
                                const RowSummary& summary, Format f,
                                std::uint64_t seed,
                                const CollectOptions& options,
-                               CollectStats& stats) {
+                               EntryStats& stats) {
   Measurement m;
   for (int attempt = 0;; ++attempt) {
     m = oracle.measure(summary, f, seed, attempt);
     if (!is_retryable(m.status) || attempt >= options.max_retries) break;
     ++stats.transient_retries;
-    if (options.backoff_base_s > 0.0) {
-      const double delay = std::min(
-          options.backoff_base_s * static_cast<double>(1 << attempt),
-          options.backoff_cap_s);
+    const double delay = backoff_delay_s(options, attempt);
+    if (delay > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-    }
   }
   return m;
+}
+
+/// §IV-C as a wholesale filter, kept for the fault-free configuration
+/// (the ELL image is by far the largest; 12 bytes per padded slot).
+/// With faults enabled, infeasible formats fail per-cell instead.
+bool prefilter_drops(const RowSummary& summary, const CollectOptions& options) {
+  if (options.faults.enabled || options.format_memory_limit <= 0) return false;
+  const double ell_bytes = static_cast<double>(summary.rows) *
+                           static_cast<double>(summary.row_max) * 12.0;
+  return ell_bytes > static_cast<double>(options.format_memory_limit);
+}
+
+std::vector<MeasurementOracle> make_oracle_set(const CollectOptions& options) {
+  const auto archs = paper_testbeds();
+  SPMVML_ENSURE(archs.size() == kNumArchs, "expected two testbeds");
+  MeasurementConfig measurement = options.measurement;
+  measurement.faults = options.faults;
+  std::vector<MeasurementOracle> oracles;
+  for (const auto& arch : archs)
+    for (int p = 0; p < kNumPrecisions; ++p)
+      oracles.emplace_back(arch, static_cast<Precision>(p), measurement,
+                           options.cost);
+  return oracles;
 }
 
 /// Try to restore a checkpoint matching this plan. Returns the number of
@@ -91,10 +163,30 @@ std::size_t try_resume(const CorpusPlan& plan, const CollectOptions& options,
   return 0;
 }
 
-}  // namespace
+/// Fill the spec-derived part of a record (everything except timings).
+/// Returns false when the §IV-C prefilter drops the matrix.
+bool prepare_record(const GenSpec& spec, int bucket,
+                    const CollectOptions& options, MatrixRecord& rec,
+                    RowSummary& summary, EntryStats& stats) {
+  const Csr<double> matrix = generate(spec);
+  summary = summarize(matrix);
+  stats.attempted = true;
+  if (prefilter_drops(summary, options)) {
+    stats.dropped_prefilter = true;
+    return false;
+  }
+  rec.seed = spec.seed;
+  rec.bucket = bucket;
+  rec.family = static_cast<int>(spec.family);
+  rec.rows = static_cast<double>(matrix.rows());
+  rec.cols = static_cast<double>(matrix.cols());
+  rec.nnz = static_cast<double>(matrix.nnz());
+  rec.features = extract_features(matrix);
+  return true;
+}
 
-LabeledCorpus collect_corpus(const CorpusPlan& plan,
-                             const CollectOptions& options) {
+LabeledCorpus collect_corpus_serial(const CorpusPlan& plan,
+                                    const CollectOptions& options) {
   LabeledCorpus corpus;
   corpus.records.reserve(plan.size());
   CollectStats& stats = corpus.stats;
@@ -103,43 +195,19 @@ LabeledCorpus collect_corpus(const CorpusPlan& plan,
   const std::size_t start = try_resume(plan, options, corpus);
 
   // One oracle per (arch, precision); they share the cost parameters.
-  const auto archs = paper_testbeds();
-  SPMVML_ENSURE(archs.size() == kNumArchs, "expected two testbeds");
-  MeasurementConfig measurement = options.measurement;
-  measurement.faults = options.faults;
-  std::vector<MeasurementOracle> oracles;
-  for (const auto& arch : archs)
-    for (int p = 0; p < kNumPrecisions; ++p)
-      oracles.emplace_back(arch, static_cast<Precision>(p), measurement,
-                           options.cost);
+  const std::vector<MeasurementOracle> oracles = make_oracle_set(options);
 
   for (std::size_t m = start; m < plan.size(); ++m) {
-    const GenSpec& spec = plan.specs[m];
-    const Csr<double> matrix = generate(spec);
-    const RowSummary summary = summarize(matrix);
-    ++stats.attempted;
-
-    // §IV-C as a wholesale filter, kept for the fault-free configuration
-    // (the ELL image is by far the largest; 12 bytes per padded slot).
-    // With faults enabled, infeasible formats fail per-cell instead.
-    if (!options.faults.enabled && options.format_memory_limit > 0) {
-      const double ell_bytes = static_cast<double>(summary.rows) *
-                               static_cast<double>(summary.row_max) * 12.0;
-      if (ell_bytes > static_cast<double>(options.format_memory_limit)) {
-        ++stats.dropped_prefilter;
-        if (options.progress) options.progress(m + 1, plan.size());
-        continue;
-      }
-    }
-
     MatrixRecord rec;
-    rec.seed = spec.seed;
-    rec.bucket = plan.bucket_of[m];
-    rec.family = static_cast<int>(spec.family);
-    rec.rows = static_cast<double>(matrix.rows());
-    rec.cols = static_cast<double>(matrix.cols());
-    rec.nnz = static_cast<double>(matrix.nnz());
-    rec.features = extract_features(matrix);
+    RowSummary summary;
+    EntryStats entry;
+    const bool keep_measuring = prepare_record(
+        plan.specs[m], plan.bucket_of[m], options, rec, summary, entry);
+    if (!keep_measuring) {
+      entry.merge_into(stats);
+      if (options.progress) options.progress(m + 1, plan.size());
+      continue;
+    }
 
     std::size_t valid_cells = 0;
     for (int a = 0; a < kNumArchs; ++a) {
@@ -147,35 +215,26 @@ LabeledCorpus collect_corpus(const CorpusPlan& plan,
         const auto& oracle =
             oracles[static_cast<std::size_t>(a * kNumPrecisions + p)];
         for (int f = 0; f < kNumFormats; ++f) {
-          const Measurement cell = measure_with_retry(
-              oracle, summary, static_cast<Format>(f), spec.seed, options,
-              stats);
+          const Measurement cell =
+              measure_with_retry(oracle, summary, static_cast<Format>(f),
+                                 rec.seed, options, entry);
           rec.seconds[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)]
                      [static_cast<std::size_t>(f)] = cell.seconds;
-          if (cell.ok()) {
+          if (cell.ok())
             ++valid_cells;
-          } else {
-            ++stats.failed_cells;
-            switch (cell.status) {
-              case MeasurementStatus::kOom: ++stats.oom_cells; break;
-              case MeasurementStatus::kTimeout: ++stats.timeout_cells; break;
-              case MeasurementStatus::kTransient:
-                ++stats.transient_cells;
-                break;
-              case MeasurementStatus::kOk: break;
-            }
-          }
+          else
+            count_failed_cell(cell.status, entry);
         }
       }
     }
 
     // A matrix is only dropped wholesale when *every* cell failed — there
     // is nothing to learn from it.
-    if (valid_cells == 0) {
-      ++stats.dropped_all_failed;
-    } else {
+    if (valid_cells == 0)
+      entry.dropped_all_failed = true;
+    else
       corpus.records.push_back(rec);
-    }
+    entry.merge_into(stats);
 
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         (m + 1 - start) % options.checkpoint_every == 0 &&
@@ -190,6 +249,226 @@ LabeledCorpus collect_corpus(const CorpusPlan& plan,
     save_corpus_csv(options.checkpoint_path, corpus, plan.size(), fingerprint,
                     plan.size());
   return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel collection.
+//
+// Each plan entry is one resumable task: generate → summarize →
+// extract_features → measure all cells. When a cell needs transient-retry
+// backoff the task snapshots its position (cell index + attempt) and
+// requeues itself on the pool with a deadline instead of sleeping, so the
+// worker immediately moves on to another matrix. Finished entries land in
+// a plan-indexed slot array; the assembled corpus is therefore bitwise
+// identical to the serial run for any thread count. Checkpoints cover the
+// longest fully-complete prefix in plan order.
+
+constexpr std::size_t kCellsPerMatrix = static_cast<std::size_t>(kNumArchs) *
+                                        kNumPrecisions * kNumFormats;
+
+struct EntrySlot {
+  MatrixRecord rec;
+  bool kept = false;
+  EntryStats stats;
+};
+
+struct MatrixTask {
+  std::size_t index = 0;
+  bool prepared = false;
+  bool dropped = false;
+  RowSummary summary;
+  MatrixRecord rec;
+  std::size_t cell = 0;  // linear over (arch, precision, format)
+  int attempt = 0;
+  std::size_t valid_cells = 0;
+  EntryStats stats;
+};
+
+struct ParallelCollectContext {
+  const CorpusPlan& plan;
+  const CollectOptions& options;
+  std::uint64_t fingerprint = 0;
+  std::size_t start = 0;
+
+  ThreadPool pool;
+  // One oracle set per worker: task state never shares oracle storage
+  // with another in-flight matrix.
+  std::vector<std::vector<MeasurementOracle>> worker_oracles;
+
+  std::mutex mu;
+  std::vector<EntrySlot> slots;
+  std::vector<char> entry_done;
+  std::size_t prefix = 0;           // first plan index not yet complete
+  std::size_t last_checkpoint = 0;  // prefix at the last checkpoint write
+  std::size_t completed = 0;        // finished entries (progress reporting)
+  const std::vector<MatrixRecord>* resumed_records = nullptr;
+  std::exception_ptr error;
+  bool cancelled = false;
+
+  ParallelCollectContext(const CorpusPlan& p, const CollectOptions& o,
+                         int threads)
+      : plan(p), options(o), pool(threads) {
+    for (int t = 0; t < pool.size(); ++t)
+      worker_oracles.push_back(make_oracle_set(options));
+  }
+};
+
+/// Snapshot the longest complete prefix into a checkpoint file. Caller
+/// holds ctx.mu.
+void write_prefix_checkpoint(ParallelCollectContext& ctx, std::size_t done) {
+  LabeledCorpus snapshot;
+  snapshot.records.reserve(ctx.resumed_records->size() + done - ctx.start);
+  snapshot.records = *ctx.resumed_records;
+  for (std::size_t i = ctx.start; i < done; ++i)
+    if (ctx.slots[i].kept) snapshot.records.push_back(ctx.slots[i].rec);
+  save_corpus_csv(ctx.options.checkpoint_path, snapshot, ctx.plan.size(),
+                  ctx.fingerprint, done);
+}
+
+void finish_entry(ParallelCollectContext& ctx, const MatrixTask& task) {
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  EntrySlot& slot = ctx.slots[task.index];
+  slot.kept = task.prepared && !task.dropped && task.valid_cells > 0;
+  if (slot.kept) slot.rec = task.rec;
+  slot.stats = task.stats;
+  ctx.entry_done[task.index] = 1;
+  ++ctx.completed;
+
+  while (ctx.prefix < ctx.plan.size() && ctx.entry_done[ctx.prefix])
+    ++ctx.prefix;
+  if (ctx.cancelled) return;  // draining after a failure: stay quiet
+  const CollectOptions& opt = ctx.options;
+  if (!opt.checkpoint_path.empty() && opt.checkpoint_every > 0 &&
+      ctx.prefix < ctx.plan.size() && ctx.prefix > ctx.last_checkpoint &&
+      (ctx.prefix - ctx.start) / opt.checkpoint_every >
+          (ctx.last_checkpoint - ctx.start) / opt.checkpoint_every) {
+    ctx.last_checkpoint = ctx.prefix;
+    write_prefix_checkpoint(ctx, ctx.prefix);
+  }
+  // Serialized under the lock; `done` is monotonic exactly like the
+  // serial path's (m + 1).
+  if (opt.progress) opt.progress(ctx.start + ctx.completed, ctx.plan.size());
+}
+
+void run_matrix_task(ParallelCollectContext& ctx,
+                     const std::shared_ptr<MatrixTask>& task) {
+  try {
+    {
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      // After a failure, never-started entries drain as no-ops, but
+      // entries with partial progress (including ones parked in backoff)
+      // run to completion so the longest-prefix checkpoint is maximal.
+      if (ctx.cancelled && !task->prepared) return;
+    }
+    if (!task->prepared) {
+      const std::size_t m = task->index;
+      task->dropped =
+          !prepare_record(ctx.plan.specs[m], ctx.plan.bucket_of[m],
+                          ctx.options, task->rec, task->summary, task->stats);
+      task->prepared = true;
+      if (task->dropped) {
+        finish_entry(ctx, *task);
+        return;
+      }
+    }
+
+    const int wi = ThreadPool::worker_index();
+    const auto& oracles =
+        ctx.worker_oracles[wi >= 0 ? static_cast<std::size_t>(wi) : 0];
+    while (task->cell < kCellsPerMatrix) {
+      const auto machine = task->cell / kNumFormats;
+      const int f = static_cast<int>(task->cell % kNumFormats);
+      const Measurement cell =
+          oracles[machine].measure(task->summary, static_cast<Format>(f),
+                                   task->rec.seed, task->attempt);
+      if (is_retryable(cell.status) &&
+          task->attempt < ctx.options.max_retries) {
+        ++task->stats.transient_retries;
+        const double delay = backoff_delay_s(ctx.options, task->attempt);
+        ++task->attempt;
+        if (delay > 0.0) {
+          // Yield the worker: park this matrix until the deadline and let
+          // the pool run other entries meanwhile.
+          auto self = task;
+          ctx.pool.submit_after(
+              delay, [&ctx, self] { run_matrix_task(ctx, self); });
+          return;
+        }
+        continue;  // backoff disabled: retry in place
+      }
+      const auto a = machine / kNumPrecisions;
+      const auto p = machine % kNumPrecisions;
+      task->rec.seconds[a][p][static_cast<std::size_t>(f)] = cell.seconds;
+      if (cell.ok())
+        ++task->valid_cells;
+      else
+        count_failed_cell(cell.status, task->stats);
+      task->attempt = 0;
+      ++task->cell;
+    }
+    finish_entry(ctx, *task);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    if (!ctx.error) ctx.error = std::current_exception();
+    ctx.cancelled = true;
+  }
+}
+
+LabeledCorpus collect_corpus_parallel(const CorpusPlan& plan,
+                                      const CollectOptions& options,
+                                      int threads) {
+  LabeledCorpus corpus;
+  corpus.records.reserve(plan.size());
+
+  ParallelCollectContext ctx(plan, options, threads);
+  ctx.fingerprint = plan_fingerprint(plan);
+  ctx.start = try_resume(plan, options, corpus);
+  ctx.resumed_records = &corpus.records;
+  ctx.slots.resize(plan.size());
+  ctx.entry_done.assign(plan.size(), 0);
+  // Entries restored from the checkpoint count as complete.
+  for (std::size_t i = 0; i < ctx.start; ++i) ctx.entry_done[i] = 1;
+  ctx.prefix = ctx.start;
+  ctx.last_checkpoint = ctx.start;
+
+  for (std::size_t m = ctx.start; m < plan.size(); ++m) {
+    auto task = std::make_shared<MatrixTask>();
+    task->index = m;
+    ctx.pool.submit([&ctx, task] { run_matrix_task(ctx, task); });
+  }
+  ctx.pool.wait_idle();
+  if (ctx.error) {
+    // A "killed" run still leaves the longest fully-complete prefix on
+    // disk, so the next invocation resumes instead of starting over.
+    // In-flight tasks kept finishing after the failure (only queued work
+    // is drained), so ctx.prefix reflects everything completed.
+    if (!options.checkpoint_path.empty() && ctx.prefix > ctx.start)
+      write_prefix_checkpoint(ctx, ctx.prefix);
+    std::rethrow_exception(ctx.error);
+  }
+
+  // Deterministic assembly: records and stats merge in plan order, never
+  // in completion order.
+  CollectStats& stats = corpus.stats;
+  for (std::size_t i = ctx.start; i < plan.size(); ++i) {
+    const EntrySlot& slot = ctx.slots[i];
+    slot.stats.merge_into(stats);
+    if (slot.kept) corpus.records.push_back(slot.rec);
+  }
+  stats.kept = corpus.records.size();
+  if (!options.checkpoint_path.empty())
+    save_corpus_csv(options.checkpoint_path, corpus, plan.size(),
+                    ctx.fingerprint, plan.size());
+  return corpus;
+}
+
+}  // namespace
+
+LabeledCorpus collect_corpus(const CorpusPlan& plan,
+                             const CollectOptions& options) {
+  const int threads = options.threads > 0 ? options.threads : thread_count();
+  if (threads <= 1) return collect_corpus_serial(plan, options);
+  return collect_corpus_parallel(plan, options, threads);
 }
 
 void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
@@ -241,6 +520,46 @@ void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
   save_corpus_csv(path, corpus, plan_size, 0, plan_size);
 }
 
+namespace {
+
+/// Zero-allocation cursor over one CSV line: std::from_chars directly on
+/// the raw character range. Checkpoints re-read the whole cache on every
+/// resume, so row parsing is a measurable startup cost; from_chars is
+/// several times faster than istringstream + std::stod and still
+/// round-trips precision-17 doubles, "nan" cells and integer seeds
+/// exactly.
+class CsvCursor {
+ public:
+  explicit CsvCursor(const std::string& line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  double next_double() { return next<double>(); }
+  std::uint64_t next_u64() { return next<std::uint64_t>(); }
+
+ private:
+  template <typename T>
+  T next() {
+    if (!first_) {
+      SPMVML_ENSURE_CAT(p_ < end_ && *p_ == ',', ErrorCategory::kParse,
+                        "truncated CSV row");
+      ++p_;
+    }
+    first_ = false;
+    T value{};
+    const auto [ptr, ec] = std::from_chars(p_, end_, value);
+    SPMVML_ENSURE_CAT(ec == std::errc{}, ErrorCategory::kParse,
+                      "bad CSV cell");
+    p_ = ptr;
+    return value;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool first_ = true;
+};
+
+}  // namespace
+
 LabeledCorpus load_corpus_csv(const std::string& path,
                               std::size_t* cached_plan_size,
                               std::uint64_t* cached_plan_hash,
@@ -256,13 +575,26 @@ LabeledCorpus load_corpus_csv(const std::string& path,
                     "corpus cache written by a different oracle version — "
                     "delete " + path);
   {
-    std::istringstream header(line.substr(prefix.size()));
+    const char* p = line.data() + prefix.size();
+    const char* end = line.data() + line.size();
     std::size_t plan_size = 0, done = 0;
     std::uint64_t hash = 0;
-    std::string hash_kw, done_kw;
-    header >> plan_size >> hash_kw >> hash >> done_kw >> done;
-    SPMVML_ENSURE_CAT(static_cast<bool>(header) && hash_kw == "hash" &&
-                          done_kw == "done",
+    auto field = [&](const char* keyword, auto& value) -> bool {
+      if (keyword != nullptr) {
+        while (p < end && *p == ' ') ++p;
+        const std::size_t klen = std::strlen(keyword);
+        if (end - p < static_cast<std::ptrdiff_t>(klen) ||
+            std::string_view(p, klen) != keyword)
+          return false;
+        p += klen;
+        while (p < end && *p == ' ') ++p;
+      }
+      const auto [ptr, ec] = std::from_chars(p, end, value);
+      p = ptr;
+      return ec == std::errc{};
+    };
+    SPMVML_ENSURE_CAT(field(nullptr, plan_size) && field("hash", hash) &&
+                          field("done", done),
                       ErrorCategory::kParse,
                       "corpus cache header malformed — delete " + path);
     if (cached_plan_size != nullptr) *cached_plan_size = plan_size;
@@ -275,29 +607,22 @@ LabeledCorpus load_corpus_csv(const std::string& path,
   LabeledCorpus corpus;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::istringstream row(line);
-    std::string cell;
-    auto next_cell = [&]() -> const std::string& {
-      SPMVML_ENSURE_CAT(static_cast<bool>(std::getline(row, cell, ',')),
-                        ErrorCategory::kParse, "truncated CSV row");
-      return cell;
-    };
-    auto next = [&]() -> double { return std::stod(next_cell()); };
+    CsvCursor row(line);
     MatrixRecord r;
     // Seed must round-trip exactly — parse as integer, not double.
-    r.seed = std::stoull(next_cell());
-    r.bucket = static_cast<int>(next());
-    r.family = static_cast<int>(next());
-    r.rows = next();
-    r.cols = next();
-    r.nnz = next();
+    r.seed = row.next_u64();
+    r.bucket = static_cast<int>(row.next_double());
+    r.family = static_cast<int>(row.next_double());
+    r.rows = row.next_double();
+    r.cols = row.next_double();
+    r.nnz = row.next_double();
     for (int f = 0; f < kNumFeatures; ++f)
-      r.features.values[static_cast<std::size_t>(f)] = next();
+      r.features.values[static_cast<std::size_t>(f)] = row.next_double();
     for (int a = 0; a < kNumArchs; ++a)
       for (int p = 0; p < kNumPrecisions; ++p)
         for (int f = 0; f < kNumFormats; ++f)
           r.seconds[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)]
-                   [static_cast<std::size_t>(f)] = next();
+                   [static_cast<std::size_t>(f)] = row.next_double();
     corpus.records.push_back(r);
   }
   return corpus;

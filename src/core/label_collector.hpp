@@ -14,6 +14,16 @@
 // exclusion as a *policy* rather than a hard-coded filter. Collection can
 // checkpoint to the cache file every N matrices, so a killed run resumes
 // where it left off without re-measuring completed matrices.
+//
+// Parallelism: with CollectOptions::threads > 1 (or SPMVML_THREADS set)
+// plan entries are processed concurrently by a shared thread pool. Every
+// record is a pure function of its GenSpec, so results are assembled into
+// a plan-indexed slot array and the returned corpus — and any CSV written
+// from it — is bitwise identical to the serial run for every thread
+// count. Checkpoints always cover the longest fully-complete *prefix* in
+// plan order, so resume semantics are unchanged. Transient-retry backoff
+// is a deadline-based requeue on the pool: a waiting matrix never stalls
+// a worker.
 #pragma once
 
 #include <array>
@@ -120,8 +130,19 @@ struct CollectOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 25;
   /// Called after each matrix with (done, total); pass {} to disable.
+  /// With threads > 1 the callback runs on worker threads but is always
+  /// serialized (done is monotonic); a throwing callback cancels the run.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Worker threads: 1 = the serial loop, >1 = the deterministic parallel
+  /// pipeline, 0 = read SPMVML_THREADS (default 1).
+  int threads = 0;
 };
+
+/// Backoff sleep before retry `attempt + 1` of a transient failure:
+/// base * 2^attempt, capped at backoff_cap_s and safe for arbitrarily
+/// large attempt counts (the doubling saturates instead of overflowing).
+/// Returns 0 when backoff is disabled (base <= 0).
+double backoff_delay_s(const CollectOptions& options, int attempt);
 
 /// Generate + summarise + measure every matrix in the plan.
 LabeledCorpus collect_corpus(const CorpusPlan& plan,

@@ -2,12 +2,84 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace spmvml {
+
+namespace {
+
+/// The three structure accumulators every feature in sets 2/3 derives
+/// from. Blocks merge in row order, so the merged result is a pure
+/// function of the row partition — never of the thread count.
+struct StructureStats {
+  StreamingStats row_len;         // nonzeros per row
+  StreamingStats chunks_per_row;  // contiguous column runs per row
+  StreamingStats chunk_size;      // length of each run
+
+  void merge(const StructureStats& other) {
+    row_len.merge(other.row_len);
+    chunks_per_row.merge(other.chunks_per_row);
+    chunk_size.merge(other.chunk_size);
+  }
+};
+
+/// Accumulate one CSR row: its length plus the contiguous-run structure
+/// of its column indices.
+inline void scan_row(const Csr<double>& m, index_t r, StructureStats& s) {
+  const index_t begin = m.row_ptr()[r], end = m.row_ptr()[r + 1];
+  s.row_len.add(static_cast<double>(end - begin));
+  if (begin == end) {
+    s.chunks_per_row.add(0.0);
+    return;
+  }
+  index_t row_chunks = 0;
+  index_t run = 1;
+  for (index_t p = begin + 1; p < end; ++p) {
+    if (m.col_idx()[p] == m.col_idx()[p - 1] + 1) {
+      ++run;
+    } else {
+      s.chunk_size.add(static_cast<double>(run));
+      ++row_chunks;
+      run = 1;
+    }
+  }
+  s.chunk_size.add(static_cast<double>(run));
+  ++row_chunks;
+  s.chunks_per_row.add(static_cast<double>(row_chunks));
+}
+
+/// Rows per extraction block. Fixed (not derived from the thread count)
+/// so the block partition — and therefore every merged statistic — is
+/// identical whether the blocks run serially or in parallel.
+constexpr index_t kFeatureRowBlock = 4096;
+
+/// Scan all rows block-by-block, in parallel when the matrix is big
+/// enough, merging block accumulators in row order.
+StructureStats scan_structure(const Csr<double>& m) {
+  const index_t rows = m.rows();
+  StructureStats total;
+  if (rows <= kFeatureRowBlock) {
+    for (index_t r = 0; r < rows; ++r) scan_row(m, r, total);
+    return total;
+  }
+  const index_t blocks = (rows + kFeatureRowBlock - 1) / kFeatureRowBlock;
+  std::vector<StructureStats> block_stats(static_cast<std::size_t>(blocks));
+  parallel_for(blocks, /*min_parallel_n=*/2, [&](std::int64_t b) {
+    auto& s = block_stats[static_cast<std::size_t>(b)];
+    const index_t r0 = static_cast<index_t>(b) * kFeatureRowBlock;
+    const index_t r1 = std::min(rows, r0 + kFeatureRowBlock);
+    for (index_t r = r0; r < r1; ++r) scan_row(m, r, s);
+  });
+  for (const auto& s : block_stats) total.merge(s);
+  return total;
+}
+
+}  // namespace
 
 const char* feature_name(int id) {
   static constexpr const char* kNames[kNumFeatures] = {
@@ -81,29 +153,10 @@ FeatureVector extract_features(const Csr<double>& m) {
                 (static_cast<double>(rows) * static_cast<double>(cols))
           : 0.0;
 
-  StreamingStats row_len, chunks_per_row, chunk_size;
-  for (index_t r = 0; r < rows; ++r) {
-    const index_t begin = m.row_ptr()[r], end = m.row_ptr()[r + 1];
-    row_len.add(static_cast<double>(end - begin));
-    if (begin == end) {
-      chunks_per_row.add(0.0);
-      continue;
-    }
-    index_t row_chunks = 0;
-    index_t run = 1;
-    for (index_t p = begin + 1; p < end; ++p) {
-      if (m.col_idx()[p] == m.col_idx()[p - 1] + 1) {
-        ++run;
-      } else {
-        chunk_size.add(static_cast<double>(run));
-        ++row_chunks;
-        run = 1;
-      }
-    }
-    chunk_size.add(static_cast<double>(run));
-    ++row_chunks;
-    chunks_per_row.add(static_cast<double>(row_chunks));
-  }
+  const StructureStats scan = scan_structure(m);
+  const StreamingStats& row_len = scan.row_len;
+  const StreamingStats& chunks_per_row = scan.chunks_per_row;
+  const StreamingStats& chunk_size = scan.chunk_size;
 
   f.values[kNnzMax] = row_len.max();
   f.values[kNnzMin] = row_len.min();
@@ -143,31 +196,15 @@ FeatureVector extract_features_sampled(const Csr<double>& m,
                      (static_cast<double>(rows) * static_cast<double>(cols))
                : 0.0;
 
-  // Sets 2/3: estimate from a random row sample.
+  // Sets 2/3: estimate from a random row sample (inherently serial — the
+  // sampled row sequence is part of the deterministic contract).
   Rng rng(hash_combine(seed, 0xFEA7ULL));
-  StreamingStats row_len, chunks_per_row, chunk_size;
-  for (index_t s = 0; s < sample_count; ++s) {
-    const index_t r = rng.uniform_int(0, rows - 1);
-    const index_t begin = m.row_ptr()[r], end = m.row_ptr()[r + 1];
-    row_len.add(static_cast<double>(end - begin));
-    if (begin == end) {
-      chunks_per_row.add(0.0);
-      continue;
-    }
-    index_t row_chunks = 0, run = 1;
-    for (index_t p = begin + 1; p < end; ++p) {
-      if (m.col_idx()[p] == m.col_idx()[p - 1] + 1) {
-        ++run;
-      } else {
-        chunk_size.add(static_cast<double>(run));
-        ++row_chunks;
-        run = 1;
-      }
-    }
-    chunk_size.add(static_cast<double>(run));
-    ++row_chunks;
-    chunks_per_row.add(static_cast<double>(row_chunks));
-  }
+  StructureStats scan;
+  for (index_t s = 0; s < sample_count; ++s)
+    scan_row(m, rng.uniform_int(0, rows - 1), scan);
+  const StreamingStats& row_len = scan.row_len;
+  const StreamingStats& chunks_per_row = scan.chunks_per_row;
+  const StreamingStats& chunk_size = scan.chunk_size;
 
   f.values[kNnzMax] = row_len.max();  // biased low; the sample's max
   f.values[kNnzMin] = row_len.min();

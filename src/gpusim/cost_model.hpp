@@ -30,7 +30,9 @@ namespace spmvml {
 
 /// Bumped whenever the cost model's defaults or structure change; label
 /// caches carry it so stale measurements are never silently reused.
-inline constexpr int kOracleVersion = 7;
+/// v8: blocked feature extraction (merged Welford accumulators can shift
+/// set-2/3 features of >4096-row matrices in the last ulp).
+inline constexpr int kOracleVersion = 8;
 
 /// Tunable constants of the cost model (defaults reproduce the paper's
 /// qualitative format landscape; see bench/ablation_oracle).

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/gemm.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "ml/serialize.hpp"
@@ -40,24 +41,31 @@ void MlpNet::init(int in, int out, const MlpParams& p) {
   }
 }
 
-std::vector<double> MlpNet::forward(const std::vector<double>& x) const {
-  std::vector<double> a = x;
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
+const double* MlpNet::forward_batch(const double* x, int rows,
+                                    MlpBatchScratch& scratch) const {
+  const std::size_t L = layers_.size();
+  scratch.act.resize(L);
+  const double* cur = x;
+  for (std::size_t l = 0; l < L; ++l) {
     const auto& layer = layers_[l];
-    std::vector<double> z(static_cast<std::size_t>(layer.out));
-    for (int o = 0; o < layer.out; ++o) {
-      const double* wrow =
-          &layer.w[static_cast<std::size_t>(o) *
-                   static_cast<std::size_t>(layer.in)];
-      double sum = layer.b[static_cast<std::size_t>(o)];
-      for (int i = 0; i < layer.in; ++i) sum += wrow[i] * a[static_cast<std::size_t>(i)];
-      z[static_cast<std::size_t>(o)] = sum;
-    }
-    if (l + 1 < layers_.size())
-      for (double& v : z) v = v > 0.0 ? v : 0.0;  // ReLU on hidden layers
-    a = std::move(z);
+    auto& out = scratch.act[l];
+    out.resize(static_cast<std::size_t>(rows) *
+               static_cast<std::size_t>(layer.out));
+    gemm_nt(rows, layer.out, layer.in, cur, layer.w.data(), layer.b.data(),
+            out.data());
+    if (l + 1 < L)
+      for (double& v : out) v = v > 0.0 ? v : 0.0;  // ReLU on hidden layers
+    cur = out.data();
   }
-  return a;
+  return cur;
+}
+
+std::vector<double> MlpNet::forward(const std::vector<double>& x) const {
+  // Batch-of-one through the GEMM path; the thread-local scratch makes
+  // repeated inference allocation-free after the first call per thread.
+  thread_local MlpBatchScratch scratch;
+  const double* out = forward_batch(x.data(), 1, scratch);
+  return std::vector<double>(out, out + layers_.back().out);
 }
 
 namespace {
@@ -87,18 +95,29 @@ void train_mlp(MlpNet& net, const Matrix& x,
   auto& layers = net.layers();
   const std::size_t n = x.size();
   const std::size_t L = layers.size();
+  const auto B = static_cast<std::size_t>(std::max(1, p.batch_size));
+  const auto in0 = static_cast<std::size_t>(layers.front().in);
+  const int out_dim = layers.back().out;
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   Rng rng(hash_combine(p.seed, 0xbadC0deULL));
 
-  // Per-layer scratch: activations, pre-activation deltas, grads.
-  std::vector<std::vector<double>> act(L + 1), delta(L);
+  // Contiguous row-major mini-batch buffers, allocated once and reused
+  // for every batch of every epoch: packed inputs, post-activation
+  // outputs per layer (via forward_batch), pre-activation deltas, and
+  // gradient accumulators. The whole inner loop is GEMM-shaped —
+  // per-sample work is only the tiny output-gradient callback.
+  std::vector<double> xb(B * in0);
+  MlpBatchScratch scratch;
+  std::vector<std::vector<double>> delta(L);
   std::vector<std::vector<double>> gw(L), gb(L);
   for (std::size_t l = 0; l < L; ++l) {
+    delta[l].resize(B * static_cast<std::size_t>(layers[l].out));
     gw[l].resize(layers[l].w.size());
     gb[l].resize(layers[l].b.size());
   }
+  std::vector<double> raw(static_cast<std::size_t>(out_dim));
   std::vector<double> out_grad;
 
   for (int epoch = 0; epoch < p.epochs; ++epoch) {
@@ -107,65 +126,56 @@ void train_mlp(MlpNet& net, const Matrix& x,
       std::swap(order[i - 1], order[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
 
-    for (std::size_t start = 0; start < n;
-         start += static_cast<std::size_t>(p.batch_size)) {
-      const std::size_t stop =
-          std::min(n, start + static_cast<std::size_t>(p.batch_size));
-      const double inv_batch = 1.0 / static_cast<double>(stop - start);
-      for (std::size_t l = 0; l < L; ++l) {
-        std::fill(gw[l].begin(), gw[l].end(), 0.0);
-        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+    for (std::size_t start = 0; start < n; start += B) {
+      const std::size_t stop = std::min(n, start + B);
+      const int bsz = static_cast<int>(stop - start);
+      const double inv_batch = 1.0 / static_cast<double>(bsz);
+
+      // Pack the shuffled batch rows into one contiguous block.
+      for (std::size_t s = start; s < stop; ++s)
+        std::copy(x[order[s]].begin(), x[order[s]].end(),
+                  xb.begin() + (s - start) * in0);
+
+      // Forward all samples at once; scratch.act[l] caches the
+      // post-activation values backward needs.
+      const double* top = net.forward_batch(xb.data(), bsz, scratch);
+
+      // Output gradients, one callback per sample (output dims are tiny).
+      auto& dtop = delta[L - 1];
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t row = (s - start) * static_cast<std::size_t>(out_dim);
+        std::copy(top + row, top + row + out_dim, raw.begin());
+        grad_out(order[s], raw, out_grad);
+        std::copy(out_grad.begin(), out_grad.end(), dtop.begin() + row);
       }
 
-      for (std::size_t s = start; s < stop; ++s) {
-        const std::size_t i = order[s];
-        // Forward with cached activations.
-        act[0] = x[i];
-        for (std::size_t l = 0; l < L; ++l) {
-          const auto& layer = layers[l];
-          act[l + 1].assign(static_cast<std::size_t>(layer.out), 0.0);
-          for (int o = 0; o < layer.out; ++o) {
-            const double* wrow =
-                &layer.w[static_cast<std::size_t>(o) *
-                         static_cast<std::size_t>(layer.in)];
-            double sum = layer.b[static_cast<std::size_t>(o)];
-            for (int in = 0; in < layer.in; ++in)
-              sum += wrow[in] * act[l][static_cast<std::size_t>(in)];
-            act[l + 1][static_cast<std::size_t>(o)] =
-                (l + 1 < L && sum < 0.0) ? 0.0 : sum;
-          }
+      // Backward: weight/bias gradients reduce over the batch; delta
+      // propagation is one GEMM against the layer's weights followed by
+      // the ReLU mask of the cached activations.
+      for (std::size_t l = L; l-- > 0;) {
+        const auto& layer = layers[l];
+        const double* a_in = l == 0 ? xb.data() : scratch.act[l - 1].data();
+        gemm_tn(layer.out, layer.in, bsz, delta[l].data(), a_in,
+                gw[l].data());
+        for (double& g : gw[l]) g *= inv_batch;
+        for (int o = 0; o < layer.out; ++o) {
+          double sum = 0.0;
+          for (int s = 0; s < bsz; ++s)
+            sum += delta[l][static_cast<std::size_t>(s) *
+                                static_cast<std::size_t>(layer.out) +
+                            static_cast<std::size_t>(o)];
+          gb[l][static_cast<std::size_t>(o)] = sum * inv_batch;
         }
-
-        grad_out(i, act[L], out_grad);
-        delta[L - 1] = out_grad;
-
-        // Backward.
-        for (std::size_t l = L; l-- > 0;) {
-          const auto& layer = layers[l];
-          for (int o = 0; o < layer.out; ++o) {
-            const double d = delta[l][static_cast<std::size_t>(o)];
-            gb[l][static_cast<std::size_t>(o)] += d * inv_batch;
-            double* grow = &gw[l][static_cast<std::size_t>(o) *
-                                  static_cast<std::size_t>(layer.in)];
-            for (int in = 0; in < layer.in; ++in)
-              grow[in] += d * act[l][static_cast<std::size_t>(in)] * inv_batch;
-          }
-          if (l == 0) break;
-          auto& prev = delta[l - 1];
-          prev.assign(static_cast<std::size_t>(layer.in), 0.0);
-          for (int o = 0; o < layer.out; ++o) {
-            const double d = delta[l][static_cast<std::size_t>(o)];
-            const double* wrow =
-                &layer.w[static_cast<std::size_t>(o) *
-                         static_cast<std::size_t>(layer.in)];
-            for (int in = 0; in < layer.in; ++in)
-              prev[static_cast<std::size_t>(in)] += d * wrow[in];
-          }
-          // ReLU derivative of the hidden activation.
-          for (int in = 0; in < layer.in; ++in)
-            if (act[l][static_cast<std::size_t>(in)] <= 0.0)
-              prev[static_cast<std::size_t>(in)] = 0.0;
-        }
+        if (l == 0) break;
+        auto& prev = delta[l - 1];
+        gemm_nn(bsz, layer.in, layer.out, delta[l].data(), layer.w.data(),
+                prev.data());
+        // ReLU derivative of the hidden activation.
+        const auto& act_prev = scratch.act[l - 1];
+        const std::size_t count =
+            static_cast<std::size_t>(bsz) * static_cast<std::size_t>(layer.in);
+        for (std::size_t i = 0; i < count; ++i)
+          if (act_prev[i] <= 0.0) prev[i] = 0.0;
       }
 
       ++net.step();

@@ -35,6 +35,13 @@ struct MlpLayer {
   std::vector<double> mw, vw, mb, vb;
 };
 
+/// Reusable per-layer activation buffers for forward_batch. Passing the
+/// same scratch across calls eliminates every per-sample allocation in
+/// the training and batch-inference hot paths.
+struct MlpBatchScratch {
+  std::vector<std::vector<double>> act;  // act[l]: rows x layers[l].out
+};
+
 /// Dense feed-forward core shared by the classifier/regressor wrappers.
 /// Training (backprop + Adam) lives in mlp.cpp.
 class MlpNet {
@@ -44,6 +51,13 @@ class MlpNet {
 
   /// Forward pass; returns raw output activations (no softmax).
   std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Forward `rows` samples stored contiguously row-major in `x`
+  /// (rows x in). Returns a pointer to the rows x out raw outputs, owned
+  /// by `scratch` and valid until its next use. Deterministic: results
+  /// are bitwise identical to per-sample forward() for any thread count.
+  const double* forward_batch(const double* x, int rows,
+                              MlpBatchScratch& scratch) const;
 
   std::vector<MlpLayer>& layers() { return layers_; }
   const std::vector<MlpLayer>& layers() const { return layers_; }

@@ -117,6 +117,58 @@ TEST(StreamingStats, MergeEqualsSinglePass) {
   EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
 
+TEST(StreamingStats, MergeExactFieldsAndDeterministicOrder) {
+  // count/sum/min/max merge exactly; a fixed block partition merged in
+  // order gives bit-identical results on every run — the contract the
+  // parallel feature extraction relies on.
+  std::vector<double> values;
+  Rng rng(91);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.normal(0.0, 50.0));
+
+  auto blocked = [&](std::size_t block) {
+    StreamingStats total;
+    for (std::size_t start = 0; start < values.size(); start += block) {
+      StreamingStats s;
+      for (std::size_t i = start; i < std::min(values.size(), start + block);
+           ++i)
+        s.add(values[i]);
+      total.merge(s);
+    }
+    return total;
+  };
+  const StreamingStats a = blocked(64);
+  const StreamingStats b = blocked(64);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());        // bitwise: same merge order
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+
+  StreamingStats whole;
+  double sum = 0.0;
+  for (double v : values) {
+    whole.add(v);
+    sum += v;
+  }
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.sum(), sum, 1e-9 * std::abs(sum) + 1e-9);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12 * (1.0 + std::abs(whole.mean())));
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9 * whole.variance());
+}
+
+TEST(StreamingStats, SelfMergeDoublesTheStream) {
+  StreamingStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(6.0);
+  s.merge(s);
+  EXPECT_EQ(s.count(), 6);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 18.0);
+}
+
 TEST(StreamingStats, MergeWithEmpty) {
   StreamingStats a, empty;
   a.add(1.0);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <cmath>
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -167,6 +168,41 @@ TEST(SampledFeatures, DeterministicPerSeed) {
 
 TEST(SampledFeatures, RejectsNonPositiveFraction) {
   EXPECT_THROW(extract_features_sampled(small_matrix(), 0.0), Error);
+}
+
+TEST(Features, BlockedExtractionIsDeterministicAndExactOnCounts) {
+  // >4096 rows takes the blocked (parallelizable) scan. The fixed block
+  // partition merged in row order must give the same bits on every call,
+  // and the exactly-mergeable fields must match a serial hand count.
+  GenSpec spec;
+  spec.family = MatrixFamily::kPowerLaw;
+  spec.rows = 4096 * 3 + 777;  // spans several blocks plus a ragged tail
+  spec.cols = 9000;
+  spec.row_mu = 6.0;
+  spec.seed = 77;
+  const auto m = generate(spec);
+  const auto a = extract_features(m);
+  const auto b = extract_features(m);
+  for (int i = 0; i < kNumFeatures; ++i)
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << feature_name(i);
+
+  // Exact fields: counts, extrema, totals survive the merge bit-exactly.
+  double nnz = 0.0, row_max = 0.0, row_min = 1e30;
+  std::int64_t chunks = 0;
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const double len = static_cast<double>(m.row_ptr()[r + 1] - m.row_ptr()[r]);
+    nnz += len;
+    row_max = std::max(row_max, len);
+    row_min = std::min(row_min, len);
+    for (index_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k)
+      if (k == m.row_ptr()[r] || m.col_idx()[k] != m.col_idx()[k - 1] + 1)
+        ++chunks;
+  }
+  EXPECT_DOUBLE_EQ(a[kNnzTot], nnz);
+  EXPECT_DOUBLE_EQ(a[kNnzMax], row_max);
+  EXPECT_DOUBLE_EQ(a[kNnzMin], row_min);
+  EXPECT_DOUBLE_EQ(a[kNnzbTot], static_cast<double>(chunks));
+  EXPECT_DOUBLE_EQ(a[kNRows], static_cast<double>(m.rows()));
 }
 
 TEST(Features, EmptyMatrixIsAllZeros) {

@@ -2,8 +2,12 @@
 // reuse and invalidation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/error.hpp"
 #include "core/label_collector.hpp"
@@ -187,6 +191,183 @@ TEST(LabelCollector, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < a.size(); ++i)
     EXPECT_DOUBLE_EQ(a.records[i].time(0, Precision::kDouble, Format::kHyb),
                      b.records[i].time(0, Precision::kDouble, Format::kHyb));
+}
+
+TEST(LabelCollector, BackoffDelayClampsLargeAttemptCounts) {
+  CollectOptions opts;
+  opts.backoff_base_s = 0.25;
+  opts.backoff_cap_s = 2.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 0), 0.25);
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 1), 0.5);
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 3), 2.0);  // capped
+  // 1 << attempt would be UB from attempt 31 on; the schedule must
+  // saturate at the cap for arbitrarily large retry budgets instead.
+  for (int attempt : {31, 32, 63, 64, 100, 100000}) {
+    const double d = backoff_delay_s(opts, attempt);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_DOUBLE_EQ(d, 2.0);
+  }
+  opts.backoff_base_s = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 100), 0.0);
+}
+
+TEST(LabelCollector, RetryBudgetSurvivesHugeMaxRetries) {
+  // A retry budget far past the old 1 << attempt overflow point must
+  // neither crash nor change results (backoff disabled keeps it fast;
+  // the fault model resolves transients well before 40 attempts).
+  CollectOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.transient_rate = 0.3;
+  opts.max_retries = 1000;
+  const auto corpus = collect_corpus(tiny_plan(), opts);
+  EXPECT_EQ(corpus.size(), 6u);
+  EXPECT_EQ(corpus.stats.transient_cells, 0u);  // all transients resolved
+}
+
+/// Collection options with enough fault traffic to exercise the
+/// retry/backoff machinery in the parallel pipeline.
+CollectOptions faulty_options() {
+  CollectOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.transient_rate = 0.2;
+  opts.backoff_base_s = 0.001;
+  opts.backoff_cap_s = 0.01;
+  return opts;
+}
+
+std::string collect_to_csv(const CorpusPlan& plan, CollectOptions opts,
+                           int threads, const std::string& path) {
+  opts.threads = threads;
+  const auto corpus = collect_corpus(plan, opts);
+  save_corpus_csv(path, corpus, plan.size(), plan_fingerprint(plan),
+                  plan.size());
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(ParallelCollector, ByteIdenticalAcrossThreadCounts) {
+  const auto plan = make_small_plan(16, 321);
+  const auto path = testing::TempDir() + "/spmvml_parallel_det.csv";
+  const std::string serial = collect_to_csv(plan, faulty_options(), 1, path);
+  const std::string two = collect_to_csv(plan, faulty_options(), 2, path);
+  const std::string eight = collect_to_csv(plan, faulty_options(), 8, path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCollector, StatsMatchSerialRun) {
+  const auto plan = make_small_plan(12, 99);
+  CollectOptions serial = faulty_options();
+  serial.threads = 1;
+  CollectOptions parallel = faulty_options();
+  parallel.threads = 4;
+  const auto a = collect_corpus(plan, serial);
+  const auto b = collect_corpus(plan, parallel);
+  EXPECT_EQ(a.stats.attempted, b.stats.attempted);
+  EXPECT_EQ(a.stats.kept, b.stats.kept);
+  EXPECT_EQ(a.stats.failed_cells, b.stats.failed_cells);
+  EXPECT_EQ(a.stats.transient_cells, b.stats.transient_cells);
+  EXPECT_EQ(a.stats.transient_retries, b.stats.transient_retries);
+}
+
+TEST(ParallelCollector, ProgressIsMonotonicAndComplete) {
+  const auto plan = make_small_plan(10, 5);
+  CollectOptions opts = faulty_options();
+  opts.threads = 4;
+  std::size_t calls = 0, last = 0;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    EXPECT_GT(done, last);
+    last = done;
+    EXPECT_EQ(total, 10u);
+  };
+  collect_corpus(plan, opts);
+  EXPECT_EQ(calls, 10u);
+  EXPECT_EQ(last, 10u);
+}
+
+TEST(ParallelCollector, ResumesPartialCheckpointIdentically) {
+  // A checkpoint prefix left by a previous (killed) run is picked up by
+  // the parallel collector and completed to the same corpus as an
+  // uninterrupted run.
+  const auto path = testing::TempDir() + "/spmvml_parallel_resume.csv";
+  std::remove(path.c_str());
+  const auto plan = make_small_plan(12, 404);
+  CollectOptions opts = faulty_options();
+  opts.threads = 8;
+  const auto full = collect_corpus(plan, opts);
+
+  LabeledCorpus partial;
+  partial.records.assign(full.records.begin(), full.records.begin() + 5);
+  save_corpus_csv(path, partial, plan.size(), plan_fingerprint(plan), 5);
+  CollectOptions resume_opts = opts;
+  resume_opts.checkpoint_path = path;
+  const auto resumed = collect_corpus(plan, resume_opts);
+  EXPECT_EQ(resumed.stats.resumed_records, 5u);
+  ASSERT_EQ(resumed.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    for (Format f : kAllFormats)
+      EXPECT_DOUBLE_EQ(resumed.records[i].time(1, Precision::kSingle, f),
+                       full.records[i].time(1, Precision::kSingle, f));
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCollector, KillMidRunThenResumeMatchesUninterrupted) {
+  // Emulate a mid-run kill: a progress callback that throws once enough
+  // matrices finished. The collector cancels, rethrows, and leaves the
+  // longest-prefix checkpoint on disk; a fresh run resumes from it and
+  // must produce the same corpus as a run that was never interrupted.
+  const auto path = testing::TempDir() + "/spmvml_parallel_kill.csv";
+  std::remove(path.c_str());
+  const auto plan = make_small_plan(14, 777);
+
+  CollectOptions base = faulty_options();
+  base.threads = 8;
+  const auto uninterrupted = collect_corpus(plan, base);
+
+  CollectOptions killed = base;
+  killed.checkpoint_path = path;
+  killed.checkpoint_every = 3;
+  killed.progress = [](std::size_t done, std::size_t) {
+    if (done >= 8) throw std::runtime_error("simulated kill");
+  };
+  EXPECT_THROW(collect_corpus(plan, killed), std::runtime_error);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  CollectOptions resume = base;
+  resume.checkpoint_path = path;
+  const auto resumed = collect_corpus(plan, resume);
+  EXPECT_GT(resumed.stats.resumed_records, 0u);
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed.records[i].seed, uninterrupted.records[i].seed);
+    for (int a = 0; a < kNumArchs; ++a)
+      for (Format f : kAllFormats)
+        EXPECT_DOUBLE_EQ(
+            resumed.records[i].time(a, Precision::kDouble, f),
+            uninterrupted.records[i].time(a, Precision::kDouble, f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCollector, ThreadsZeroReadsEnvironment) {
+  // threads == 0 defers to SPMVML_THREADS (default 1 → serial path);
+  // either way the corpus matches the explicit serial run.
+  const auto plan = make_small_plan(6, 11);
+  CollectOptions auto_opts = faulty_options();
+  auto_opts.threads = 0;
+  CollectOptions serial = faulty_options();
+  serial.threads = 1;
+  const auto a = collect_corpus(plan, auto_opts);
+  const auto b = collect_corpus(plan, serial);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.records[i].time(0, Precision::kSingle, Format::kCoo),
+                     b.records[i].time(0, Precision::kSingle, Format::kCoo));
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification, plus an optional sanitizer pass.
+# Tier-1 verification, plus optional sanitizer passes.
 #
 #   tools/check.sh            # configure + build + ctest (the tier-1 gate)
 #   tools/check.sh --asan     # same, in a separate build dir with
 #                             # -fsanitize=address,undefined
+#   tools/check.sh --tsan     # ThreadSanitizer over the concurrency tests
+#                             # (thread pool + parallel collection); OpenMP
+#                             # is disabled there because libgomp's
+#                             # uninstrumented runtime trips false positives
 #
-# Both passes use their own build directory and leave ./build alone.
+# Each pass uses its own build directory and leaves ./build alone.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +28,13 @@ if [[ "${1:-}" == "--asan" ]]; then
   echo "== sanitizer pass (address;undefined) =="
   run_suite build-asan "-DSPMVML_SANITIZE=address;undefined" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+elif [[ "${1:-}" == "--tsan" ]]; then
+  echo "== thread sanitizer pass (concurrency tests) =="
+  cmake -B build-tsan -S . -DSPMVML_SANITIZE=thread \
+    -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|ParallelCollector|Parallel\.'
 else
   echo "== tier-1 verify =="
   run_suite build

@@ -3,8 +3,9 @@
 //
 //   spmvml train   --out sel.model [--arch P100] [--precision double]
 //                  [--model xgboost|svm|mlp|tree] [--features set1|set12|
-//                  set123|imp] [--scale 0.25]
+//                  set123|imp] [--scale 0.25] [--threads N]
 //   spmvml train-perf --out perf.model [--arch P100] [--scale 0.25]
+//                  [--threads N]
 //   spmvml select  --model sel.model [--mem-budget GB] <matrix.mtx>
 //   spmvml predict --model perf.model <matrix.mtx>
 //   spmvml inspect <matrix.mtx>
@@ -41,9 +42,10 @@ namespace {
                "  spmvml train      --out <file> [--arch K80c|P100] "
                "[--precision single|double]\n"
                "                    [--model xgboost|svm|mlp|tree] "
-               "[--features set1|set12|set123|imp] [--scale S]\n"
+               "[--features set1|set12|set123|imp] [--scale S] "
+               "[--threads N]\n"
                "  spmvml train-perf --out <file> [--arch ...] "
-               "[--precision ...] [--scale S]\n"
+               "[--precision ...] [--scale S] [--threads N]\n"
                "  spmvml select     --model <file> [--mem-budget GB] "
                "[--precision single|double] <matrix.mtx>\n"
                "  spmvml predict    --model <file> <matrix.mtx>\n"
@@ -133,8 +135,13 @@ ModelKind model_of(const Args& a) {
 
 LabeledCorpus corpus_of(const Args& a) {
   const double scale = numeric_opt(a, "scale", 0.25, 1e-4, 100.0);
+  // 0 defers to SPMVML_THREADS (default 1 = serial). Parallel collection
+  // produces byte-identical corpora, so this is purely a speed knob.
+  const int threads =
+      static_cast<int>(numeric_opt(a, "threads", 0.0, 0.0, 256.0));
   std::printf("collecting training corpus (scale %.2f)...\n", scale);
   CollectOptions options;
+  options.threads = threads;
   options.progress = [](std::size_t done, std::size_t total) {
     if (done % 500 == 0) std::printf("  %zu/%zu\n", done, total);
   };
