@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
@@ -187,31 +188,34 @@ int main_impl(int argc, char** argv) {
   std::printf("== mlp fit: 10 epochs over %d samples: %.3f s ==\n", n, fit_s);
 
   std::ofstream out(out_path);
-  out << "{\n"
-      << "  \"collect\": {\n"
-      << "    \"matrices\": " << plan.size() << ",\n"
-      << "    \"serial_s\": " << collect_serial_s << ",\n"
-      << "    \"parallel8_s\": " << collect_parallel_s << ",\n"
-      << "    \"speedup\": " << collect_speedup << ",\n"
-      << "    \"byte_identical\": " << (identical ? "true" : "false") << "\n"
-      << "  },\n"
-      << "  \"extract\": {\n"
-      << "    \"rows\": " << m.rows() << ",\n"
-      << "    \"nnz\": " << m.values().size() << ",\n"
-      << "    \"reference_serial_s\": " << extract_reference_s << ",\n"
-      << "    \"blocked_s\": " << extract_blocked_s << "\n"
-      << "  },\n"
-      << "  \"train\": {\n"
-      << "    \"samples\": " << n << ",\n"
-      << "    \"forward_per_sample_s\": " << forward_per_sample_s << ",\n"
-      << "    \"forward_batched_s\": " << forward_batched_s << ",\n"
-      << "    \"forward_speedup\": "
-      << forward_per_sample_s / forward_batched_s << ",\n"
-      << "    \"forward_bitwise_equal\": "
-      << (forward_matches ? "true" : "false") << ",\n"
-      << "    \"fit_10_epochs_s\": " << fit_s << "\n"
-      << "  }\n"
-      << "}\n";
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("collect");
+  json.begin_object();
+  json.kv("matrices", static_cast<std::uint64_t>(plan.size()));
+  json.kv("serial_s", collect_serial_s);
+  json.kv("parallel8_s", collect_parallel_s);
+  json.kv("speedup", collect_speedup);
+  json.kv("byte_identical", identical);
+  json.end_object();
+  json.key("extract");
+  json.begin_object();
+  json.kv("rows", static_cast<std::int64_t>(m.rows()));
+  json.kv("nnz", static_cast<std::uint64_t>(m.values().size()));
+  json.kv("reference_serial_s", extract_reference_s);
+  json.kv("blocked_s", extract_blocked_s);
+  json.end_object();
+  json.key("train");
+  json.begin_object();
+  json.kv("samples", n);
+  json.kv("forward_per_sample_s", forward_per_sample_s);
+  json.kv("forward_batched_s", forward_batched_s);
+  json.kv("forward_speedup", forward_per_sample_s / forward_batched_s);
+  json.kv("forward_bitwise_equal", forward_matches);
+  json.kv("fit_10_epochs_s", fit_s);
+  json.end_object();
+  json.end_object();
+  out << '\n';
   std::printf("wrote %s\n", out_path.c_str());
   return identical && forward_matches ? 0 : 1;
 }

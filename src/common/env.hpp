@@ -7,6 +7,12 @@
 //                          the paper's publication year)
 //   SPMVML_THREADS       — worker threads for parallel collection and the
 //                          pipeline bench (default 1 = serial)
+//
+// Observability knobs (read by common/obs/, not via the helpers here):
+//
+//   SPMVML_LOG           — structured-log level: debug|info|warn|error|off
+//                          (default off; data outputs stay byte-identical)
+//   SPMVML_TRACE         — path for a Chrome trace-event JSON of the run
 #pragma once
 
 #include <cstdint>

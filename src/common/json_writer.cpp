@@ -1,0 +1,154 @@
+#include "common/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace spmvml {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent < 0 ? 0 : indent) {}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SPMVML_ENSURE(ec == std::errc{}, "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i)
+    for (int s = 0; s < indent_; ++s) out_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    SPMVML_ENSURE(!root_written_, "JSON: multiple root values");
+    root_written_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.frame == Frame::kObject) {
+    SPMVML_ENSURE(key_pending_, "JSON: value in object without a key");
+    key_pending_ = false;
+    return;  // key() already emitted separator + indentation
+  }
+  if (top.has_items) out_ << (indent_ == 0 ? "," : ",");
+  top.has_items = true;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  SPMVML_ENSURE(!stack_.empty() && stack_.back().frame == Frame::kObject,
+                "JSON: key outside an object");
+  SPMVML_ENSURE(!key_pending_, "JSON: key after key");
+  Level& top = stack_.back();
+  if (top.has_items) out_ << ',';
+  top.has_items = true;
+  newline_indent();
+  out_ << '"' << escape(k) << "\":";
+  if (indent_ > 0) out_ << ' ';
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Frame::kObject});
+}
+
+void JsonWriter::end_object() {
+  SPMVML_ENSURE(!stack_.empty() && stack_.back().frame == Frame::kObject &&
+                    !key_pending_,
+                "JSON: unbalanced end_object");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Frame::kArray});
+}
+
+void JsonWriter::end_array() {
+  SPMVML_ENSURE(!stack_.empty() && stack_.back().frame == Frame::kArray,
+                "JSON: unbalanced end_array");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << '"' << escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  out_ << number(v);
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t v) {
+  // to_chars keeps integers locale-independent too (ostream's num_put can
+  // inject grouping separators under some global locales).
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SPMVML_ENSURE(ec == std::errc{}, "int formatting failed");
+  before_value();
+  out_.write(buf, ptr - buf);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SPMVML_ENSURE(ec == std::errc{}, "int formatting failed");
+  before_value();
+  out_.write(buf, ptr - buf);
+}
+
+void JsonWriter::raw_value(std::string_view json) {
+  before_value();
+  out_ << json;
+}
+
+}  // namespace spmvml

@@ -1,0 +1,208 @@
+#include "common/obs/log.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace spmvml::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// -1 = not yet initialised from the environment.
+std::atomic<int> g_level{-1};
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Capture sink for tests; nullptr = stderr. Guarded by sink_mutex().
+std::string* g_capture = nullptr;
+
+Clock::time_point log_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+int level_from_env() {
+  const char* raw = std::getenv("SPMVML_LOG");
+  if (raw == nullptr || *raw == '\0') return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(parse_log_level(raw));
+}
+
+void append_double(std::string& buf, double v) {
+  char tmp[32];
+  if (!std::isfinite(v)) {
+    buf += v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+    return;
+  }
+  const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  if (ec == std::errc{}) buf.append(tmp, ptr);
+}
+
+template <typename T>
+void append_int(std::string& buf, T v) {
+  char tmp[24];
+  const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  if (ec == std::errc{}) buf.append(tmp, ptr);
+}
+
+/// Values with spaces, quotes or '=' get quoted so lines stay
+/// machine-splittable on spaces.
+void append_string_value(std::string& buf, std::string_view v) {
+  bool plain = !v.empty();
+  for (const char c : v)
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t')
+      plain = false;
+  if (plain) {
+    buf += v;
+    return;
+  }
+  buf += '"';
+  for (const char c : v) {
+    if (c == '"' || c == '\\') buf += '\\';
+    if (c == '\n') {
+      buf += "\\n";
+      continue;
+    }
+    buf += c;
+  }
+  buf += '"';
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = level_from_env();
+    int expected = -1;
+    // First caller wins; a concurrent set_log_level is preserved.
+    g_level.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return level >= log_level() && log_level() != LogLevel::kOff;
+}
+
+int thread_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void set_log_sink(std::string* capture) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  g_capture = capture;
+}
+
+LogLine::LogLine(LogLevel level, std::string_view event)
+    : enabled_(log_enabled(level)) {
+  if (!enabled_) return;
+  buf_.reserve(96);
+  buf_ += "t=";
+  const double t =
+      std::chrono::duration<double>(Clock::now() - log_epoch()).count();
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%.3f", t);
+  buf_ += tmp;
+  buf_ += " level=";
+  buf_ += level_name(level);
+  buf_ += " tid=";
+  append_int(buf_, thread_tid());
+  buf_ += " event=";
+  append_string_value(buf_, event);
+}
+
+LogLine::LogLine(LogLine&& other) noexcept
+    : enabled_(other.enabled_), buf_(std::move(other.buf_)) {
+  other.enabled_ = false;
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  buf_ += '\n';
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (g_capture != nullptr)
+    *g_capture += buf_;
+  else
+    std::fwrite(buf_.data(), 1, buf_.size(), stderr);
+}
+
+LogLine& LogLine::kv(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  buf_ += ' ';
+  buf_ += key;
+  buf_ += '=';
+  append_string_value(buf_, value);
+  return *this;
+}
+
+LogLine& LogLine::kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  buf_ += ' ';
+  buf_ += key;
+  buf_ += '=';
+  append_double(buf_, value);
+  return *this;
+}
+
+LogLine& LogLine::kv(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  buf_ += ' ';
+  buf_ += key;
+  buf_ += '=';
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+LogLine& LogLine::kv(std::string_view key, std::int64_t value) {
+  if (!enabled_) return *this;
+  buf_ += ' ';
+  buf_ += key;
+  buf_ += '=';
+  append_int(buf_, value);
+  return *this;
+}
+
+LogLine& LogLine::kv(std::string_view key, std::uint64_t value) {
+  if (!enabled_) return *this;
+  buf_ += ' ';
+  buf_ += key;
+  buf_ += '=';
+  append_int(buf_, value);
+  return *this;
+}
+
+}  // namespace spmvml::obs

@@ -1,0 +1,217 @@
+#include "common/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace spmvml::obs {
+
+namespace {
+
+constexpr double kLatencyBounds[] = {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+                                     1e-3, 3e-3, 1e-2, 3e-2, 0.1,  0.3,
+                                     1.0,  3.0,  10.0, 30.0};
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::span<const double> default_latency_bounds_s() { return kLatencyBounds; }
+
+/// One thread's private slice of every sharded metric. Vectors grow on
+/// demand (a metric registered after the shard existed simply indexes
+/// past the current size). `mu` is only ever contended by snapshot().
+struct MetricsRegistry::Shard {
+  std::mutex mu;
+  std::vector<std::uint64_t> counters;
+  std::vector<std::vector<std::uint64_t>> hist_buckets;
+  std::vector<StreamingStats> hist_stats;
+};
+
+struct MetricsRegistry::Impl {
+  std::uint64_t uid = next_registry_uid();
+
+  mutable std::mutex mu;  // registration, shard list, gauges
+  std::map<std::string, std::size_t, std::less<>> counter_ids;
+  std::map<std::string, std::size_t, std::less<>> gauge_ids;
+  std::vector<double> gauge_values;
+  std::map<std::string, std::size_t, std::less<>> hist_ids;
+  // deque: growing never moves earlier elements, so Histogram handles can
+  // keep raw pointers into bounds storage.
+  std::deque<std::vector<double>> hist_bounds;
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: outlives every thread_local shard cache, so
+  // instrumentation in static destructors can never touch a dead registry.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Per-thread cache keyed by registry uid (not address — a test-local
+  // registry reallocated at the same address must not alias).
+  thread_local std::vector<std::pair<std::uint64_t, std::shared_ptr<Shard>>>
+      cache;
+  const std::uint64_t uid = impl_->uid;
+  for (auto& [id, shard] : cache)
+    if (id == uid) return *shard;
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shards.push_back(shard);
+  }
+  cache.emplace_back(uid, shard);
+  return *cache.back().second;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counter_ids.find(name);
+  if (it == impl_->counter_ids.end())
+    it = impl_->counter_ids
+             .emplace(std::string(name), impl_->counter_ids.size())
+             .first;
+  return Counter(this, it->second);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauge_ids.find(name);
+  if (it == impl_->gauge_ids.end()) {
+    it = impl_->gauge_ids.emplace(std::string(name), impl_->gauge_ids.size())
+             .first;
+    impl_->gauge_values.push_back(0.0);
+  }
+  return Gauge(this, it->second);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->hist_ids.find(name);
+  if (it == impl_->hist_ids.end()) {
+    it = impl_->hist_ids.emplace(std::string(name), impl_->hist_ids.size())
+             .first;
+    if (bounds.empty()) bounds = default_latency_bounds_s();
+    std::vector<double> sorted(bounds.begin(), bounds.end());
+    std::sort(sorted.begin(), sorted.end());
+    impl_->hist_bounds.push_back(std::move(sorted));
+  }
+  const std::vector<double>& b = impl_->hist_bounds[it->second];
+  return Histogram(this, it->second, b.data(), b.size());
+}
+
+void Counter::add(std::uint64_t n) {
+  MetricsRegistry::Shard& shard = reg_->local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.counters.size() <= id_) shard.counters.resize(id_ + 1, 0);
+  shard.counters[id_] += n;
+}
+
+void Gauge::set(double v) {
+  std::lock_guard<std::mutex> lock(reg_->impl_->mu);
+  reg_->impl_->gauge_values[id_] = v;
+}
+
+void Gauge::add(double delta) {
+  std::lock_guard<std::mutex> lock(reg_->impl_->mu);
+  reg_->impl_->gauge_values[id_] += delta;
+}
+
+void Histogram::observe(double v) {
+  MetricsRegistry::Shard& shard = reg_->local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.hist_buckets.size() <= id_) {
+    shard.hist_buckets.resize(id_ + 1);
+    shard.hist_stats.resize(id_ + 1);
+  }
+  std::vector<std::uint64_t>& buckets = shard.hist_buckets[id_];
+  if (buckets.empty()) buckets.assign(nbounds_ + 1, 0);
+  // First inclusive upper bound >= v; past-the-end = overflow bucket.
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_, bounds_ + nbounds_, v) - bounds_);
+  ++buckets[b];
+  shard.hist_stats[id_].add(v);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+
+  std::vector<std::uint64_t> counter_totals(impl_->counter_ids.size(), 0);
+  std::vector<HistogramSnapshot> hists(impl_->hist_ids.size());
+  for (const auto& [name, id] : impl_->hist_ids) {
+    hists[id].name = name;
+    hists[id].bounds = impl_->hist_bounds[id];
+    hists[id].buckets.assign(hists[id].bounds.size() + 1, 0);
+  }
+
+  // Merge shards in registration order: counter/bucket adds are exact;
+  // stats merge with the same pairwise update StreamingStats::merge gives
+  // the blocked feature scan.
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (std::size_t i = 0; i < shard->counters.size(); ++i)
+      counter_totals[i] += shard->counters[i];
+    for (std::size_t h = 0; h < shard->hist_buckets.size(); ++h) {
+      const auto& buckets = shard->hist_buckets[h];
+      for (std::size_t b = 0; b < buckets.size(); ++b)
+        hists[h].buckets[b] += buckets[b];
+      if (h < shard->hist_stats.size())
+        hists[h].stats.merge(shard->hist_stats[h]);
+    }
+  }
+
+  for (const auto& [name, id] : impl_->counter_ids)
+    snap.counters.emplace_back(name, counter_totals[id]);
+  for (const auto& [name, id] : impl_->gauge_ids)
+    snap.gauges.emplace_back(name, impl_->gauge_values[id]);
+  snap.histograms = std::move(hists);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (double& g : impl_->gauge_values) g = 0.0;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.assign(shard->counters.size(), 0);
+    for (auto& b : shard->hist_buckets) b.assign(b.size(), 0);
+    shard->hist_stats.assign(shard->hist_stats.size(), StreamingStats{});
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return v;
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+}  // namespace spmvml::obs

@@ -1,0 +1,144 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms, sharded per thread so the pipeline's hot paths never
+// contend on a shared cache line.
+//
+// Design:
+//
+//  * A metric handle (Counter / Gauge / Histogram) is a stable, cheap
+//    {registry, id} pair returned by MetricsRegistry::counter(name) etc.
+//    Handles outlive every thread and are safe to cache in function-local
+//    statics.
+//  * Counter::add and Histogram::observe write to a per-thread *shard*:
+//    each thread that touches a registry lazily registers one shard and
+//    only ever writes its own. The shard is protected by a private mutex
+//    that only the owner (hot path) and snapshot() (cold path) take, so
+//    in steady state the lock is uncontended — the sharding is what keeps
+//    parallel collection contention-free, exactly like the per-worker
+//    oracle sets.
+//  * snapshot() merges all shards in registration order: counters and
+//    histogram buckets add exactly; histogram mean/variance merge with
+//    StreamingStats::merge (the same pairwise Chan update the blocked
+//    feature scan relies on), so merged totals equal a serial run's for
+//    count/sum/min/max and are deterministically merged for mean/m2.
+//  * Gauges are last-write-wins and global (a "current depth" has no
+//    meaningful per-thread decomposition); add() is atomic under the
+//    gauge's mutex so concurrent +1/-1 depth tracking is exact.
+//
+// Shard data persists after its thread exits (the registry owns it), so
+// snapshots taken after a pool is destroyed still see all of its work.
+// reset() zeroes every metric in place for test isolation; names and
+// handles stay valid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace spmvml::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  void inc() { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_;
+  std::size_t id_;
+};
+
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta);
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_;
+  std::size_t id_;
+};
+
+class Histogram {
+ public:
+  void observe(double v);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::size_t id, const double* bounds,
+            std::size_t nbounds)
+      : reg_(reg), id_(id), bounds_(bounds), nbounds_(nbounds) {}
+  MetricsRegistry* reg_;
+  std::size_t id_;
+  // Bucket bounds are fixed at registration and owned by the registry
+  // (stable storage), so the handle can bucket without taking the
+  // registration lock.
+  const double* bounds_;
+  std::size_t nbounds_;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;            // inclusive upper bounds
+  std::vector<std::uint64_t> buckets;    // bounds.size() + 1 (overflow last)
+  StreamingStats stats;                  // exact count/sum/min/max
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookup helpers for tests and the report writer; missing names give
+  /// 0 / fallback / nullptr.
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name, double fallback = 0.0) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Default histogram bucket bounds: 1us..30s in roughly 3x steps —
+/// suitable for the latency-shaped series the pipeline records.
+std::span<const double> default_latency_bounds_s();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& global();
+
+  /// Idempotent lookup-or-create by name. A histogram's bounds are fixed
+  /// by the first registration; later calls ignore `bounds`.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name,
+                      std::span<const double> bounds = {});
+
+  /// Merged view across all shards (live and retired threads).
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric in place (names and handles stay valid).
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  struct Impl;
+  struct Shard;
+  Shard& local_shard();
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spmvml::obs

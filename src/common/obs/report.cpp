@@ -1,0 +1,80 @@
+#include "common/obs/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/json_writer.hpp"
+
+namespace spmvml::obs {
+
+void write_report_json(std::ostream& out, const ReportMeta& meta,
+                       const MetricsSnapshot& snap) {
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("run");
+  w.begin_object();
+  w.kv("tool", std::string_view(meta.tool));
+  w.kv("command", std::string_view(meta.command));
+  w.kv("seed", meta.seed);
+  w.kv("threads", meta.threads);
+  w.kv("wall_s", meta.wall_s);
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snap.counters) w.kv(name, value);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : snap.gauges) w.kv(name, value);
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t c : h.buckets) w.value(c);
+    w.end_array();
+    w.kv("count", static_cast<std::uint64_t>(h.stats.count()));
+    w.kv("sum", h.stats.sum());
+    w.kv("mean", h.stats.mean());
+    w.kv("stddev", h.stats.stddev());
+    w.kv("min", h.stats.min());
+    w.kv("max", h.stats.max());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();  // metrics
+  w.end_object();  // root
+  out << '\n';
+}
+
+void write_report(const std::string& path, const ReportMeta& meta,
+                  MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                      "cannot open " + tmp + " for writing");
+    write_report_json(out, meta, snap);
+    SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
+                      "write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace spmvml::obs

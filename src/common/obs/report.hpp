@@ -1,0 +1,34 @@
+// End-of-run summary: dump the merged metrics registry plus run
+// metadata as JSON (`spmvml ... --report report.json`).
+//
+// The file round-trips through common/json_writer, so numbers are
+// locale-independent and shortest-round-trip; histograms carry their
+// bucket bounds, per-bucket counts and the merged StreamingStats moments.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/obs/metrics.hpp"
+
+namespace spmvml::obs {
+
+/// Run metadata recorded alongside the metrics.
+struct ReportMeta {
+  std::string tool;     // e.g. "spmvml train"
+  std::string command;  // full command line as invoked
+  std::uint64_t seed = 0;
+  int threads = 1;
+  double wall_s = 0.0;
+};
+
+/// Serialize `meta` + `snap` as a JSON document.
+void write_report_json(std::ostream& out, const ReportMeta& meta,
+                       const MetricsSnapshot& snap);
+
+/// Snapshot `registry` and write the report to `path` (atomic temp-file
+/// rename, like the corpus cache). Throws spmvml::Error on I/O failure.
+void write_report(const std::string& path, const ReportMeta& meta,
+                  MetricsRegistry& registry = MetricsRegistry::global());
+
+}  // namespace spmvml::obs

@@ -1,0 +1,195 @@
+#include "common/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/json_writer.hpp"
+#include "common/obs/log.hpp"
+
+namespace spmvml::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// 0 = not initialised from the environment yet, 1 = off, 2 = recording.
+std::atomic<int> g_state{0};
+
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// All guarded by trace_mutex().
+struct TraceState {
+  std::string path;
+  std::vector<TraceEvent> events;
+  Clock::time_point epoch;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: see MetricsRegistry
+  return *s;
+}
+
+double now_us_locked() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   state().epoch)
+      .count();
+}
+
+void init_from_env() {
+  const char* raw = std::getenv("SPMVML_TRACE");
+  if (raw != nullptr && *raw != '\0') {
+    trace_start(raw);
+    std::lock_guard<std::mutex> lock(trace_mutex());
+    if (!state().atexit_registered) {
+      state().atexit_registered = true;
+      std::atexit([] { trace_stop(); });
+    }
+  } else {
+    int expected = 0;
+    g_state.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  const int s = g_state.load(std::memory_order_relaxed);
+  if (s == 0) {
+    init_from_env();
+    return g_state.load(std::memory_order_relaxed) == 2;
+  }
+  return s == 2;
+}
+
+void trace_start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  state().path = path;
+  state().events.clear();
+  state().epoch = Clock::now();
+  g_state.store(2, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  if (g_state.load(std::memory_order_relaxed) != 2) return;
+  g_state.store(1, std::memory_order_relaxed);
+  if (!state().path.empty()) {
+    std::ofstream out(state().path);
+    if (out.good()) {
+      write_trace_json(out, state().events);
+    } else {
+      log_error("trace.write_failed").kv("path", state().path);
+    }
+  }
+  state().events.clear();
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  return state().events;
+}
+
+void write_trace_json(std::ostream& out,
+                      const std::vector<TraceEvent>& events) {
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& e : events) {
+    out << '\n';  // one event per line keeps the file diffable
+    w.begin_object();
+    w.kv("name", std::string_view(e.name));
+    w.kv("cat", std::string_view("spmvml"));
+    w.key("ph");
+    w.value(std::string_view(&e.phase, 1));
+    w.kv("ts", e.ts_us);
+    if (e.phase == 'X') w.kv("dur", e.dur_us);
+    if (e.phase == 'i') w.kv("s", std::string_view("t"));
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", std::int64_t{e.tid});
+    if (!e.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const TraceArg& a : e.args) {
+        w.key(a.key);
+        w.raw_value(a.json);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void trace_instant(std::string_view name) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'i';
+  e.tid = thread_tid();
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  if (g_state.load(std::memory_order_relaxed) != 2) return;
+  e.ts_us = now_us_locked();
+  state().events.push_back(std::move(e));
+}
+
+TraceSpan::TraceSpan(std::string_view name) : enabled_(trace_enabled()) {
+  if (!enabled_) return;
+  name_ = std::string(name);
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  start_us_ = now_us_locked();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.phase = 'X';
+  e.tid = thread_tid();
+  e.ts_us = start_us_;
+  e.args = std::move(args_);
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  // Tracing may have been stopped while the span was open; drop silently.
+  if (g_state.load(std::memory_order_relaxed) != 2) return;
+  e.dur_us = now_us_locked() - start_us_;
+  if (e.dur_us < 0) e.dur_us = 0;  // span crossed a trace_start() reset
+  state().events.push_back(std::move(e));
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, double v) {
+  if (enabled_)
+    args_.push_back({std::string(key), JsonWriter::number(v)});
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::int64_t v) {
+  if (enabled_)
+    args_.push_back({std::string(key), std::to_string(v)});
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::uint64_t v) {
+  if (enabled_)
+    args_.push_back({std::string(key), std::to_string(v)});
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::string_view v) {
+  if (enabled_)
+    args_.push_back(
+        {std::string(key), '"' + JsonWriter::escape(v) + '"'});
+  return *this;
+}
+
+}  // namespace spmvml::obs

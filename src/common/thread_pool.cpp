@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "common/obs/metrics.hpp"
+
 namespace spmvml {
 
 namespace {
 thread_local int tls_worker_index = -1;
+
+// Handles are cheap {registry, id} values; function-local statics keep
+// the name lookup off the per-task path. Several pools share the series
+// (the pipeline runs one pool at a time).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge g =
+      obs::MetricsRegistry::global().gauge("pool.queue_depth");
+  return g;
+}
+obs::Counter& tasks_counter() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("pool.tasks_completed");
+  return c;
+}
+obs::Histogram& wait_histogram() {
+  static obs::Histogram h =
+      obs::MetricsRegistry::global().histogram("pool.task_wait_s");
+  return h;
+}
+obs::Histogram& run_histogram() {
+  static obs::Histogram h =
+      obs::MetricsRegistry::global().histogram("pool.task_run_s");
+  return h;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -27,11 +53,17 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::worker_index() { return tls_worker_index; }
 
+void ThreadPool::publish_depth() {
+  queue_depth_gauge().set(
+      static_cast<double>(ready_.size() + delayed_.size()));
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ready_.push_back(std::move(task));
+    ready_.push_back({std::move(task), Clock::now()});
     ++pending_;
+    publish_depth();
   }
   work_cv_.notify_one();
 }
@@ -50,6 +82,7 @@ void ThreadPool::submit_after(double delay_s, std::function<void()> task) {
     t.fn = std::move(task);
     delayed_.push(std::move(t));
     ++pending_;
+    publish_depth();
   }
   // A worker may be sleeping past the new deadline; wake one to re-arm.
   work_cv_.notify_one();
@@ -60,7 +93,10 @@ void ThreadPool::promote_due(Clock::time_point now) {
     // priority_queue::top() is const; the task is moved out via const_cast
     // immediately before pop, which is safe because no other accessor
     // observes the moved-from element.
-    ready_.push_back(std::move(const_cast<DelayedTask&>(delayed_.top()).fn));
+    // Queue wait counts from promotion, not submit_after: the deadline
+    // delay is intentional backoff, not queue pressure.
+    ready_.push_back(
+        {std::move(const_cast<DelayedTask&>(delayed_.top()).fn), now});
     delayed_.pop();
   }
 }
@@ -74,20 +110,31 @@ void ThreadPool::worker_loop(int index) {
       // promote_due may have made several tasks runnable at once; chain a
       // wake-up so sibling workers pick up the rest.
       if (ready_.size() > 1) work_cv_.notify_one();
-      std::function<void()> task = std::move(ready_.front());
+      ReadyTask task = std::move(ready_.front());
       ready_.pop_front();
+      publish_depth();
       lock.unlock();
-      task();
+      const Clock::time_point started = Clock::now();
+      wait_histogram().observe(
+          std::chrono::duration<double>(started - task.enqueued).count());
+      task.fn();
       // Release the closure's captures before bookkeeping so wait_idle()
       // returning implies task state has been destroyed.
-      task = nullptr;
+      task.fn = nullptr;
+      run_histogram().observe(
+          std::chrono::duration<double>(Clock::now() - started).count());
+      tasks_counter().inc();
       lock.lock();
       if (--pending_ == 0) idle_cv_.notify_all();
       continue;
     }
     if (stop_) return;
     if (!delayed_.empty()) {
-      work_cv_.wait_until(lock, delayed_.top().ready_at);
+      // Copy the deadline: wait_until keeps a reference to its argument
+      // while the mutex is released, and a concurrent submit_after can
+      // reallocate the queue's storage under it.
+      const Clock::time_point deadline = delayed_.top().ready_at;
+      work_cv_.wait_until(lock, deadline);
     } else {
       work_cv_.wait(lock);
     }

@@ -79,10 +79,18 @@ class ThreadPool {
   /// Move due delayed tasks onto the ready queue. Caller holds mu_.
   void promote_due(Clock::time_point now);
 
+  struct ReadyTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;  // ready-queue entry (promotion for delayed)
+  };
+
+  /// Update the pool.queue_depth gauge. Caller holds mu_.
+  void publish_depth();
+
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here
   std::condition_variable idle_cv_;   // wait_idle waits here
-  std::deque<std::function<void()>> ready_;
+  std::deque<ReadyTask> ready_;
   std::priority_queue<DelayedTask, std::vector<DelayedTask>,
                       std::greater<DelayedTask>>
       delayed_;

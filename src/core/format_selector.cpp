@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
 #include "ml/serialize.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
@@ -87,7 +89,13 @@ Format FormatSelector::select(const FeatureVector& features) const {
   const int label = predict_label(features.select(feature_set_));
   SPMVML_ENSURE(label >= 0 && label < static_cast<int>(candidates_.size()),
                 "classifier produced out-of-range label");
-  return candidates_[static_cast<std::size_t>(label)];
+  const Format chosen = candidates_[static_cast<std::size_t>(label)];
+  // Per-format serving counts (serve.select.CSR, serve.select.ELL, ...):
+  // the live distribution a deployed selector hands out.
+  obs::MetricsRegistry::global()
+      .counter(std::string("serve.select.") + format_name(chosen))
+      .inc();
+  return chosen;
 }
 
 Format FormatSelector::select(const Csr<double>& matrix) const {
@@ -127,6 +135,10 @@ Selection FormatSelector::select_feasible(const FeatureVector& features,
     result.format = Format::kCsr;
   }
   result.fallback = true;
+  obs::MetricsRegistry::global().counter("serve.fallback").inc();
+  obs::log_warn("serve.fallback")
+      .kv("predicted", format_name(result.predicted))
+      .kv("served", format_name(result.format));
   return result;
 }
 

@@ -14,10 +14,53 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "gpusim/row_summary.hpp"
 
 namespace spmvml {
+
+namespace {
+
+// Collection-level accounting, one registry series per CollectStats
+// field (the oracle separately counts every measure() call by status;
+// these count *final* cell outcomes after retries).
+struct CollectMetrics {
+  obs::Counter cells_measured;
+  obs::Counter cells_failed_oom;
+  obs::Counter cells_failed_timeout;
+  obs::Counter cells_failed_transient;
+  obs::Counter retries;
+  obs::Counter matrices_kept;
+  obs::Counter matrices_dropped_prefilter;
+  obs::Counter matrices_dropped_all_failed;
+  obs::Counter cache_hits;
+  obs::Counter resumed_records;
+  obs::Counter checkpoints;
+};
+
+CollectMetrics& collect_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static CollectMetrics m{
+      reg.counter("collect.cells.measured"),
+      reg.counter("collect.cells.failed.oom"),
+      reg.counter("collect.cells.failed.timeout"),
+      reg.counter("collect.cells.failed.transient"),
+      reg.counter("collect.retries"),
+      reg.counter("collect.matrices.kept"),
+      reg.counter("collect.matrices.dropped_prefilter"),
+      reg.counter("collect.matrices.dropped_all_failed"),
+      reg.counter("collect.cache.hits"),
+      reg.counter("collect.resume.records"),
+      reg.counter("collect.checkpoints"),
+  };
+  return m;
+}
+
+}  // namespace
 
 int MatrixRecord::best_among(int arch, Precision prec,
                              std::span<const Format> candidates) const {
@@ -60,6 +103,9 @@ double backoff_delay_s(const CollectOptions& options, int attempt) {
 
 namespace {
 
+constexpr std::size_t kCellsPerMatrix = static_cast<std::size_t>(kNumArchs) *
+                                        kNumPrecisions * kNumFormats;
+
 /// Per-plan-entry accounting, merged into CollectStats in plan order so
 /// totals match the serial run exactly.
 struct EntryStats {
@@ -81,6 +127,20 @@ struct EntryStats {
     s.timeout_cells += timeout_cells;
     s.transient_cells += transient_cells;
     s.transient_retries += transient_retries;
+
+    // merge_into runs exactly once per plan entry on both the serial and
+    // the parallel path, so it doubles as the registry sink. A run that
+    // dies on an exception loses the unmerged tail — same as CollectStats.
+    CollectMetrics& m = collect_metrics();
+    if (attempted && !dropped_prefilter) m.cells_measured.add(kCellsPerMatrix);
+    if (oom_cells > 0) m.cells_failed_oom.add(oom_cells);
+    if (timeout_cells > 0) m.cells_failed_timeout.add(timeout_cells);
+    if (transient_cells > 0) m.cells_failed_transient.add(transient_cells);
+    if (transient_retries > 0) m.retries.add(transient_retries);
+    if (dropped_prefilter) m.matrices_dropped_prefilter.inc();
+    if (dropped_all_failed) m.matrices_dropped_all_failed.inc();
+    if (attempted && !dropped_prefilter && !dropped_all_failed)
+      m.matrices_kept.inc();
   }
 };
 
@@ -103,8 +163,11 @@ Measurement measure_with_retry(const MeasurementOracle& oracle,
                                std::uint64_t seed,
                                const CollectOptions& options,
                                EntryStats& stats) {
+  obs::TraceSpan span("collect.cell");
+  span.arg("format", static_cast<int>(f));
   Measurement m;
-  for (int attempt = 0;; ++attempt) {
+  int attempts = 1;
+  for (int attempt = 0;; ++attempt, ++attempts) {
     m = oracle.measure(summary, f, seed, attempt);
     if (!is_retryable(m.status) || attempt >= options.max_retries) break;
     ++stats.transient_retries;
@@ -112,6 +175,7 @@ Measurement measure_with_retry(const MeasurementOracle& oracle,
     if (delay > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
+  span.arg("attempts", attempts).arg("ok", static_cast<int>(m.ok()));
   return m;
 }
 
@@ -155,6 +219,11 @@ std::size_t try_resume(const CorpusPlan& plan, const CollectOptions& options,
         cached_done <= plan.size() && cached.size() <= cached_done) {
       corpus.records = std::move(cached.records);
       corpus.stats.resumed_records = corpus.records.size();
+      collect_metrics().resumed_records.add(corpus.records.size());
+      obs::log_info("collect.resume")
+          .kv("checkpoint", options.checkpoint_path)
+          .kv("records", corpus.records.size())
+          .kv("done", cached_done);
       return cached_done;
     }
   } catch (const Error&) {
@@ -198,6 +267,9 @@ LabeledCorpus collect_corpus_serial(const CorpusPlan& plan,
   const std::vector<MeasurementOracle> oracles = make_oracle_set(options);
 
   for (std::size_t m = start; m < plan.size(); ++m) {
+    obs::TraceSpan mspan("collect.matrix");
+    mspan.arg("index", static_cast<std::uint64_t>(m))
+        .arg("seed", plan.specs[m].seed);
     MatrixRecord rec;
     RowSummary summary;
     EntryStats entry;
@@ -241,6 +313,11 @@ LabeledCorpus collect_corpus_serial(const CorpusPlan& plan,
         m + 1 < plan.size()) {
       save_corpus_csv(options.checkpoint_path, corpus, plan.size(),
                       fingerprint, m + 1);
+      collect_metrics().checkpoints.inc();
+      obs::trace_instant("collect.checkpoint");
+      obs::log_debug("collect.checkpoint")
+          .kv("done", m + 1)
+          .kv("records", corpus.records.size());
     }
     if (options.progress) options.progress(m + 1, plan.size());
   }
@@ -262,9 +339,6 @@ LabeledCorpus collect_corpus_serial(const CorpusPlan& plan,
 // a plan-indexed slot array; the assembled corpus is therefore bitwise
 // identical to the serial run for any thread count. Checkpoints cover the
 // longest fully-complete prefix in plan order.
-
-constexpr std::size_t kCellsPerMatrix = static_cast<std::size_t>(kNumArchs) *
-                                        kNumPrecisions * kNumFormats;
 
 struct EntrySlot {
   MatrixRecord rec;
@@ -323,6 +397,11 @@ void write_prefix_checkpoint(ParallelCollectContext& ctx, std::size_t done) {
     if (ctx.slots[i].kept) snapshot.records.push_back(ctx.slots[i].rec);
   save_corpus_csv(ctx.options.checkpoint_path, snapshot, ctx.plan.size(),
                   ctx.fingerprint, done);
+  collect_metrics().checkpoints.inc();
+  obs::trace_instant("collect.checkpoint");
+  obs::log_debug("collect.checkpoint")
+      .kv("done", done)
+      .kv("records", snapshot.records.size());
 }
 
 void finish_entry(ParallelCollectContext& ctx, const MatrixTask& task) {
@@ -360,6 +439,10 @@ void run_matrix_task(ParallelCollectContext& ctx,
       // run to completion so the longest-prefix checkpoint is maximal.
       if (ctx.cancelled && !task->prepared) return;
     }
+    // One span per task *segment*: a matrix parked for backoff shows as
+    // several collect.matrix slices with the requeue gap between them.
+    obs::TraceSpan mspan("collect.matrix");
+    mspan.arg("index", static_cast<std::uint64_t>(task->index));
     if (!task->prepared) {
       const std::size_t m = task->index;
       task->dropped =
@@ -378,9 +461,14 @@ void run_matrix_task(ParallelCollectContext& ctx,
     while (task->cell < kCellsPerMatrix) {
       const auto machine = task->cell / kNumFormats;
       const int f = static_cast<int>(task->cell % kNumFormats);
-      const Measurement cell =
-          oracles[machine].measure(task->summary, static_cast<Format>(f),
-                                   task->rec.seed, task->attempt);
+      Measurement cell;
+      {
+        obs::TraceSpan cspan("collect.cell");
+        cspan.arg("format", f).arg("attempt", task->attempt);
+        cell = oracles[machine].measure(task->summary, static_cast<Format>(f),
+                                        task->rec.seed, task->attempt);
+        cspan.arg("ok", static_cast<int>(cell.ok()));
+      }
       if (is_retryable(cell.status) &&
           task->attempt < ctx.options.max_retries) {
         ++task->stats.transient_retries;
@@ -389,6 +477,11 @@ void run_matrix_task(ParallelCollectContext& ctx,
         if (delay > 0.0) {
           // Yield the worker: park this matrix until the deadline and let
           // the pool run other entries meanwhile.
+          obs::trace_instant("collect.backoff_requeue");
+          obs::log_debug("collect.backoff_requeue")
+              .kv("index", static_cast<std::uint64_t>(task->index))
+              .kv("cell", static_cast<std::uint64_t>(task->cell))
+              .kv("delay_s", delay);
           auto self = task;
           ctx.pool.submit_after(
               delay, [&ctx, self] { run_matrix_task(ctx, self); });
@@ -467,8 +560,24 @@ LabeledCorpus collect_corpus_parallel(const CorpusPlan& plan,
 LabeledCorpus collect_corpus(const CorpusPlan& plan,
                              const CollectOptions& options) {
   const int threads = options.threads > 0 ? options.threads : thread_count();
-  if (threads <= 1) return collect_corpus_serial(plan, options);
-  return collect_corpus_parallel(plan, options, threads);
+  obs::TraceSpan span("collect.corpus");
+  span.arg("matrices", static_cast<std::uint64_t>(plan.size()))
+      .arg("threads", threads);
+  obs::log_info("collect.start")
+      .kv("matrices", plan.size())
+      .kv("threads", threads)
+      .kv("faults", options.faults.enabled);
+  WallTimer timer;
+  LabeledCorpus corpus = threads <= 1
+                             ? collect_corpus_serial(plan, options)
+                             : collect_corpus_parallel(plan, options, threads);
+  obs::log_info("collect.done")
+      .kv("wall_s", timer.seconds())
+      .kv("kept", corpus.stats.kept)
+      .kv("failed_cells", corpus.stats.failed_cells)
+      .kv("retries", corpus.stats.transient_retries)
+      .kv("resumed", corpus.stats.resumed_records);
+  return corpus;
 }
 
 void save_corpus_csv(const std::string& path, const LabeledCorpus& corpus,
@@ -639,8 +748,13 @@ LabeledCorpus load_or_collect(const std::string& cache_path,
                                              &cached_hash, &cached_done);
       if (cached_plan == plan.size() &&
           cached_hash == plan_fingerprint(plan) &&
-          cached_done == plan.size())
+          cached_done == plan.size()) {
+        collect_metrics().cache_hits.inc();
+        obs::log_info("collect.cache_hit")
+            .kv("path", cache_path)
+            .kv("records", cached.size());
         return cached;
+      }
       // Plan changed (different SPMVML_CORPUS_SCALE / seed / contents) or
       // the cache is a partial checkpoint: fall through to collection,
       // which resumes matching checkpoints by itself.

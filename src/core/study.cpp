@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/obs/trace.hpp"
 
 namespace spmvml {
 
@@ -23,6 +24,8 @@ ClassificationStudy make_classification_study(
     std::span<const Format> candidates, FeatureSet feature_set,
     bool drop_coo_best) {
   SPMVML_ENSURE(!candidates.empty(), "no candidate formats");
+  obs::TraceSpan span("study.classification");
+  span.arg("records", static_cast<std::uint64_t>(corpus.records.size()));
   ClassificationStudy study;
   study.candidates.assign(candidates.begin(), candidates.end());
   for (const auto& rec : corpus.records) {
@@ -60,6 +63,8 @@ RegressionStudy make_joint_regression_study(const LabeledCorpus& corpus,
                                             std::span<const Format> formats,
                                             FeatureSet feature_set) {
   SPMVML_ENSURE(!formats.empty(), "no formats");
+  obs::TraceSpan span("study.joint_regression");
+  span.arg("records", static_cast<std::uint64_t>(corpus.records.size()));
   RegressionStudy study;
   for (const auto& rec : corpus.records) {
     const auto base = rec.features.select(feature_set);
@@ -83,6 +88,9 @@ RegressionStudy make_format_regression_study(const LabeledCorpus& corpus,
                                              int arch, Precision prec,
                                              Format format,
                                              FeatureSet feature_set) {
+  obs::TraceSpan span("study.format_regression");
+  span.arg("format", format_name(format))
+      .arg("records", static_cast<std::uint64_t>(corpus.records.size()));
   RegressionStudy study;
   for (const auto& rec : corpus.records) {
     if (!rec.valid(arch, prec, format)) continue;

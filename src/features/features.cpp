@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -140,6 +142,12 @@ std::vector<double> FeatureVector::select(std::span<const int> indices) const {
 }
 
 FeatureVector extract_features(const Csr<double>& m) {
+  obs::TraceSpan span("features.extract");
+  span.arg("rows", static_cast<std::int64_t>(m.rows()))
+      .arg("nnz", static_cast<std::int64_t>(m.nnz()));
+  static obs::Counter extracted =
+      obs::MetricsRegistry::global().counter("features.extracted");
+  extracted.inc();
   FeatureVector f;
   const index_t rows = m.rows(), cols = m.cols(), nnz = m.nnz();
   f.values[kNRows] = static_cast<double>(rows);

@@ -4,9 +4,34 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
 #include "common/rng.hpp"
 
 namespace spmvml {
+
+namespace {
+
+// Every measurement lands in exactly one status counter, so the merged
+// registry reproduces the fault accounting the collector keeps per run.
+obs::Counter& measure_counter(MeasurementStatus status) {
+  static obs::Counter ok =
+      obs::MetricsRegistry::global().counter("oracle.measure.ok");
+  static obs::Counter oom =
+      obs::MetricsRegistry::global().counter("oracle.measure.oom");
+  static obs::Counter timeout =
+      obs::MetricsRegistry::global().counter("oracle.measure.timeout");
+  static obs::Counter transient =
+      obs::MetricsRegistry::global().counter("oracle.measure.transient");
+  switch (status) {
+    case MeasurementStatus::kOom: return oom;
+    case MeasurementStatus::kTimeout: return timeout;
+    case MeasurementStatus::kTransient: return transient;
+    case MeasurementStatus::kOk: break;
+  }
+  return ok;
+}
+
+}  // namespace
 
 MeasurementOracle::MeasurementOracle(GpuArch arch, Precision prec,
                                      MeasurementConfig config,
@@ -28,6 +53,7 @@ Measurement MeasurementOracle::measure(const RowSummary& s, Format f,
 
   const MeasurementStatus status =
       faults_.classify(s, f, model_time, matrix_seed, attempt);
+  measure_counter(status).inc();
   if (status != MeasurementStatus::kOk) {
     Measurement failed;
     failed.seconds = std::numeric_limits<double>::quiet_NaN();

@@ -6,10 +6,54 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "ml/serialize.hpp"
 
 namespace spmvml::ml {
+
+namespace {
+
+/// Shared per-round observability handles for both boosters.
+obs::Counter& gbt_rounds_counter() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("ml.gbt.rounds");
+  return c;
+}
+
+obs::Gauge& gbt_loss_gauge() {
+  static obs::Gauge g =
+      obs::MetricsRegistry::global().gauge("ml.gbt.round_loss");
+  return g;
+}
+
+obs::Histogram& gbt_round_hist() {
+  static obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "ml.gbt.round_s", obs::default_latency_bounds_s());
+  return h;
+}
+
+/// Record one finished boosting round. The loss is derived from values
+/// the fit loop already computed, so training results never depend on
+/// whether anything observes them.
+void gbt_round_done(const char* which, int round, double mean_loss,
+                    double wall_s, obs::TraceSpan& span) {
+  gbt_rounds_counter().inc();
+  gbt_loss_gauge().set(mean_loss);
+  gbt_round_hist().observe(wall_s);
+  span.arg("loss", mean_loss);
+  obs::log_debug("gbt.round")
+      .kv("model", which)
+      .kv("round", round)
+      .kv("loss", mean_loss)
+      .kv("wall_s", wall_s);
+}
+
+}  // namespace
+
 namespace detail {
 
 double GradTree::predict(const std::vector<double>& row) const {
@@ -196,6 +240,10 @@ void GbtClassifier::fit(const Matrix& x, const std::vector<int>& y) {
   std::vector<double> grad(n), hess(n);
 
   for (int round = 0; round < params_.n_estimators; ++round) {
+    obs::TraceSpan round_span("gbt.round");
+    round_span.arg("round", round);
+    WallTimer round_timer;
+    double round_loss = 0.0;
     for (int k = 0; k < num_classes_; ++k) {
       // Softmax grad/hess for class k.
       for (std::size_t i = 0; i < n; ++i) {
@@ -207,6 +255,11 @@ void GbtClassifier::fit(const Matrix& x, const std::vector<int>& y) {
         const double pk = std::exp(s[k] - mx) / denom;
         grad[i] = pk - (y[i] == k ? 1.0 : 0.0);
         hess[i] = std::max(pk * (1.0 - pk), 1e-6);
+        // Multinomial log-loss of the round's starting scores, counted
+        // once per sample (k == 0): -log p(y) = log(denom) + mx - s[y].
+        if (k == 0)
+          round_loss +=
+              std::log(denom) + mx - s[static_cast<std::size_t>(y[i])];
       }
       auto tree = core.fit_tree(
           x, grad, hess,
@@ -219,6 +272,8 @@ void GbtClassifier::fit(const Matrix& x, const std::vector<int>& y) {
             params_.learning_rate * tree.predict(x[i]);
       trees_.push_back(std::move(tree));
     }
+    gbt_round_done("classifier", round, round_loss / static_cast<double>(n),
+                   round_timer.seconds(), round_span);
   }
   importance_weight_ = core.split_counts();
   importance_gain_ = core.gain_sums();
@@ -344,13 +399,22 @@ void GbtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
   std::vector<double> pred(n, base_score_);
   std::vector<double> grad(n), hess(n, 1.0);
   for (int round = 0; round < params_.n_estimators; ++round) {
-    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+    obs::TraceSpan round_span("gbt.round");
+    round_span.arg("round", round);
+    WallTimer round_timer;
+    double round_loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = pred[i] - y[i];
+      round_loss += 0.5 * grad[i] * grad[i];
+    }
     auto tree = core.fit_tree(
         x, grad, hess,
         hash_combine(params_.seed, static_cast<std::uint64_t>(round) + 997));
     for (std::size_t i = 0; i < n; ++i)
       pred[i] += params_.learning_rate * tree.predict(x[i]);
     trees_.push_back(std::move(tree));
+    gbt_round_done("regressor", round, round_loss / static_cast<double>(n),
+                   round_timer.seconds(), round_span);
   }
 }
 

@@ -6,8 +6,12 @@
 
 #include "common/error.hpp"
 #include "common/gemm.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/timer.hpp"
 #include "ml/serialize.hpp"
 
 namespace spmvml::ml {
@@ -88,9 +92,10 @@ void adam(std::vector<double>& w, std::vector<double>& m,
 
 }  // namespace
 
-void train_mlp(MlpNet& net, const Matrix& x,
-               const std::function<void(std::size_t, const std::vector<double>&,
-                                        std::vector<double>&)>& grad_out) {
+void train_mlp(
+    MlpNet& net, const Matrix& x,
+    const std::function<double(std::size_t, const std::vector<double>&,
+                               std::vector<double>&)>& grad_out) {
   const MlpParams& p = net.params();
   auto& layers = net.layers();
   const std::size_t n = x.size();
@@ -120,7 +125,21 @@ void train_mlp(MlpNet& net, const Matrix& x,
   std::vector<double> raw(static_cast<std::size_t>(out_dim));
   std::vector<double> out_grad;
 
+  // Per-epoch observability handles. Function-local statics keep the
+  // name lookups off the training path entirely.
+  static obs::Counter epochs_counter =
+      obs::MetricsRegistry::global().counter("ml.mlp.epochs");
+  static obs::Gauge loss_gauge =
+      obs::MetricsRegistry::global().gauge("ml.mlp.epoch_loss");
+  static obs::Histogram epoch_hist = obs::MetricsRegistry::global().histogram(
+      "ml.mlp.epoch_s", obs::default_latency_bounds_s());
+
   for (int epoch = 0; epoch < p.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("mlp.epoch");
+    epoch_span.arg("epoch", epoch);
+    WallTimer epoch_timer;
+    double epoch_loss = 0.0;
+
     // Fisher–Yates reshuffle each epoch.
     for (std::size_t i = n; i > 1; --i)
       std::swap(order[i - 1], order[static_cast<std::size_t>(
@@ -145,7 +164,7 @@ void train_mlp(MlpNet& net, const Matrix& x,
       for (std::size_t s = start; s < stop; ++s) {
         const std::size_t row = (s - start) * static_cast<std::size_t>(out_dim);
         std::copy(top + row, top + row + out_dim, raw.begin());
-        grad_out(order[s], raw, out_grad);
+        epoch_loss += grad_out(order[s], raw, out_grad);
         std::copy(out_grad.begin(), out_grad.end(), dtop.begin() + row);
       }
 
@@ -186,6 +205,17 @@ void train_mlp(MlpNet& net, const Matrix& x,
              0.0, net.step());
       }
     }
+
+    const double mean_loss =
+        n > 0 ? epoch_loss / static_cast<double>(n) : 0.0;
+    epochs_counter.inc();
+    loss_gauge.set(mean_loss);
+    epoch_hist.observe(epoch_timer.seconds());
+    epoch_span.arg("loss", mean_loss);
+    obs::log_debug("mlp.epoch")
+        .kv("epoch", epoch)
+        .kv("loss", mean_loss)
+        .kv("wall_s", epoch_timer.seconds());
   }
 }
 
@@ -332,6 +362,8 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y) {
           grad[k] /= denom;
           if (static_cast<int>(k) == y[i]) grad[k] -= 1.0;
         }
+        // CE loss = -log p(y) = log(sum exp(raw - mx)) - (raw[y] - mx).
+        return mx + std::log(denom) - raw[static_cast<std::size_t>(y[i])];
       });
 }
 
@@ -372,6 +404,7 @@ void MlpRegressor::fit(const Matrix& x, const std::vector<double>& y) {
                       grad.resize(1);
                       const double target = (y[i] - y_mean_) / y_std_;
                       grad[0] = raw[0] - target;  // d/draw of 0.5*(raw-t)^2
+                      return 0.5 * grad[0] * grad[0];
                     });
 }
 

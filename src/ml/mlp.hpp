@@ -75,10 +75,14 @@ class MlpNet {
 };
 
 /// Run `epochs` of minibatch Adam. `grad_out(i, raw, grad)` must fill
-/// `grad` with dLoss/draw for sample i given raw outputs `raw`.
-void train_mlp(MlpNet& net, const Matrix& x,
-               const std::function<void(std::size_t, const std::vector<double>&,
-                                        std::vector<double>&)>& grad_out);
+/// `grad` with dLoss/draw for sample i given raw outputs `raw`, and
+/// return the sample's loss. The loss feeds the per-epoch observability
+/// series (ml.mlp.epoch_loss / epoch spans) only — it never influences
+/// the optimisation, so training results are unchanged by logging state.
+void train_mlp(
+    MlpNet& net, const Matrix& x,
+    const std::function<double(std::size_t, const std::vector<double>&,
+                               std::vector<double>&)>& grad_out);
 
 }  // namespace detail
 

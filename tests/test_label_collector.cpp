@@ -2,12 +2,15 @@
 // reuse and invalidation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/error.hpp"
 #include "core/label_collector.hpp"
@@ -288,6 +291,48 @@ TEST(ParallelCollector, ProgressIsMonotonicAndComplete) {
   collect_corpus(plan, opts);
   EXPECT_EQ(calls, 10u);
   EXPECT_EQ(last, 10u);
+}
+
+TEST(ParallelCollector, ProgressCallbackIsSerialized) {
+  // The CollectOptions::progress contract: with threads > 1 the callback
+  // runs on worker threads but is never invoked concurrently. The
+  // in-flight flag would trip if two workers ever overlapped; the sleep
+  // widens any such window far beyond scheduler noise.
+  const auto plan = make_small_plan(12, 21);
+  CollectOptions opts = faulty_options();
+  opts.threads = 8;
+  std::atomic<bool> in_flight{false};
+  std::atomic<bool> overlapped{false};
+  std::size_t calls = 0;
+  opts.progress = [&](std::size_t, std::size_t) {
+    if (in_flight.exchange(true)) overlapped = true;
+    ++calls;  // plain increment on purpose: serialization makes it safe
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    in_flight = false;
+  };
+  collect_corpus(plan, opts);
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(calls, 12u);
+}
+
+TEST(ParallelCollector, ThrowingProgressCancelsWithoutFurtherCalls) {
+  // A throwing callback cancels the run: the exception propagates out of
+  // collect_corpus and no later (higher-`done`) progress call arrives
+  // while the pool drains.
+  const auto plan = make_small_plan(12, 22);
+  CollectOptions opts = faulty_options();
+  opts.threads = 8;
+  std::atomic<bool> thrown{false};
+  std::atomic<std::size_t> calls_after_throw{0};
+  opts.progress = [&](std::size_t done, std::size_t) {
+    if (thrown.load()) ++calls_after_throw;
+    if (done == 4) {
+      thrown = true;
+      throw std::runtime_error("simulated cancel");
+    }
+  };
+  EXPECT_THROW(collect_corpus(plan, opts), std::runtime_error);
+  EXPECT_EQ(calls_after_throw.load(), 0u);
 }
 
 TEST(ParallelCollector, ResumesPartialCheckpointIdentically) {

@@ -5,9 +5,10 @@
 #   tools/check.sh --asan     # same, in a separate build dir with
 #                             # -fsanitize=address,undefined
 #   tools/check.sh --tsan     # ThreadSanitizer over the concurrency tests
-#                             # (thread pool + parallel collection); OpenMP
-#                             # is disabled there because libgomp's
-#                             # uninstrumented runtime trips false positives
+#                             # (thread pool, parallel collection, logger +
+#                             # sharded metrics); OpenMP is disabled there
+#                             # because libgomp's uninstrumented runtime
+#                             # trips false positives
 #
 # Each pass uses its own build directory and leaves ./build alone.
 set -euo pipefail
@@ -34,7 +35,7 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs'
 else
   echo "== tier-1 verify =="
   run_suite build

@@ -10,6 +10,11 @@
 //   spmvml predict --model perf.model <matrix.mtx>
 //   spmvml inspect <matrix.mtx>
 //
+// Global flags (any command): --verbose | --quiet adjust the log level
+// (default info; the SPMVML_LOG env var overrides the default),
+// --trace <file> records a Chrome trace-event JSON of the run, and
+// --report <file> dumps the merged metrics registry plus run metadata.
+//
 // Matrix arguments are Matrix Market files; synthetic matrices can be
 // produced with the format_explorer example instead.
 //
@@ -18,13 +23,18 @@
 // 7 measurement (see common/error.hpp).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/report.hpp"
+#include "common/obs/trace.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
 #include "gpusim/fault.hpp"
@@ -49,8 +59,20 @@ namespace {
                "  spmvml select     --model <file> [--mem-budget GB] "
                "[--precision single|double] <matrix.mtx>\n"
                "  spmvml predict    --model <file> <matrix.mtx>\n"
-               "  spmvml inspect    <matrix.mtx>\n");
+               "  spmvml inspect    <matrix.mtx>\n"
+               "global flags:\n"
+               "  --verbose | --quiet     debug / error-only logging "
+               "(default info; SPMVML_LOG overrides)\n"
+               "  --trace <file>          write a Chrome trace-event JSON "
+               "of the run\n"
+               "  --report <file>         write an end-of-run metrics "
+               "summary JSON\n");
   std::exit(2);
+}
+
+/// Flags that take no value; everything else consumes the next token.
+bool is_flag_option(const std::string& name) {
+  return name == "verbose" || name == "quiet";
 }
 
 struct Args {
@@ -63,8 +85,13 @@ Args parse(int argc, char** argv, int from) {
   for (int i = from; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      const std::string name = a.substr(2);
+      if (is_flag_option(name)) {
+        args.options[name] = "1";
+        continue;
+      }
       if (i + 1 >= argc) usage();
-      args.options[a.substr(2)] = argv[++i];
+      args.options[name] = argv[++i];
     } else {
       args.positional.push_back(a);
     }
@@ -139,11 +166,26 @@ LabeledCorpus corpus_of(const Args& a) {
   // produces byte-identical corpora, so this is purely a speed knob.
   const int threads =
       static_cast<int>(numeric_opt(a, "threads", 0.0, 0.0, 256.0));
-  std::printf("collecting training corpus (scale %.2f)...\n", scale);
+  obs::log_info("cli.collect").kv("scale", scale).kv("threads", threads);
   CollectOptions options;
   options.threads = threads;
-  options.progress = [](std::size_t done, std::size_t total) {
-    if (done % 500 == 0) std::printf("  %zu/%zu\n", done, total);
+  // Progress lines go through the logger (info level), so --quiet
+  // silences them and concurrent workers never interleave output.
+  // `done` counts finished plan cells; rate and ETA come from the wall
+  // clock since collection started.
+  options.progress = [timer = WallTimer()](std::size_t done,
+                                           std::size_t total) {
+    if (done % 500 != 0 && done != total) return;
+    const double elapsed = timer.seconds();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const double eta_s =
+        rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+    obs::log_info("collect.progress")
+        .kv("done", static_cast<std::uint64_t>(done))
+        .kv("total", static_cast<std::uint64_t>(total))
+        .kv("cells_per_s", rate)
+        .kv("eta_s", eta_s);
   };
   return collect_corpus(make_corpus_plan(scale, 2018), options);
 }
@@ -158,7 +200,7 @@ int cmd_train(const Args& a) {
   SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
                     "cannot open " + out_path + " for writing");
   selector.save(out);
-  std::printf("selector written to %s\n", out_path.c_str());
+  obs::log_info("cli.model_written").kv("path", out_path);
   return 0;
 }
 
@@ -172,7 +214,7 @@ int cmd_train_perf(const Args& a) {
   SPMVML_ENSURE_CAT(out.good(), ErrorCategory::kIo,
                     "cannot open " + out_path + " for writing");
   model.save(out);
-  std::printf("performance model written to %s\n", out_path.c_str());
+  obs::log_info("cli.model_written").kv("path", out_path);
   return 0;
 }
 
@@ -250,18 +292,54 @@ int cmd_inspect(const Args& a) {
   return 0;
 }
 
+int run_command(const std::string& cmd, const Args& args) {
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "train-perf") return cmd_train_perf(args);
+  if (cmd == "select") return cmd_select(args);
+  if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "inspect") return cmd_inspect(args);
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
+
+  // Log level: flags win, then SPMVML_LOG, then the CLI default (info —
+  // the interactive tool talks, the library stays silent by default).
+  if (args.options.count("verbose")) {
+    obs::set_log_level(obs::LogLevel::kDebug);
+  } else if (args.options.count("quiet")) {
+    obs::set_log_level(obs::LogLevel::kError);
+  } else if (std::getenv("SPMVML_LOG") == nullptr) {
+    obs::set_log_level(obs::LogLevel::kInfo);
+  }
+  const std::string trace_path = opt(args, "trace", "");
+  if (!trace_path.empty()) obs::trace_start(trace_path);
+
+  WallTimer wall;
   try {
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "train-perf") return cmd_train_perf(args);
-    if (cmd == "select") return cmd_select(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "inspect") return cmd_inspect(args);
+    const int rc = run_command(cmd, args);
+    if (!trace_path.empty()) obs::trace_stop();
+    const std::string report_path = opt(args, "report", "");
+    if (!report_path.empty()) {
+      obs::ReportMeta meta;
+      meta.tool = "spmvml " + cmd;
+      for (int i = 0; i < argc; ++i) {
+        if (i > 0) meta.command += ' ';
+        meta.command += argv[i];
+      }
+      meta.seed = 2018;  // the fixed corpus-plan seed
+      meta.threads = static_cast<int>(
+          numeric_opt(args, "threads", 0.0, 0.0, 256.0));
+      meta.wall_s = wall.seconds();
+      obs::write_report(report_path, meta);
+      obs::log_info("cli.report_written").kv("path", report_path);
+    }
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "error [%s]: %s\n",
                  error_category_name(e.category()), e.what());
@@ -272,5 +350,4 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
 }
