@@ -1,0 +1,346 @@
+// Perf gate for the online serving subsystem (DESIGN.md §5f): trains a
+// classifier + per-format regressors in-process, stands up a Service,
+// and drives it two ways:
+//
+//   closed loop — 4 synchronous clients hammer the service while the
+//   main thread hot-swaps the model registry mid-run; measures
+//   throughput, p50/p95/p99 latency, and that versions stay monotonic.
+//
+//   open loop — requests submitted at a fixed offered rate regardless
+//   of completions, the standard way to expose queueing latency that a
+//   closed loop hides; admission-control rejections are counted, not
+//   errors.
+//
+// The bench also asserts the serving contract: batched responses are
+// byte-identical to one-shot library calls on the same matrix + model
+// (same Format pick, bitwise-equal predicted times). Results land in
+// BENCH_serving.json.
+//
+//   ./build/bench/serving_bench [--smoke] [--out serving.json]
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "common/timer.hpp"
+#include "core/format_selector.hpp"
+#include "core/perf_model.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "sparse/mmio.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generators.hpp"
+
+using namespace spmvml;
+
+namespace {
+
+struct BenchConfig {
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  int corpus_size() const { return smoke ? 32 : 48; }
+  int matrices() const { return smoke ? 4 : 8; }
+  int clients() const { return 4; }
+  int requests_per_client() const { return smoke ? 40 : 150; }
+  int swaps() const { return smoke ? 4 : 8; }
+  int open_requests() const { return smoke ? 200 : 800; }
+  double open_rate_rps() const { return smoke ? 1000.0 : 400.0; }
+};
+
+struct Percentiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+// Nearest-rank percentile over a copy (the caller keeps its order).
+Percentiles percentiles_ms(std::vector<double> v) {
+  Percentiles p;
+  if (v.empty()) return p;
+  std::sort(v.begin(), v.end());
+  const auto at = [&v](double pct) {
+    const auto n = static_cast<double>(v.size());
+    auto rank = static_cast<std::size_t>(pct / 100.0 * n);
+    if (rank > 0) --rank;
+    return v[std::min(rank, v.size() - 1)];
+  };
+  p.p50 = at(50.0);
+  p.p95 = at(95.0);
+  p.p99 = at(99.0);
+  return p;
+}
+
+serve::Request make_request(const std::string& id, serve::RequestMode mode,
+                            const std::string& matrix_path) {
+  serve::Request req;
+  req.id = id;
+  req.mode = mode;
+  req.matrix_path = matrix_path;
+  return req;
+}
+
+void write_percentiles(JsonWriter& json, const Percentiles& p) {
+  json.kv("p50_ms", p.p50);
+  json.kv("p95_ms", p.p95);
+  json.kv("p99_ms", p.p99);
+}
+
+int main_impl(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      cfg.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      cfg.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: serving_bench [--smoke] [--out file]\n");
+      return 2;
+    }
+  }
+
+  // --- Train two model bundles: one live, one to hot-swap in. ---
+  std::printf("== train: %d-matrix corpus, MLP selector + tree regressors ==\n",
+              cfg.corpus_size());
+  WallTimer timer;
+  const auto corpus =
+      collect_corpus(make_small_plan(cfg.corpus_size(), 2018));
+  auto selector_a = std::make_shared<FormatSelector>(
+      ModelKind::kMlp, FeatureSet::kSet12, kAllFormats, /*fast=*/true);
+  selector_a->fit(corpus, 0, Precision::kDouble);
+  auto selector_b = std::make_shared<FormatSelector>(
+      ModelKind::kDecisionTree, FeatureSet::kSet12, kAllFormats,
+      /*fast=*/true);
+  selector_b->fit(corpus, 0, Precision::kDouble);
+  auto perf = std::make_shared<PerfModel>(RegressorKind::kDecisionTree,
+                                          FeatureSet::kSet12, kAllFormats,
+                                          /*fast=*/true);
+  perf->fit(corpus, 0, Precision::kDouble);
+  const double train_s = timer.seconds();
+  std::printf("  trained both bundles in %.2f s\n", train_s);
+
+  serve::ModelRegistry registry;
+  registry.install(selector_a, perf);
+
+  // --- Matrix Market inputs the clients will name in requests. ---
+  const auto file_plan = make_small_plan(cfg.matrices(), 777);
+  std::vector<std::string> paths;
+  for (int i = 0; i < cfg.matrices(); ++i) {
+    const std::string path =
+        "serving_bench_m" + std::to_string(i) + ".tmp.mtx";
+    write_matrix_market(path, generate(file_plan.specs[static_cast<std::size_t>(i)]));
+    paths.push_back(path);
+  }
+
+  serve::ServiceConfig svc_cfg;
+  svc_cfg.threads = 4;
+  svc_cfg.max_batch = 16;
+  svc_cfg.max_delay_ms = 0.5;
+  svc_cfg.queue_capacity = 1024;
+  svc_cfg.cache_capacity = 64;
+
+  constexpr serve::RequestMode kModes[] = {serve::RequestMode::kSelect,
+                                           serve::RequestMode::kIndirect,
+                                           serve::RequestMode::kPredict};
+
+  // --- Contract check: batched serving == one-shot library calls. ---
+  // The service reads the matrix back from the file, so the reference
+  // computation does too — both sides see the identical Csr.
+  bool identical = true;
+  {
+    serve::Service service(svc_cfg, registry);
+    for (const auto& path : paths) {
+      const auto matrix = read_matrix_market(path);
+      const auto features = extract_features(matrix);
+      const Format expect = selector_a->select(features);
+      const auto sel =
+          service.call(make_request("chk-sel", serve::RequestMode::kSelect,
+                                    path));
+      if (!sel.ok || sel.format != expect) identical = false;
+      const auto prd =
+          service.call(make_request("chk-prd", serve::RequestMode::kPredict,
+                                    path));
+      if (!prd.ok || prd.predicted_us.size() != perf->formats().size())
+        identical = false;
+      for (std::size_t k = 0; identical && k < prd.predicted_us.size(); ++k) {
+        const auto [f, us] = prd.predicted_us[k];
+        if (f != perf->formats()[k] ||
+            us != perf->predict_seconds(features, f) * 1e6)
+          identical = false;
+      }
+    }
+  }
+  std::printf("== contract: batched == one-shot: %s ==\n",
+              identical ? "yes" : "NO");
+
+  // --- Closed loop: 4 clients, hot swaps mid-run. ---
+  std::printf("== closed loop: %d clients x %d requests, %d hot swaps ==\n",
+              cfg.clients(), cfg.requests_per_client(), cfg.swaps());
+  std::vector<double> closed_lat;
+  std::uint64_t closed_failed = 0;
+  std::uint64_t closed_cache_hits = 0;
+  double closed_wall_s = 0.0;
+  bool versions_monotonic = true;
+  std::uint64_t swaps_done = 0;
+  {
+    serve::Service service(svc_cfg, registry);
+    std::mutex agg_mu;
+    std::atomic<bool> done{false};
+    timer.reset();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < cfg.clients(); ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<double> lat;
+        std::uint64_t failed = 0, hits = 0, last_version = 0;
+        bool monotonic = true;
+        for (int k = 0; k < cfg.requests_per_client(); ++k) {
+          const int pick = c * cfg.requests_per_client() + k;
+          const auto rsp = service.call(make_request(
+              "c" + std::to_string(c) + "-" + std::to_string(k),
+              kModes[pick % 3],
+              paths[static_cast<std::size_t>(pick) % paths.size()]));
+          if (!rsp.ok) ++failed;
+          if (rsp.cache_hit) ++hits;
+          // A client never sees the model version move backwards.
+          if (rsp.ok && rsp.model_version < last_version) monotonic = false;
+          if (rsp.ok) last_version = rsp.model_version;
+          lat.push_back(rsp.latency_ms);
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        closed_lat.insert(closed_lat.end(), lat.begin(), lat.end());
+        closed_failed += failed;
+        closed_cache_hits += hits;
+        versions_monotonic = versions_monotonic && monotonic;
+      });
+    }
+    std::thread swapper([&] {
+      for (int s = 0; s < cfg.swaps() && !done.load(); ++s) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        registry.install(s % 2 == 0 ? selector_b : selector_a, perf);
+        ++swaps_done;
+      }
+    });
+    for (auto& t : clients) t.join();
+    done.store(true);
+    swapper.join();
+    closed_wall_s = timer.seconds();
+    service.shutdown();
+  }
+  const auto total_closed =
+      static_cast<double>(cfg.clients() * cfg.requests_per_client());
+  const double closed_rps = total_closed / closed_wall_s;
+  const Percentiles closed_p = percentiles_ms(closed_lat);
+  std::printf("  %.0f req in %.2f s = %.0f req/s  (p50 %.2f ms, p95 %.2f ms, "
+              "p99 %.2f ms)\n",
+              total_closed, closed_wall_s, closed_rps, closed_p.p50,
+              closed_p.p95, closed_p.p99);
+  std::printf("  failed %llu, cache hits %llu, swaps %llu, versions "
+              "monotonic: %s\n",
+              static_cast<unsigned long long>(closed_failed),
+              static_cast<unsigned long long>(closed_cache_hits),
+              static_cast<unsigned long long>(swaps_done),
+              versions_monotonic ? "yes" : "NO");
+
+  // --- Open loop: paced offered rate, count rejections separately. ---
+  std::printf("== open loop: %d requests at %.0f req/s offered ==\n",
+              cfg.open_requests(), cfg.open_rate_rps());
+  std::vector<double> open_lat;
+  std::uint64_t open_rejected = 0, open_failed = 0;
+  double open_wall_s = 0.0;
+  {
+    serve::Service service(svc_cfg, registry);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(cfg.open_requests()));
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / cfg.open_rate_rps()));
+    timer.reset();
+    const auto start = std::chrono::steady_clock::now();
+    for (int k = 0; k < cfg.open_requests(); ++k) {
+      std::this_thread::sleep_until(start + k * interval);
+      futures.push_back(service.submit(make_request(
+          "o" + std::to_string(k), kModes[k % 3],
+          paths[static_cast<std::size_t>(k) % paths.size()])));
+    }
+    for (auto& f : futures) {
+      const auto rsp = f.get();
+      if (rsp.ok) {
+        open_lat.push_back(rsp.latency_ms);
+      } else if (rsp.error.rfind("rejected", 0) == 0) {
+        ++open_rejected;
+      } else {
+        ++open_failed;
+      }
+    }
+    open_wall_s = timer.seconds();
+    service.shutdown();
+  }
+  const double open_rps =
+      static_cast<double>(open_lat.size()) / open_wall_s;
+  const Percentiles open_p = percentiles_ms(open_lat);
+  std::printf("  served %zu (%.0f req/s), rejected %llu, failed %llu  "
+              "(p50 %.2f ms, p95 %.2f ms, p99 %.2f ms)\n",
+              open_lat.size(), open_rps,
+              static_cast<unsigned long long>(open_rejected),
+              static_cast<unsigned long long>(open_failed), open_p.p50,
+              open_p.p95, open_p.p99);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+
+  std::ofstream out(cfg.out_path);
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("config");
+  json.begin_object();
+  json.kv("smoke", cfg.smoke);
+  json.kv("threads", svc_cfg.threads);
+  json.kv("max_batch", static_cast<std::uint64_t>(svc_cfg.max_batch));
+  json.kv("max_delay_ms", svc_cfg.max_delay_ms);
+  json.kv("queue_capacity",
+          static_cast<std::uint64_t>(svc_cfg.queue_capacity));
+  json.kv("matrices", cfg.matrices());
+  json.kv("train_s", train_s);
+  json.end_object();
+  json.kv("batched_matches_one_shot", identical);
+  json.key("closed_loop");
+  json.begin_object();
+  json.kv("clients", cfg.clients());
+  json.kv("requests", static_cast<std::uint64_t>(total_closed));
+  json.kv("wall_s", closed_wall_s);
+  json.kv("throughput_rps", closed_rps);
+  write_percentiles(json, closed_p);
+  json.kv("failed", closed_failed);
+  json.kv("cache_hits", closed_cache_hits);
+  json.kv("hot_swaps", swaps_done);
+  json.kv("versions_monotonic", versions_monotonic);
+  json.end_object();
+  json.key("open_loop");
+  json.begin_object();
+  json.kv("offered_rps", cfg.open_rate_rps());
+  json.kv("requests", cfg.open_requests());
+  json.kv("served", static_cast<std::uint64_t>(open_lat.size()));
+  json.kv("rejected", open_rejected);
+  json.kv("failed", open_failed);
+  json.kv("wall_s", open_wall_s);
+  json.kv("achieved_rps", open_rps);
+  write_percentiles(json, open_p);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  std::printf("wrote %s\n", cfg.out_path.c_str());
+
+  const bool pass = identical && versions_monotonic && closed_failed == 0 &&
+                    open_failed == 0;
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

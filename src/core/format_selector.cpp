@@ -1,6 +1,7 @@
 #include "core/format_selector.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/obs/log.hpp"
@@ -148,16 +149,24 @@ Selection FormatSelector::select_feasible(const Csr<double>& matrix,
 }
 
 void FormatSelector::save(std::ostream& out) const {
-  ml::io::write_tag(out, "format_selector");
-  ml::io::write_scalar(out, static_cast<int>(kind_));
-  ml::io::write_scalar(out, static_cast<int>(feature_set_));
+  // Serialize the payload aside, then wrap it in the checksummed model
+  // envelope — loaders verify integrity before parsing a single token.
+  std::ostringstream payload;
+  ml::io::write_tag(payload, "format_selector");
+  ml::io::write_scalar(payload, static_cast<int>(kind_));
+  ml::io::write_scalar(payload, static_cast<int>(feature_set_));
   std::vector<int> cands;
   for (Format f : candidates_) cands.push_back(static_cast<int>(f));
-  ml::io::write_vector(out, cands);
-  model_->save(out);
+  ml::io::write_vector(payload, cands);
+  model_->save(payload);
+  ml::io::write_envelope(out, "format_selector", candidates_.size(),
+                         payload.str());
 }
 
-FormatSelector FormatSelector::load_selector(std::istream& in) {
+FormatSelector FormatSelector::load_selector(std::istream& raw) {
+  std::size_t entries = 0;
+  std::istringstream in(ml::io::read_envelope(raw, "format_selector",
+                                              &entries));
   ml::io::read_tag(in, "format_selector");
   const int kind = ml::io::read_scalar<int>(in);
   SPMVML_ENSURE_CAT(kind >= 0 && kind < kNumModelKinds,
@@ -172,6 +181,8 @@ FormatSelector FormatSelector::load_selector(std::istream& in) {
                       "bad candidate format");
     formats.push_back(static_cast<Format>(c));
   }
+  SPMVML_ENSURE_CAT(formats.size() == entries, ErrorCategory::kModelFormat,
+                    "header/payload candidate count mismatch");
   FormatSelector selector(static_cast<ModelKind>(kind),
                           static_cast<FeatureSet>(set), formats);
   selector.model_->load(in);

@@ -1,6 +1,7 @@
 #include "core/perf_model.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "ml/serialize.hpp"
@@ -90,16 +91,20 @@ std::vector<double> PerfModel::predict_all(
 
 void PerfModel::save(std::ostream& out) const {
   SPMVML_ENSURE(models_.size() == formats_.size(), "model not fitted");
-  ml::io::write_tag(out, "perf_model");
-  ml::io::write_scalar(out, static_cast<int>(kind_));
-  ml::io::write_scalar(out, static_cast<int>(feature_set_));
+  std::ostringstream payload;
+  ml::io::write_tag(payload, "perf_model");
+  ml::io::write_scalar(payload, static_cast<int>(kind_));
+  ml::io::write_scalar(payload, static_cast<int>(feature_set_));
   std::vector<int> fmts;
   for (Format f : formats_) fmts.push_back(static_cast<int>(f));
-  ml::io::write_vector(out, fmts);
-  for (const auto& model : models_) model->save(out);
+  ml::io::write_vector(payload, fmts);
+  for (const auto& model : models_) model->save(payload);
+  ml::io::write_envelope(out, "perf_model", formats_.size(), payload.str());
 }
 
-PerfModel PerfModel::load_model(std::istream& in) {
+PerfModel PerfModel::load_model(std::istream& raw) {
+  std::size_t entries = 0;
+  std::istringstream in(ml::io::read_envelope(raw, "perf_model", &entries));
   ml::io::read_tag(in, "perf_model");
   const int kind = ml::io::read_scalar<int>(in);
   SPMVML_ENSURE_CAT(
@@ -115,6 +120,8 @@ PerfModel PerfModel::load_model(std::istream& in) {
                       "bad format");
     formats.push_back(static_cast<Format>(f));
   }
+  SPMVML_ENSURE_CAT(formats.size() == entries, ErrorCategory::kModelFormat,
+                    "header/payload format count mismatch");
   PerfModel model(static_cast<RegressorKind>(kind),
                   static_cast<FeatureSet>(set), formats);
   for (std::size_t i = 0; i < formats.size(); ++i) {

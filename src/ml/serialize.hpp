@@ -3,11 +3,14 @@
 // deterministic, and round-trips doubles exactly via max_digits10.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -80,6 +83,86 @@ inline std::vector<std::vector<double>> read_matrix(std::istream& in) {
   std::vector<std::vector<double>> m(n);
   for (auto& row : m) row = read_vector<double>(in);
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Model-file envelope.
+//
+// Top-level model files (FormatSelector, PerfModel) are wrapped in a
+// one-line header followed by the raw payload:
+//
+//   spmvml-model 1 <kind> <entries> <payload_bytes> <fnv1a64-hex>
+//
+// magic + format version make foreign files fail fast; payload_bytes
+// catches truncation before any token parsing; the FNV-1a checksum
+// catches bit rot and hand edits. `entries` is the model's top-level
+// cardinality (candidate formats / per-format regressors) so a loader
+// can cross-check the parsed payload against the header. All failures
+// throw Error(kModelFormat) — the safe-hot-swap contract: a registry
+// never publishes a bundle whose envelope did not verify.
+
+inline constexpr const char* kModelMagic = "spmvml-model";
+inline constexpr int kModelFormatVersion = 1;
+
+/// FNV-1a over the payload bytes.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline void write_envelope(std::ostream& out, std::string_view kind,
+                           std::size_t entries, const std::string& payload) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  out << kModelMagic << ' ' << kModelFormatVersion << ' ' << kind << ' '
+      << entries << ' ' << payload.size() << ' ' << hex << '\n'
+      << payload;
+}
+
+/// Read and verify an envelope; returns the payload. `entries_out`
+/// receives the header cardinality for the caller to cross-check.
+inline std::string read_envelope(std::istream& in, std::string_view kind,
+                                 std::size_t* entries_out = nullptr) {
+  std::string magic, got_kind, checksum_hex;
+  int version = 0;
+  std::size_t entries = 0, bytes = 0;
+  in >> magic;
+  SPMVML_ENSURE_CAT(static_cast<bool>(in) && magic == kModelMagic,
+                    ErrorCategory::kModelFormat,
+                    "not a spmvml model file (missing '" +
+                        std::string(kModelMagic) + "' magic)");
+  in >> version >> got_kind >> entries >> bytes >> checksum_hex;
+  SPMVML_ENSURE_CAT(static_cast<bool>(in), ErrorCategory::kModelFormat,
+                    "model file header truncated");
+  SPMVML_ENSURE_CAT(version == kModelFormatVersion,
+                    ErrorCategory::kModelFormat,
+                    "unsupported model format version " +
+                        std::to_string(version));
+  SPMVML_ENSURE_CAT(got_kind == kind, ErrorCategory::kModelFormat,
+                    "model kind mismatch: file holds '" + got_kind +
+                        "', expected '" + std::string(kind) + "'");
+  SPMVML_ENSURE_CAT(bytes < (1u << 30), ErrorCategory::kModelFormat,
+                    "model file header claims an absurd payload size");
+  SPMVML_ENSURE_CAT(in.get() == '\n', ErrorCategory::kModelFormat,
+                    "model file header is malformed");
+  std::string payload(bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  SPMVML_ENSURE_CAT(static_cast<std::size_t>(in.gcount()) == bytes,
+                    ErrorCategory::kModelFormat,
+                    "model file truncated: payload shorter than header "
+                    "declares");
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  SPMVML_ENSURE_CAT(checksum_hex == hex, ErrorCategory::kModelFormat,
+                    "model file checksum mismatch (corrupt payload)");
+  if (entries_out != nullptr) *entries_out = entries;
+  return payload;
 }
 
 }  // namespace spmvml::ml::io

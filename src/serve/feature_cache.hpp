@@ -1,0 +1,84 @@
+// Sharded LRU cache of per-matrix serving state, keyed by matrix content
+// hash.
+//
+// A format-selection request for a matrix the service has already seen
+// must not pay the O(nnz) Table II extraction pass again — repeat traffic
+// is the common case next to a job scheduler, where the same operator
+// matrix is submitted for every solve. The cache stores the feature
+// vector together with the structural digest (RowSummary) so the memory
+// feasibility gate is also free on a hit.
+//
+// Concurrency: the key space is split across independent shards (shard =
+// key mod nshards; keys are splitmix-mixed so the low bits are uniform),
+// each with its own mutex and its own LRU list. Concurrent clients on
+// different shards never touch the same lock — the same contention
+// strategy as the metrics registry's per-thread shards. Within a shard,
+// get() is a move-to-front and put() evicts from the back.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "features/features.hpp"
+#include "gpusim/row_summary.hpp"
+
+namespace spmvml::serve {
+
+/// Content hash of a CSR matrix: dimensions, structure and value bit
+/// patterns all contribute, so any change to the matrix changes the key.
+std::uint64_t matrix_content_hash(const Csr<double>& m);
+
+struct CachedFeatures {
+  FeatureVector features;
+  RowSummary summary;
+};
+
+class FeatureCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRUs
+  /// (clamped to >= 1 each). capacity 0 disables caching entirely.
+  explicit FeatureCache(std::size_t capacity, int shards = 8);
+
+  /// Lookup; a hit refreshes the entry's LRU position.
+  std::optional<CachedFeatures> get(std::uint64_t key);
+
+  /// Insert or refresh; evicts the least-recently-used entry of the
+  /// key's shard when that shard is full.
+  void put(std::uint64_t key, const CachedFeatures& value);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  /// Merged view over all shards (locks each shard briefly).
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map holds iterators into the list.
+    std::list<std::pair<std::uint64_t, CachedFeatures>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, CachedFeatures>>::
+                           iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace spmvml::serve

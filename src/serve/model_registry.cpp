@@ -1,0 +1,93 @@
+#include "serve/model_registry.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
+
+namespace spmvml::serve {
+
+namespace {
+
+/// Plausible mid-sized matrix digest used as the validation probe: the
+/// exact values are irrelevant, only that every model in the bundle maps
+/// them to a sane output before the bundle goes live.
+FeatureVector probe_features() {
+  FeatureVector f;
+  f.values = {1000.0, 1000.0, 5000.0, 5.0, 0.5,  12.0, 1.0, 2.5, 4000.0,
+              4.0,    1.5,    9.0,    1.0, 1.25, 0.5,  6.0, 1.0};
+  return f;
+}
+
+}  // namespace
+
+void ModelRegistry::validate(const ModelBundle& bundle) {
+  SPMVML_ENSURE_CAT(bundle.selector != nullptr, ErrorCategory::kModelFormat,
+                    "model bundle has no selector");
+  const FeatureVector probe = probe_features();
+  // select() throws on out-of-range labels; reaching a format is the check.
+  (void)bundle.selector->select(probe);
+  if (bundle.perf) {
+    for (const Format f : bundle.perf->formats()) {
+      const double t = bundle.perf->predict_seconds(probe, f);
+      SPMVML_ENSURE_CAT(std::isfinite(t) && t > 0.0,
+                        ErrorCategory::kModelFormat,
+                        std::string("perf model predicts non-finite time for ") +
+                            format_name(f));
+    }
+  }
+}
+
+std::uint64_t ModelRegistry::install(
+    std::shared_ptr<const FormatSelector> selector,
+    std::shared_ptr<const PerfModel> perf) {
+  obs::TraceSpan span("serve.registry.install");
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->selector = std::move(selector);
+  bundle->perf = std::move(perf);
+  validate(*bundle);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  bundle->version = next_version_++;
+  current_ = std::move(bundle);
+  obs::MetricsRegistry::global().counter("serve.registry.swap").inc();
+  obs::MetricsRegistry::global().gauge("serve.registry.version").set(
+      static_cast<double>(current_->version));
+  obs::log_info("serve.registry.swap")
+      .kv("version", current_->version)
+      .kv("has_perf", current_->perf != nullptr);
+  return current_->version;
+}
+
+std::uint64_t ModelRegistry::install_files(const std::string& selector_path,
+                                           const std::string& perf_path) {
+  std::ifstream sel_in(selector_path, std::ios::binary);
+  SPMVML_ENSURE_CAT(sel_in.good(), ErrorCategory::kIo,
+                    "cannot open model file " + selector_path);
+  auto selector = std::make_shared<const FormatSelector>(
+      FormatSelector::load_selector(sel_in));
+
+  std::shared_ptr<const PerfModel> perf;
+  if (!perf_path.empty()) {
+    std::ifstream perf_in(perf_path, std::ios::binary);
+    SPMVML_ENSURE_CAT(perf_in.good(), ErrorCategory::kIo,
+                      "cannot open model file " + perf_path);
+    perf = std::make_shared<const PerfModel>(PerfModel::load_model(perf_in));
+  }
+  return install(std::move(selector), std::move(perf));
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->version : 0;
+}
+
+}  // namespace spmvml::serve

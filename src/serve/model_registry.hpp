@@ -1,0 +1,63 @@
+// Versioned model registry with atomic hot-swap.
+//
+// The serving loop must never observe a half-installed model: a bundle
+// (classifier + optional per-format regressors) is loaded and validated
+// off to the side, then published by swapping one shared_ptr under a
+// mutex. Readers copy the pointer (a few ns) and keep their copy for the
+// whole micro-batch, so in-flight requests always finish on the model
+// they started with — the old bundle is freed when the last batch holding
+// it completes, never under it.
+//
+// Validation-on-load runs a probe prediction through every model before
+// publishing: a bundle that loads from disk (envelope checksum already
+// verified by the model-file header) but produces out-of-range labels or
+// non-finite times is rejected with the error taxonomy and the previous
+// version stays live.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/format_selector.hpp"
+#include "core/perf_model.hpp"
+
+namespace spmvml::serve {
+
+struct ModelBundle {
+  std::uint64_t version = 0;
+  std::shared_ptr<const FormatSelector> selector;  // required
+  std::shared_ptr<const PerfModel> perf;  // optional: enables indirect/predict
+};
+
+class ModelRegistry {
+ public:
+  /// Validate and publish a bundle; returns the assigned version
+  /// (monotonic from 1). Throws without changing the live bundle when
+  /// validation fails.
+  std::uint64_t install(std::shared_ptr<const FormatSelector> selector,
+                        std::shared_ptr<const PerfModel> perf = nullptr);
+
+  /// Load model files (selector required, perf optional — empty path
+  /// skips it), validate, publish. I/O failures map to kIo, corrupt
+  /// files to kModelFormat; either way the previous bundle stays live.
+  std::uint64_t install_files(const std::string& selector_path,
+                              const std::string& perf_path = "");
+
+  /// Current bundle; nullptr before the first install. The returned
+  /// shared_ptr keeps the bundle alive across any later swap.
+  std::shared_ptr<const ModelBundle> current() const;
+
+  /// Version of the live bundle (0 before the first install).
+  std::uint64_t version() const;
+
+ private:
+  static void validate(const ModelBundle& bundle);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelBundle> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace spmvml::serve

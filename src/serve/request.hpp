@@ -1,0 +1,87 @@
+// Request/response schema of the online serving subsystem.
+//
+// The service speaks JSONL: one flat JSON object per line in, one per
+// line out. A request either names a Matrix Market file (the service
+// extracts — and caches — the Table II features) or carries the 17 raw
+// feature values inline (no file I/O, no cache, no feasibility check,
+// since memory feasibility needs the structural digest of the matrix).
+//
+//   {"id":"r1","mode":"select","matrix":"web.mtx","mem_budget_gb":4}
+//   {"id":"r2","mode":"indirect","matrix":"web.mtx","deadline_ms":5}
+//   {"id":"r3","mode":"predict","features":[1000,1000,5000,...]}
+//   {"cmd":"swap","model":"sel_v2.model","perf_model":"perf_v2.model"}
+//
+// Modes map to the paper's two selection routes: "select" is the direct
+// classifier (§V), "indirect" picks the argmin of the per-format
+// regressors (§VI-C) and degrades to the direct classifier under
+// deadline pressure, "predict" returns the per-format predicted times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sparse/format.hpp"
+
+namespace spmvml::serve {
+
+enum class RequestMode : int { kSelect = 0, kIndirect = 1, kPredict = 2 };
+
+const char* request_mode_name(RequestMode m);
+
+struct Request {
+  std::string id;
+  RequestMode mode = RequestMode::kSelect;
+  /// Matrix Market path; empty when `features` is supplied inline.
+  std::string matrix_path;
+  /// Optional pre-extracted features (exactly kNumFeatures values).
+  std::vector<double> features;
+  /// Soft deadline from enqueue to completion; 0 = none. Indirect
+  /// requests that cannot meet it degrade to the direct classifier.
+  double deadline_ms = 0.0;
+  /// Per-request memory budget; 0 = use the service default.
+  double mem_budget_gb = 0.0;
+};
+
+/// Control-plane lines share the JSONL stream ("cmd" instead of "mode").
+struct AdminCommand {
+  std::string id;
+  std::string cmd;  // currently: "swap"
+  std::string model_path;
+  std::string perf_model_path;
+};
+
+struct ParsedLine {
+  bool is_admin = false;
+  Request request;
+  AdminCommand admin;
+};
+
+/// Parse one JSONL line into a request or admin command. Throws
+/// Error(kParse) on malformed JSON, unknown mode, or a features array
+/// whose length is not kNumFeatures.
+ParsedLine parse_request_line(const std::string& line);
+
+struct Response {
+  std::string id;
+  bool ok = false;
+  std::string error;  // error-category-tagged message when !ok
+  RequestMode mode = RequestMode::kSelect;
+  Format format = Format::kCsr;     // served choice
+  Format predicted = Format::kCsr;  // model pick before feasibility
+  bool fallback = false;            // feasibility forced a different format
+  bool degraded = false;            // indirect degraded to direct classifier
+  bool cache_hit = false;
+  std::uint64_t model_version = 0;
+  /// Per-format predicted SpMV times in microseconds (predict/indirect).
+  std::vector<std::pair<Format, double>> predicted_us;
+  double queue_ms = 0.0;    // enqueue -> batch pickup
+  double latency_ms = 0.0;  // enqueue -> response
+  std::uint64_t batch = 0;  // size of the micro-batch this rode in
+};
+
+/// Compact single-line JSON rendering (no trailing newline).
+std::string to_json(const Response& r);
+
+}  // namespace spmvml::serve

@@ -1,0 +1,398 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
+#include "common/timer.hpp"
+#include "gpusim/fault.hpp"
+#include "ml/dataset.hpp"
+#include "sparse/mmio.hpp"
+
+namespace spmvml::serve {
+
+namespace {
+
+constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Clamp config knobs before any member (and the dispatcher thread, which
+/// starts in the initializer list) can read them.
+ServiceConfig sanitize(ServiceConfig cfg) {
+  cfg.threads = cfg.threads < 1 ? 1 : cfg.threads;
+  cfg.max_batch = std::max<std::size_t>(cfg.max_batch, 1);
+  cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+  cfg.max_delay_ms = std::max(cfg.max_delay_ms, 0.0);
+  return cfg;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config, ModelRegistry& registry)
+    : cfg_(sanitize(config)),
+      registry_(registry),
+      cache_(cfg_.cache_capacity, cfg_.cache_shards),
+      pool_(cfg_.threads),
+      dispatcher_([this] { dispatcher_loop(); }) {
+  obs::log_info("serve.start")
+      .kv("threads", pool_.size())
+      .kv("max_batch", static_cast<std::uint64_t>(cfg_.max_batch))
+      .kv("max_delay_ms", cfg_.max_delay_ms)
+      .kv("queue_capacity", static_cast<std::uint64_t>(cfg_.queue_capacity));
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::submit(Request req, Callback done) {
+  Response reject;
+  reject.id = req.id;
+  reject.mode = req.mode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < cfg_.queue_capacity) {
+      queue_.push_back(Pending{std::move(req), std::move(done), Clock::now()});
+      obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
+          static_cast<double>(queue_.size()));
+      cv_.notify_all();
+      return;
+    }
+    reject.error = stopping_ ? "rejected: service is shutting down"
+                             : "rejected: queue full (overloaded)";
+  }
+  // Deliver the rejection outside the lock; the callback may do I/O.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::global().counter("serve.rejected").inc();
+  done(reject);
+}
+
+std::future<Response> Service::submit(Request req) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  submit(std::move(req),
+         [promise](const Response& r) { promise->set_value(r); });
+  return future;
+}
+
+Response Service::call(Request req) { return submit(std::move(req)).get(); }
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  std::call_once(shutdown_once_, [this] {
+    dispatcher_.join();
+    pool_.wait_idle();
+    obs::log_info("serve.stop")
+        .kv("served", served_.load())
+        .kv("rejected", rejected_.load())
+        .kv("degraded", degraded_.load());
+  });
+}
+
+Service::Counters Service::counters() const {
+  Counters c;
+  c.served = served_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Service::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Micro-batch window: opened by the oldest pending request. Keep the
+    // batch open until it is full or the window closes; shutdown closes
+    // every window immediately so draining never waits out a delay.
+    const auto close_at =
+        queue_.front().enqueued +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(cfg_.max_delay_ms));
+    while (!stopping_ && queue_.size() < cfg_.max_batch &&
+           Clock::now() < close_at)
+      cv_.wait_until(lock, close_at);
+
+    const std::size_t n = std::min(queue_.size(), cfg_.max_batch);
+    auto batch = std::make_shared<std::vector<Pending>>();
+    batch->reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
+        static_cast<double>(queue_.size()));
+    lock.unlock();
+    pool_.submit([this, batch] { process_batch(*batch); });
+    lock.lock();
+  }
+}
+
+bool Service::resolve_features(Pending& item, Response& rsp,
+                               FeatureVector& features, RowSummary& summary,
+                               bool& has_summary) {
+  has_summary = false;
+  if (!item.req.features.empty()) {
+    std::copy(item.req.features.begin(), item.req.features.end(),
+              features.values.begin());
+    return true;
+  }
+  try {
+    const Csr<double> matrix = read_matrix_market(item.req.matrix_path);
+    const std::uint64_t key = matrix_content_hash(matrix);
+    if (auto cached = cache_.get(key)) {
+      features = cached->features;
+      summary = cached->summary;
+      rsp.cache_hit = true;
+    } else {
+      features = extract_features(matrix);
+      summary = summarize(matrix);
+      cache_.put(key, CachedFeatures{features, summary});
+    }
+    has_summary = true;
+    return true;
+  } catch (const Error& e) {
+    rsp.ok = false;
+    rsp.error = std::string(error_category_name(e.category())) + ": " +
+                e.what();
+    return false;
+  } catch (const std::exception& e) {
+    rsp.ok = false;
+    rsp.error = std::string("generic: ") + e.what();
+    return false;
+  }
+}
+
+void Service::process_batch(std::vector<Pending>& batch) {
+  obs::TraceSpan span("serve.batch");
+  span.arg("size", static_cast<std::uint64_t>(batch.size()));
+  auto& registry_metrics = obs::MetricsRegistry::global();
+  registry_metrics.histogram("serve.batch_size", kBatchBounds)
+      .observe(static_cast<double>(batch.size()));
+
+  const std::shared_ptr<const ModelBundle> bundle = registry_.current();
+  const auto picked_up = Clock::now();
+
+  struct Slot {
+    Response rsp;
+    FeatureVector features;
+    RowSummary summary;
+    bool has_summary = false;
+    bool live = false;       // resolved and awaiting predictions
+    bool indirect = false;   // gets the regressor pass
+  };
+  std::vector<Slot> slots(batch.size());
+
+  // --- Stage 1: features (file read + cache + Table II extraction). ---
+  {
+    obs::TraceSpan features_span("serve.features");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Slot& s = slots[i];
+      s.rsp.id = batch[i].req.id;
+      s.rsp.mode = batch[i].req.mode;
+      s.rsp.batch = batch.size();
+      s.rsp.queue_ms = ms_between(batch[i].enqueued, picked_up);
+      registry_metrics.histogram("serve.queue_s", obs::default_latency_bounds_s())
+          .observe(s.rsp.queue_ms / 1e3);
+      if (bundle == nullptr) {
+        s.rsp.error = "model-format: no model installed in the registry";
+        continue;
+      }
+      s.rsp.model_version = bundle->version;
+      s.live = resolve_features(batch[i], s.rsp, s.features, s.summary,
+                                s.has_summary);
+    }
+  }
+
+  // --- Stage 2: one batched classifier pass over every live request. ---
+  // The direct prediction is computed for all modes: select/predict use
+  // it directly, indirect keeps it as the degradation target.
+  if (bundle != nullptr) {
+    obs::TraceSpan classify_span("serve.classify");
+    ml::Matrix x;
+    std::vector<std::size_t> rows;  // slot index per matrix row
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].live) continue;
+      x.push_back(slots[i].features.select(bundle->selector->feature_set()));
+      rows.push_back(i);
+    }
+    if (!x.empty()) {
+      const std::vector<int> labels =
+          bundle->selector->classifier().predict_batch(x);
+      const auto candidates = bundle->selector->candidates();
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        Slot& s = slots[rows[k]];
+        const int label = labels[k];
+        if (label < 0 || label >= static_cast<int>(candidates.size())) {
+          s.live = false;
+          s.rsp.error = "model-format: classifier produced out-of-range label";
+          continue;
+        }
+        s.rsp.predicted = candidates[static_cast<std::size_t>(label)];
+        s.rsp.format = s.rsp.predicted;
+      }
+    }
+  }
+
+  // --- Stage 3: feasibility + indirect/predict regressor pass. ---
+  if (bundle != nullptr) {
+    // Deadline triage first: an indirect request whose remaining budget
+    // cannot fit the (EWMA-estimated) regressor pass degrades to the
+    // direct prediction computed above.
+    const double est_ms = indirect_item_cost_ms_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& s = slots[i];
+      if (!s.live) continue;
+      const RequestMode mode = batch[i].req.mode;
+      if (mode == RequestMode::kSelect) continue;
+      if (bundle->perf == nullptr) {
+        if (mode == RequestMode::kPredict) {
+          s.live = false;
+          s.rsp.error = "model-format: no perf model installed (predict "
+                        "needs --perf-model)";
+          continue;
+        }
+        s.rsp.degraded = true;  // indirect without regressors: direct pick
+        continue;
+      }
+      if (mode != RequestMode::kIndirect) {
+        s.indirect = true;  // predict: always runs the regressors
+        continue;
+      }
+      const double deadline = batch[i].req.deadline_ms;
+      if (deadline > 0.0) {
+        const double elapsed = ms_between(batch[i].enqueued, Clock::now());
+        const double remaining = deadline - elapsed;
+        if (remaining <= 0.0 || remaining < est_ms) {
+          s.rsp.degraded = true;
+          continue;
+        }
+      }
+      s.indirect = true;
+    }
+
+    std::vector<std::size_t> regress_rows;
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      if (slots[i].live && slots[i].indirect) regress_rows.push_back(i);
+    if (!regress_rows.empty()) {
+      obs::TraceSpan regress_span("serve.regress");
+      regress_span.arg("items", static_cast<std::uint64_t>(regress_rows.size()));
+      WallTimer regress_timer;
+      const auto formats = bundle->perf->formats();
+      for (const std::size_t i : regress_rows) {
+        Slot& s = slots[i];
+        s.rsp.predicted_us.reserve(formats.size());
+        for (const Format f : formats)
+          s.rsp.predicted_us.emplace_back(
+              f, bundle->perf->predict_seconds(s.features, f) * 1e6);
+      }
+      const double per_item_ms =
+          regress_timer.millis() / static_cast<double>(regress_rows.size());
+      double prev = indirect_item_cost_ms_.load(std::memory_order_relaxed);
+      const double next = prev <= 0.0 ? per_item_ms
+                                      : 0.8 * prev + 0.2 * per_item_ms;
+      indirect_item_cost_ms_.store(next, std::memory_order_relaxed);
+    }
+  }
+
+  // --- Stage 4: per-request finalization (feasibility, argmin, reply). ---
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& s = slots[i];
+    Pending& item = batch[i];
+    bool counted = false;  // select_feasible() bumps serve.select itself
+    if (s.live) {
+      s.rsp.ok = true;
+      const double budget_gb = item.req.mem_budget_gb > 0.0
+                                   ? item.req.mem_budget_gb
+                                   : cfg_.mem_budget_gb;
+      FeasibilityFn feasible;
+      if (budget_gb > 0.0 && s.has_summary)
+        feasible = make_memory_feasibility(
+            s.summary, cfg_.precision,
+            static_cast<std::int64_t>(budget_gb * 1e9));
+
+      try {
+        if (item.req.mode == RequestMode::kIndirect && s.indirect) {
+          // Argmin of predicted times over feasible formats.
+          const auto formats = bundle->perf->formats();
+          double best = 0.0;
+          bool found = false;
+          Format best_unconstrained = s.rsp.predicted_us.front().first;
+          double best_unconstrained_us =
+              s.rsp.predicted_us.front().second;
+          for (const auto& [f, us] : s.rsp.predicted_us) {
+            if (us < best_unconstrained_us) {
+              best_unconstrained = f;
+              best_unconstrained_us = us;
+            }
+            if (feasible && !feasible(f)) continue;
+            if (!found || us < best) {
+              best = us;
+              s.rsp.format = f;
+              found = true;
+            }
+          }
+          s.rsp.predicted = best_unconstrained;
+          if (!found) {
+            // Nothing feasible: CSR floor, mirroring select_feasible.
+            SPMVML_ENSURE_CAT(
+                std::find(formats.begin(), formats.end(), Format::kCsr) !=
+                    formats.end(),
+                ErrorCategory::kInfeasibleFormat,
+                "no modeled format is feasible under the memory budget");
+            s.rsp.format = Format::kCsr;
+          }
+          s.rsp.fallback = s.rsp.format != s.rsp.predicted;
+        } else if (item.req.mode != RequestMode::kPredict) {
+          // Direct classifier result (select, or degraded indirect).
+          if (feasible) {
+            const Selection sel =
+                bundle->selector->select_feasible(s.features, feasible);
+            s.rsp.predicted = sel.predicted;
+            s.rsp.format = sel.format;
+            s.rsp.fallback = sel.fallback;
+            counted = true;
+          }
+        }
+      } catch (const Error& e) {
+        s.rsp.ok = false;
+        s.rsp.error = std::string(error_category_name(e.category())) + ": " +
+                      e.what();
+      }
+    }
+
+    if (s.rsp.ok && !counted && item.req.mode != RequestMode::kPredict)
+      registry_metrics
+          .counter(std::string("serve.select.") + format_name(s.rsp.format))
+          .inc();
+    if (s.rsp.ok && s.rsp.degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      registry_metrics.counter("serve.deadline_degraded").inc();
+    }
+    if (!s.rsp.ok) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      registry_metrics.counter("serve.error").inc();
+    }
+    s.rsp.latency_ms = ms_between(item.enqueued, Clock::now());
+    registry_metrics.histogram("serve.latency_s", obs::default_latency_bounds_s())
+        .observe(s.rsp.latency_ms / 1e3);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    registry_metrics.counter("serve.requests").inc();
+    item.done(s.rsp);
+  }
+}
+
+}  // namespace spmvml::serve

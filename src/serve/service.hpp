@@ -1,0 +1,137 @@
+// The online serving loop: bounded request queue -> micro-batches ->
+// batched inference on the thread pool.
+//
+// Life of a request (DESIGN.md §5f):
+//
+//   submit() ── admission control ──> pending queue ──> dispatcher
+//     (reject "overloaded" when full)      │  coalesces up to max_batch
+//                                          │  or waits max_delay_ms
+//                                          v
+//               thread-pool batch task: resolve features (cache), run
+//               the classifier ONCE per batch (batched MLP forward /
+//               per-row GBT), per-format regressors for indirect and
+//               predict requests, fulfil callbacks
+//
+// Deadlines: a request may carry deadline_ms. Indirect selection costs a
+// regressor pass per modeled format; when the measured per-item cost
+// (EWMA over past batches) no longer fits in the remaining budget — or
+// the deadline has already expired in the queue — the request degrades
+// to the direct classifier instead of missing the deadline entirely
+// (the "degradation ladder": indirect -> direct -> reject-at-admission).
+//
+// Hot-swap: each batch pins the registry's current bundle once; a swap
+// mid-batch is invisible to that batch and takes effect from the next.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "gpusim/arch.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request.hpp"
+
+namespace spmvml::serve {
+
+struct ServiceConfig {
+  /// Batch-inference workers (thread pool size), clamped to >= 1.
+  int threads = 1;
+  /// Coalesce at most this many requests per inference batch.
+  std::size_t max_batch = 16;
+  /// How long the dispatcher holds an open batch waiting for more
+  /// requests before running it anyway.
+  double max_delay_ms = 1.0;
+  /// Admission control: pending requests beyond this are rejected.
+  std::size_t queue_capacity = 256;
+  /// Feature-cache entries (0 disables the cache) and shard count.
+  std::size_t cache_capacity = 512;
+  int cache_shards = 8;
+  /// Precision assumed by the memory-feasibility gate.
+  Precision precision = Precision::kDouble;
+  /// Default memory budget in GB (0 = unconstrained); a request's
+  /// mem_budget_gb overrides it.
+  double mem_budget_gb = 0.0;
+};
+
+class Service {
+ public:
+  using Callback = std::function<void(const Response&)>;
+
+  Service(ServiceConfig config, ModelRegistry& registry);
+  ~Service();  // drains: all accepted requests get a response
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Asynchronous submit; `done` runs exactly once, on a worker thread
+  /// (or inline for admission rejections). Never throws: failures are
+  /// delivered as ok=false responses.
+  void submit(Request req, Callback done);
+
+  /// Future-returning submit.
+  std::future<Response> submit(Request req);
+
+  /// Synchronous convenience: submit + wait.
+  Response call(Request req);
+
+  /// Stop accepting, drain the queue, run every outstanding batch and
+  /// callback, then return. Idempotent; the destructor calls it.
+  void shutdown();
+
+  const FeatureCache& cache() const { return cache_; }
+
+  struct Counters {
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;  // per-request errors (bad path, parse, ...)
+  };
+  Counters counters() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request req;
+    Callback done;
+    Clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Pending>& batch);
+  /// Resolve features (+ digest when a matrix is available) for one
+  /// request; returns false after delivering an error response.
+  bool resolve_features(Pending& item, Response& rsp, FeatureVector& features,
+                        RowSummary& summary, bool& has_summary);
+
+  ServiceConfig cfg_;
+  ModelRegistry& registry_;
+  FeatureCache cache_;
+  ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::once_flag shutdown_once_;
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  /// EWMA of per-item regressor cost (ms) across all formats; 0 until
+  /// the first indirect/predict batch measures it.
+  std::atomic<double> indirect_item_cost_ms_{0.0};
+
+  std::thread dispatcher_;  // last member: started after everything above
+};
+
+}  // namespace spmvml::serve

@@ -220,5 +220,73 @@ TEST(Serialize, RejectsAbsurdSizes) {
   EXPECT_THROW(scaler.load(s), Error);
 }
 
+// --- Model-file envelope -------------------------------------------------
+
+/// A fitted selector whose save() output the envelope tests mangle.
+std::string saved_selector() {
+  static const std::string bytes = [] {
+    const auto corpus = collect_corpus(make_small_plan(20, 44));
+    FormatSelector selector(ModelKind::kDecisionTree, FeatureSet::kSet1,
+                            kAllFormats, /*fast=*/true);
+    selector.fit(corpus, 0, Precision::kDouble);
+    std::stringstream s;
+    selector.save(s);
+    return s.str();
+  }();
+  return bytes;
+}
+
+void expect_model_format_error(const std::string& bytes) {
+  std::stringstream s(bytes);
+  try {
+    FormatSelector::load_selector(s);
+    FAIL() << "expected Error(kModelFormat)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kModelFormat);
+  }
+}
+
+TEST(Envelope, HeaderLeadsTheFile) {
+  const std::string bytes = saved_selector();
+  EXPECT_EQ(bytes.rfind("spmvml-model 1 format_selector ", 0), 0u);
+  std::stringstream s(bytes);
+  const FormatSelector restored = FormatSelector::load_selector(s);
+  EXPECT_EQ(restored.candidates().size(), kAllFormats.size());
+}
+
+TEST(Envelope, ChecksumCatchesPayloadBitflip) {
+  std::string bytes = saved_selector();
+  // Flip one payload character well past the header line.
+  const auto pos = bytes.find('\n') + 10;
+  bytes[pos] = bytes[pos] == '0' ? '1' : '0';
+  expect_model_format_error(bytes);
+}
+
+TEST(Envelope, RejectsTruncatedPayload) {
+  const std::string bytes = saved_selector();
+  expect_model_format_error(bytes.substr(0, bytes.size() - 7));
+}
+
+TEST(Envelope, RejectsForeignMagicAndVersion) {
+  expect_model_format_error("random junk that is not a model\n");
+  std::string bytes = saved_selector();
+  // "spmvml-model 1 ..." -> claim format version 9.
+  bytes[std::string("spmvml-model ").size()] = '9';
+  expect_model_format_error(bytes);
+}
+
+TEST(Envelope, RejectsKindMismatch) {
+  // A selector file is not a perf model: the kind field catches the
+  // cross-load before any payload parsing.
+  std::stringstream s(saved_selector());
+  try {
+    PerfModel::load_model(s);
+    FAIL() << "expected Error(kModelFormat)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kModelFormat);
+    EXPECT_NE(std::string(e.what()).find("kind mismatch"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace spmvml

@@ -1,0 +1,589 @@
+// Online serving subsystem tests: sharded LRU feature cache, versioned
+// model registry with atomic hot-swap, and the micro-batching Service —
+// admission control, deadline degradation, and the contract that batched
+// serving matches one-shot library calls bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/format_selector.hpp"
+#include "core/perf_model.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "sparse/mmio.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generators.hpp"
+
+namespace spmvml {
+namespace {
+
+using serve::FeatureCache;
+using serve::ModelRegistry;
+using serve::Request;
+using serve::RequestMode;
+using serve::Response;
+using serve::Service;
+using serve::ServiceConfig;
+
+const LabeledCorpus& shared_corpus() {
+  static const LabeledCorpus corpus = collect_corpus(make_small_plan(40, 321));
+  return corpus;
+}
+
+std::shared_ptr<const FormatSelector> tree_selector() {
+  static const auto selector = [] {
+    auto s = std::make_shared<FormatSelector>(
+        ModelKind::kDecisionTree, FeatureSet::kSet12, kAllFormats,
+        /*fast=*/true);
+    s->fit(shared_corpus(), 0, Precision::kDouble);
+    return std::shared_ptr<const FormatSelector>(s);
+  }();
+  return selector;
+}
+
+std::shared_ptr<const PerfModel> tree_perf() {
+  static const auto perf = [] {
+    auto p = std::make_shared<PerfModel>(RegressorKind::kDecisionTree,
+                                         FeatureSet::kSet12, kAllFormats,
+                                         /*fast=*/true);
+    p->fit(shared_corpus(), 0, Precision::kDouble);
+    return std::shared_ptr<const PerfModel>(p);
+  }();
+  return perf;
+}
+
+/// Inline feature payload (17 values) from a deterministic synthetic
+/// matrix; `variant` perturbs the generator seed.
+std::vector<double> sample_features(int variant) {
+  GenSpec spec = make_small_plan(1, 1000 + variant).specs[0];
+  const FeatureVector f = extract_features(generate(spec));
+  return {f.values.begin(), f.values.end()};
+}
+
+Request inline_request(const std::string& id, RequestMode mode, int variant) {
+  Request req;
+  req.id = id;
+  req.mode = mode;
+  req.features = sample_features(variant);
+  return req;
+}
+
+/// A temp Matrix Market file that removes itself.
+struct TempMatrixFile {
+  std::string path;
+  explicit TempMatrixFile(const std::string& name, int seed) : path(name) {
+    write_matrix_market(path, generate(make_small_plan(1, seed).specs[0]));
+  }
+  ~TempMatrixFile() { std::remove(path.c_str()); }
+};
+
+serve::CachedFeatures tagged(double tag) {
+  serve::CachedFeatures v;
+  v.features.values[0] = tag;
+  return v;
+}
+
+// --- Feature cache -------------------------------------------------------
+
+TEST(ServeCache, HitReturnsStoredValue) {
+  FeatureCache cache(8, 1);
+  cache.put(42, tagged(7.0));
+  const auto got = cache.get(42);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->features.values[0], 7.0);
+  EXPECT_FALSE(cache.get(43).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ServeCache, LruEvictionOrder) {
+  FeatureCache cache(3, /*shards=*/1);  // one shard => strict global LRU
+  cache.put(1, tagged(1));
+  cache.put(2, tagged(2));
+  cache.put(3, tagged(3));
+  EXPECT_TRUE(cache.get(1).has_value());  // refresh 1; LRU order: 2,3,1
+  cache.put(4, tagged(4));                // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 3u);
+}
+
+TEST(ServeCache, PutRefreshesExistingKey) {
+  FeatureCache cache(2, 1);
+  cache.put(1, tagged(1));
+  cache.put(2, tagged(2));
+  cache.put(1, tagged(10));  // refresh, not insert: 1 becomes MRU
+  cache.put(3, tagged(3));   // evicts 2
+  ASSERT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(cache.get(1)->features.values[0], 10.0);
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(ServeCache, CapacityZeroDisables) {
+  FeatureCache cache(0);
+  cache.put(1, tagged(1));
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().capacity, 0u);
+}
+
+TEST(ServeCache, ShardedConcurrentAccess) {
+  FeatureCache cache(128, 8);
+  constexpr int kThreads = 8, kOps = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto key = static_cast<std::uint64_t>((t * kOps + i) % 300);
+        if (i % 3 == 0) cache.put(key, tagged(static_cast<double>(key)));
+        const auto got = cache.get(key);
+        if (got.has_value())
+          EXPECT_EQ(got->features.values[0], static_cast<double>(key));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
+TEST(ServeCache, ContentHashDistinguishesMatrices) {
+  const auto a = generate(make_small_plan(1, 11).specs[0]);
+  const auto b = generate(make_small_plan(1, 22).specs[0]);
+  EXPECT_EQ(serve::matrix_content_hash(a), serve::matrix_content_hash(a));
+  EXPECT_NE(serve::matrix_content_hash(a), serve::matrix_content_hash(b));
+}
+
+// --- Model registry ------------------------------------------------------
+
+TEST(ServeRegistry, InstallAssignsMonotonicVersions) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.current(), nullptr);
+  EXPECT_EQ(registry.install(tree_selector()), 1u);
+  EXPECT_EQ(registry.install(tree_selector(), tree_perf()), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  ASSERT_NE(registry.current(), nullptr);
+  EXPECT_EQ(registry.current()->version, 2u);
+  EXPECT_NE(registry.current()->perf, nullptr);
+}
+
+TEST(ServeRegistry, OldBundleSurvivesSwap) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  const auto pinned = registry.current();
+  registry.install(tree_selector(), tree_perf());
+  // The pinned copy is untouched: in-flight batches finish on the model
+  // they started with.
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(pinned->perf, nullptr);
+  EXPECT_EQ(registry.current()->version, 2u);
+}
+
+TEST(ServeRegistry, RejectsNullSelector) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.install(nullptr), Error);
+  EXPECT_EQ(registry.version(), 0u);
+}
+
+TEST(ServeRegistry, InstallFilesRoundTrips) {
+  const std::string path = "test_serve_selector.tmp.model";
+  {
+    std::ofstream out(path);
+    tree_selector()->save(out);
+  }
+  ModelRegistry registry;
+  EXPECT_EQ(registry.install_files(path), 1u);
+  EXPECT_EQ(registry.current()->selector->feature_set(), FeatureSet::kSet12);
+  std::remove(path.c_str());
+}
+
+TEST(ServeRegistry, CorruptFileKeepsPreviousVersionLive) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+
+  const std::string path = "test_serve_corrupt.tmp.model";
+  {
+    std::ofstream out(path);
+    out << "this is not a model file\n";
+  }
+  try {
+    registry.install_files(path);
+    FAIL() << "expected Error(kModelFormat)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kModelFormat);
+  }
+  std::remove(path.c_str());
+
+  try {
+    registry.install_files("test_serve_no_such_file.model");
+    FAIL() << "expected Error(kIo)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+  }
+  // Failed installs never unpublish the live bundle.
+  EXPECT_EQ(registry.version(), 1u);
+  ASSERT_NE(registry.current(), nullptr);
+  EXPECT_EQ(registry.current()->version, 1u);
+}
+
+// --- Request parsing -----------------------------------------------------
+
+TEST(ServeRequest, ParsesSelectWithMatrix) {
+  const auto p = serve::parse_request_line(
+      R"({"id": "r1", "mode": "select", "matrix": "a.mtx", "mem_budget_gb": 4})");
+  ASSERT_FALSE(p.is_admin);
+  EXPECT_EQ(p.request.id, "r1");
+  EXPECT_EQ(p.request.mode, RequestMode::kSelect);
+  EXPECT_EQ(p.request.matrix_path, "a.mtx");
+  EXPECT_EQ(p.request.mem_budget_gb, 4.0);
+}
+
+TEST(ServeRequest, ParsesInlineFeaturesAndDeadline) {
+  std::string features = "[";
+  for (int i = 0; i < kNumFeatures; ++i)
+    features += (i > 0 ? "," : "") + std::to_string(i + 1);
+  features += "]";
+  const auto p = serve::parse_request_line(
+      R"({"id": "r2", "mode": "indirect", "features": )" + features +
+      R"(, "deadline_ms": 2.5})");
+  EXPECT_EQ(p.request.mode, RequestMode::kIndirect);
+  ASSERT_EQ(p.request.features.size(), static_cast<std::size_t>(kNumFeatures));
+  EXPECT_EQ(p.request.features[2], 3.0);
+  EXPECT_EQ(p.request.deadline_ms, 2.5);
+}
+
+TEST(ServeRequest, ParsesAdminSwap) {
+  const auto p = serve::parse_request_line(
+      R"({"cmd": "swap", "id": "a1", "model": "sel.model", "perf_model": "p.model"})");
+  ASSERT_TRUE(p.is_admin);
+  EXPECT_EQ(p.admin.cmd, "swap");
+  EXPECT_EQ(p.admin.model_path, "sel.model");
+  EXPECT_EQ(p.admin.perf_model_path, "p.model");
+}
+
+TEST(ServeRequest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "not json",
+      R"({"id": "x"})",                                     // no matrix/features
+      R"({"id": "x", "mode": "wat", "matrix": "a.mtx"})",   // unknown mode
+      R"({"id": "x", "features": [1, 2, 3]})",              // wrong arity
+      R"({"id": "x", "matrix": "a.mtx", "deadline_ms": -1})",
+      R"({"cmd": "reload"})",                               // unknown admin
+  };
+  for (const char* line : bad) {
+    try {
+      serve::parse_request_line(line);
+      FAIL() << "expected Error(kParse) for: " << line;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kParse) << line;
+    }
+  }
+}
+
+TEST(ServeRequest, ResponseJsonIsSingleLine) {
+  Response r;
+  r.id = "he \"quoted\" llo";
+  r.ok = true;
+  r.format = Format::kEll;
+  r.predicted = Format::kEll;
+  const std::string json = serve::to_json(r);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"format\":\"ELL\""), std::string::npos);
+}
+
+// --- Service -------------------------------------------------------------
+
+ServiceConfig quick_config() {
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.2;
+  return cfg;
+}
+
+TEST(ServeService, MatchesOneShotPredictions) {
+  // The acceptance contract: batched serving answers are byte-identical
+  // to one-shot library calls for the same matrix + model. MLP exercises
+  // the batched forward pass (bitwise-equal by design).
+  auto mlp = std::make_shared<FormatSelector>(ModelKind::kMlp,
+                                              FeatureSet::kSet12, kAllFormats,
+                                              /*fast=*/true);
+  mlp->fit(shared_corpus(), 0, Precision::kDouble);
+  ModelRegistry registry;
+  registry.install(mlp, tree_perf());
+  Service service(quick_config(), registry);
+
+  TempMatrixFile file("test_serve_oneshot.tmp.mtx", 4242);
+  const auto matrix = read_matrix_market(file.path);
+  const auto features = extract_features(matrix);
+
+  Request req;
+  req.id = "sel";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = file.path;
+  const Response sel = service.call(req);
+  ASSERT_TRUE(sel.ok) << sel.error;
+  EXPECT_EQ(sel.format, mlp->select(features));
+  EXPECT_FALSE(sel.degraded);
+
+  req.id = "prd";
+  req.mode = RequestMode::kPredict;
+  const Response prd = service.call(req);
+  ASSERT_TRUE(prd.ok) << prd.error;
+  ASSERT_EQ(prd.predicted_us.size(), tree_perf()->formats().size());
+  for (std::size_t k = 0; k < prd.predicted_us.size(); ++k) {
+    const auto [f, us] = prd.predicted_us[k];
+    EXPECT_EQ(f, tree_perf()->formats()[k]);
+    EXPECT_EQ(us, tree_perf()->predict_seconds(features, f) * 1e6);
+  }
+
+  req.id = "ind";
+  req.mode = RequestMode::kIndirect;
+  const Response ind = service.call(req);
+  ASSERT_TRUE(ind.ok) << ind.error;
+  // Indirect = argmin of the same regressor outputs.
+  Format best = prd.predicted_us.front().first;
+  double best_us = prd.predicted_us.front().second;
+  for (const auto& [f, us] : prd.predicted_us)
+    if (us < best_us) { best = f; best_us = us; }
+  EXPECT_EQ(ind.format, best);
+  EXPECT_FALSE(ind.degraded);
+}
+
+TEST(ServeService, MicroBatchingCoalesces) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 250.0;  // generous window: all 8 land in one batch
+  Service service(cfg, registry);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(service.submit(
+        inline_request("b" + std::to_string(i), RequestMode::kSelect, i)));
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.batch, 8u);
+  }
+}
+
+TEST(ServeService, AdmissionControlRejectsWhenFull) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_batch = 100;        // never fills
+  cfg.max_delay_ms = 1000.0;  // window held open while we overflow the queue
+  cfg.queue_capacity = 2;
+  Service service(cfg, registry);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(service.submit(
+        inline_request("a" + std::to_string(i), RequestMode::kSelect, 0)));
+  service.shutdown();  // closes the window; the two queued requests run
+
+  int accepted = 0, rejected = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    if (r.ok) {
+      ++accepted;
+    } else {
+      EXPECT_NE(r.error.find("rejected"), std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(rejected, 4);
+  EXPECT_EQ(service.counters().rejected, 4u);
+}
+
+TEST(ServeService, DeadlineExpiryDegradesToDirect) {
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  Service service(quick_config(), registry);
+
+  Request req = inline_request("d1", RequestMode::kIndirect, 3);
+  req.deadline_ms = 1e-6;  // expired by the time the batch picks it up
+  const Response r = service.call(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.predicted_us.empty());  // regressor pass was skipped
+  // The degraded answer is the direct classifier's pick.
+  FeatureVector f;
+  std::copy(req.features.begin(), req.features.end(), f.values.begin());
+  EXPECT_EQ(r.format, tree_selector()->select(f));
+  EXPECT_EQ(service.counters().degraded, 1u);
+}
+
+TEST(ServeService, NoPerfModelDegradesIndirectAndFailsPredict) {
+  ModelRegistry registry;
+  registry.install(tree_selector());  // no regressors
+  Service service(quick_config(), registry);
+
+  const Response ind =
+      service.call(inline_request("i1", RequestMode::kIndirect, 1));
+  ASSERT_TRUE(ind.ok) << ind.error;
+  EXPECT_TRUE(ind.degraded);
+
+  const Response prd =
+      service.call(inline_request("p1", RequestMode::kPredict, 1));
+  EXPECT_FALSE(prd.ok);
+  EXPECT_NE(prd.error.find("perf model"), std::string::npos);
+}
+
+TEST(ServeService, TinyMemoryBudgetFallsBackToCsr) {
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  Service service(quick_config(), registry);
+  TempMatrixFile file("test_serve_budget.tmp.mtx", 99);
+
+  Request req;
+  req.id = "m1";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = file.path;
+  req.mem_budget_gb = 1e-9;  // ~1 byte: nothing fits, CSR floor applies
+  const Response r = service.call(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.format, Format::kCsr);
+  EXPECT_TRUE(r.fallback);
+}
+
+TEST(ServeService, FeatureCacheHitsOnRepeatMatrix) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  Service service(quick_config(), registry);
+  TempMatrixFile file("test_serve_cache.tmp.mtx", 17);
+
+  Request req;
+  req.id = "c1";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = file.path;
+  const Response first = service.call(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  req.id = "c2";
+  const Response second = service.call(req);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.format, first.format);
+  EXPECT_GE(service.cache().stats().hits, 1u);
+}
+
+TEST(ServeService, BadMatrixPathYieldsIoError) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  Service service(quick_config(), registry);
+
+  Request req;
+  req.id = "x1";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = "test_serve_does_not_exist.mtx";
+  const Response r = service.call(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("io"), std::string::npos);
+  EXPECT_EQ(service.counters().failed, 1u);
+}
+
+TEST(ServeService, EmptyRegistryFailsCleanly) {
+  ModelRegistry registry;  // nothing installed
+  Service service(quick_config(), registry);
+  const Response r =
+      service.call(inline_request("e1", RequestMode::kSelect, 0));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no model"), std::string::npos);
+}
+
+TEST(ServeService, ShutdownDrainsAcceptedRequests) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 500.0;  // requests would otherwise sit in the window
+  std::vector<std::future<Response>> futures;
+  {
+    Service service(cfg, registry);
+    for (int i = 0; i < 3; ++i)
+      futures.push_back(service.submit(
+          inline_request("s" + std::to_string(i), RequestMode::kSelect, i)));
+  }  // destructor shuts down and drains
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+}
+
+TEST(ServeService, HotSwapUnderLoad) {
+  auto selector_b = std::make_shared<FormatSelector>(
+      ModelKind::kDecisionTree, FeatureSet::kSet1, kAllFormats,
+      /*fast=*/true);
+  selector_b->fit(shared_corpus(), 0, Precision::kDouble);
+
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  ServiceConfig cfg;
+  cfg.threads = 4;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.1;
+  Service service(cfg, registry);
+
+  constexpr int kClients = 4, kPerClient = 50, kSwaps = 10;
+  std::atomic<int> failures{0};
+  std::atomic<bool> monotonic{true};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::uint64_t last = 0;
+      for (int k = 0; k < kPerClient; ++k) {
+        const Response r = service.call(inline_request(
+            "h" + std::to_string(c) + "-" + std::to_string(k),
+            k % 2 == 0 ? RequestMode::kSelect : RequestMode::kIndirect,
+            k % 5));
+        if (!r.ok) failures.fetch_add(1);
+        // No torn reads: every response carries a version that exists,
+        // and versions never move backwards for a single client.
+        if (r.model_version < last || r.model_version == 0 ||
+            r.model_version > kSwaps + 1)
+          monotonic.store(false);
+        last = r.model_version;
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int s = 0; s < kSwaps; ++s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      registry.install(s % 2 == 0 ? selector_b : tree_selector(), tree_perf());
+    }
+  });
+  for (auto& t : clients) t.join();
+  swapper.join();
+  service.shutdown();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_EQ(registry.version(), static_cast<std::uint64_t>(kSwaps) + 1);
+  EXPECT_EQ(service.counters().served,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+}  // namespace
+}  // namespace spmvml

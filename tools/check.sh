@@ -35,10 +35,19 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve'
 else
   echo "== tier-1 verify =="
+  # Latency and deadline math must use the monotonic clock; system_clock
+  # jumps on NTP sync and breaks both (audited clean — keep it that way).
+  if grep -rn 'system_clock' src bench tools examples --include='*.cpp' \
+      --include='*.hpp'; then
+    echo "error: std::chrono::system_clock found; use steady_clock" >&2
+    exit 1
+  fi
   run_suite build
+  echo "== serving smoke (BENCH_serving.json schema + contract check) =="
+  ./build/bench/serving_bench --smoke --out build/BENCH_serving.json
 fi
 
 echo "OK"

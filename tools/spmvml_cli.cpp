@@ -26,10 +26,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/json_writer.hpp"
 #include "common/obs/log.hpp"
 #include "common/obs/report.hpp"
 #include "common/obs/trace.hpp"
@@ -39,6 +43,9 @@
 #include "core/perf_model.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/row_summary.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/reorder.hpp"
 
@@ -60,13 +67,29 @@ namespace {
                "[--precision single|double] <matrix.mtx>\n"
                "  spmvml predict    --model <file> <matrix.mtx>\n"
                "  spmvml inspect    <matrix.mtx>\n"
+               "  spmvml serve      --model <file> [--perf-model <file>] "
+               "[--threads N]\n"
+               "                    [--max-batch N] [--max-delay-ms F] "
+               "[--queue-cap N]\n"
+               "                    [--cache-cap N] [--mem-budget GB] "
+               "[--precision ...]\n"
+               "                    JSONL requests on stdin, responses on "
+               "stdout; a\n"
+               "                    {\"cmd\":\"swap\",\"model\":...} line "
+               "hot-swaps models\n"
                "global flags:\n"
                "  --verbose | --quiet     debug / error-only logging "
                "(default info; SPMVML_LOG overrides)\n"
                "  --trace <file>          write a Chrome trace-event JSON "
                "of the run\n"
                "  --report <file>         write an end-of-run metrics "
-               "summary JSON\n");
+               "summary JSON\n"
+               "  --threads N             worker threads (collection and "
+               "serving). Precedence:\n"
+               "                          --threads > SPMVML_THREADS > "
+               "default 1; --threads 0\n"
+               "                          (or omitting it) defers to "
+               "SPMVML_THREADS\n");
   std::exit(2);
 }
 
@@ -272,6 +295,90 @@ int cmd_predict(const Args& a) {
   return 0;
 }
 
+/// Effective worker-thread count with the documented precedence:
+/// --threads > SPMVML_THREADS > 1 (a flag value of 0 defers to the env).
+int threads_of(const Args& a) {
+  const int flag = static_cast<int>(numeric_opt(a, "threads", 0.0, 0.0, 256.0));
+  return flag > 0 ? flag : thread_count();
+}
+
+int cmd_serve(const Args& a) {
+  const auto model_path = opt(a, "model", "spmvml_selector.model");
+  const auto perf_path = opt(a, "perf-model", "");
+
+  serve::ModelRegistry registry;
+  registry.install_files(model_path, perf_path);
+
+  serve::ServiceConfig cfg;
+  cfg.threads = threads_of(a);
+  cfg.max_batch =
+      static_cast<std::size_t>(numeric_opt(a, "max-batch", 16.0, 1.0, 4096.0));
+  cfg.max_delay_ms = numeric_opt(a, "max-delay-ms", 1.0, 0.0, 10000.0);
+  cfg.queue_capacity =
+      static_cast<std::size_t>(numeric_opt(a, "queue-cap", 256.0, 1.0, 1e6));
+  cfg.cache_capacity =
+      static_cast<std::size_t>(numeric_opt(a, "cache-cap", 512.0, 0.0, 1e7));
+  cfg.precision = precision_of(a);
+  cfg.mem_budget_gb = numeric_opt(a, "mem-budget", 0.0, 0.0, 1e6);
+  serve::Service service(cfg, registry);
+
+  // Responses complete on worker threads; one mutex keeps stdout lines
+  // whole. Admin (swap) lines are handled inline so a swap is visible to
+  // every request submitted after its response line.
+  std::mutex out_mu;
+  const auto emit = [&out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    serve::ParsedLine parsed;
+    try {
+      parsed = serve::parse_request_line(line);
+    } catch (const Error& e) {
+      serve::Response bad;
+      bad.error = std::string(error_category_name(e.category())) + ": " +
+                  e.what();
+      emit(serve::to_json(bad));
+      continue;
+    }
+    if (parsed.is_admin) {
+      serve::Response rsp;
+      rsp.id = parsed.admin.id;
+      try {
+        const auto version = registry.install_files(
+            parsed.admin.model_path, parsed.admin.perf_model_path);
+        rsp.ok = true;
+        rsp.model_version = version;
+        emit("{\"id\": \"" + JsonWriter::escape(rsp.id) +
+             "\", \"ok\": true, \"version\": " + std::to_string(version) +
+             "}");
+      } catch (const Error& e) {
+        rsp.error = std::string(error_category_name(e.category())) + ": " +
+                    e.what();
+        emit(serve::to_json(rsp));
+      }
+      continue;
+    }
+    service.submit(std::move(parsed.request),
+                   [&emit](const serve::Response& r) {
+                     emit(serve::to_json(r));
+                   });
+  }
+  service.shutdown();
+  const auto counters = service.counters();
+  obs::log_info("serve.summary")
+      .kv("served", counters.served)
+      .kv("rejected", counters.rejected)
+      .kv("degraded", counters.degraded)
+      .kv("failed", counters.failed);
+  return 0;
+}
+
 int cmd_inspect(const Args& a) {
   if (a.positional.empty()) usage();
   const auto matrix = read_matrix_market(a.positional.front());
@@ -298,6 +405,7 @@ int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "select") return cmd_select(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "serve") return cmd_serve(args);
   usage();
 }
 
