@@ -1,11 +1,35 @@
-// google-benchmark microbenchmarks of the CPU SpMV kernels backing every
-// format — wall-clock validation that conversions and kernels behave
-// (complements the GPU *simulator* the studies use for timing).
-#include <benchmark/benchmark.h>
-
+// SpMV kernel perf gate (writes BENCH_spmv.json).
+//
+// Times every format's CPU SpMV three ways — serial scalar fallback,
+// serial SIMD, and the parallel variant — against a replica of the
+// seed's scalar kernels for CSR and ELL, and times format conversions
+// fresh (AnyMatrix::build) vs warm (ConversionArena reuse). The bench
+// *asserts* the bitwise contract while it measures: for every matrix
+// and format the scalar, SIMD and parallel y vectors must be
+// byte-identical, mirroring serving_bench's batched-vs-one-shot check.
+// A violation prints the offending case and exits non-zero, so CI
+// gates on the contract, not just the speed.
+//
+//   usage: spmv_kernels [--smoke] [--out spmv.json]
+//
+// --smoke shrinks the matrices and rep counts so tools/check.sh and CI
+// can run the contract assertions in seconds; the committed
+// BENCH_spmv.json comes from a full run.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "features/features.hpp"
+#include "common/json_writer.hpp"
+#include "common/timer.hpp"
+#include "sparse/arena.hpp"
+#include "sparse/parallel_spmv.hpp"
+#include "sparse/simd.hpp"
 #include "sparse/spmv.hpp"
 #include "synth/generators.hpp"
 
@@ -13,64 +37,262 @@ namespace {
 
 using namespace spmvml;
 
-const Csr<double>& bench_matrix() {
-  static const Csr<double> m = [] {
-    GenSpec spec;
-    spec.family = MatrixFamily::kUniformRandom;
-    spec.rows = 50'000;
-    spec.cols = 50'000;
-    spec.row_mu = 12.0;
-    spec.row_cv = 0.8;
-    spec.seed = 42;
-    return generate(spec);
-  }();
-  return m;
+struct BenchConfig {
+  bool smoke = false;
+  std::string out_path;
+
+  int reps() const { return smoke ? 3 : 15; }
+};
+
+struct MatrixSpec {
+  const char* name;
+  GenSpec gen;
+};
+
+GenSpec make_gen(MatrixFamily family, index_t n, double mu, double cv,
+                 double band_frac = 0.05) {
+  GenSpec g;
+  g.family = family;
+  g.rows = n;
+  g.cols = n;
+  g.row_mu = mu;
+  g.row_cv = cv;
+  g.band_frac = band_frac;
+  g.seed = 42;
+  return g;
 }
 
-template <Format F>
-void BM_Spmv(benchmark::State& state) {
-  const auto& csr = bench_matrix();
-  const auto any = AnyMatrix<double>::build(F, csr);
-  std::vector<double> x(static_cast<std::size_t>(csr.cols()), 1.0);
-  std::vector<double> y(static_cast<std::size_t>(csr.rows()));
-  for (auto _ : state) {
-    any.spmv(x, y);
-    benchmark::DoNotOptimize(y.data());
+std::vector<MatrixSpec> matrix_suite(const BenchConfig& cfg) {
+  if (cfg.smoke)
+    return {
+        {"uniform-2k-mu16",
+         make_gen(MatrixFamily::kUniformRandom, 2048, 16, 0.3)},
+        {"banded-2k-mu16", make_gen(MatrixFamily::kBanded, 2048, 16, 0.3, 0.02)},
+    };
+  // Sized so the format arrays stay cache-resident: single-digit-ms
+  // kernel calls keep min-of-reps robust against scheduler noise on
+  // shared machines.
+  return {
+      {"uniform-16k-mu32",
+       make_gen(MatrixFamily::kUniformRandom, 16384, 32, 0.3)},
+      {"uniform-8k-mu64", make_gen(MatrixFamily::kUniformRandom, 8192, 64, 0.3)},
+      {"uniform-4k-mu128",
+       make_gen(MatrixFamily::kUniformRandom, 4096, 128, 0.3)},
+      {"banded-16k-mu32", make_gen(MatrixFamily::kBanded, 16384, 32, 0.3, 0.02)},
+      {"stencil-10k", make_gen(MatrixFamily::kStencil, 10000, 7, 0.0)},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Replicas of the seed's serial kernels — the speedup baseline. These
+// reproduce the exact loops the repo shipped with before the SIMD
+// layer (single-accumulator CSR rows; branchy column-major ELL walk).
+// Their summation order differs from the lane-accumulated contract, so
+// they are compared on speed only, never bitwise.
+
+void seed_spmv_csr(const Csr<double>& a, const std::vector<double>& x,
+                   std::vector<double>& y) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (index_t r = 0; r < a.rows(); ++r) {
+    double sum{};
+    for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p)
+      sum += values[p] * x[col_idx[p]];
+    y[r] = sum;
   }
-  state.SetItemsProcessed(state.iterations() * csr.nnz());
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(2 * csr.nnz() * state.iterations()),
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
 
-BENCHMARK(BM_Spmv<Format::kCoo>)->Name("spmv/COO");
-BENCHMARK(BM_Spmv<Format::kCsr>)->Name("spmv/CSR");
-BENCHMARK(BM_Spmv<Format::kEll>)->Name("spmv/ELL");
-BENCHMARK(BM_Spmv<Format::kHyb>)->Name("spmv/HYB");
-BENCHMARK(BM_Spmv<Format::kCsr5>)->Name("spmv/CSR5");
-BENCHMARK(BM_Spmv<Format::kMergeCsr>)->Name("spmv/merge-CSR");
+void seed_spmv_ell(const Ell<double>& a, const std::vector<double>& x,
+                   std::vector<double>& y) {
+  std::fill(y.begin(), y.end(), 0.0);
+  for (index_t k = 0; k < a.width(); ++k)
+    for (index_t r = 0; r < a.rows(); ++r) {
+      const index_t c = a.col_at(r, k);
+      if (c != Ell<double>::kPad) y[r] += a.val_at(r, k) * x[c];
+    }
+}
 
-void BM_Convert(benchmark::State& state) {
-  const auto& csr = bench_matrix();
-  const auto format = static_cast<Format>(state.range(0));
-  for (auto _ : state) {
-    auto any = AnyMatrix<double>::build(format, csr);
-    benchmark::DoNotOptimize(any.nnz());
+/// Parallel dispatch over the variant; COO and CSR5 have no parallel
+/// decomposition (their segmented carries are sequential), so they fall
+/// back to the serial kernel and the bench records them as such.
+void spmv_parallel_any(const AnyMatrix<double>& m, const std::vector<double>& x,
+                       std::vector<double>& y) {
+  switch (m.format()) {
+    case Format::kCsr: return spmv_parallel(m.get<Csr<double>>(), x, y);
+    case Format::kEll: return spmv_parallel(m.get<Ell<double>>(), x, y);
+    case Format::kHyb: return spmv_parallel(m.get<Hyb<double>>(), x, y);
+    case Format::kMergeCsr:
+      return spmv_parallel(m.get<MergeCsr<double>>(), x, y);
+    case Format::kCoo:
+    case Format::kCsr5: return m.spmv(x, y);
   }
-  state.SetLabel(format_name(format));
 }
-BENCHMARK(BM_Convert)->DenseRange(0, kNumFormats - 1)->Name("convert");
 
-void BM_FeatureExtraction(benchmark::State& state) {
-  const auto& csr = bench_matrix();
-  for (auto _ : state) {
-    auto f = extract_features(csr);
-    benchmark::DoNotOptimize(f.values.data());
+/// Seconds for one call, min over reps (one untimed warm-up first).
+template <typename F>
+double time_min(F&& run, int reps) {
+  run();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    run();
+    best = std::min(best, t.seconds());
   }
-  state.SetItemsProcessed(state.iterations() * csr.nnz());
+  return best;
 }
-BENCHMARK(BM_FeatureExtraction)->Name("features/extract17");
+
+int main_impl(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      cfg.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      cfg.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: spmv_kernels [--smoke] [--out file]\n");
+      return 2;
+    }
+  }
+
+  const auto suite = matrix_suite(cfg);
+  const bool simd_available = simd::enabled();
+  bool all_bitwise_ok = true;
+  double csr_best_speedup = 0.0, ell_best_speedup = 0.0;
+
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/2);
+  json.begin_object();
+  json.key("config");
+  json.begin_object();
+  json.kv("smoke", cfg.smoke);
+  json.kv("reps", cfg.reps());
+  json.kv("value_type", "float64");
+  json.kv("simd_isa", simd::active_isa());
+  json.kv("hardware_threads",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.end_object();
+
+  json.key("matrices");
+  json.begin_array();
+  for (const auto& spec : suite) {
+    const Csr<double> csr = generate(spec.gen);
+    std::vector<double> x(static_cast<std::size_t>(csr.cols()));
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    std::vector<double> y_serial(static_cast<std::size_t>(csr.rows()));
+    std::vector<double> y_simd(y_serial.size());
+    std::vector<double> y_par(y_serial.size());
+    std::vector<double> y_seed(y_serial.size());
+    const double flops = 2.0 * static_cast<double>(csr.nnz());
+    const std::size_t y_bytes = y_serial.size() * sizeof(double);
+
+    ConversionArena<double> arena;
+    json.begin_object();
+    json.kv("name", spec.name);
+    json.kv("rows", static_cast<std::int64_t>(csr.rows()));
+    json.kv("nnz", static_cast<std::int64_t>(csr.nnz()));
+    json.key("formats");
+    json.begin_object();
+    for (const Format f : kAllFormats) {
+      // Conversion cost: fresh allocation vs warm arena reuse.
+      double fresh_ms = 0.0, warm_ms = 0.0;
+      {
+        WallTimer t;
+        const AnyMatrix<double> fresh = AnyMatrix<double>::build(f, csr);
+        fresh_ms = t.millis();
+      }
+      arena.convert(f, csr);  // populate the slot
+      {
+        WallTimer t;
+        arena.convert(f, csr);
+        warm_ms = t.millis();
+      }
+      const AnyMatrix<double>& m = arena.convert(f, csr);
+
+      // The three kernel variants, plus the byte-identity contract.
+      simd::set_enabled(false);
+      const double t_serial = time_min([&] { m.spmv(x, y_serial); }, cfg.reps());
+      simd::set_enabled(simd_available);
+      const double t_simd = time_min([&] { m.spmv(x, y_simd); }, cfg.reps());
+      const double t_par =
+          time_min([&] { spmv_parallel_any(m, x, y_par); }, cfg.reps());
+      const bool bitwise_ok =
+          std::memcmp(y_serial.data(), y_simd.data(), y_bytes) == 0 &&
+          std::memcmp(y_serial.data(), y_par.data(), y_bytes) == 0;
+      if (!bitwise_ok) {
+        all_bitwise_ok = false;
+        std::fprintf(stderr,
+                     "CONTRACT VIOLATION: %s/%s serial, SIMD and parallel y "
+                     "are not byte-identical\n",
+                     spec.name, format_name(f));
+      }
+
+      // Seed-replica baseline for the two formats the acceptance gates.
+      // Replicas read the arena's arrays — the same bytes the SIMD
+      // kernels just touched — so memory placement can't skew the
+      // comparison.
+      double seed_gflops = 0.0, speedup_vs_seed = 0.0;
+      if (f == Format::kCsr) {
+        const auto& mc = m.get<Csr<double>>();
+        const double t_seed =
+            time_min([&] { seed_spmv_csr(mc, x, y_seed); }, cfg.reps());
+        seed_gflops = flops / t_seed / 1e9;
+        speedup_vs_seed = t_seed / std::min(t_simd, t_par);
+        csr_best_speedup = std::max(csr_best_speedup, speedup_vs_seed);
+      } else if (f == Format::kEll) {
+        const auto& ell = m.get<Ell<double>>();
+        const double t_seed =
+            time_min([&] { seed_spmv_ell(ell, x, y_seed); }, cfg.reps());
+        seed_gflops = flops / t_seed / 1e9;
+        speedup_vs_seed = t_seed / std::min(t_simd, t_par);
+        ell_best_speedup = std::max(ell_best_speedup, speedup_vs_seed);
+      }
+
+      json.key(format_name(f));
+      json.begin_object();
+      json.kv("gflops_serial_scalar", flops / t_serial / 1e9);
+      json.kv("gflops_simd", flops / t_simd / 1e9);
+      json.kv("gflops_parallel", flops / t_par / 1e9);
+      if (seed_gflops > 0.0) {
+        json.kv("gflops_seed_serial", seed_gflops);
+        json.kv("speedup_vs_seed", speedup_vs_seed);
+      }
+      json.kv("convert_fresh_ms", fresh_ms);
+      json.kv("convert_warm_ms", warm_ms);
+      json.kv("bitwise_identical", bitwise_ok);
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("headline");
+  json.begin_object();
+  json.kv("csr_speedup_vs_seed", csr_best_speedup);
+  json.kv("ell_speedup_vs_seed", ell_best_speedup);
+  json.end_object();
+  json.kv("bitwise_identical", all_bitwise_ok);
+  json.end_object();
+
+  const std::string payload = os.str();
+  if (!cfg.out_path.empty()) {
+    std::ofstream out(cfg.out_path);
+    out << payload << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", cfg.out_path.c_str());
+      return 2;
+    }
+  }
+  std::printf("%s\n", payload.c_str());
+  std::fprintf(stderr, "csr_speedup=%.2fx ell_speedup=%.2fx bitwise=%s\n",
+               csr_best_speedup, ell_best_speedup,
+               all_bitwise_ok ? "ok" : "VIOLATED");
+  return all_bitwise_ok ? 0 : 1;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return main_impl(argc, argv); }

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/obs/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 
 namespace spmvml {
 
@@ -87,6 +88,38 @@ std::array<Measurement, kNumFormats> MeasurementOracle::measure_all(
   for (int i = 0; i < kNumFormats; ++i)
     out[static_cast<std::size_t>(i)] =
         measure(s, static_cast<Format>(i), matrix_seed, attempt);
+  return out;
+}
+
+HostOracle::HostOracle(int reps) : reps_(reps) {
+  SPMVML_ENSURE(reps_ >= 1, "need at least one repetition");
+}
+
+Measurement HostOracle::measure(const Csr<double>& csr, Format f) {
+  const AnyMatrix<double>& m = arena_.convert(f, csr);
+  // Deterministic non-trivial x so the kernel cannot fold gathers away.
+  x_.resize(static_cast<std::size_t>(csr.cols()));
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    x_[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+  y_.resize(static_cast<std::size_t>(csr.rows()));
+  m.spmv(x_, y_);  // warm-up: faults in caches and pages
+  WallTimer timer;
+  for (int r = 0; r < reps_; ++r) m.spmv(x_, y_);
+  const double mean = timer.seconds() / reps_;
+
+  Measurement out;
+  out.seconds = mean;
+  out.gflops = mean > 0.0
+                   ? 2.0 * static_cast<double>(csr.nnz()) / mean / 1e9
+                   : 0.0;
+  return out;
+}
+
+std::array<Measurement, kNumFormats> HostOracle::measure_all(
+    const Csr<double>& csr) {
+  std::array<Measurement, kNumFormats> out;
+  for (int i = 0; i < kNumFormats; ++i)
+    out[static_cast<std::size_t>(i)] = measure(csr, static_cast<Format>(i));
   return out;
 }
 

@@ -16,10 +16,13 @@
 // retryable — call measure() again with a higher attempt number.
 #pragma once
 
+#include <vector>
+
 #include "gpusim/arch.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/row_summary.hpp"
+#include "sparse/arena.hpp"
 #include "sparse/format.hpp"
 
 namespace spmvml {
@@ -67,6 +70,30 @@ class MeasurementOracle {
   MeasurementConfig config_;
   CostParams params_;
   FaultModel faults_;
+};
+
+/// Host-measurement oracle: converts the CSR master copy into the
+/// requested format and times the format's actual CPU SpMV kernel —
+/// the ground-truth counterpart to the simulated MeasurementOracle,
+/// used to sanity-check the cost model's format ordering on the host.
+/// Conversions go through an internal ConversionArena and the work
+/// vectors persist across calls, so sweeping a corpus does not churn
+/// the allocator. Not thread-safe (one instance per thread).
+class HostOracle {
+ public:
+  /// reps = timed kernel launches averaged per measurement (one untimed
+  /// warm-up run precedes them).
+  explicit HostOracle(int reps = 5);
+
+  Measurement measure(const Csr<double>& csr, Format f);
+
+  /// Measure all six formats (shares the x/y vectors and the arena).
+  std::array<Measurement, kNumFormats> measure_all(const Csr<double>& csr);
+
+ private:
+  int reps_;
+  ConversionArena<double> arena_;
+  std::vector<double> x_, y_;
 };
 
 }  // namespace spmvml

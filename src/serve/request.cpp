@@ -207,6 +207,12 @@ std::string field_as_string(const std::string& key, const Field& f) {
   return f.str;
 }
 
+bool field_as_bool(const std::string& key, const Field& f) {
+  SPMVML_ENSURE_CAT(f.type == Field::Type::kBool, ErrorCategory::kParse,
+                    "field '" + key + "' must be true or false");
+  return f.boolean;
+}
+
 }  // namespace
 
 const char* request_mode_name(RequestMode m) {
@@ -253,6 +259,7 @@ ParsedLine parse_request_line(const std::string& line) {
       r.features = f.numbers;
     } else if (key == "deadline_ms") r.deadline_ms = field_as_number(key, f);
     else if (key == "mem_budget_gb") r.mem_budget_gb = field_as_number(key, f);
+    else if (key == "materialize") r.materialize = field_as_bool(key, f);
     else
       SPMVML_ENSURE_CAT(false, ErrorCategory::kParse,
                         "unknown request field '" + key + "'");
@@ -269,6 +276,14 @@ ParsedLine parse_request_line(const std::string& line) {
   SPMVML_ENSURE_CAT(r.deadline_ms >= 0.0 && r.mem_budget_gb >= 0.0,
                     ErrorCategory::kParse,
                     "deadline_ms and mem_budget_gb must be >= 0");
+  SPMVML_ENSURE_CAT(!r.materialize || !r.matrix_path.empty(),
+                    ErrorCategory::kParse,
+                    "'materialize' needs a 'matrix' path (inline features "
+                    "carry no structure to convert)");
+  SPMVML_ENSURE_CAT(!r.materialize || r.mode != RequestMode::kPredict,
+                    ErrorCategory::kParse,
+                    "'materialize' is meaningless for mode=predict (no "
+                    "single format is chosen)");
   return out;
 }
 
@@ -295,6 +310,11 @@ std::string to_json(const Response& r) {
     json.begin_object();
     for (const auto& [f, us] : r.predicted_us) json.kv(format_name(f), us);
     json.end_object();
+  }
+  if (r.materialized) {
+    json.kv("materialized", true);
+    json.kv("convert_ms", r.convert_ms);
+    json.kv("format_bytes", r.format_bytes);
   }
   json.kv("cache_hit", r.cache_hit);
   json.kv("model_version", r.model_version);

@@ -42,6 +42,10 @@ struct Request {
   double deadline_ms = 0.0;
   /// Per-request memory budget; 0 = use the service default.
   double mem_budget_gb = 0.0;
+  /// Build the chosen format in the worker's conversion arena and report
+  /// convert_ms/format_bytes in the response. Needs 'matrix' (the CSR
+  /// master copy); meaningless for mode=predict, which picks no format.
+  bool materialize = false;
 };
 
 /// Control-plane lines share the JSONL stream ("cmd" instead of "mode").
@@ -79,6 +83,10 @@ struct Response {
   double queue_ms = 0.0;    // enqueue -> batch pickup
   double latency_ms = 0.0;  // enqueue -> response
   std::uint64_t batch = 0;  // size of the micro-batch this rode in
+  /// Set when the request asked to materialize the chosen format.
+  bool materialized = false;
+  double convert_ms = 0.0;        // arena conversion time
+  std::int64_t format_bytes = 0;  // device-footprint of the built format
 };
 
 /// Compact single-line JSON rendering (no trailing newline).

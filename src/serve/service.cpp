@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "gpusim/fault.hpp"
 #include "ml/dataset.hpp"
+#include "sparse/arena.hpp"
 #include "sparse/mmio.hpp"
 
 namespace spmvml::serve {
@@ -143,26 +144,29 @@ void Service::dispatcher_loop() {
 
 bool Service::resolve_features(Pending& item, Response& rsp,
                                FeatureVector& features, RowSummary& summary,
-                               bool& has_summary) {
+                               bool& has_summary, Csr<double>* keep_matrix) {
   has_summary = false;
-  if (!item.req.features.empty()) {
+  const bool inline_features = !item.req.features.empty();
+  if (inline_features)
     std::copy(item.req.features.begin(), item.req.features.end(),
               features.values.begin());
-    return true;
-  }
+  if (inline_features && keep_matrix == nullptr) return true;
   try {
-    const Csr<double> matrix = read_matrix_market(item.req.matrix_path);
-    const std::uint64_t key = matrix_content_hash(matrix);
-    if (auto cached = cache_.get(key)) {
-      features = cached->features;
-      summary = cached->summary;
-      rsp.cache_hit = true;
-    } else {
-      features = extract_features(matrix);
-      summary = summarize(matrix);
-      cache_.put(key, CachedFeatures{features, summary});
+    Csr<double> matrix = read_matrix_market(item.req.matrix_path);
+    if (!inline_features) {
+      const std::uint64_t key = matrix_content_hash(matrix);
+      if (auto cached = cache_.get(key)) {
+        features = cached->features;
+        summary = cached->summary;
+        rsp.cache_hit = true;
+      } else {
+        features = extract_features(matrix);
+        summary = summarize(matrix);
+        cache_.put(key, CachedFeatures{features, summary});
+      }
+      has_summary = true;
     }
-    has_summary = true;
+    if (keep_matrix != nullptr) *keep_matrix = std::move(matrix);
     return true;
   } catch (const Error& e) {
     rsp.ok = false;
@@ -190,6 +194,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
     Response rsp;
     FeatureVector features;
     RowSummary summary;
+    Csr<double> matrix;      // kept only for materialize requests
     bool has_summary = false;
     bool live = false;       // resolved and awaiting predictions
     bool indirect = false;   // gets the regressor pass
@@ -213,7 +218,8 @@ void Service::process_batch(std::vector<Pending>& batch) {
       }
       s.rsp.model_version = bundle->version;
       s.live = resolve_features(batch[i], s.rsp, s.features, s.summary,
-                                s.has_summary);
+                                s.has_summary,
+                                batch[i].req.materialize ? &s.matrix : nullptr);
     }
   }
 
@@ -366,6 +372,22 @@ void Service::process_batch(std::vector<Pending>& batch) {
             s.rsp.fallback = sel.fallback;
             counted = true;
           }
+        }
+        if (item.req.materialize) {
+          // One conversion arena per worker thread: a stream of requests
+          // reuses its buffers, so the steady-state conversion performs
+          // no heap allocation (test_arena.cpp proves this).
+          thread_local ConversionArena<double> arena;
+          WallTimer convert_timer;
+          const AnyMatrix<double>& built =
+              arena.convert(s.rsp.format, s.matrix);
+          s.rsp.convert_ms = convert_timer.millis();
+          s.rsp.format_bytes = built.bytes();
+          s.rsp.materialized = true;
+          registry_metrics
+              .counter(std::string("serve.materialize.") +
+                       format_name(s.rsp.format))
+              .inc();
         }
       } catch (const Error& e) {
         s.rsp.ok = false;

@@ -36,6 +36,7 @@
 #include "common/thread_pool.hpp"
 #include "gpusim/arch.hpp"
 #include "serve/feature_cache.hpp"
+#include "sparse/csr.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
 
@@ -108,9 +109,12 @@ class Service {
   void dispatcher_loop();
   void process_batch(std::vector<Pending>& batch);
   /// Resolve features (+ digest when a matrix is available) for one
-  /// request; returns false after delivering an error response.
+  /// request; returns false after delivering an error response. When
+  /// `keep_matrix` is non-null (materialize requests) the parsed CSR is
+  /// moved into it for the stage-4 arena conversion.
   bool resolve_features(Pending& item, Response& rsp, FeatureVector& features,
-                        RowSummary& summary, bool& has_summary);
+                        RowSummary& summary, bool& has_summary,
+                        Csr<double>* keep_matrix);
 
   ServiceConfig cfg_;
   ModelRegistry& registry_;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
@@ -20,33 +21,63 @@ Coo<ValueT>::Coo(index_t rows, index_t cols, std::vector<index_t> row_idx,
 
 template <typename ValueT>
 Coo<ValueT> Coo<ValueT>::from_csr(const Csr<ValueT>& csr) {
-  std::vector<index_t> row_idx(static_cast<std::size_t>(csr.nnz()));
+  Coo coo;
+  coo.assign_from_csr(csr);
+  return coo;
+}
+
+template <typename ValueT>
+void Coo<ValueT>::assign_from_csr(const Csr<ValueT>& csr) {
+  rows_ = csr.rows();
+  cols_ = csr.cols();
+  row_idx_.resize(static_cast<std::size_t>(csr.nnz()));
   for (index_t r = 0; r < csr.rows(); ++r)
     for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p)
-      row_idx[static_cast<std::size_t>(p)] = r;
-  return Coo(csr.rows(), csr.cols(), std::move(row_idx),
-             {csr.col_idx().begin(), csr.col_idx().end()},
-             {csr.values().begin(), csr.values().end()});
+      row_idx_[static_cast<std::size_t>(p)] = r;
+  col_idx_.assign(csr.col_idx().begin(), csr.col_idx().end());
+  values_.assign(csr.values().begin(), csr.values().end());
+}
+
+template <typename ValueT>
+Csr<ValueT> Coo<ValueT>::to_csr() const {
+  return Csr<ValueT>::from_coo(*this);
 }
 
 template <typename ValueT>
 void Coo<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
+  std::fill(y.begin(), y.end(), ValueT{});
+  spmv_accumulate(x, y);
+}
+
+template <typename ValueT>
+void Coo<ValueT>::spmv_accumulate(std::span<const ValueT> x,
+                                  std::span<ValueT> y) const {
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
-  std::fill(y.begin(), y.end(), ValueT{});
-  // Product phase + segmented reduction with a running carry, flushed on
-  // each row boundary — the sequential projection of warp segmented scan.
+  // Product phase (vectorized, chunked through a stack buffer) followed
+  // by the segmented reduction with a running carry, flushed on each row
+  // boundary — the sequential projection of warp segmented scan. The
+  // products are elementwise, so the carry sums match the scalar kernel
+  // bit for bit.
+  constexpr index_t kChunk = 1024;
+  ValueT products[kChunk];
   ValueT carry{};
   index_t current_row = nnz() > 0 ? row_idx_[0] : 0;
-  for (index_t i = 0; i < nnz(); ++i) {
-    if (row_idx_[i] != current_row) {
-      y[current_row] += carry;
-      carry = ValueT{};
-      current_row = row_idx_[i];
+  for (index_t base = 0; base < nnz(); base += kChunk) {
+    const index_t len = std::min(kChunk, nnz() - base);
+    simd::mul_gather(values_.data() + base, col_idx_.data() + base, x.data(),
+                     products, len);
+    for (index_t i = 0; i < len; ++i) {
+      const index_t row = row_idx_[static_cast<std::size_t>(base + i)];
+      if (row != current_row) {
+        y[static_cast<std::size_t>(current_row)] += carry;
+        carry = ValueT{};
+        current_row = row;
+      }
+      carry += products[i];
     }
-    carry += values_[i] * x[col_idx_[i]];
   }
-  if (nnz() > 0) y[current_row] += carry;
+  if (nnz() > 0) y[static_cast<std::size_t>(current_row)] += carry;
 }
 
 template <typename ValueT>

@@ -26,6 +26,13 @@ class Coo {
 
   static Coo from_csr(const Csr<ValueT>& csr);
 
+  /// In-place conversion reusing this object's buffers (no allocation
+  /// when capacities already suffice — the ConversionArena warm path).
+  void assign_from_csr(const Csr<ValueT>& csr);
+
+  /// Back-conversion (COO is sorted row-major by invariant).
+  Csr<ValueT> to_csr() const;
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t nnz() const { return static_cast<index_t>(values_.size()); }
@@ -37,11 +44,21 @@ class Coo {
   /// y = A*x via product + segmented reduction over the row index stream.
   void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
 
+  /// y += A*x (no zero-fill) — the spill-add HYB needs without a
+  /// temporary vector.
+  void spmv_accumulate(std::span<const ValueT> x, std::span<ValueT> y) const;
+
   std::int64_t bytes() const;
 
   void validate() const;
 
+  bool operator==(const Coo&) const = default;
+
  private:
+  // Hyb fills the spill arrays directly during its single-pass split.
+  template <typename>
+  friend class Hyb;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<index_t> row_idx_;

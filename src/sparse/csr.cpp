@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
@@ -69,11 +70,24 @@ template <typename ValueT>
 void Csr<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
+  // Lane-accumulated row dot products (simd::dot semantics): the SIMD
+  // path and the scalar fallback share one summation order, and
+  // spmv_parallel() calls the same helper per row — serial, SIMD, and
+  // parallel outputs are bitwise-identical. The kernel pointer is
+  // resolved once so short rows don't re-check the runtime toggle.
+  const auto dot = simd::dot_kernel<ValueT>();
   for (index_t r = 0; r < rows_; ++r) {
-    ValueT sum{};
-    for (index_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p)
-      sum += values_[p] * x[col_idx_[p]];
-    y[r] = sum;
+    const index_t begin = row_ptr_[static_cast<std::size_t>(r)];
+    const index_t len = row_ptr_[static_cast<std::size_t>(r) + 1] - begin;
+    // Short rows inline the sequential rule (same bits as the kernel's
+    // own short-row branch) instead of paying an indirect call.
+    y[static_cast<std::size_t>(r)] =
+        len < simd::kDotSequentialCutoff<ValueT>
+            ? simd::detail::dot_sequential(values_.data() + begin,
+                                           col_idx_.data() + begin, x.data(),
+                                           len)
+            : dot(values_.data() + begin, col_idx_.data() + begin, x.data(),
+                  len);
   }
 }
 

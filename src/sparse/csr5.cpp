@@ -4,90 +4,144 @@
 
 #include "common/error.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
 template <typename ValueT>
 Csr5<ValueT> Csr5<ValueT>::from_csr(const Csr<ValueT>& csr, index_t omega,
                                     index_t sigma) {
-  SPMVML_ENSURE(omega > 0 && sigma > 0, "omega and sigma must be positive");
   Csr5 m;
-  m.rows_ = csr.rows();
-  m.cols_ = csr.cols();
-  m.omega_ = omega;
-  m.sigma_ = sigma;
+  m.assign_from_csr(csr, omega, sigma);
+  return m;
+}
+
+template <typename ValueT>
+void Csr5<ValueT>::assign_from_csr(const Csr<ValueT>& csr, index_t omega,
+                                   index_t sigma,
+                                   ConversionScratch* scratch) {
+  SPMVML_ENSURE(omega > 0 && sigma > 0, "omega and sigma must be positive");
+  ConversionScratch local;
+  ConversionScratch& ws = scratch ? *scratch : local;
+  rows_ = csr.rows();
+  cols_ = csr.cols();
+  omega_ = omega;
+  sigma_ = sigma;
 
   const index_t nnz = csr.nnz();
   const index_t tile = omega * sigma;
-  m.num_full_tiles_ = nnz / tile;
+  num_full_tiles_ = nnz / tile;
 
   // row_of[p] and row-start flags in original CSR order.
-  std::vector<index_t> row_of(static_cast<std::size_t>(nnz));
-  m.flags_.assign(static_cast<std::size_t>((nnz + 63) / 64), 0);
+  ws.row_of.resize(static_cast<std::size_t>(nnz));
+  flags_.assign(static_cast<std::size_t>((nnz + 63) / 64), 0);
   for (index_t r = 0; r < csr.rows(); ++r) {
     const index_t begin = csr.row_ptr()[r], end = csr.row_ptr()[r + 1];
-    for (index_t p = begin; p < end; ++p) row_of[static_cast<std::size_t>(p)] = r;
+    for (index_t p = begin; p < end; ++p)
+      ws.row_of[static_cast<std::size_t>(p)] = r;
     if (begin < end)
-      m.flags_[static_cast<std::size_t>(begin >> 6)] |= 1ULL << (begin & 63);
+      flags_[static_cast<std::size_t>(begin >> 6)] |= 1ULL << (begin & 63);
   }
 
   // seg_rows_: destination row for every flagged position, in order.
+  seg_rows_.clear();
   for (index_t p = 0; p < nnz; ++p)
-    if (m.flag(p)) m.seg_rows_.push_back(row_of[static_cast<std::size_t>(p)]);
+    if (flag(p)) seg_rows_.push_back(ws.row_of[static_cast<std::size_t>(p)]);
 
   // Prefix counts of flags let each lane find its first segment slot.
-  std::vector<index_t> flags_before(static_cast<std::size_t>(nnz) + 1, 0);
+  ws.flags_before.assign(static_cast<std::size_t>(nnz) + 1, 0);
   for (index_t p = 0; p < nnz; ++p)
-    flags_before[static_cast<std::size_t>(p) + 1] =
-        flags_before[static_cast<std::size_t>(p)] + (m.flag(p) ? 1 : 0);
+    ws.flags_before[static_cast<std::size_t>(p) + 1] =
+        ws.flags_before[static_cast<std::size_t>(p)] + (flag(p) ? 1 : 0);
 
   const index_t total_tiles = (nnz + tile - 1) / tile;
-  m.tile_ptr_.resize(static_cast<std::size_t>(total_tiles));
-  m.lane_row_.assign(static_cast<std::size_t>(m.num_full_tiles_ * omega), 0);
-  m.lane_seg_.assign(static_cast<std::size_t>(m.num_full_tiles_ * omega), 0);
+  tile_ptr_.resize(static_cast<std::size_t>(total_tiles));
+  lane_row_.assign(static_cast<std::size_t>(num_full_tiles_ * omega), 0);
+  lane_seg_.assign(static_cast<std::size_t>(num_full_tiles_ * omega), 0);
 
-  m.values_.resize(static_cast<std::size_t>(nnz));
-  m.col_idx_.resize(static_cast<std::size_t>(nnz));
+  values_.resize(static_cast<std::size_t>(nnz));
+  col_idx_.resize(static_cast<std::size_t>(nnz));
   for (index_t t = 0; t < total_tiles; ++t) {
     const index_t start = t * tile;
-    m.tile_ptr_[static_cast<std::size_t>(t)] =
-        row_of[static_cast<std::size_t>(start)];
-    if (t < m.num_full_tiles_) {
+    tile_ptr_[static_cast<std::size_t>(t)] =
+        ws.row_of[static_cast<std::size_t>(start)];
+    if (t < num_full_tiles_) {
       for (index_t c = 0; c < omega; ++c) {
         const index_t lane_start = start + c * sigma;
-        m.lane_row_[static_cast<std::size_t>(t * omega + c)] =
-            row_of[static_cast<std::size_t>(lane_start)];
-        m.lane_seg_[static_cast<std::size_t>(t * omega + c)] =
-            flags_before[static_cast<std::size_t>(lane_start)];
+        lane_row_[static_cast<std::size_t>(t * omega + c)] =
+            ws.row_of[static_cast<std::size_t>(lane_start)];
+        lane_seg_[static_cast<std::size_t>(t * omega + c)] =
+            ws.flags_before[static_cast<std::size_t>(lane_start)];
         for (index_t s = 0; s < sigma; ++s) {
           const index_t orig = lane_start + s;
           const index_t stored = start + s * omega + c;
-          m.values_[static_cast<std::size_t>(stored)] =
+          values_[static_cast<std::size_t>(stored)] =
               csr.values()[static_cast<std::size_t>(orig)];
-          m.col_idx_[static_cast<std::size_t>(stored)] =
+          col_idx_[static_cast<std::size_t>(stored)] =
               csr.col_idx()[static_cast<std::size_t>(orig)];
         }
       }
     } else {
       // Tail tile: natural order.
       for (index_t p = start; p < nnz; ++p) {
-        m.values_[static_cast<std::size_t>(p)] =
+        values_[static_cast<std::size_t>(p)] =
             csr.values()[static_cast<std::size_t>(p)];
-        m.col_idx_[static_cast<std::size_t>(p)] =
+        col_idx_[static_cast<std::size_t>(p)] =
             csr.col_idx()[static_cast<std::size_t>(p)];
       }
     }
   }
   // Tail metadata reuses seg_rows_ via flags_before at runtime, stored in
   // lane_seg_-style scalars below.
-  m.tail_row_ = nnz > m.num_full_tiles_ * tile
-                    ? row_of[static_cast<std::size_t>(m.num_full_tiles_ * tile)]
-                    : 0;
-  m.tail_seg_ = nnz > m.num_full_tiles_ * tile
-                    ? flags_before[static_cast<std::size_t>(m.num_full_tiles_ *
-                                                            tile)]
-                    : 0;
-  return m;
+  tail_row_ =
+      nnz > num_full_tiles_ * tile
+          ? ws.row_of[static_cast<std::size_t>(num_full_tiles_ * tile)]
+          : 0;
+  tail_seg_ =
+      nnz > num_full_tiles_ * tile
+          ? ws.flags_before[static_cast<std::size_t>(num_full_tiles_ * tile)]
+          : 0;
+}
+
+template <typename ValueT>
+Csr<ValueT> Csr5<ValueT>::to_csr() const {
+  const index_t n = nnz();
+  const index_t tile = tile_size();
+  std::vector<index_t> col_idx(static_cast<std::size_t>(n));
+  std::vector<ValueT> values(static_cast<std::size_t>(n));
+  // Undo the tile transposition: stored start+s*omega+c came from original
+  // position start+c*sigma+s; the tail tile is already in natural order.
+  for (index_t t = 0; t < num_full_tiles_; ++t) {
+    const index_t start = t * tile;
+    for (index_t c = 0; c < omega_; ++c)
+      for (index_t s = 0; s < sigma_; ++s) {
+        const index_t orig = start + c * sigma_ + s;
+        const index_t stored = start + s * omega_ + c;
+        values[static_cast<std::size_t>(orig)] =
+            values_[static_cast<std::size_t>(stored)];
+        col_idx[static_cast<std::size_t>(orig)] =
+            col_idx_[static_cast<std::size_t>(stored)];
+      }
+  }
+  for (index_t p = num_full_tiles_ * tile; p < n; ++p) {
+    values[static_cast<std::size_t>(p)] = values_[static_cast<std::size_t>(p)];
+    col_idx[static_cast<std::size_t>(p)] =
+        col_idx_[static_cast<std::size_t>(p)];
+  }
+  // Rebuild row_ptr by replaying the row-start flags (empty rows simply
+  // collect no entries).
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  index_t row = 0;
+  std::size_t si = 0;
+  for (index_t p = 0; p < n; ++p) {
+    if (flag(p)) row = seg_rows_[si++];
+    ++row_ptr[static_cast<std::size_t>(row) + 1];
+  }
+  for (index_t r = 0; r < rows_; ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+  return Csr<ValueT>(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
 }
 
 template <typename ValueT>
@@ -96,8 +150,21 @@ void Csr5<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
   std::fill(y.begin(), y.end(), ValueT{});
   const index_t tile = tile_size();
+  // The tile-transposed stream is contiguous, so each tile's products can
+  // be computed elementwise up front (simd::mul_gather) and the segmented
+  // carry logic below only streams through the buffer. Products are
+  // elementwise and the carry order is untouched, so the result is
+  // bitwise-identical with SIMD on or off. Tiles too big for the stack
+  // buffer (omega*sigma > 4096 — far past the GPU-shaped defaults) take
+  // the direct path.
+  constexpr index_t kMaxTileBuf = 4096;
+  ValueT products[kMaxTileBuf];
+  const bool buffered = tile <= kMaxTileBuf;
   for (index_t t = 0; t < num_full_tiles_; ++t) {
     const index_t start = t * tile;
+    if (buffered)
+      simd::mul_gather(values_.data() + start, col_idx_.data() + start,
+                       x.data(), products, tile);
     for (index_t c = 0; c < omega_; ++c) {
       index_t row = lane_row_[static_cast<std::size_t>(t * omega_ + c)];
       index_t si = lane_seg_[static_cast<std::size_t>(t * omega_ + c)];
@@ -114,8 +181,9 @@ void Csr5<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
           row = seg_rows_[static_cast<std::size_t>(si++)];
         }
         const index_t stored = start + s * omega_ + c;
-        sum += values_[static_cast<std::size_t>(stored)] *
-               x[col_idx_[static_cast<std::size_t>(stored)]];
+        sum += buffered ? products[stored - start]
+                        : values_[static_cast<std::size_t>(stored)] *
+                              x[col_idx_[static_cast<std::size_t>(stored)]];
         has = true;
       }
       if (has) y[row] += sum;
@@ -124,6 +192,12 @@ void Csr5<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   // Tail: natural order with the same segmented-carry logic.
   const index_t tail_start = num_full_tiles_ * tile;
   if (tail_start < nnz()) {
+    const index_t tail_len = nnz() - tail_start;
+    const bool tail_buffered = tail_len <= kMaxTileBuf;
+    if (tail_buffered)
+      simd::mul_gather(values_.data() + tail_start,
+                       col_idx_.data() + tail_start, x.data(), products,
+                       tail_len);
     index_t row = tail_row_;
     index_t si = tail_seg_;
     ValueT sum{};
@@ -137,8 +211,9 @@ void Csr5<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
         }
         row = seg_rows_[static_cast<std::size_t>(si++)];
       }
-      sum += values_[static_cast<std::size_t>(p)] *
-             x[col_idx_[static_cast<std::size_t>(p)]];
+      sum += tail_buffered ? products[p - tail_start]
+                           : values_[static_cast<std::size_t>(p)] *
+                                 x[col_idx_[static_cast<std::size_t>(p)]];
       has = true;
     }
     if (has) y[row] += sum;

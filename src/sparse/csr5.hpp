@@ -27,6 +27,14 @@ namespace spmvml {
 template <typename ValueT>
 class Csr;
 
+/// Reusable index workspace for the CSR5 conversion — the only from_csr
+/// path needing O(nnz) temporaries. Owned by ConversionArena so warm
+/// conversions allocate nothing.
+struct ConversionScratch {
+  std::vector<index_t> row_of;        // row of each nonzero
+  std::vector<index_t> flags_before;  // prefix count of row-start flags
+};
+
 template <typename ValueT>
 class Csr5 {
  public:
@@ -35,6 +43,17 @@ class Csr5 {
   /// omega = lanes per tile (GPU warp fraction), sigma = entries per lane.
   static Csr5 from_csr(const Csr<ValueT>& csr, index_t omega = 32,
                        index_t sigma = 16);
+
+  /// In-place conversion reusing this object's buffers and, when given,
+  /// the caller's scratch workspace (no allocation when capacities
+  /// already suffice — the ConversionArena warm path).
+  void assign_from_csr(const Csr<ValueT>& csr, index_t omega = 32,
+                       index_t sigma = 16,
+                       ConversionScratch* scratch = nullptr);
+
+  /// Back-conversion: undoes the tile transposition and rebuilds row_ptr
+  /// from the row-start flags.
+  Csr<ValueT> to_csr() const;
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
@@ -50,6 +69,8 @@ class Csr5 {
   std::int64_t bytes() const;
 
   void validate() const;
+
+  bool operator==(const Csr5&) const = default;
 
  private:
   index_t tile_size() const { return omega_ * sigma_; }

@@ -4,11 +4,19 @@
 
 #include "common/error.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
 template <typename ValueT>
 Ell<ValueT> Ell<ValueT>::from_csr(const Csr<ValueT>& csr, index_t width) {
+  Ell ell;
+  ell.assign_from_csr(csr, width);
+  return ell;
+}
+
+template <typename ValueT>
+void Ell<ValueT>::assign_from_csr(const Csr<ValueT>& csr, index_t width) {
   index_t max_len = 0;
   for (index_t r = 0; r < csr.rows(); ++r)
     max_len = std::max(max_len, csr.row_nnz(r));
@@ -16,26 +24,45 @@ Ell<ValueT> Ell<ValueT>::from_csr(const Csr<ValueT>& csr, index_t width) {
   SPMVML_ENSURE(width >= max_len,
                 "ELL width smaller than the longest row; use HYB to split");
 
-  Ell ell;
-  ell.rows_ = csr.rows();
-  ell.cols_ = csr.cols();
-  ell.width_ = width;
-  ell.nnz_ = csr.nnz();
-  const std::size_t slots = static_cast<std::size_t>(ell.rows_) *
-                            static_cast<std::size_t>(width);
-  ell.col_idx_.assign(slots, kPad);
-  ell.values_.assign(slots, ValueT{});
+  rows_ = csr.rows();
+  cols_ = csr.cols();
+  width_ = width;
+  nnz_ = csr.nnz();
+  const std::size_t slots =
+      static_cast<std::size_t>(rows_) * static_cast<std::size_t>(width);
+  col_idx_.assign(slots, kPad);
+  values_.assign(slots, ValueT{});
   for (index_t r = 0; r < csr.rows(); ++r) {
     index_t k = 0;
     for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p, ++k) {
       const std::size_t slot = static_cast<std::size_t>(k) *
-                                   static_cast<std::size_t>(ell.rows_) +
+                                   static_cast<std::size_t>(rows_) +
                                static_cast<std::size_t>(r);
-      ell.col_idx_[slot] = csr.col_idx()[p];
-      ell.values_[slot] = csr.values()[p];
+      col_idx_[slot] = csr.col_idx()[p];
+      values_[slot] = csr.values()[p];
     }
   }
-  return ell;
+}
+
+template <typename ValueT>
+Csr<ValueT> Ell<ValueT>::to_csr() const {
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<ValueT> values;
+  col_idx.reserve(static_cast<std::size_t>(nnz_));
+  values.reserve(static_cast<std::size_t>(nnz_));
+  for (index_t r = 0; r < rows_; ++r) {
+    for (index_t k = 0; k < width_; ++k) {
+      const index_t c = col_at(r, k);
+      if (c == kPad) break;  // slots of a row are filled left to right
+      col_idx.push_back(c);
+      values.push_back(val_at(r, k));
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  return Csr<ValueT>(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
 }
 
 template <typename ValueT>
@@ -50,15 +77,23 @@ void Ell<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
   std::fill(y.begin(), y.end(), ValueT{});
+  spmv_rows(x, y, 0, rows_);
+}
+
+template <typename ValueT>
+void Ell<ValueT>::spmv_rows(std::span<const ValueT> x, std::span<ValueT> y,
+                            index_t row_begin, index_t row_count) const {
   // Column-major walk: matches the coalesced access order of the GPU
-  // kernel (all rows advance slot k together).
+  // kernel (all rows advance slot k together). The slot update is
+  // elementwise (simd::masked_gather_axpy), so each y[r] accumulates its
+  // slots in increasing-k order regardless of SIMD, row blocking, or
+  // thread count — the bitwise contract of the differential suite.
   for (index_t k = 0; k < width_; ++k) {
     const std::size_t base = static_cast<std::size_t>(k) *
-                             static_cast<std::size_t>(rows_);
-    for (index_t r = 0; r < rows_; ++r) {
-      const index_t c = col_idx_[base + static_cast<std::size_t>(r)];
-      if (c != kPad) y[r] += values_[base + static_cast<std::size_t>(r)] * x[c];
-    }
+                                 static_cast<std::size_t>(rows_) +
+                             static_cast<std::size_t>(row_begin);
+    simd::masked_gather_axpy(values_.data() + base, col_idx_.data() + base,
+                             x.data(), y.data() + row_begin, row_count, kPad);
   }
 }
 

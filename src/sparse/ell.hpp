@@ -30,6 +30,13 @@ class Ell {
   /// callers wanting truncation should use Hyb instead).
   static Ell from_csr(const Csr<ValueT>& csr, index_t width = 0);
 
+  /// In-place conversion reusing this object's buffers (no allocation
+  /// when capacities already suffice — the ConversionArena warm path).
+  void assign_from_csr(const Csr<ValueT>& csr, index_t width = 0);
+
+  /// Back-conversion: strips the padding, restores row-major CSR.
+  Csr<ValueT> to_csr() const;
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t width() const { return width_; }
@@ -45,11 +52,24 @@ class Ell {
 
   void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
 
+  /// Slot update restricted to rows [row_begin, row_begin+row_count):
+  /// accumulates into the *full-size* y (no zero-fill — callers zero
+  /// their block first). The building block spmv() and the row-parallel
+  /// kernel share, keeping their outputs bitwise-identical.
+  void spmv_rows(std::span<const ValueT> x, std::span<ValueT> y,
+                 index_t row_begin, index_t row_count) const;
+
   std::int64_t bytes() const;
 
   void validate() const;
 
+  bool operator==(const Ell&) const = default;
+
  private:
+  // Hyb fills the ELL prefix directly during its single-pass split.
+  template <typename>
+  friend class Hyb;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t width_ = 0;

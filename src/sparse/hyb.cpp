@@ -38,31 +38,81 @@ Hyb<ValueT> Hyb<ValueT>::from_csr(const Csr<ValueT>& csr, HybThreshold rule) {
 template <typename ValueT>
 Hyb<ValueT> Hyb<ValueT>::from_csr_with_width(const Csr<ValueT>& csr,
                                              index_t width) {
+  Hyb hyb;
+  hyb.assign_from_csr_with_width(csr, width);
+  return hyb;
+}
+
+template <typename ValueT>
+void Hyb<ValueT>::assign_from_csr(const Csr<ValueT>& csr, HybThreshold rule) {
+  assign_from_csr_with_width(csr, pick_width(csr, rule));
+}
+
+template <typename ValueT>
+void Hyb<ValueT>::assign_from_csr_with_width(const Csr<ValueT>& csr,
+                                             index_t width) {
   SPMVML_ENSURE(width >= 0, "negative HYB width");
-  // Split CSR into an ELL prefix (first `width` entries of each row) and a
-  // COO spill of the rest, then reuse the two sub-format constructors.
-  std::vector<Triplet<ValueT>> ell_entries;
-  std::vector<index_t> coo_rows, coo_cols;
-  std::vector<ValueT> coo_vals;
+  // Single pass over the CSR arrays: the first `width` entries of each row
+  // land in their ELL slots, the rest append to the COO spill. Row entries
+  // are column-sorted in CSR, so both parts inherit the sort order the
+  // sub-format constructors would have established.
+  ell_.rows_ = csr.rows();
+  ell_.cols_ = csr.cols();
+  ell_.width_ = width;
+  const std::size_t slots = static_cast<std::size_t>(csr.rows()) *
+                            static_cast<std::size_t>(width);
+  ell_.col_idx_.assign(slots, Ell<ValueT>::kPad);
+  ell_.values_.assign(slots, ValueT{});
+  coo_.rows_ = csr.rows();
+  coo_.cols_ = csr.cols();
+  coo_.row_idx_.clear();
+  coo_.col_idx_.clear();
+  coo_.values_.clear();
   for (index_t r = 0; r < csr.rows(); ++r) {
     index_t k = 0;
     for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p, ++k) {
       if (k < width) {
-        ell_entries.push_back({r, csr.col_idx()[p], csr.values()[p]});
+        const std::size_t slot = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(csr.rows()) +
+                                 static_cast<std::size_t>(r);
+        ell_.col_idx_[slot] = csr.col_idx()[static_cast<std::size_t>(p)];
+        ell_.values_[slot] = csr.values()[static_cast<std::size_t>(p)];
       } else {
-        coo_rows.push_back(r);
-        coo_cols.push_back(csr.col_idx()[p]);
-        coo_vals.push_back(csr.values()[p]);
+        coo_.row_idx_.push_back(r);
+        coo_.col_idx_.push_back(csr.col_idx()[static_cast<std::size_t>(p)]);
+        coo_.values_.push_back(csr.values()[static_cast<std::size_t>(p)]);
       }
     }
   }
-  Hyb hyb;
-  const auto ell_csr =
-      Csr<ValueT>::from_triplets(csr.rows(), csr.cols(), std::move(ell_entries));
-  hyb.ell_ = Ell<ValueT>::from_csr(ell_csr, width);
-  hyb.coo_ = Coo<ValueT>(csr.rows(), csr.cols(), std::move(coo_rows),
-                         std::move(coo_cols), std::move(coo_vals));
-  return hyb;
+  ell_.nnz_ = csr.nnz() - coo_.nnz();
+}
+
+template <typename ValueT>
+Csr<ValueT> Hyb<ValueT>::to_csr() const {
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows()) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<ValueT> values;
+  col_idx.reserve(static_cast<std::size_t>(nnz()));
+  values.reserve(static_cast<std::size_t>(nnz()));
+  std::size_t spill = 0;  // cursor into the row-major sorted COO arrays
+  for (index_t r = 0; r < rows(); ++r) {
+    for (index_t k = 0; k < ell_.width(); ++k) {
+      const index_t c = ell_.col_at(r, k);
+      if (c == Ell<ValueT>::kPad) break;
+      col_idx.push_back(c);
+      values.push_back(ell_.val_at(r, k));
+    }
+    for (; spill < static_cast<std::size_t>(coo_.nnz()) &&
+           coo_.row_idx()[spill] == r;
+         ++spill) {
+      col_idx.push_back(coo_.col_idx()[spill]);
+      values.push_back(coo_.values()[spill]);
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  return Csr<ValueT>(rows(), cols(), std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
 }
 
 template <typename ValueT>
@@ -75,10 +125,8 @@ double Hyb<ValueT>::coo_fraction() const {
 template <typename ValueT>
 void Hyb<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   ell_.spmv(x, y);
-  // COO kernel accumulates into y; replicate that by adding its result.
-  std::vector<ValueT> spill(y.size());
-  coo_.spmv(x, spill);
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += spill[i];
+  // Spill adds carry directly into y — no temporary vector per call.
+  coo_.spmv_accumulate(x, y);
 }
 
 template <typename ValueT>

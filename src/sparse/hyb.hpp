@@ -36,6 +36,18 @@ class Hyb {
   /// Explicit split width (entries at slots >= width go to COO).
   static Hyb from_csr_with_width(const Csr<ValueT>& csr, index_t width);
 
+  /// In-place conversions reusing this object's buffers (no allocation
+  /// when capacities already suffice — the ConversionArena warm path).
+  /// The split is a single direct pass over the CSR arrays: ELL slots and
+  /// COO spill are filled without the intermediate triplet sort.
+  void assign_from_csr(const Csr<ValueT>& csr,
+                       HybThreshold rule = HybThreshold::kNnzMu);
+  void assign_from_csr_with_width(const Csr<ValueT>& csr, index_t width);
+
+  /// Back-conversion: per row, ELL prefix then COO spill (both sorted by
+  /// column, spill columns all past the prefix) restores CSR exactly.
+  Csr<ValueT> to_csr() const;
+
   index_t rows() const { return ell_.rows(); }
   index_t cols() const { return ell_.cols(); }
   index_t nnz() const { return ell_.nnz() + coo_.nnz(); }
@@ -52,6 +64,8 @@ class Hyb {
   std::int64_t bytes() const { return ell_.bytes() + coo_.bytes(); }
 
   void validate() const;
+
+  bool operator==(const Hyb&) const = default;
 
  private:
   Ell<ValueT> ell_;

@@ -28,23 +28,36 @@ MergeCoordinate MergeCsr<ValueT>::merge_path_search(
 template <typename ValueT>
 MergeCsr<ValueT> MergeCsr<ValueT>::from_csr(const Csr<ValueT>& csr,
                                             index_t num_partitions) {
-  SPMVML_ENSURE(num_partitions >= 1, "need at least one partition");
   MergeCsr m;
-  m.rows_ = csr.rows();
-  m.cols_ = csr.cols();
-  m.row_ptr_.assign(csr.row_ptr().begin(), csr.row_ptr().end());
-  m.col_idx_.assign(csr.col_idx().begin(), csr.col_idx().end());
-  m.values_.assign(csr.values().begin(), csr.values().end());
+  m.assign_from_csr(csr, num_partitions);
+  return m;
+}
 
-  const index_t path_len = m.rows_ + csr.nnz();
+template <typename ValueT>
+void MergeCsr<ValueT>::assign_from_csr(const Csr<ValueT>& csr,
+                                       index_t num_partitions) {
+  SPMVML_ENSURE(num_partitions >= 1, "need at least one partition");
+  rows_ = csr.rows();
+  cols_ = csr.cols();
+  row_ptr_.assign(csr.row_ptr().begin(), csr.row_ptr().end());
+  col_idx_.assign(csr.col_idx().begin(), csr.col_idx().end());
+  values_.assign(csr.values().begin(), csr.values().end());
+
+  const index_t path_len = rows_ + csr.nnz();
   num_partitions = std::min(num_partitions, std::max<index_t>(path_len, 1));
-  m.starts_.resize(static_cast<std::size_t>(num_partitions) + 1);
+  starts_.resize(static_cast<std::size_t>(num_partitions) + 1);
   for (index_t p = 0; p <= num_partitions; ++p) {
     const index_t diagonal = path_len * p / num_partitions;
-    m.starts_[static_cast<std::size_t>(p)] =
-        merge_path_search(diagonal, m.row_ptr_, m.rows_, csr.nnz());
+    starts_[static_cast<std::size_t>(p)] =
+        merge_path_search(diagonal, row_ptr_, rows_, csr.nnz());
   }
-  return m;
+}
+
+template <typename ValueT>
+Csr<ValueT> MergeCsr<ValueT>::to_csr() const {
+  return Csr<ValueT>(rows_, cols_, {row_ptr_.begin(), row_ptr_.end()},
+                     {col_idx_.begin(), col_idx_.end()},
+                     {values_.begin(), values_.end()});
 }
 
 template <typename ValueT>
@@ -53,28 +66,14 @@ void MergeCsr<ValueT>::spmv(std::span<const ValueT> x,
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
   std::fill(y.begin(), y.end(), ValueT{});
-  for (index_t part = 0; part < num_partitions(); ++part) {
-    MergeCoordinate cur = starts_[static_cast<std::size_t>(part)];
-    const MergeCoordinate end = starts_[static_cast<std::size_t>(part) + 1];
-    ValueT sum{};
-    // Walk the merge path: consume a nonzero while there is one left in
-    // the current row, otherwise consume the row end and flush.
-    while (cur.row < end.row || cur.nz < end.nz) {
-      if (cur.row < rows_ &&
-          cur.nz < row_ptr_[static_cast<std::size_t>(cur.row) + 1] &&
-          cur.nz < nnz()) {
-        sum += values_[static_cast<std::size_t>(cur.nz)] *
-               x[col_idx_[static_cast<std::size_t>(cur.nz)]];
-        ++cur.nz;
-      } else {
-        y[cur.row] += sum;
-        sum = ValueT{};
-        ++cur.row;
-      }
-    }
-    // Carry-out for a row split across partitions.
-    if (cur.row < rows_) y[cur.row] += sum;
-  }
+  // Walk the merge path partition by partition; every flush (including
+  // the carry-out for a row split across partitions) lands in partition
+  // order, matching the parallel two-phase kernel bit for bit.
+  const auto add = [&y](index_t row, ValueT sum) {
+    y[static_cast<std::size_t>(row)] += sum;
+  };
+  for (index_t part = 0; part < num_partitions(); ++part)
+    walk_partition(x, part, add, add);
 }
 
 template <typename ValueT>

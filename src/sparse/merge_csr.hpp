@@ -9,9 +9,11 @@
 // zero-initialised y (the serial projection of the CUDA fix-up pass).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "sparse/simd.hpp"
 #include "sparse/types.hpp"
 
 namespace spmvml {
@@ -23,6 +25,8 @@ class Csr;
 struct MergeCoordinate {
   index_t row = 0;
   index_t nz = 0;
+
+  bool operator==(const MergeCoordinate&) const = default;
 };
 
 template <typename ValueT>
@@ -33,6 +37,13 @@ class MergeCsr {
   /// num_partitions models the GPU thread count; any value >= 1 yields the
   /// same result (a property-tested invariant).
   static MergeCsr from_csr(const Csr<ValueT>& csr, index_t num_partitions = 256);
+
+  /// In-place conversion reusing this object's buffers (no allocation
+  /// when capacities already suffice — the ConversionArena warm path).
+  void assign_from_csr(const Csr<ValueT>& csr, index_t num_partitions = 256);
+
+  /// Back-conversion (merge-CSR stores the plain CSR arrays verbatim).
+  Csr<ValueT> to_csr() const;
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
@@ -61,6 +72,19 @@ class MergeCsr {
                                            std::span<const index_t> row_ptr,
                                            index_t rows, index_t nnz);
 
+  /// Walk partition `part`'s merge-path span, calling
+  /// `flush(row, partial_sum)` at every row boundary crossed and
+  /// `trailing(row, partial_sum)` once for the row the partition ends
+  /// inside (flushed with sum 0 when it ends exactly on a boundary).
+  /// Each row segment is one contiguous nonzero run summed with
+  /// simd::dot, so the serial kernel and the parallel two-phase kernel —
+  /// both built on this walker — produce bitwise-identical partials.
+  template <typename Flush, typename Trailing>
+  void walk_partition(std::span<const ValueT> x, index_t part, Flush&& flush,
+                      Trailing&& trailing) const;
+
+  bool operator==(const MergeCsr&) const = default;
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
@@ -69,6 +93,36 @@ class MergeCsr {
   std::vector<ValueT> values_;
   std::vector<MergeCoordinate> starts_;  // num_partitions+1 entries
 };
+
+template <typename ValueT>
+template <typename Flush, typename Trailing>
+void MergeCsr<ValueT>::walk_partition(std::span<const ValueT> x, index_t part,
+                                      Flush&& flush,
+                                      Trailing&& trailing) const {
+  MergeCoordinate cur = starts_[static_cast<std::size_t>(part)];
+  const MergeCoordinate end = starts_[static_cast<std::size_t>(part) + 1];
+  const auto dot = simd::dot_kernel<ValueT>();
+  ValueT sum{};
+  while (cur.row < end.row || cur.nz < end.nz) {
+    if (cur.row < rows_ &&
+        cur.nz < row_ptr_[static_cast<std::size_t>(cur.row) + 1] &&
+        cur.nz < nnz()) {
+      // Whole contiguous run of the current row inside this partition,
+      // summed with the shared lane-dot kernel.
+      index_t run_end = row_ptr_[static_cast<std::size_t>(cur.row) + 1];
+      if (cur.row == end.row) run_end = std::min(run_end, end.nz);
+      sum += dot(values_.data() + cur.nz, col_idx_.data() + cur.nz, x.data(),
+                 run_end - cur.nz);
+      cur.nz = run_end;
+    } else {
+      flush(cur.row, sum);
+      sum = ValueT{};
+      ++cur.row;
+    }
+  }
+  // Trailing partial of the row the partition ends inside.
+  if (cur.row < rows_) trailing(cur.row, sum);
+}
 
 extern template class MergeCsr<float>;
 extern template class MergeCsr<double>;

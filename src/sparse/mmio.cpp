@@ -76,9 +76,18 @@ Csr<double> read_matrix_market(std::istream& in) {
   SPMVML_ENSURE_CAT(!dims.fail() && rows > 0 && cols > 0 && declared_nnz >= 0,
                     ErrorCategory::kParse, "bad dimensions line" +
                         at_line(lineno));
+  SPMVML_ENSURE_CAT(!symmetric || rows == cols, ErrorCategory::kParse,
+                    "symmetric matrix must be square" + at_line(lineno));
 
   std::vector<Triplet<double>> entries;
-  entries.reserve(static_cast<std::size_t>(declared_nnz) * (symmetric ? 2 : 1));
+  // Cap the speculative reserve: the declared nnz is untrusted input and
+  // a hostile header must fail on its missing entries (kParse), not on a
+  // giant up-front allocation. The vector still grows as real entries
+  // arrive.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+  entries.reserve(std::min<std::size_t>(
+      static_cast<std::size_t>(declared_nnz) * (symmetric ? 2 : 1),
+      kReserveCap));
   for (index_t i = 0; i < declared_nnz; ++i) {
     SPMVML_ENSURE_CAT(getline_norm(in, line, lineno), ErrorCategory::kParse,
                       "fewer entries than declared" + at_line(lineno));
@@ -96,6 +105,10 @@ Csr<double> read_matrix_market(std::istream& in) {
     SPMVML_ENSURE_CAT(r >= 1 && r <= rows && c >= 1 && c <= cols,
                       ErrorCategory::kParse,
                       "entry index out of range" + at_line(lineno));
+    // The MM spec stores symmetric matrices lower-triangular; an entry
+    // above the diagonal would silently double after mirroring.
+    SPMVML_ENSURE_CAT(!symmetric || r >= c, ErrorCategory::kParse,
+                      "symmetric entry above the diagonal" + at_line(lineno));
     entries.push_back({r - 1, c - 1, v});
     if (symmetric && r != c) entries.push_back({c - 1, r - 1, v});
   }

@@ -1,18 +1,28 @@
 // Shared-memory parallel SpMV kernels (OpenMP when available).
 //
-// The serial kernels in each format class are the reference semantics;
-// these variants parallelise the formats whose work decomposes cleanly:
+// The serial kernels in each format class are the reference semantics and
+// every variant here is built from the SAME simd primitives (simd::dot,
+// Ell::spmv_rows, MergeCsr::walk_partition), so serial, SIMD and parallel
+// runs produce bitwise-identical y — the contract the differential test
+// suite enforces. The formats whose work decomposes cleanly:
 //   * CSR  — row-parallel (each row owned by one task; no races).
-//   * ELL  — row-parallel over the column-major slots.
+//   * ELL  — parallel over row blocks of the column-major slots; the
+//     kernel is elementwise per (row, slot) so blocking cannot change
+//     any row's accumulation order.
 //   * HYB  — parallel ELL part + serial COO spill (the spill is small by
 //            construction).
 //   * merge-CSR — the real merge-path decomposition: y is zero-filled,
 //     every partition accumulates the rows whose boundary it owns (each
 //     such flush is unique to one partition, so writes are race-free),
 //     and one trailing carry (row, partial) per partition is applied in a
-//     serial second phase — exactly the CUDA kernel's fix-up pass.
+//     serial second phase — exactly the CUDA kernel's fix-up pass. For a
+//     row spanning partitions p..q only partition p can flush directly
+//     (any later partition's flush into it is that partition's first and
+//     goes to a carry), and carries land in partition order, so the adds
+//     into each y[r] replay the serial walk exactly.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -22,6 +32,7 @@
 #include "sparse/ell.hpp"
 #include "sparse/hyb.hpp"
 #include "sparse/merge_csr.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
@@ -35,31 +46,29 @@ void spmv_parallel(const Csr<ValueT>& a,
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
   const auto values = a.values();
+  const auto dot = simd::dot_kernel<ValueT>();
   parallel_for(a.rows(), [&](index_t r) {
-    ValueT sum{};
-    for (index_t p = row_ptr[static_cast<std::size_t>(r)];
-         p < row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
-      sum += values[static_cast<std::size_t>(p)] *
-             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
-    y[static_cast<std::size_t>(r)] = sum;
+    const index_t begin = row_ptr[static_cast<std::size_t>(r)];
+    y[static_cast<std::size_t>(r)] =
+        dot(values.data() + begin, col_idx.data() + begin, x.data(),
+            row_ptr[static_cast<std::size_t>(r) + 1] - begin);
   });
 }
 
-/// y = A*x, rows in parallel over the ELL slots.
+/// y = A*x, parallel over row blocks of the ELL slots.
 template <typename ValueT>
 void spmv_parallel(const Ell<ValueT>& a,
                    std::type_identity_t<std::span<const ValueT>> x,
                    std::type_identity_t<std::span<ValueT>> y) {
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
-  parallel_for(a.rows(), [&](index_t r) {
-    ValueT sum{};
-    for (index_t k = 0; k < a.width(); ++k) {
-      const index_t c = a.col_at(r, k);
-      if (c != Ell<ValueT>::kPad)
-        sum += a.val_at(r, k) * x[static_cast<std::size_t>(c)];
-    }
-    y[static_cast<std::size_t>(r)] = sum;
+  constexpr index_t kBlock = 4096;  // rows per task
+  const index_t blocks = (a.rows() + kBlock - 1) / kBlock;
+  parallel_for(blocks, [&](index_t b) {
+    const index_t begin = b * kBlock;
+    const index_t count = std::min<index_t>(kBlock, a.rows() - begin);
+    std::fill(y.begin() + begin, y.begin() + begin + count, ValueT{});
+    a.spmv_rows(x, y, begin, count);
   });
 }
 
@@ -69,12 +78,7 @@ void spmv_parallel(const Hyb<ValueT>& a,
                    std::type_identity_t<std::span<const ValueT>> x,
                    std::type_identity_t<std::span<ValueT>> y) {
   spmv_parallel(a.ell_part(), x, y);
-  const auto& coo = a.coo_part();
-  for (index_t i = 0; i < coo.nnz(); ++i)
-    y[static_cast<std::size_t>(coo.row_idx()[static_cast<std::size_t>(i)])] +=
-        coo.values()[static_cast<std::size_t>(i)] *
-        x[static_cast<std::size_t>(
-            coo.col_idx()[static_cast<std::size_t>(i)])];
+  a.coo_part().spmv_accumulate(x, y);
 }
 
 /// y = A*x via the two-phase parallel merge-path algorithm.
@@ -97,50 +101,25 @@ void spmv_parallel(const MergeCsr<ValueT>& a,
   parallel_for(a.rows(),
                [&](index_t r) { y[static_cast<std::size_t>(r)] = ValueT{}; });
 
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto values = a.values();
-
   parallel_for(parts, [&](index_t part) {
-    MergeCoordinate cur = a.partition_start(part);
-    const MergeCoordinate end = a.partition_start(part + 1);
     auto& carry = carries[static_cast<std::size_t>(part)];
-    ValueT sum{};
     bool first_flush = true;
-    while (cur.row < end.row || cur.nz < end.nz) {
-      if (cur.row < a.rows() &&
-          cur.nz < row_ptr[static_cast<std::size_t>(cur.row) + 1] &&
-          cur.nz < a.nnz()) {
-        sum += values[static_cast<std::size_t>(cur.nz)] *
-               x[static_cast<std::size_t>(
-                   col_idx[static_cast<std::size_t>(cur.nz)])];
-        ++cur.nz;
-      } else {
-        if (first_flush) {
-          // May belong to a row begun in an earlier partition: stash it
-          // for the serial fix-up.
-          carry.row = cur.row;
-          carry.value = sum;
-          first_flush = false;
-        } else {
-          y[static_cast<std::size_t>(cur.row)] += sum;
-        }
-        sum = ValueT{};
-        ++cur.row;
-      }
-    }
-    // Trailing partial of the row the partition ends inside.
-    if (cur.row < a.rows()) {
+    // The first flush of a partition may belong to a row begun in an
+    // earlier partition: stash it for the serial fix-up. Later flushes
+    // (including the trailing partial) are unique to this partition.
+    const auto handle = [&](index_t row, ValueT sum) {
       if (first_flush) {
-        carry.row = cur.row;
+        carry.row = row;
         carry.value = sum;
+        first_flush = false;
       } else {
-        y[static_cast<std::size_t>(cur.row)] += sum;
+        y[static_cast<std::size_t>(row)] += sum;
       }
-    }
+    };
+    a.walk_partition(x, part, handle, handle);
   });
 
-  // Phase 2: serial carry fix-up.
+  // Phase 2: serial carry fix-up, in partition order.
   for (const auto& c : carries)
     if (c.row >= 0 && c.row < a.rows())
       y[static_cast<std::size_t>(c.row)] += c.value;

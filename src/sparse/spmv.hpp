@@ -6,6 +6,7 @@
 #pragma once
 
 #include <span>
+#include <type_traits>
 #include <variant>
 
 #include "common/error.hpp"
@@ -28,16 +29,44 @@ class AnyMatrix {
   /// Convert `csr` into the requested format.
   static AnyMatrix build(Format format, const Csr<ValueT>& csr) {
     AnyMatrix m;
-    m.format_ = format;
-    switch (format) {
-      case Format::kCoo: m.impl_ = Coo<ValueT>::from_csr(csr); break;
-      case Format::kCsr: m.impl_ = csr; break;
-      case Format::kEll: m.impl_ = Ell<ValueT>::from_csr(csr); break;
-      case Format::kHyb: m.impl_ = Hyb<ValueT>::from_csr(csr); break;
-      case Format::kCsr5: m.impl_ = Csr5<ValueT>::from_csr(csr); break;
-      case Format::kMergeCsr: m.impl_ = MergeCsr<ValueT>::from_csr(csr); break;
-    }
+    m.rebuild(format, csr);
     return m;
+  }
+
+  /// Convert `csr` into the requested format in place. When the variant
+  /// already holds the target alternative its buffers are reused (the
+  /// ConversionArena warm path allocates nothing); otherwise the
+  /// alternative is emplaced fresh. `scratch`, if given, supplies the
+  /// CSR5 conversion workspace.
+  void rebuild(Format format, const Csr<ValueT>& csr,
+               ConversionScratch* scratch = nullptr) {
+    format_ = format;
+    switch (format) {
+      case Format::kCoo: ensure<Coo<ValueT>>().assign_from_csr(csr); break;
+      case Format::kCsr: ensure<Csr<ValueT>>() = csr; break;
+      case Format::kEll: ensure<Ell<ValueT>>().assign_from_csr(csr); break;
+      case Format::kHyb: ensure<Hyb<ValueT>>().assign_from_csr(csr); break;
+      case Format::kCsr5:
+        ensure<Csr5<ValueT>>().assign_from_csr(csr, 32, 16, scratch);
+        break;
+      case Format::kMergeCsr:
+        ensure<MergeCsr<ValueT>>().assign_from_csr(csr);
+        break;
+    }
+  }
+
+  /// Recover the CSR master copy from whatever format is stored.
+  Csr<ValueT> to_csr() const {
+    return std::visit(
+        [](const auto& m) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
+                                       Csr<ValueT>>) {
+            return m;
+          } else {
+            return m.to_csr();
+          }
+        },
+        impl_);
   }
 
   Format format() const { return format_; }
@@ -60,7 +89,24 @@ class AnyMatrix {
     std::visit([&](const auto& m) { m.spmv(x, y); }, impl_);
   }
 
+  /// The concrete representation (tests and kernels that need the
+  /// format-specific API).
+  template <typename Alt>
+  const Alt& get() const {
+    return std::get<Alt>(impl_);
+  }
+
+  bool operator==(const AnyMatrix&) const = default;
+
  private:
+  /// Reference to the variant's Alt alternative, emplacing it only when a
+  /// different format is currently held (so buffers survive rebuilds).
+  template <typename Alt>
+  Alt& ensure() {
+    if (!std::holds_alternative<Alt>(impl_)) impl_.template emplace<Alt>();
+    return std::get<Alt>(impl_);
+  }
+
   // Default-constructed AnyMatrix holds an empty COO (the variant's first
   // alternative); format_ matches it.
   Format format_ = Format::kCoo;

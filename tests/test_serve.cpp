@@ -21,6 +21,7 @@
 #include "serve/request.hpp"
 #include "serve/service.hpp"
 #include "sparse/mmio.hpp"
+#include "sparse/spmv.hpp"
 #include "synth/corpus.hpp"
 #include "synth/generators.hpp"
 
@@ -297,6 +298,41 @@ TEST(ServeRequest, RejectsMalformedLines) {
   }
 }
 
+TEST(ServeRequest, MaterializeNeedsMatrixAndNonPredictMode) {
+  // Inline features carry no CSR master copy to convert, and predict
+  // picks no format — both combinations are schema errors, not runtime
+  // surprises.
+  const char* bad[] = {
+      R"({"id": "x", "features": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17], "materialize": true})",
+      R"({"id": "x", "mode": "predict", "matrix": "a.mtx", "materialize": true})",
+  };
+  for (const char* line : bad) {
+    try {
+      serve::parse_request_line(line);
+      FAIL() << "expected Error(kParse) for: " << line;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kParse) << line;
+    }
+  }
+  const auto ok = serve::parse_request_line(
+      R"({"id": "x", "mode": "select", "matrix": "a.mtx", "materialize": true})");
+  EXPECT_TRUE(ok.request.materialize);
+}
+
+TEST(ServeRequest, ResponseJsonCarriesMaterializeFieldsOnlyWhenSet) {
+  Response r;
+  r.id = "m";
+  r.ok = true;
+  EXPECT_EQ(serve::to_json(r).find("materialized"), std::string::npos);
+  r.materialized = true;
+  r.convert_ms = 0.5;
+  r.format_bytes = 4096;
+  const std::string json = serve::to_json(r);
+  EXPECT_NE(json.find("\"materialized\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"format_bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("convert_ms"), std::string::npos);
+}
+
 TEST(ServeRequest, ResponseJsonIsSingleLine) {
   Response r;
   r.id = "he \"quoted\" llo";
@@ -468,6 +504,51 @@ TEST(ServeService, TinyMemoryBudgetFallsBackToCsr) {
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.format, Format::kCsr);
   EXPECT_TRUE(r.fallback);
+}
+
+TEST(ServeService, MaterializeBuildsChosenFormatInArena) {
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  Service service(quick_config(), registry);
+  TempMatrixFile file("test_serve_materialize.tmp.mtx", 314);
+  const auto matrix = read_matrix_market(file.path);
+
+  Request req;
+  req.id = "mat1";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = file.path;
+  req.materialize = true;
+  const Response r = service.call(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.materialized);
+  EXPECT_GE(r.convert_ms, 0.0);
+  // The reported footprint is the bytes() of the format it served.
+  EXPECT_EQ(r.format_bytes, AnyMatrix<double>::build(r.format, matrix).bytes());
+
+  // Indirect requests materialize the argmin pick the same way.
+  req.id = "mat2";
+  req.mode = RequestMode::kIndirect;
+  const Response ind = service.call(req);
+  ASSERT_TRUE(ind.ok) << ind.error;
+  EXPECT_TRUE(ind.materialized);
+  EXPECT_EQ(ind.format_bytes,
+            AnyMatrix<double>::build(ind.format, matrix).bytes());
+}
+
+TEST(ServeService, NonMaterializeRequestReportsNoConversion) {
+  ModelRegistry registry;
+  registry.install(tree_selector());
+  Service service(quick_config(), registry);
+  TempMatrixFile file("test_serve_nomat.tmp.mtx", 315);
+
+  Request req;
+  req.id = "nm1";
+  req.mode = RequestMode::kSelect;
+  req.matrix_path = file.path;
+  const Response r = service.call(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.materialized);
+  EXPECT_EQ(r.format_bytes, 0);
 }
 
 TEST(ServeService, FeatureCacheHitsOnRepeatMatrix) {

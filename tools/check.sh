@@ -6,9 +6,14 @@
 #                             # -fsanitize=address,undefined
 #   tools/check.sh --tsan     # ThreadSanitizer over the concurrency tests
 #                             # (thread pool, parallel collection, logger +
-#                             # sharded metrics); OpenMP is disabled there
-#                             # because libgomp's uninstrumented runtime
-#                             # trips false positives
+#                             # sharded metrics, concurrent arenas); OpenMP
+#                             # is disabled there because libgomp's
+#                             # uninstrumented runtime trips false positives
+#   tools/check.sh --simd-off # full suite with -DSPMVML_FORCE_SCALAR=ON:
+#                             # the SIMD tiers compiled out, every kernel on
+#                             # the scalar reference — the differential
+#                             # tests and the bench's bitwise assertions
+#                             # must hold there too
 #
 # Each pass uses its own build directory and leaves ./build alone.
 set -euo pipefail
@@ -35,7 +40,11 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Arena|Differential'
+elif [[ "${1:-}" == "--simd-off" ]]; then
+  echo "== scalar-fallback pass (SIMD tiers compiled out) =="
+  run_suite build-simd-off -DSPMVML_FORCE_SCALAR=ON
+  ./build-simd-off/bench/spmv_kernels --smoke --out build-simd-off/BENCH_spmv.json
 else
   echo "== tier-1 verify =="
   # Latency and deadline math must use the monotonic clock; system_clock
@@ -48,6 +57,8 @@ else
   run_suite build
   echo "== serving smoke (BENCH_serving.json schema + contract check) =="
   ./build/bench/serving_bench --smoke --out build/BENCH_serving.json
+  echo "== spmv smoke (BENCH_spmv.json bitwise contract check) =="
+  ./build/bench/spmv_kernels --smoke --out build/BENCH_spmv.json
 fi
 
 echo "OK"
