@@ -16,9 +16,18 @@
 // (same Format pick, bitwise-equal predicted times). Results land in
 // BENCH_serving.json.
 //
-//   ./build/bench/serving_bench [--smoke] [--out serving.json]
+// --chaos switches to the robustness gate (DESIGN.md §5h): a scripted
+// chaos scenario fires fault bursts at the feature and inference stages
+// mid-run while hot swaps race injected mid-swap faults. Gates: zero
+// invalid selections, failed-request rate ≤ 1% outside the injected
+// windows, throughput back to ≥ 90% of steady state within 2 s of each
+// burst, and every faulted swap rolled back with the version sequence
+// still monotonic. Results land in BENCH_robustness.json.
+//
+//   ./build/bench/serving_bench [--smoke] [--chaos] [--out file.json]
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/chaos/chaos.hpp"
 #include "common/json_writer.hpp"
 #include "common/timer.hpp"
 #include "core/format_selector.hpp"
@@ -46,7 +56,8 @@ namespace {
 
 struct BenchConfig {
   bool smoke = false;
-  std::string out_path = "BENCH_serving.json";
+  bool chaos = false;
+  std::string out_path;  // default depends on mode
   int corpus_size() const { return smoke ? 32 : 48; }
   int matrices() const { return smoke ? 4 : 8; }
   int clients() const { return 4; }
@@ -54,6 +65,16 @@ struct BenchConfig {
   int swaps() const { return smoke ? 4 : 8; }
   int open_requests() const { return smoke ? 200 : 800; }
   double open_rate_rps() const { return smoke ? 1000.0 : 400.0; }
+  /// Open-loop admission target: shed instead of queueing unboundedly
+  /// when the offered rate outruns the service (the honest 'rejected').
+  double admission_target_ms() const { return 150.0; }
+  // Chaos-mode shape: paced open-loop traffic with two scripted bursts.
+  int chaos_requests() const { return smoke ? 300 : 1000; }
+  double chaos_rate_rps() const { return smoke ? 150.0 : 250.0; }
+  double burst1_start_s() const { return smoke ? 0.6 : 1.0; }
+  double burst1_end_s() const { return smoke ? 0.9 : 1.5; }
+  double burst2_start_s() const { return smoke ? 1.2 : 2.0; }
+  double burst2_end_s() const { return smoke ? 1.5 : 2.5; }
 };
 
 struct Percentiles {
@@ -92,19 +113,294 @@ void write_percentiles(JsonWriter& json, const Percentiles& p) {
   json.kv("p99_ms", p.p99);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode: scripted fault bursts against the hardened request path.
+
+/// One completed request, stamped with its completion time relative to
+/// the traffic start. Slots are preallocated; each callback writes its
+/// own slot, so no lock is needed on the hot path.
+struct ChaosEntry {
+  serve::Response rsp;
+  double t_s = 0.0;
+  std::atomic<bool> done{false};
+};
+
+int run_chaos(const BenchConfig& cfg,
+              const std::shared_ptr<FormatSelector>& selector_a,
+              const std::shared_ptr<FormatSelector>& selector_b,
+              const std::shared_ptr<PerfModel>& perf,
+              const std::vector<std::string>& paths, double train_s) {
+  const double w1s = cfg.burst1_start_s(), w1e = cfg.burst1_end_s();
+  const double w2s = cfg.burst2_start_s(), w2e = cfg.burst2_end_s();
+  // Breaker cooldown (100ms) plus slack: failures this soon after a
+  // burst are still the injected fault's echo, not steady-state ones.
+  const double kMarginS = 1.0;
+  const double kRecoveryBudgetS = 2.0;
+  const double kBucketS = 0.1;
+
+  const std::string scenario_text =
+      "seed 20180807\n"
+      "rule site=cache_lookup kind=latency rate=0.05 latency_ms=0.2\n"
+      "rule site=feature_extract kind=error rate=0.8 start_s=" +
+      std::to_string(w1s) + " end_s=" + std::to_string(w1e) +
+      "\n"
+      "rule site=inference kind=corrupt rate=0.6 start_s=" +
+      std::to_string(w2s) + " end_s=" + std::to_string(w2e) +
+      "\n"
+      "rule site=inference kind=latency rate=0.2 latency_ms=2 start_s=" +
+      std::to_string(w2s) + " end_s=" + std::to_string(w2e) +
+      "\n"
+      "rule site=materialize kind=error rate=0.5 start_s=" +
+      std::to_string(w2s) + " end_s=" + std::to_string(w2e) +
+      "\n"
+      "rule site=registry_swap kind=error rate=0.5\n";
+  auto engine = std::make_shared<chaos::Engine>(
+      chaos::Scenario::parse_string(scenario_text));
+  chaos::set_global(engine);
+
+  serve::ModelRegistry registry;
+  registry.install(selector_a, perf);
+
+  serve::ServiceConfig svc_cfg;
+  svc_cfg.threads = 4;
+  svc_cfg.max_batch = 16;
+  svc_cfg.max_delay_ms = 0.5;
+  svc_cfg.queue_capacity = 1024;
+  svc_cfg.cache_capacity = 0;  // every request extracts: faults bite
+  svc_cfg.admission_target_ms = cfg.admission_target_ms();
+
+  const int n = cfg.chaos_requests();
+  std::vector<ChaosEntry> entries(static_cast<std::size_t>(n));
+  std::uint64_t swap_attempts = 0, swap_ok = 0, swap_rollbacks = 0;
+  const std::uint64_t version_before_traffic = registry.version();
+
+  std::printf("== chaos: %d requests at %.0f req/s, bursts [%.1f,%.1f) and "
+              "[%.1f,%.1f) s ==\n",
+              n, cfg.chaos_rate_rps(), w1s, w1e, w2s, w2e);
+  {
+    serve::Service service(svc_cfg, registry);
+    constexpr serve::RequestMode kModes[] = {serve::RequestMode::kSelect,
+                                             serve::RequestMode::kIndirect,
+                                             serve::RequestMode::kPredict};
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / cfg.chaos_rate_rps()));
+    engine->start();  // windows line up with the request timeline
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<bool> traffic_done{false};
+
+    // Hot swaps race the injected registry_swap faults throughout.
+    std::thread swapper([&] {
+      int s = 0;
+      while (!traffic_done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ++swap_attempts;
+        try {
+          registry.install(s % 2 == 0 ? selector_b : selector_a, perf);
+          ++swap_ok;
+        } catch (const Error&) {
+          ++swap_rollbacks;  // previous bundle stayed live
+        }
+        ++s;
+      }
+    });
+
+    for (int k = 0; k < n; ++k) {
+      std::this_thread::sleep_until(start + k * interval);
+      serve::Request req = make_request(
+          "x" + std::to_string(k), kModes[k % 3],
+          paths[static_cast<std::size_t>(k) % paths.size()]);
+      if (req.mode != serve::RequestMode::kPredict && k % 10 == 0)
+        req.materialize = true;
+      ChaosEntry* slot = &entries[static_cast<std::size_t>(k)];
+      service.submit(std::move(req), [slot, start](const serve::Response& r) {
+        slot->rsp = r;
+        slot->t_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        slot->done.store(true, std::memory_order_release);
+      });
+    }
+    service.shutdown();  // drains: every slot is filled after this
+    traffic_done.store(true);
+    swapper.join();
+  }
+  chaos::set_global(nullptr);
+
+  // --- Analysis. ---
+  const auto in_burst_or_echo = [&](double t) {
+    return (t >= w1s && t < w1e + kMarginS) || (t >= w2s && t < w2e + kMarginS);
+  };
+  std::uint64_t served = 0, failed_total = 0, failed_outside = 0,
+                outside_total = 0, rejected = 0, degraded = 0, invalid = 0;
+  std::vector<double> ok_lat;
+  double last_t = 0.0;
+  for (const auto& e : entries) {
+    if (!e.done.load(std::memory_order_acquire)) continue;  // never happens
+    last_t = std::max(last_t, e.t_s);
+    if (e.rsp.ok) {
+      ++served;
+      ok_lat.push_back(e.rsp.latency_ms);
+      if (e.rsp.degraded) ++degraded;
+      if (e.rsp.mode != serve::RequestMode::kPredict) {
+        const int f = static_cast<int>(e.rsp.format);
+        if (f < 0 || f >= kNumFormats) ++invalid;
+      }
+    } else if (e.rsp.error.rfind("rejected", 0) == 0) {
+      ++rejected;
+    } else {
+      ++failed_total;
+      if (!in_burst_or_echo(e.t_s)) ++failed_outside;
+    }
+    if (!in_burst_or_echo(e.t_s)) ++outside_total;
+  }
+  const double fail_rate_outside =
+      outside_total > 0
+          ? static_cast<double>(failed_outside) / static_cast<double>(outside_total)
+          : 0.0;
+
+  // Completion-rate buckets for the recovery gate.
+  std::vector<double> buckets(
+      static_cast<std::size_t>(last_t / kBucketS) + 1, 0.0);
+  for (const auto& e : entries)
+    buckets[static_cast<std::size_t>(e.t_s / kBucketS)] += 1.0;
+  double steady = 0.0;
+  {
+    // Steady state: mean bucket rate after warm-up, before the first burst.
+    int count = 0;
+    for (std::size_t b = 2; (static_cast<double>(b) + 1.0) * kBucketS <= w1s;
+         ++b) {
+      steady += buckets[b];
+      ++count;
+    }
+    steady = count > 0 ? steady / count : 0.0;
+  }
+  const auto recovery_s = [&](double burst_end) {
+    for (std::size_t b = static_cast<std::size_t>(burst_end / kBucketS);
+         b < buckets.size(); ++b)
+      if (buckets[b] >= 0.9 * steady)
+        return static_cast<double>(b) * kBucketS - burst_end;
+    return 1e9;  // never recovered
+  };
+  const double rec1_s = std::max(0.0, recovery_s(w1e));
+  const double rec2_s = std::max(0.0, recovery_s(w2e));
+
+  // Swap-safety gate: every faulted swap rolled back (live version only
+  // ever moved by successful installs) and the journal agrees.
+  const auto history = registry.history();
+  std::uint64_t installs_journaled = 0, rollbacks_journaled = 0;
+  bool journal_monotonic = true;
+  std::uint64_t prev_version = 0;
+  for (const auto& ev : history) {
+    if (ev.action == "install") {
+      ++installs_journaled;
+      if (ev.version <= prev_version) journal_monotonic = false;
+      prev_version = ev.version;
+    } else {
+      ++rollbacks_journaled;
+      if (ev.version != 0) journal_monotonic = false;
+    }
+  }
+  const bool swaps_safe =
+      journal_monotonic && rollbacks_journaled == swap_rollbacks &&
+      registry.version() == version_before_traffic + swap_ok &&
+      installs_journaled == version_before_traffic + swap_ok;
+
+  const Percentiles lat_p = percentiles_ms(ok_lat);
+  const bool gate_invalid = invalid == 0;
+  const bool gate_fail_rate = fail_rate_outside <= 0.01;
+  const bool gate_recovery =
+      rec1_s <= kRecoveryBudgetS && rec2_s <= kRecoveryBudgetS;
+  const bool pass = gate_invalid && gate_fail_rate && gate_recovery &&
+                    swaps_safe && served > 0;
+
+  std::printf("  served %llu (degraded %llu), failed %llu (outside windows "
+              "%llu = %.2f%%), rejected %llu, invalid %llu\n",
+              static_cast<unsigned long long>(served),
+              static_cast<unsigned long long>(degraded),
+              static_cast<unsigned long long>(failed_total),
+              static_cast<unsigned long long>(failed_outside),
+              fail_rate_outside * 100.0,
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(invalid));
+  std::printf("  steady %.0f req/s, recovery %.2f s / %.2f s after bursts\n",
+              steady / kBucketS, rec1_s, rec2_s);
+  std::printf("  swaps: %llu attempts, %llu installed, %llu rolled back, "
+              "final version %llu, safe: %s\n",
+              static_cast<unsigned long long>(swap_attempts),
+              static_cast<unsigned long long>(swap_ok),
+              static_cast<unsigned long long>(swap_rollbacks),
+              static_cast<unsigned long long>(registry.version()),
+              swaps_safe ? "yes" : "NO");
+
+  std::ofstream out(cfg.out_path);
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("config");
+  json.begin_object();
+  json.kv("smoke", cfg.smoke);
+  json.kv("requests", n);
+  json.kv("offered_rps", cfg.chaos_rate_rps());
+  json.kv("admission_target_ms", svc_cfg.admission_target_ms);
+  json.kv("burst1_s", w1s);
+  json.kv("burst2_s", w2s);
+  json.kv("train_s", train_s);
+  json.end_object();
+  json.key("results");
+  json.begin_object();
+  json.kv("served", served);
+  json.kv("degraded", degraded);
+  json.kv("failed", failed_total);
+  json.kv("failed_outside_windows", failed_outside);
+  json.kv("fail_rate_outside_windows", fail_rate_outside);
+  json.kv("rejected", rejected);
+  json.kv("invalid_selections", invalid);
+  json.kv("steady_rps", steady / kBucketS);
+  json.kv("recovery_after_burst1_s", rec1_s);
+  json.kv("recovery_after_burst2_s", rec2_s);
+  write_percentiles(json, lat_p);
+  json.end_object();
+  json.key("swaps");
+  json.begin_object();
+  json.kv("attempts", swap_attempts);
+  json.kv("installed", swap_ok);
+  json.kv("rolled_back", swap_rollbacks);
+  json.kv("final_version", registry.version());
+  json.kv("journal_monotonic", journal_monotonic);
+  json.kv("safe", swaps_safe);
+  json.end_object();
+  json.key("gates");
+  json.begin_object();
+  json.kv("zero_invalid_selections", gate_invalid);
+  json.kv("fail_rate_outside_windows_le_1pct", gate_fail_rate);
+  json.kv("recovery_within_2s", gate_recovery);
+  json.kv("swaps_safe", swaps_safe);
+  json.kv("pass", pass);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  std::printf("wrote %s\n", cfg.out_path.c_str());
+  return pass ? 0 : 1;
+}
+
 int main_impl(int argc, char** argv) {
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       cfg.smoke = true;
+    } else if (arg == "--chaos") {
+      cfg.chaos = true;
     } else if (arg == "--out" && i + 1 < argc) {
       cfg.out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: serving_bench [--smoke] [--out file]\n");
+      std::fprintf(stderr,
+                   "usage: serving_bench [--smoke] [--chaos] [--out file]\n");
       return 2;
     }
   }
+  if (cfg.out_path.empty())
+    cfg.out_path = cfg.chaos ? "BENCH_robustness.json" : "BENCH_serving.json";
 
   // --- Train two model bundles: one live, one to hot-swap in. ---
   std::printf("== train: %d-matrix corpus, MLP selector + tree regressors ==\n",
@@ -137,6 +433,12 @@ int main_impl(int argc, char** argv) {
         "serving_bench_m" + std::to_string(i) + ".tmp.mtx";
     write_matrix_market(path, generate(file_plan.specs[static_cast<std::size_t>(i)]));
     paths.push_back(path);
+  }
+
+  if (cfg.chaos) {
+    const int rc = run_chaos(cfg, selector_a, selector_b, perf, paths, train_s);
+    for (const auto& path : paths) std::remove(path.c_str());
+    return rc;
   }
 
   serve::ServiceConfig svc_cfg;
@@ -249,13 +551,20 @@ int main_impl(int argc, char** argv) {
               versions_monotonic ? "yes" : "NO");
 
   // --- Open loop: paced offered rate, count rejections separately. ---
-  std::printf("== open loop: %d requests at %.0f req/s offered ==\n",
-              cfg.open_requests(), cfg.open_rate_rps());
+  // Admission shedding is on here: with the offered rate outrunning the
+  // service, unbounded queueing would report "rejected 0" while p50
+  // climbs into seconds. Shedding makes the rejected count honest.
+  std::printf("== open loop: %d requests at %.0f req/s offered, admission "
+              "target %.0f ms ==\n",
+              cfg.open_requests(), cfg.open_rate_rps(),
+              cfg.admission_target_ms());
   std::vector<double> open_lat;
   std::uint64_t open_rejected = 0, open_failed = 0;
   double open_wall_s = 0.0;
+  serve::ServiceConfig open_cfg = svc_cfg;
+  open_cfg.admission_target_ms = cfg.admission_target_ms();
   {
-    serve::Service service(svc_cfg, registry);
+    serve::Service service(open_cfg, registry);
     std::vector<std::future<serve::Response>> futures;
     futures.reserve(static_cast<std::size_t>(cfg.open_requests()));
     const auto interval = std::chrono::duration_cast<
@@ -324,6 +633,7 @@ int main_impl(int argc, char** argv) {
   json.key("open_loop");
   json.begin_object();
   json.kv("offered_rps", cfg.open_rate_rps());
+  json.kv("admission_target_ms", open_cfg.admission_target_ms);
   json.kv("requests", cfg.open_requests());
   json.kv("served", static_cast<std::uint64_t>(open_lat.size()));
   json.kv("rejected", open_rejected);

@@ -1,0 +1,262 @@
+#include "common/chaos/chaos.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/rng.hpp"
+
+namespace spmvml::chaos {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "request_parse", "cache_lookup",  "feature_extract", "materialize",
+    "inference",     "registry_swap", "oracle_measure",
+};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Global engine: the enabled flag is the fast path (one relaxed load on
+// every hit() when chaos is off); the pointer itself is handed out under
+// a mutex because std::shared_ptr loads are not atomic.
+std::atomic<bool> g_enabled{false};
+std::mutex g_mu;
+std::shared_ptr<Engine> g_engine;  // guarded by g_mu
+
+obs::Counter& injected_counter(Site s) {
+  static obs::Counter counters[kNumSites] = {
+      obs::MetricsRegistry::global().counter("chaos.injected.request_parse"),
+      obs::MetricsRegistry::global().counter("chaos.injected.cache_lookup"),
+      obs::MetricsRegistry::global().counter("chaos.injected.feature_extract"),
+      obs::MetricsRegistry::global().counter("chaos.injected.materialize"),
+      obs::MetricsRegistry::global().counter("chaos.injected.inference"),
+      obs::MetricsRegistry::global().counter("chaos.injected.registry_swap"),
+      obs::MetricsRegistry::global().counter("chaos.injected.oracle_measure"),
+  };
+  return counters[static_cast<int>(s)];
+}
+
+[[noreturn]] void scenario_fail(int line_no, const std::string& why) {
+  SPMVML_ENSURE_CAT(false, ErrorCategory::kParse,
+                    "chaos scenario line " + std::to_string(line_no) + ": " +
+                        why);
+}
+
+double parse_double_or_fail(int line_no, const std::string& key,
+                            const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  scenario_fail(line_no, "bad numeric value for " + key + ": '" + text + "'");
+}
+
+}  // namespace
+
+const char* site_name(Site s) {
+  const int i = static_cast<int>(s);
+  return (i >= 0 && i < kNumSites) ? kSiteNames[i] : "unknown";
+}
+
+std::optional<Site> site_from_name(std::string_view name) {
+  for (int i = 0; i < kNumSites; ++i)
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  return std::nullopt;
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kError: return "error";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+Scenario Scenario::parse(std::istream& in) {
+  Scenario scenario;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head) || head[0] == '#') continue;
+    if (head == "seed") {
+      std::string value;
+      if (!(tokens >> value)) scenario_fail(line_no, "seed needs a value");
+      scenario.seed = static_cast<std::uint64_t>(
+          parse_double_or_fail(line_no, "seed", value));
+      continue;
+    }
+    if (head != "rule")
+      scenario_fail(line_no, "unknown directive '" + head + "'");
+    Rule rule;
+    bool have_site = false, have_rate = false;
+    std::string pair;
+    while (tokens >> pair) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos)
+        scenario_fail(line_no, "expected key=value, got '" + pair + "'");
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      if (key == "site") {
+        const auto site = site_from_name(value);
+        if (!site) scenario_fail(line_no, "unknown site '" + value + "'");
+        rule.site = *site;
+        have_site = true;
+      } else if (key == "kind") {
+        if (value == "latency") rule.kind = FaultKind::kLatency;
+        else if (value == "error") rule.kind = FaultKind::kError;
+        else if (value == "corrupt") rule.kind = FaultKind::kCorrupt;
+        else scenario_fail(line_no, "unknown kind '" + value + "'");
+      } else if (key == "rate") {
+        rule.rate = parse_double_or_fail(line_no, key, value);
+        have_rate = true;
+      } else if (key == "latency_ms") {
+        rule.latency_ms = parse_double_or_fail(line_no, key, value);
+      } else if (key == "start_s") {
+        rule.start_s = parse_double_or_fail(line_no, key, value);
+      } else if (key == "end_s") {
+        rule.end_s = parse_double_or_fail(line_no, key, value);
+      } else {
+        scenario_fail(line_no, "unknown key '" + key + "'");
+      }
+    }
+    if (!have_site) scenario_fail(line_no, "rule needs site=<name>");
+    if (!have_rate) scenario_fail(line_no, "rule needs rate=<p>");
+    if (rule.rate < 0.0 || rule.rate > 1.0)
+      scenario_fail(line_no, "rate must be in [0, 1]");
+    if (rule.kind == FaultKind::kLatency && rule.latency_ms <= 0.0)
+      scenario_fail(line_no, "kind=latency needs latency_ms > 0");
+    if (rule.start_s < 0.0 || rule.end_s <= rule.start_s)
+      scenario_fail(line_no, "window needs 0 <= start_s < end_s");
+    scenario.rules.push_back(rule);
+  }
+  return scenario;
+}
+
+Scenario Scenario::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Scenario Scenario::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo,
+                    "cannot open chaos scenario file " + path);
+  return parse(in);
+}
+
+bool seeded_roll(std::uint64_t key, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  Rng rng(key);
+  return rng.bernoulli(rate);
+}
+
+std::uint64_t identity_hash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t with_attempt(std::uint64_t identity, int attempt) {
+  return hash_combine(identity, static_cast<std::uint64_t>(attempt) + 31);
+}
+
+Engine::Engine(Scenario scenario) : scenario_(std::move(scenario)) {
+  start();
+}
+
+void Engine::start() { start_ns_ = steady_ns(); }
+
+double Engine::elapsed_s() const {
+  return static_cast<double>(steady_ns() - start_ns_) * 1e-9;
+}
+
+Fault Engine::decide(Site site, std::uint64_t identity) const {
+  // Elapsed time is sampled once per decision so every windowed rule in
+  // this decision sees one consistent instant.
+  double elapsed = -1.0;
+  for (std::size_t i = 0; i < scenario_.rules.size(); ++i) {
+    const Rule& rule = scenario_.rules[i];
+    if (rule.site != site) continue;
+    if (rule.windowed()) {
+      if (elapsed < 0.0) elapsed = elapsed_s();
+      if (elapsed < rule.start_s || elapsed >= rule.end_s) continue;
+    }
+    std::uint64_t key = hash_combine(
+        scenario_.seed, static_cast<std::uint64_t>(site) * 1000003 + 7);
+    key = hash_combine(key, identity);
+    key = hash_combine(key, static_cast<std::uint64_t>(i) * 0x51ED270B + 13);
+    if (!seeded_roll(key, rule.rate)) continue;
+    Fault fault;
+    fault.kind = rule.kind;
+    fault.latency_ms = rule.latency_ms;
+    return fault;
+  }
+  return {};
+}
+
+std::shared_ptr<Engine> global() {
+  if (!g_enabled.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_engine;
+}
+
+void set_global(std::shared_ptr<Engine> engine) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_engine = std::move(engine);
+  g_enabled.store(g_engine != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<Engine> install_from_env() {
+  const char* path = std::getenv("SPMVML_CHAOS");
+  if (path == nullptr || *path == '\0') return nullptr;
+  auto engine = std::make_shared<Engine>(Scenario::parse_file(path));
+  set_global(engine);
+  return engine;
+}
+
+Fault hit(Site site, std::uint64_t identity) {
+  if (!g_enabled.load(std::memory_order_acquire)) return {};
+  std::shared_ptr<Engine> engine = global();
+  if (engine == nullptr) return {};
+  const Fault fault = engine->decide(site, identity);
+  if (fault) injected_counter(site).inc();
+  return fault;
+}
+
+void apply_latency(const Fault& f) {
+  if (f.kind != FaultKind::kLatency || f.latency_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(f.latency_ms));
+}
+
+ScopedGlobalEngine::ScopedGlobalEngine(std::shared_ptr<Engine> engine)
+    : previous_(global()) {
+  set_global(std::move(engine));
+}
+
+ScopedGlobalEngine::~ScopedGlobalEngine() { set_global(std::move(previous_)); }
+
+}  // namespace spmvml::chaos

@@ -13,6 +13,12 @@
 //   SPMVML_LOG           — structured-log level: debug|info|warn|error|off
 //                          (default off; data outputs stay byte-identical)
 //   SPMVML_TRACE         — path for a Chrome trace-event JSON of the run
+//
+// Chaos knob (read by common/chaos/, not via the helpers here):
+//
+//   SPMVML_CHAOS         — path to a chaos-scenario script: seeded fault
+//                          injection at named serving-path sites (DESIGN.md
+//                          §5h; unset = disabled, zero perturbation)
 #pragma once
 
 #include <cstdint>

@@ -34,8 +34,19 @@ obs::Histogram& run_histogram() {
 }
 }  // namespace
 
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(1, threads);
+  task_started_ns_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) task_started_ns_[i].store(-1);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -117,10 +128,12 @@ void ThreadPool::worker_loop(int index) {
       const Clock::time_point started = Clock::now();
       wait_histogram().observe(
           std::chrono::duration<double>(started - task.enqueued).count());
+      task_started_ns_[index].store(steady_ns(), std::memory_order_release);
       task.fn();
       // Release the closure's captures before bookkeeping so wait_idle()
       // returning implies task state has been destroyed.
       task.fn = nullptr;
+      task_started_ns_[index].store(-1, std::memory_order_release);
       run_histogram().observe(
           std::chrono::duration<double>(Clock::now() - started).count());
       tasks_counter().inc();
@@ -139,6 +152,20 @@ void ThreadPool::worker_loop(int index) {
       work_cv_.wait(lock);
     }
   }
+}
+
+std::vector<ThreadPool::Heartbeat> ThreadPool::heartbeats() const {
+  std::vector<Heartbeat> out(workers_.size());
+  const std::int64_t now = steady_ns();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::int64_t started =
+        task_started_ns_[i].load(std::memory_order_acquire);
+    if (started >= 0) {
+      out[i].busy = true;
+      out[i].busy_s = static_cast<double>(now - started) * 1e-9;
+    }
+  }
+  return out;
 }
 
 void ThreadPool::wait_idle() {

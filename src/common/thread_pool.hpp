@@ -20,11 +20,13 @@
 // collect_corpus's plan-indexed slot array), never by completion order.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -63,6 +65,20 @@ class ThreadPool {
   /// (e.g. a private oracle set) without locking.
   static int worker_index();
 
+  /// Liveness snapshot of one worker: whether it is inside a task right
+  /// now, and for how long. Workers stamp a heartbeat when a task starts
+  /// and clear it when the task returns; a watchdog (the serving
+  /// subsystem's) reads the stamps to find stuck workers without any
+  /// cooperation from the task itself.
+  struct Heartbeat {
+    bool busy = false;
+    double busy_s = 0.0;  // time inside the current task (0 when idle)
+  };
+
+  /// One entry per worker. Lock-free reads of the per-worker atomic
+  /// stamps — safe to call from any thread at any rate.
+  std::vector<Heartbeat> heartbeats() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -97,6 +113,9 @@ class ThreadPool {
   std::uint64_t delayed_seq_ = 0;
   std::size_t pending_ = 0;  // submitted (ready + delayed + running)
   bool stop_ = false;
+  /// Per-worker task-start stamps (steady-clock ns; -1 = idle). Sized at
+  /// construction, written only by the owning worker.
+  std::unique_ptr<std::atomic<std::int64_t>[]> task_started_ns_;
   std::vector<std::thread> workers_;
 };
 

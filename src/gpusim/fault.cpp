@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -83,13 +84,15 @@ MeasurementStatus FaultModel::classify(const RowSummary& s, Format f,
   if (config_.transient_rate > 0.0) {
     // Deterministic in the full measurement identity *and* the attempt, so
     // a retry re-rolls the dice but a re-run of the experiment does not.
+    // The draw itself goes through the shared chaos primitive: the oracle
+    // fault model and the serving chaos sites roll from one seeded engine
+    // (chaos::seeded_roll keeps the PR 1 salt chain bit-identical).
     std::uint64_t salt = hash_combine(matrix_seed, 0xFA17FA17FA17FA17ULL);
     salt = hash_combine(salt, static_cast<std::uint64_t>(f) * 1000003);
     salt = hash_combine(salt, std::hash<std::string>{}(arch_.name));
     salt = hash_combine(salt, static_cast<std::uint64_t>(prec_) + 17);
-    salt = hash_combine(salt, static_cast<std::uint64_t>(attempt) + 31);
-    Rng rng(salt);
-    if (rng.bernoulli(config_.transient_rate))
+    salt = chaos::with_attempt(salt, attempt);
+    if (chaos::seeded_roll(salt, config_.transient_rate))
       return MeasurementStatus::kTransient;
   }
   return MeasurementStatus::kOk;

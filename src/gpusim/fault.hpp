@@ -18,6 +18,11 @@
 //
 // The same device-image sizing powers feasibility-aware serving: a
 // selector can be constrained to formats that fit a memory budget.
+//
+// The transient draw is a client of the shared chaos engine
+// (common/chaos): the salt chain here is the PR 1 contract, and
+// chaos::seeded_roll turns it into the same deterministic Bernoulli the
+// serving chaos sites use.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,31 @@
+#include "serve/drain.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace spmvml::serve {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+
+// Async-signal-safe: one lock-free atomic store, nothing else.
+void on_signal(int) { g_drain.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+void install_drain_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+void request_drain() { g_drain.store(true, std::memory_order_relaxed); }
+
+void reset_drain_for_test() { g_drain.store(false, std::memory_order_relaxed); }
+
+}  // namespace spmvml::serve

@@ -1,0 +1,33 @@
+// Graceful drain on SIGTERM.
+//
+// A serving process under an orchestrator is told to die with SIGTERM
+// and is expected to stop *accepting* while still *finishing*: every
+// request already admitted gets its response, then the process exits 0.
+// The mechanism is the smallest thing that works — the handler sets one
+// atomic flag (the only async-signal-safe action worth taking), and the
+// CLI's stdin loop polls the flag between reads. The handler is
+// installed without SA_RESTART so a read(2) blocked on stdin returns
+// EINTR instead of resuming, which bounds the reaction time to one poll
+// interval even under zero traffic.
+//
+// request_drain() triggers the same path programmatically, which is how
+// the drain tests exercise the flow without racing a real signal
+// delivery against gtest's own handlers.
+#pragma once
+
+namespace spmvml::serve {
+
+/// Install the SIGTERM handler (idempotent). No SA_RESTART: blocking
+/// reads are interrupted so the loop re-checks drain_requested().
+void install_drain_handler();
+
+/// Has SIGTERM (or request_drain) been seen?
+bool drain_requested();
+
+/// Programmatic drain: same effect as receiving SIGTERM.
+void request_drain();
+
+/// Reset the flag so tests can run multiple drain cycles in one process.
+void reset_drain_for_test();
+
+}  // namespace spmvml::serve

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "common/obs/log.hpp"
 #include "common/obs/metrics.hpp"
@@ -41,6 +42,11 @@ void ModelRegistry::validate(const ModelBundle& bundle) {
   }
 }
 
+void ModelRegistry::journal(std::uint64_t version, const char* action,
+                            const std::string& detail) {
+  history_.push_back(SwapEvent{version, action, detail});
+}
+
 std::uint64_t ModelRegistry::install(
     std::shared_ptr<const FormatSelector> selector,
     std::shared_ptr<const PerfModel> perf) {
@@ -48,10 +54,37 @@ std::uint64_t ModelRegistry::install(
   auto bundle = std::make_shared<ModelBundle>();
   bundle->selector = std::move(selector);
   bundle->perf = std::move(perf);
-  validate(*bundle);
+  try {
+    validate(*bundle);
+    // Chaos site registry_swap: a fault between validation and
+    // publication models a crash mid-swap. Nothing below this point can
+    // fail, so rolling back here proves the previous bundle stays live
+    // through the whole window.
+    const chaos::Fault fault = chaos::hit(
+        chaos::Site::kRegistrySwap,
+        chaos::with_attempt(
+            0x5e9157e5u,
+            static_cast<int>(
+                install_seq_.fetch_add(1, std::memory_order_relaxed))));
+    if (fault) {
+      chaos::apply_latency(fault);
+      SPMVML_ENSURE_CAT(fault.kind == chaos::FaultKind::kLatency,
+                        ErrorCategory::kIo,
+                        "injected mid-swap fault; previous bundle stays live");
+    }
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    journal(0, "rollback", e.what());
+    obs::MetricsRegistry::global().counter("serve.registry.rollback").inc();
+    obs::log_warn("serve.registry.rollback")
+        .kv("live_version", current_ ? current_->version : 0)
+        .kv("reason", e.what());
+    throw;
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   bundle->version = next_version_++;
+  journal(bundle->version, "install", "");
   current_ = std::move(bundle);
   obs::MetricsRegistry::global().counter("serve.registry.swap").inc();
   obs::MetricsRegistry::global().gauge("serve.registry.version").set(
@@ -64,18 +97,27 @@ std::uint64_t ModelRegistry::install(
 
 std::uint64_t ModelRegistry::install_files(const std::string& selector_path,
                                            const std::string& perf_path) {
-  std::ifstream sel_in(selector_path, std::ios::binary);
-  SPMVML_ENSURE_CAT(sel_in.good(), ErrorCategory::kIo,
-                    "cannot open model file " + selector_path);
-  auto selector = std::make_shared<const FormatSelector>(
-      FormatSelector::load_selector(sel_in));
-
+  std::shared_ptr<const FormatSelector> selector;
   std::shared_ptr<const PerfModel> perf;
-  if (!perf_path.empty()) {
-    std::ifstream perf_in(perf_path, std::ios::binary);
-    SPMVML_ENSURE_CAT(perf_in.good(), ErrorCategory::kIo,
-                      "cannot open model file " + perf_path);
-    perf = std::make_shared<const PerfModel>(PerfModel::load_model(perf_in));
+  try {
+    std::ifstream sel_in(selector_path, std::ios::binary);
+    SPMVML_ENSURE_CAT(sel_in.good(), ErrorCategory::kIo,
+                      "cannot open model file " + selector_path);
+    selector = std::make_shared<const FormatSelector>(
+        FormatSelector::load_selector(sel_in));
+
+    if (!perf_path.empty()) {
+      std::ifstream perf_in(perf_path, std::ios::binary);
+      SPMVML_ENSURE_CAT(perf_in.good(), ErrorCategory::kIo,
+                        "cannot open model file " + perf_path);
+      perf = std::make_shared<const PerfModel>(PerfModel::load_model(perf_in));
+    }
+  } catch (const Error& e) {
+    // A file that cannot be loaded is a failed swap attempt too;
+    // install() journals its own failures, load failures land here.
+    std::lock_guard<std::mutex> lock(mu_);
+    journal(0, "rollback", e.what());
+    throw;
   }
   return install(std::move(selector), std::move(perf));
 }
@@ -88,6 +130,11 @@ std::shared_ptr<const ModelBundle> ModelRegistry::current() const {
 std::uint64_t ModelRegistry::version() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_ ? current_->version : 0;
+}
+
+std::vector<SwapEvent> ModelRegistry::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
 }
 
 }  // namespace spmvml::serve

@@ -13,12 +13,23 @@
 // verified by the model-file header) but produces out-of-range labels or
 // non-finite times is rejected with the error taxonomy and the previous
 // version stays live.
+//
+// Crash-safe swaps: every install attempt — published or rolled back —
+// is journaled as a SwapEvent, and a version number is assigned only at
+// the instant of successful publication, so the live version sequence
+// is strictly monotonic with no gaps a rolled-back swap could leave.
+// The chaos site registry_swap injects mid-swap faults between
+// validation and publication; the previous bundle stays live ("the
+// registry is never without a valid bundle") and the failure lands in
+// the journal.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
@@ -29,6 +40,15 @@ struct ModelBundle {
   std::uint64_t version = 0;
   std::shared_ptr<const FormatSelector> selector;  // required
   std::shared_ptr<const PerfModel> perf;  // optional: enables indirect/predict
+};
+
+/// One journal entry of the swap history.
+struct SwapEvent {
+  /// Version published by this event; 0 for a rolled-back attempt (no
+  /// version is ever burned on a failure).
+  std::uint64_t version = 0;
+  std::string action;  // "install" or "rollback"
+  std::string detail;  // failure reason for rollbacks
 };
 
 class ModelRegistry {
@@ -52,12 +72,22 @@ class ModelRegistry {
   /// Version of the live bundle (0 before the first install).
   std::uint64_t version() const;
 
+  /// Copy of the swap journal: every install and rollback, in order.
+  std::vector<SwapEvent> history() const;
+
  private:
   static void validate(const ModelBundle& bundle);
+  /// Append to the journal. Caller holds mu_.
+  void journal(std::uint64_t version, const char* action,
+               const std::string& detail);
 
   mutable std::mutex mu_;
   std::shared_ptr<const ModelBundle> current_;
   std::uint64_t next_version_ = 1;
+  /// Install attempts (including rolled-back ones): the chaos identity,
+  /// so a retried swap re-rolls its fault dice.
+  std::atomic<std::uint64_t> install_seq_{0};
+  std::vector<SwapEvent> history_;
 };
 
 }  // namespace spmvml::serve

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
 #include "features/features.hpp"
@@ -225,6 +226,17 @@ const char* request_mode_name(RequestMode m) {
 }
 
 ParsedLine parse_request_line(const std::string& line) {
+  // Chaos site: a corrupted/failed transport read surfaces as a parse
+  // error (the response is ok=false with the kParse taxonomy, exactly
+  // like genuinely malformed input).
+  const chaos::Fault fault =
+      chaos::hit(chaos::Site::kRequestParse, chaos::identity_hash(line));
+  if (fault) {
+    chaos::apply_latency(fault);
+    SPMVML_ENSURE_CAT(fault.kind == chaos::FaultKind::kLatency,
+                      ErrorCategory::kParse,
+                      "injected request-parse fault (chaos site request_parse)");
+  }
   const auto fields = parse_flat_object(line);
   ParsedLine out;
   for (const auto& [key, f] : fields)
@@ -295,6 +307,8 @@ std::string to_json(const Response& r) {
   json.kv("ok", r.ok);
   if (!r.ok) {
     json.kv("error", r.error);
+    if (!r.shed.empty()) json.kv("shed", r.shed);
+    if (r.retries > 0) json.kv("retries", static_cast<std::int64_t>(r.retries));
     json.end_object();
     return os.str();
   }
@@ -304,7 +318,9 @@ std::string to_json(const Response& r) {
     json.kv("predicted", format_name(r.predicted));
     json.kv("fallback", r.fallback);
     json.kv("degraded", r.degraded);
+    if (!r.degrade_reason.empty()) json.kv("degrade_reason", r.degrade_reason);
   }
+  if (r.retries > 0) json.kv("retries", static_cast<std::int64_t>(r.retries));
   if (!r.predicted_us.empty()) {
     json.key("predicted_us");
     json.begin_object();

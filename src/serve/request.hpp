@@ -75,7 +75,15 @@ struct Response {
   Format format = Format::kCsr;     // served choice
   Format predicted = Format::kCsr;  // model pick before feasibility
   bool fallback = false;            // feasibility forced a different format
-  bool degraded = false;            // indirect degraded to direct classifier
+  bool degraded = false;            // served below the requested route
+  /// Why the degradation ladder fired ("deadline", "breaker:features",
+  /// "chaos:inference", ...). Empty when !degraded.
+  std::string degrade_reason;
+  /// Admission-shed reason code ("shed:overload", "shed:deadline");
+  /// empty unless the request was shed before entering the queue.
+  std::string shed;
+  /// Transient-fault retries spent serving this request (all stages).
+  int retries = 0;
   bool cache_hit = false;
   std::uint64_t model_version = 0;
   /// Per-format predicted SpMV times in microseconds (predict/indirect).

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
 
+#include "common/chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "common/obs/log.hpp"
 #include "common/obs/metrics.hpp"
@@ -31,7 +36,35 @@ ServiceConfig sanitize(ServiceConfig cfg) {
   cfg.max_batch = std::max<std::size_t>(cfg.max_batch, 1);
   cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
   cfg.max_delay_ms = std::max(cfg.max_delay_ms, 0.0);
+  cfg.admission_target_ms = std::max(cfg.admission_target_ms, 0.0);
+  cfg.max_retries = std::max(cfg.max_retries, 0);
+  cfg.retry_backoff_ms = std::max(cfg.retry_backoff_ms, 0.0);
+  cfg.watchdog_ms = std::max(cfg.watchdog_ms, 0.0);
   return cfg;
+}
+
+/// Identity key for the chaos draws of one request: stable across
+/// retries of the same request, distinct across requests.
+std::uint64_t request_identity(const Request& r) {
+  return chaos::identity_hash(!r.id.empty() ? r.id : r.matrix_path);
+}
+
+void backoff_sleep(int attempt, double backoff_ms) {
+  if (backoff_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(backoff_ms * (attempt + 1)));
+}
+
+obs::Counter& retries_counter() {
+  static obs::Counter c = obs::MetricsRegistry::global().counter("serve.retries");
+  return c;
+}
+
+std::string format_ms(double ms) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ms;
+  return os.str();
 }
 
 }  // namespace
@@ -41,36 +74,81 @@ Service::Service(ServiceConfig config, ModelRegistry& registry)
       registry_(registry),
       cache_(cfg_.cache_capacity, cfg_.cache_shards),
       pool_(cfg_.threads),
+      feature_breaker_("features", cfg_.breaker),
+      inference_breaker_("inference", cfg_.breaker),
+      regress_breaker_("regress", cfg_.breaker),
+      materialize_breaker_("materialize", cfg_.breaker),
       dispatcher_([this] { dispatcher_loop(); }) {
+  if (cfg_.watchdog_ms > 0.0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   obs::log_info("serve.start")
       .kv("threads", pool_.size())
       .kv("max_batch", static_cast<std::uint64_t>(cfg_.max_batch))
       .kv("max_delay_ms", cfg_.max_delay_ms)
-      .kv("queue_capacity", static_cast<std::uint64_t>(cfg_.queue_capacity));
+      .kv("queue_capacity", static_cast<std::uint64_t>(cfg_.queue_capacity))
+      .kv("admission_target_ms", cfg_.admission_target_ms)
+      .kv("watchdog_ms", cfg_.watchdog_ms);
 }
 
 Service::~Service() { shutdown(); }
 
 void Service::submit(Request req, Callback done) {
+  auto slot = std::make_shared<ResponseSlot>();
+  slot->done = std::move(done);
   Response reject;
   reject.id = req.id;
   reject.mode = req.mode;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!stopping_ && queue_.size() < cfg_.queue_capacity) {
-      queue_.push_back(Pending{std::move(req), std::move(done), Clock::now()});
-      obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
-          static_cast<double>(queue_.size()));
-      cv_.notify_all();
-      return;
+    if (stopping_) {
+      reject.error = "rejected: service is shutting down";
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      reject.error = "rejected: queue full (overloaded)";
+      reject.shed = "shed:queue_full";
+    } else {
+      // Deadline-feasibility shedding: admitting a request the queue
+      // cannot clear in time only manufactures a deadline miss (or an
+      // unbounded latency tail); reject it honestly instead. The wait
+      // estimate is queue depth x per-item batch cost over the worker
+      // count; before the first batch the EWMA is 0 and everything is
+      // admitted (the seed behavior).
+      const double item_ms = batch_item_cost_ms_.load(std::memory_order_relaxed);
+      const double est_wait_ms =
+          item_ms > 0.0
+              ? static_cast<double>(backlog_.load(std::memory_order_relaxed)) *
+                    item_ms / static_cast<double>(pool_.size())
+              : 0.0;
+      const bool over_target = cfg_.admission_target_ms > 0.0 &&
+                               est_wait_ms > cfg_.admission_target_ms;
+      const bool misses_deadline =
+          req.deadline_ms > 0.0 && est_wait_ms > req.deadline_ms;
+      if (!over_target && !misses_deadline) {
+        backlog_.fetch_add(1, std::memory_order_relaxed);
+        queue_.push_back(Pending{std::move(req), std::move(slot), Clock::now()});
+        obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
+            static_cast<double>(queue_.size()));
+        cv_.notify_all();
+        return;
+      }
+      reject.shed = misses_deadline && !over_target ? "shed:deadline"
+                                                    : "shed:overload";
+      reject.error = "rejected: estimated queue wait " +
+                     format_ms(est_wait_ms) + "ms exceeds " +
+                     (misses_deadline && !over_target
+                          ? "the request deadline"
+                          : "the admission target");
     }
-    reject.error = stopping_ ? "rejected: service is shutting down"
-                             : "rejected: queue full (overloaded)";
   }
   // Deliver the rejection outside the lock; the callback may do I/O.
   rejected_.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::global().counter("serve.rejected").inc();
-  done(reject);
+  if (!reject.shed.empty()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global()
+        .counter("serve." + std::string(reject.shed).replace(4, 1, "."))
+        .inc();
+  }
+  slot->deliver(reject);
 }
 
 std::future<Response> Service::submit(Request req) {
@@ -92,10 +170,18 @@ void Service::shutdown() {
   std::call_once(shutdown_once_, [this] {
     dispatcher_.join();
     pool_.wait_idle();
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    if (watchdog_.joinable()) watchdog_.join();
     obs::log_info("serve.stop")
         .kv("served", served_.load())
         .kv("rejected", rejected_.load())
-        .kv("degraded", degraded_.load());
+        .kv("degraded", degraded_.load())
+        .kv("shed", shed_.load())
+        .kv("watchdog_killed", watchdog_killed_.load());
   });
 }
 
@@ -105,6 +191,11 @@ Service::Counters Service::counters() const {
   c.rejected = rejected_.load(std::memory_order_relaxed);
   c.degraded = degraded_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.retries = retried_.load(std::memory_order_relaxed);
+  c.watchdog_killed = watchdog_killed_.load(std::memory_order_relaxed);
+  c.breaker_trips = feature_breaker_.trips() + inference_breaker_.trips() +
+                    regress_breaker_.trips() + materialize_breaker_.trips();
   return c;
 }
 
@@ -142,38 +233,177 @@ void Service::dispatcher_loop() {
   }
 }
 
+void Service::watchdog_loop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      std::max(1.0, cfg_.watchdog_ms / 4.0));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, period);
+    if (watchdog_stop_) return;
+    lock.unlock();
+    kill_overdue(Clock::now());
+    lock.lock();
+  }
+}
+
+void Service::kill_overdue(Clock::time_point now) {
+  // Only act when a pool worker is demonstrably stuck inside one task —
+  // an overdue batch whose worker is still making progress across tasks
+  // is latency, not a hang, and the breakers own that.
+  bool stuck = false;
+  for (const auto& hb : pool_.heartbeats())
+    if (hb.busy && hb.busy_s * 1e3 >= cfg_.watchdog_ms) {
+      stuck = true;
+      break;
+    }
+  if (!stuck) return;
+
+  std::vector<Inflight> victims;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (ms_between(it->second.started, now) >= cfg_.watchdog_ms) {
+        victims.push_back(std::move(it->second));
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto& registry_metrics = obs::MetricsRegistry::global();
+  for (auto& v : victims) {
+    for (std::size_t i = 0; i < v.slots.size(); ++i) {
+      Response r = v.skeletons[i];
+      r.ok = false;
+      r.error = "watchdog: batch exceeded the " + format_ms(cfg_.watchdog_ms) +
+                "ms budget (worker stuck); request failed cleanly";
+      r.latency_ms = ms_between(v.started, now);
+      if (v.slots[i]->deliver(r)) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        watchdog_killed_.fetch_add(1, std::memory_order_relaxed);
+        registry_metrics.counter("serve.watchdog.killed").inc();
+        registry_metrics.counter("serve.error").inc();
+        obs::log_warn("serve.watchdog.kill")
+            .kv("id", r.id)
+            .kv("batch_age_ms", r.latency_ms);
+      }
+    }
+  }
+}
+
 bool Service::resolve_features(Pending& item, Response& rsp,
                                FeatureVector& features, RowSummary& summary,
-                               bool& has_summary, Csr<double>* keep_matrix) {
+                               bool& has_summary, bool& csr_fallback,
+                               Csr<double>* keep_matrix) {
   has_summary = false;
+  csr_fallback = false;
   const bool inline_features = !item.req.features.empty();
   if (inline_features)
     std::copy(item.req.features.begin(), item.req.features.end(),
               features.values.begin());
   if (inline_features && keep_matrix == nullptr) return true;
+
+  if (!inline_features && !feature_breaker_.allow(Clock::now())) {
+    // Feature stage is down: walk to the bottom rung of the ladder
+    // instead of hammering it. CSR needs no features, so select and
+    // indirect stay answerable; predict has no floor to stand on.
+    if (item.req.mode == RequestMode::kPredict) {
+      rsp.ok = false;
+      rsp.error =
+          "unavailable: feature stage breaker open (predict has no "
+          "degradation floor)";
+      return false;
+    }
+    csr_fallback = true;
+    rsp.degraded = true;
+    rsp.degrade_reason = "breaker:features";
+    return false;
+  }
+
+  const std::uint64_t identity = request_identity(item.req);
   try {
+    WallTimer stage_timer;
     Csr<double> matrix = read_matrix_market(item.req.matrix_path);
     if (!inline_features) {
       const std::uint64_t key = matrix_content_hash(matrix);
-      if (auto cached = cache_.get(key)) {
+      // Chaos site cache_lookup: a failed cache shard fails open to a
+      // miss — features are recomputed, never served stale or wrong.
+      bool cache_usable = true;
+      const chaos::Fault cache_fault =
+          chaos::hit(chaos::Site::kCacheLookup, identity);
+      if (cache_fault) {
+        chaos::apply_latency(cache_fault);
+        if (cache_fault.kind != chaos::FaultKind::kLatency)
+          cache_usable = false;
+      }
+      std::optional<CachedFeatures> cached =
+          cache_usable ? cache_.get(key) : std::nullopt;
+      if (cached) {
         features = cached->features;
         summary = cached->summary;
         rsp.cache_hit = true;
       } else {
+        // Chaos site feature_extract: transient errors retry with
+        // backoff inside the per-request budget; corruption perturbs
+        // the extracted vector (and is never cached).
+        chaos::Fault fault{};
+        bool exhausted = false;
+        for (int attempt = 0;; ++attempt) {
+          fault = chaos::hit(chaos::Site::kFeatureExtract,
+                             chaos::with_attempt(identity, attempt));
+          if (fault) chaos::apply_latency(fault);
+          if (fault.kind != chaos::FaultKind::kError) break;
+          if (rsp.retries >= cfg_.max_retries) {
+            exhausted = true;
+            break;
+          }
+          ++rsp.retries;
+          retried_.fetch_add(1, std::memory_order_relaxed);
+          retries_counter().inc();
+          backoff_sleep(attempt, cfg_.retry_backoff_ms);
+        }
+        if (exhausted) {
+          feature_breaker_.record(false, stage_timer.millis(), Clock::now());
+          if (item.req.mode == RequestMode::kPredict) {
+            rsp.ok = false;
+            rsp.error =
+                "io: injected feature-extract fault persisted past the "
+                "retry budget";
+            return false;
+          }
+          csr_fallback = true;
+          rsp.degraded = true;
+          rsp.degrade_reason = "chaos:feature_extract";
+          if (keep_matrix != nullptr) *keep_matrix = std::move(matrix);
+          return false;
+        }
         features = extract_features(matrix);
         summary = summarize(matrix);
-        cache_.put(key, CachedFeatures{features, summary});
+        if (fault.kind == chaos::FaultKind::kCorrupt) {
+          // Corrupted extraction: every value off by a sign flip. The
+          // classifier still yields an in-range label (possibly a bad
+          // pick — chaos tests assert validity, not optimality) and the
+          // poisoned vector must never enter the cache.
+          for (double& v : features.values) v = -v;
+        } else {
+          cache_.put(key, CachedFeatures{features, summary});
+        }
       }
       has_summary = true;
+      feature_breaker_.record(true, stage_timer.millis(), Clock::now());
     }
     if (keep_matrix != nullptr) *keep_matrix = std::move(matrix);
     return true;
   } catch (const Error& e) {
+    if (!inline_features)
+      feature_breaker_.record(false, 0.0, Clock::now());
     rsp.ok = false;
     rsp.error = std::string(error_category_name(e.category())) + ": " +
                 e.what();
     return false;
   } catch (const std::exception& e) {
+    if (!inline_features)
+      feature_breaker_.record(false, 0.0, Clock::now());
     rsp.ok = false;
     rsp.error = std::string("generic: ") + e.what();
     return false;
@@ -190,14 +420,35 @@ void Service::process_batch(std::vector<Pending>& batch) {
   const std::shared_ptr<const ModelBundle> bundle = registry_.current();
   const auto picked_up = Clock::now();
 
+  // Register with the watchdog before doing any work: a hang anywhere
+  // below must be recoverable from outside this thread.
+  std::uint64_t inflight_id = 0;
+  if (cfg_.watchdog_ms > 0.0) {
+    Inflight rec;
+    rec.started = picked_up;
+    rec.slots.reserve(batch.size());
+    rec.skeletons.reserve(batch.size());
+    for (const Pending& p : batch) {
+      rec.slots.push_back(p.slot);
+      Response skeleton;
+      skeleton.id = p.req.id;
+      skeleton.mode = p.req.mode;
+      rec.skeletons.push_back(std::move(skeleton));
+    }
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_id = ++inflight_seq_;
+    inflight_.emplace(inflight_id, std::move(rec));
+  }
+
   struct Slot {
     Response rsp;
     FeatureVector features;
     RowSummary summary;
-    Csr<double> matrix;      // kept only for materialize requests
+    Csr<double> matrix;        // kept only for materialize requests
     bool has_summary = false;
-    bool live = false;       // resolved and awaiting predictions
-    bool indirect = false;   // gets the regressor pass
+    bool live = false;         // resolved and awaiting predictions
+    bool indirect = false;     // gets the regressor pass
+    bool csr_fallback = false; // bottom rung: static CSR, no model pass
   };
   std::vector<Slot> slots(batch.size());
 
@@ -218,35 +469,91 @@ void Service::process_batch(std::vector<Pending>& batch) {
       }
       s.rsp.model_version = bundle->version;
       s.live = resolve_features(batch[i], s.rsp, s.features, s.summary,
-                                s.has_summary,
+                                s.has_summary, s.csr_fallback,
                                 batch[i].req.materialize ? &s.matrix : nullptr);
     }
   }
 
   // --- Stage 2: one batched classifier pass over every live request. ---
   // The direct prediction is computed for all modes: select/predict use
-  // it directly, indirect keeps it as the degradation target.
+  // it directly, indirect keeps it as the degradation target. An open
+  // inference breaker sends select/indirect to the CSR rung wholesale.
   if (bundle != nullptr) {
     obs::TraceSpan classify_span("serve.classify");
+    const bool inference_up = inference_breaker_.allow(Clock::now());
     ml::Matrix x;
     std::vector<std::size_t> rows;  // slot index per matrix row
     for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (!slots[i].live) continue;
-      x.push_back(slots[i].features.select(bundle->selector->feature_set()));
+      Slot& s = slots[i];
+      if (!s.live || s.csr_fallback) continue;
+      if (!inference_up) {
+        if (batch[i].req.mode == RequestMode::kPredict) {
+          s.live = false;
+          s.rsp.error =
+              "unavailable: inference breaker open (predict has no "
+              "degradation floor)";
+          continue;
+        }
+        s.csr_fallback = true;
+        s.rsp.degraded = true;
+        s.rsp.degrade_reason = "breaker:inference";
+        continue;
+      }
+      x.push_back(s.features.select(bundle->selector->feature_set()));
       rows.push_back(i);
     }
     if (!x.empty()) {
+      WallTimer classify_timer;
       const std::vector<int> labels =
           bundle->selector->classifier().predict_batch(x);
+      const double per_item_ms =
+          classify_timer.millis() / static_cast<double>(rows.size());
       const auto candidates = bundle->selector->candidates();
       for (std::size_t k = 0; k < rows.size(); ++k) {
         Slot& s = slots[rows[k]];
-        const int label = labels[k];
+        const std::uint64_t identity = request_identity(batch[rows[k]].req);
+        // Chaos site inference: per-request faults over the batched
+        // result. Transient errors re-roll per attempt (the labels are
+        // already computed, so a "retry" costs only the draw); a fault
+        // that outlives the budget — or a corrupted label — degrades to
+        // CSR rather than ever serving an invalid selection.
+        chaos::Fault fault{};
+        for (int attempt = 0;; ++attempt) {
+          fault = chaos::hit(chaos::Site::kInference,
+                             chaos::with_attempt(identity, attempt));
+          if (fault.kind != chaos::FaultKind::kError ||
+              s.rsp.retries >= cfg_.max_retries)
+            break;
+          ++s.rsp.retries;
+          retried_.fetch_add(1, std::memory_order_relaxed);
+          retries_counter().inc();
+          backoff_sleep(attempt, cfg_.retry_backoff_ms);
+        }
+        if (fault) chaos::apply_latency(fault);
+        const bool injected = fault.kind == chaos::FaultKind::kError ||
+                              fault.kind == chaos::FaultKind::kCorrupt;
+        const int label = injected ? -1 : labels[k];
         if (label < 0 || label >= static_cast<int>(candidates.size())) {
-          s.live = false;
-          s.rsp.error = "model-format: classifier produced out-of-range label";
+          inference_breaker_.record(false, per_item_ms, Clock::now());
+          if (!injected) {
+            s.live = false;
+            s.rsp.error =
+                "model-format: classifier produced out-of-range label";
+            continue;
+          }
+          if (batch[rows[k]].req.mode == RequestMode::kPredict) {
+            s.live = false;
+            s.rsp.error =
+                "model-format: injected inference fault persisted past "
+                "the retry budget";
+            continue;
+          }
+          s.csr_fallback = true;
+          s.rsp.degraded = true;
+          s.rsp.degrade_reason = "chaos:inference";
           continue;
         }
+        inference_breaker_.record(true, per_item_ms, Clock::now());
         s.rsp.predicted = candidates[static_cast<std::size_t>(label)];
         s.rsp.format = s.rsp.predicted;
       }
@@ -257,11 +564,13 @@ void Service::process_batch(std::vector<Pending>& batch) {
   if (bundle != nullptr) {
     // Deadline triage first: an indirect request whose remaining budget
     // cannot fit the (EWMA-estimated) regressor pass degrades to the
-    // direct prediction computed above.
+    // direct prediction computed above. An open regress breaker does
+    // the same for the whole batch (first rung of the ladder).
+    const bool regress_up = regress_breaker_.allow(Clock::now());
     const double est_ms = indirect_item_cost_ms_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < slots.size(); ++i) {
       Slot& s = slots[i];
-      if (!s.live) continue;
+      if (!s.live || s.csr_fallback) continue;
       const RequestMode mode = batch[i].req.mode;
       if (mode == RequestMode::kSelect) continue;
       if (bundle->perf == nullptr) {
@@ -272,6 +581,19 @@ void Service::process_batch(std::vector<Pending>& batch) {
           continue;
         }
         s.rsp.degraded = true;  // indirect without regressors: direct pick
+        s.rsp.degrade_reason = "no_perf_model";
+        continue;
+      }
+      if (!regress_up) {
+        if (mode == RequestMode::kPredict) {
+          s.live = false;
+          s.rsp.error =
+              "unavailable: regress breaker open (predict has no "
+              "degradation floor)";
+          continue;
+        }
+        s.rsp.degraded = true;
+        s.rsp.degrade_reason = "breaker:regress";
         continue;
       }
       if (mode != RequestMode::kIndirect) {
@@ -284,6 +606,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
         const double remaining = deadline - elapsed;
         if (remaining <= 0.0 || remaining < est_ms) {
           s.rsp.degraded = true;
+          s.rsp.degrade_reason = "deadline";
           continue;
         }
       }
@@ -307,6 +630,8 @@ void Service::process_batch(std::vector<Pending>& batch) {
       }
       const double per_item_ms =
           regress_timer.millis() / static_cast<double>(regress_rows.size());
+      for (std::size_t k = 0; k < regress_rows.size(); ++k)
+        regress_breaker_.record(true, per_item_ms, Clock::now());
       double prev = indirect_item_cost_ms_.load(std::memory_order_relaxed);
       const double next = prev <= 0.0 ? per_item_ms
                                       : 0.8 * prev + 0.2 * per_item_ms;
@@ -314,13 +639,24 @@ void Service::process_batch(std::vector<Pending>& batch) {
     }
   }
 
-  // --- Stage 4: per-request finalization (feasibility, argmin, reply). ---
+  // --- Stage 4: per-request finalization (feasibility + argmin). ---
+  // Replies are delivered in a separate pass below, after the admission
+  // cost EWMA is updated: a caller woken by its response must observe a
+  // backlog estimate that already accounts for this batch.
+  std::vector<char> counted(batch.size(), 0);  // select_feasible() bumps
+                                               // serve.select itself
   for (std::size_t i = 0; i < slots.size(); ++i) {
     Slot& s = slots[i];
     Pending& item = batch[i];
-    bool counted = false;  // select_feasible() bumps serve.select itself
-    if (s.live) {
+    if (s.live || s.csr_fallback) {
       s.rsp.ok = true;
+      if (s.csr_fallback) {
+        // Bottom rung: CSR is the universal floor — valid for every
+        // matrix, needs no model and no features.
+        s.rsp.format = Format::kCsr;
+        s.rsp.predicted = Format::kCsr;
+        s.rsp.fallback = false;
+      }
       const double budget_gb = item.req.mem_budget_gb > 0.0
                                    ? item.req.mem_budget_gb
                                    : cfg_.mem_budget_gb;
@@ -331,7 +667,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
             static_cast<std::int64_t>(budget_gb * 1e9));
 
       try {
-        if (item.req.mode == RequestMode::kIndirect && s.indirect) {
+        if (s.live && item.req.mode == RequestMode::kIndirect && s.indirect) {
           // Argmin of predicted times over feasible formats.
           const auto formats = bundle->perf->formats();
           double best = 0.0;
@@ -362,7 +698,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
             s.rsp.format = Format::kCsr;
           }
           s.rsp.fallback = s.rsp.format != s.rsp.predicted;
-        } else if (item.req.mode != RequestMode::kPredict) {
+        } else if (s.live && item.req.mode != RequestMode::kPredict) {
           // Direct classifier result (select, or degraded indirect).
           if (feasible) {
             const Selection sel =
@@ -370,24 +706,63 @@ void Service::process_batch(std::vector<Pending>& batch) {
             s.rsp.predicted = sel.predicted;
             s.rsp.format = sel.format;
             s.rsp.fallback = sel.fallback;
-            counted = true;
+            counted[i] = 1;
           }
         }
-        if (item.req.materialize) {
-          // One conversion arena per worker thread: a stream of requests
-          // reuses its buffers, so the steady-state conversion performs
-          // no heap allocation (test_arena.cpp proves this).
-          thread_local ConversionArena<double> arena;
-          WallTimer convert_timer;
-          const AnyMatrix<double>& built =
-              arena.convert(s.rsp.format, s.matrix);
-          s.rsp.convert_ms = convert_timer.millis();
-          s.rsp.format_bytes = built.bytes();
-          s.rsp.materialized = true;
-          registry_metrics
-              .counter(std::string("serve.materialize.") +
-                       format_name(s.rsp.format))
-              .inc();
+        if (item.req.materialize && s.matrix.rows() > 0) {
+          if (!materialize_breaker_.allow(Clock::now())) {
+            // Conversion stage down: the selection is still served, the
+            // caller just builds the format itself.
+            s.rsp.degraded = true;
+            if (s.rsp.degrade_reason.empty())
+              s.rsp.degrade_reason = "breaker:materialize";
+          } else {
+            // Chaos site materialize: transient conversion faults retry
+            // with backoff; exhaustion keeps the response valid with
+            // materialized=false.
+            const std::uint64_t identity = request_identity(item.req);
+            chaos::Fault fault{};
+            bool exhausted = false;
+            for (int attempt = 0;; ++attempt) {
+              fault = chaos::hit(chaos::Site::kMaterialize,
+                                 chaos::with_attempt(identity, attempt));
+              if (fault) chaos::apply_latency(fault);
+              if (fault.kind != chaos::FaultKind::kError &&
+                  fault.kind != chaos::FaultKind::kCorrupt)
+                break;
+              if (s.rsp.retries >= cfg_.max_retries) {
+                exhausted = true;
+                break;
+              }
+              ++s.rsp.retries;
+              retried_.fetch_add(1, std::memory_order_relaxed);
+              retries_counter().inc();
+              backoff_sleep(attempt, cfg_.retry_backoff_ms);
+            }
+            if (exhausted) {
+              materialize_breaker_.record(false, 0.0, Clock::now());
+              s.rsp.degraded = true;
+              if (s.rsp.degrade_reason.empty())
+                s.rsp.degrade_reason = "chaos:materialize";
+            } else {
+              // One conversion arena per worker thread: a stream of
+              // requests reuses its buffers, so the steady-state
+              // conversion performs no heap allocation.
+              thread_local ConversionArena<double> arena;
+              WallTimer convert_timer;
+              const AnyMatrix<double>& built =
+                  arena.convert(s.rsp.format, s.matrix);
+              s.rsp.convert_ms = convert_timer.millis();
+              s.rsp.format_bytes = built.bytes();
+              s.rsp.materialized = true;
+              materialize_breaker_.record(true, s.rsp.convert_ms,
+                                          Clock::now());
+              registry_metrics
+                  .counter(std::string("serve.materialize.") +
+                           format_name(s.rsp.format))
+                  .inc();
+            }
+          }
         }
       } catch (const Error& e) {
         s.rsp.ok = false;
@@ -395,25 +770,48 @@ void Service::process_batch(std::vector<Pending>& batch) {
                       e.what();
       }
     }
+  }
 
-    if (s.rsp.ok && !counted && item.req.mode != RequestMode::kPredict)
+  // Admission shedding feeds on the measured per-item batch cost. Updated
+  // before delivery: once a caller sees its response, the next submit()
+  // must price the queue with this batch's cost already folded in.
+  const double per_item_ms =
+      ms_between(picked_up, Clock::now()) / static_cast<double>(batch.size());
+  const double prev = batch_item_cost_ms_.load(std::memory_order_relaxed);
+  batch_item_cost_ms_.store(
+      prev <= 0.0 ? per_item_ms : 0.8 * prev + 0.2 * per_item_ms,
+      std::memory_order_relaxed);
+  backlog_.fetch_sub(batch.size(), std::memory_order_relaxed);
+
+  // --- Stage 5: reply + per-response accounting. ---
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& s = slots[i];
+    Pending& item = batch[i];
+    s.rsp.latency_ms = ms_between(item.enqueued, Clock::now());
+    if (!item.slot->deliver(s.rsp)) continue;  // watchdog got there first
+    if (s.rsp.ok && !counted[i] && item.req.mode != RequestMode::kPredict)
       registry_metrics
           .counter(std::string("serve.select.") + format_name(s.rsp.format))
           .inc();
     if (s.rsp.ok && s.rsp.degraded) {
       degraded_.fetch_add(1, std::memory_order_relaxed);
-      registry_metrics.counter("serve.deadline_degraded").inc();
+      registry_metrics.counter("serve.degraded").inc();
+      if (s.rsp.degrade_reason == "deadline")
+        registry_metrics.counter("serve.deadline_degraded").inc();
     }
     if (!s.rsp.ok) {
       failed_.fetch_add(1, std::memory_order_relaxed);
       registry_metrics.counter("serve.error").inc();
     }
-    s.rsp.latency_ms = ms_between(item.enqueued, Clock::now());
     registry_metrics.histogram("serve.latency_s", obs::default_latency_bounds_s())
         .observe(s.rsp.latency_ms / 1e3);
     served_.fetch_add(1, std::memory_order_relaxed);
     registry_metrics.counter("serve.requests").inc();
-    item.done(s.rsp);
+  }
+
+  if (inflight_id != 0) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(inflight_id);
   }
 }
 

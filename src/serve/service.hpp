@@ -1,23 +1,38 @@
 // The online serving loop: bounded request queue -> micro-batches ->
 // batched inference on the thread pool.
 //
-// Life of a request (DESIGN.md §5f):
+// Life of a request (DESIGN.md §5f, hardening §5h):
 //
 //   submit() ── admission control ──> pending queue ──> dispatcher
-//     (reject "overloaded" when full)      │  coalesces up to max_batch
-//                                          │  or waits max_delay_ms
-//                                          v
-//               thread-pool batch task: resolve features (cache), run
-//               the classifier ONCE per batch (batched MLP forward /
-//               per-row GBT), per-format regressors for indirect and
-//               predict requests, fulfil callbacks
+//     (reject "overloaded" when full;      │  coalesces up to max_batch
+//      shed when the estimated queue       │  or waits max_delay_ms
+//      wait cannot meet the deadline       v
+//      or the admission target)   thread-pool batch task: resolve
+//               features (cache), run the classifier ONCE per batch,
+//               per-format regressors for indirect and predict
+//               requests, fulfil callbacks
 //
 // Deadlines: a request may carry deadline_ms. Indirect selection costs a
 // regressor pass per modeled format; when the measured per-item cost
 // (EWMA over past batches) no longer fits in the remaining budget — or
 // the deadline has already expired in the queue — the request degrades
-// to the direct classifier instead of missing the deadline entirely
-// (the "degradation ladder": indirect -> direct -> reject-at-admission).
+// to the direct classifier instead of missing the deadline entirely.
+//
+// Degradation ladder (each rung is guarded by a circuit breaker and by
+// chaos-injected faults with a bounded retry budget):
+//
+//   indirect (argmin of regressors)
+//     └─> direct classifier          (regress breaker open / deadline)
+//           └─> static CSR fallback  (feature or inference stage down;
+//                                     CSR needs no model and no features,
+//                                     so the selection is always valid)
+//
+// A watchdog thread (enabled by watchdog_ms > 0) reads the pool's
+// per-worker heartbeats; when a worker has been inside one task longer
+// than the budget, every overdue in-flight batch has its undelivered
+// requests failed cleanly. Responses are delivered through a
+// compare-and-swap slot, so a stuck worker that eventually finishes
+// becomes a no-op instead of a double callback.
 //
 // Hot-swap: each batch pins the registry's current bundle once; a swap
 // mid-batch is invisible to that batch and takes effect from the next.
@@ -30,11 +45,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/thread_pool.hpp"
 #include "gpusim/arch.hpp"
+#include "serve/breaker.hpp"
 #include "serve/feature_cache.hpp"
 #include "sparse/csr.hpp"
 #include "serve/model_registry.hpp"
@@ -60,6 +78,25 @@ struct ServiceConfig {
   /// Default memory budget in GB (0 = unconstrained); a request's
   /// mem_budget_gb overrides it.
   double mem_budget_gb = 0.0;
+  /// Deadline-feasibility load shedding: when > 0, a request whose
+  /// estimated queue wait (queue depth x per-item cost EWMA / workers)
+  /// exceeds this target is shed at admission with an honest
+  /// "shed:overload" instead of joining a queue it cannot clear. A
+  /// request carrying a deadline is additionally shed when the estimate
+  /// already exceeds the deadline. 0 keeps the seed behavior (reject
+  /// only when the queue is full).
+  double admission_target_ms = 0.0;
+  /// Per-request transient-fault retry budget (all stages combined).
+  int max_retries = 2;
+  /// Linear backoff between retries of a faulted stage.
+  double retry_backoff_ms = 0.5;
+  /// Watchdog budget: when > 0, a batch in flight longer than this while
+  /// a pool worker is stuck inside one task has its requests failed
+  /// cleanly. 0 disables the watchdog thread entirely.
+  double watchdog_ms = 0.0;
+  /// Tuning shared by the per-stage circuit breakers (features,
+  /// inference, regress, materialize).
+  BreakerConfig breaker;
 };
 
 class Service {
@@ -94,32 +131,65 @@ class Service {
     std::uint64_t rejected = 0;
     std::uint64_t degraded = 0;
     std::uint64_t failed = 0;  // per-request errors (bad path, parse, ...)
+    std::uint64_t shed = 0;    // admission-shed (subset of rejected)
+    std::uint64_t retries = 0;          // transient-fault retries spent
+    std::uint64_t watchdog_killed = 0;  // requests failed by the watchdog
+    std::uint64_t breaker_trips = 0;    // sum over the stage breakers
   };
   Counters counters() const;
 
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// Once-only response delivery: the batch worker and the watchdog race
+  /// benignly for the same slot; the CAS guarantees exactly one wins.
+  struct ResponseSlot {
+    Callback done;
+    std::atomic<bool> delivered{false};
+    bool deliver(const Response& r) {
+      bool expected = false;
+      if (!delivered.compare_exchange_strong(expected, true)) return false;
+      done(r);
+      return true;
+    }
+  };
+
   struct Pending {
     Request req;
-    Callback done;
+    std::shared_ptr<ResponseSlot> slot;
     Clock::time_point enqueued;
+  };
+
+  /// Watchdog view of one in-flight batch: enough to fail its requests
+  /// without touching the worker's state.
+  struct Inflight {
+    Clock::time_point started;
+    std::vector<std::shared_ptr<ResponseSlot>> slots;
+    std::vector<Response> skeletons;  // id/mode prefilled
   };
 
   void dispatcher_loop();
   void process_batch(std::vector<Pending>& batch);
+  void watchdog_loop();
+  void kill_overdue(Clock::time_point now);
   /// Resolve features (+ digest when a matrix is available) for one
-  /// request; returns false after delivering an error response. When
+  /// request. Returns false after recording an error in `rsp` OR after
+  /// putting the request on the static-CSR rung (`csr_fallback`). When
   /// `keep_matrix` is non-null (materialize requests) the parsed CSR is
   /// moved into it for the stage-4 arena conversion.
   bool resolve_features(Pending& item, Response& rsp, FeatureVector& features,
                         RowSummary& summary, bool& has_summary,
-                        Csr<double>* keep_matrix);
+                        bool& csr_fallback, Csr<double>* keep_matrix);
 
   ServiceConfig cfg_;
   ModelRegistry& registry_;
   FeatureCache cache_;
   ThreadPool pool_;
+
+  CircuitBreaker feature_breaker_;
+  CircuitBreaker inference_breaker_;
+  CircuitBreaker regress_breaker_;
+  CircuitBreaker materialize_breaker_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -127,13 +197,31 @@ class Service {
   bool stopping_ = false;
   std::once_flag shutdown_once_;
 
+  std::mutex inflight_mu_;
+  std::uint64_t inflight_seq_ = 0;
+  std::map<std::uint64_t, Inflight> inflight_;
+
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> watchdog_killed_{0};
   /// EWMA of per-item regressor cost (ms) across all formats; 0 until
   /// the first indirect/predict batch measures it.
   std::atomic<double> indirect_item_cost_ms_{0.0};
+  /// EWMA of total per-item batch cost (ms): drives admission shedding.
+  std::atomic<double> batch_item_cost_ms_{0.0};
+  /// Items admitted but not yet finished (dispatcher queue + batches in
+  /// or awaiting the pool). The dispatcher drains `queue_` into pool
+  /// tasks immediately, so queue_.size() alone hides the real backlog.
+  std::atomic<std::uint64_t> backlog_{0};
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   std::thread dispatcher_;  // last member: started after everything above
 };

@@ -1,0 +1,254 @@
+// Chaos-framework tests: scenario parsing (typos are errors, never
+// silent no-ops), site-name round-trips, seeded determinism of the
+// injection draw, windowed rules against the engine clock, global
+// engine install/override semantics, and the fail-open latency helper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/chaos/chaos.hpp"
+#include "common/error.hpp"
+
+namespace spmvml {
+namespace {
+
+using chaos::Engine;
+using chaos::Fault;
+using chaos::FaultKind;
+using chaos::Scenario;
+using chaos::Site;
+
+Scenario one_rule(Site site, FaultKind kind, double rate) {
+  Scenario s;
+  s.seed = 42;
+  chaos::Rule r;
+  r.site = site;
+  r.kind = kind;
+  r.rate = rate;
+  if (kind == FaultKind::kLatency) r.latency_ms = 1.0;
+  s.rules.push_back(r);
+  return s;
+}
+
+TEST(ChaosScenario, ParsesSeedAndRules) {
+  const auto s = Scenario::parse_string(
+      "# comment\n"
+      "\n"
+      "seed 20180807\n"
+      "rule site=feature_extract kind=error rate=0.5\n"
+      "rule site=inference kind=latency rate=1 latency_ms=20 start_s=2 "
+      "end_s=2.5\n");
+  EXPECT_EQ(s.seed, 20180807u);
+  ASSERT_EQ(s.rules.size(), 2u);
+  EXPECT_EQ(s.rules[0].site, Site::kFeatureExtract);
+  EXPECT_EQ(s.rules[0].kind, FaultKind::kError);
+  EXPECT_DOUBLE_EQ(s.rules[0].rate, 0.5);
+  EXPECT_FALSE(s.rules[0].windowed());
+  EXPECT_EQ(s.rules[1].site, Site::kInference);
+  EXPECT_EQ(s.rules[1].kind, FaultKind::kLatency);
+  EXPECT_DOUBLE_EQ(s.rules[1].latency_ms, 20.0);
+  EXPECT_DOUBLE_EQ(s.rules[1].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.rules[1].end_s, 2.5);
+  EXPECT_TRUE(s.rules[1].windowed());
+}
+
+TEST(ChaosScenario, TyposAreParseErrorsNotNoOps) {
+  // A typo that silently disabled a fault would run the experiment
+  // without the experiment; every malformed directive must throw.
+  const std::vector<std::string> bad = {
+      "rule site=nope kind=error rate=0.5\n",         // unknown site
+      "rule site=inference kind=explode rate=0.5\n",  // unknown kind
+      "rule site=inference kind=error rate=2\n",      // rate out of range
+      "rule site=inference kind=error rate=0.5 bogus_key=1\n",
+      "rule kind=error rate=0.5\n",                        // missing site
+      "rule site=inference kind=error\n",                  // missing rate
+      "rule site=inference kind=latency rate=0.5\n",       // no latency_ms
+      "rule site=inference kind=error rate=0.5 start_s=3 end_s=2\n",
+      "frobnicate 12\n",  // unknown directive
+      "seed banana\n",
+  };
+  for (const auto& text : bad) {
+    try {
+      Scenario::parse_string(text);
+      FAIL() << "accepted: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kParse) << text;
+    }
+  }
+}
+
+TEST(ChaosScenario, SiteNamesRoundTrip) {
+  std::set<std::string> names;
+  for (int i = 0; i < chaos::kNumSites; ++i) {
+    const auto site = static_cast<Site>(i);
+    const std::string name = chaos::site_name(site);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto back = chaos::site_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(chaos::site_from_name("not_a_site").has_value());
+}
+
+TEST(ChaosEngine, SameSeedSameFaultSequence) {
+  const auto make = [] {
+    return Scenario::parse_string(
+        "seed 7\n"
+        "rule site=inference kind=error rate=0.3\n"
+        "rule site=feature_extract kind=latency rate=0.5 latency_ms=1\n");
+  };
+  Engine a(make()), b(make());
+  for (std::uint64_t id = 0; id < 512; ++id) {
+    for (Site site : {Site::kInference, Site::kFeatureExtract}) {
+      const Fault fa = a.decide(site, id), fb = b.decide(site, id);
+      EXPECT_EQ(fa.kind, fb.kind);
+      EXPECT_DOUBLE_EQ(fa.latency_ms, fb.latency_ms);
+    }
+  }
+}
+
+TEST(ChaosEngine, DifferentSeedsDisagreeSomewhere) {
+  Engine a(one_rule(Site::kInference, FaultKind::kError, 0.5));
+  auto s = one_rule(Site::kInference, FaultKind::kError, 0.5);
+  s.seed = 43;
+  Engine b(std::move(s));
+  int disagreements = 0;
+  for (std::uint64_t id = 0; id < 512; ++id)
+    if (bool(a.decide(Site::kInference, id)) !=
+        bool(b.decide(Site::kInference, id)))
+      ++disagreements;
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(ChaosEngine, RateIsRespectedApproximately) {
+  Engine e(one_rule(Site::kInference, FaultKind::kError, 0.25));
+  int hits = 0;
+  const int n = 4000;
+  for (std::uint64_t id = 0; id < n; ++id)
+    if (e.decide(Site::kInference, id)) ++hits;
+  const double observed = static_cast<double>(hits) / n;
+  EXPECT_NEAR(observed, 0.25, 0.05);
+}
+
+TEST(ChaosEngine, RateZeroNeverFiresRateOneAlwaysFires) {
+  Engine never(one_rule(Site::kMaterialize, FaultKind::kError, 0.0));
+  Engine always(one_rule(Site::kMaterialize, FaultKind::kError, 1.0));
+  for (std::uint64_t id = 0; id < 256; ++id) {
+    EXPECT_FALSE(bool(never.decide(Site::kMaterialize, id)));
+    EXPECT_TRUE(bool(always.decide(Site::kMaterialize, id)));
+  }
+}
+
+TEST(ChaosEngine, OtherSitesAreUntouched) {
+  Engine e(one_rule(Site::kInference, FaultKind::kError, 1.0));
+  EXPECT_TRUE(bool(e.decide(Site::kInference, 1)));
+  EXPECT_FALSE(bool(e.decide(Site::kFeatureExtract, 1)));
+  EXPECT_FALSE(bool(e.decide(Site::kRegistrySwap, 1)));
+}
+
+TEST(ChaosEngine, WithAttemptRerollsTransients) {
+  // A retry must get fresh dice (the PR 1 transient contract): at rate
+  // 0.5 some identity that faults on attempt 0 must pass on attempt 1.
+  Engine e(one_rule(Site::kFeatureExtract, FaultKind::kError, 0.5));
+  bool saw_reroll = false;
+  for (std::uint64_t id = 0; id < 64 && !saw_reroll; ++id) {
+    const bool first =
+        bool(e.decide(Site::kFeatureExtract, chaos::with_attempt(id, 0)));
+    const bool second =
+        bool(e.decide(Site::kFeatureExtract, chaos::with_attempt(id, 1)));
+    saw_reroll = first && !second;
+  }
+  EXPECT_TRUE(saw_reroll);
+}
+
+TEST(ChaosEngine, WindowedRuleOnlyFiresInsideWindow) {
+  auto s = one_rule(Site::kInference, FaultKind::kError, 1.0);
+  s.rules[0].start_s = 3600.0;  // far future: never reached in-test
+  s.rules[0].end_s = 7200.0;
+  Engine e(std::move(s));
+  e.start();
+  EXPECT_FALSE(bool(e.decide(Site::kInference, 1)));
+  EXPECT_GE(e.elapsed_s(), 0.0);
+  EXPECT_LT(e.elapsed_s(), 3600.0);
+}
+
+TEST(ChaosEngine, FirstMatchingRuleWins) {
+  Scenario s;
+  s.seed = 1;
+  chaos::Rule lat;
+  lat.site = Site::kInference;
+  lat.kind = FaultKind::kLatency;
+  lat.rate = 1.0;
+  lat.latency_ms = 5.0;
+  chaos::Rule err = lat;
+  err.kind = FaultKind::kError;
+  err.latency_ms = 0.0;
+  s.rules = {lat, err};
+  Engine e(std::move(s));
+  const Fault f = e.decide(Site::kInference, 9);
+  EXPECT_EQ(f.kind, FaultKind::kLatency);
+  EXPECT_DOUBLE_EQ(f.latency_ms, 5.0);
+}
+
+TEST(ChaosGlobal, DisabledMeansNoFaults) {
+  chaos::ScopedGlobalEngine scoped(nullptr);
+  EXPECT_EQ(chaos::global(), nullptr);
+  EXPECT_FALSE(bool(chaos::hit(Site::kInference, 123)));
+}
+
+TEST(ChaosGlobal, ScopedEngineInstallsAndRestores) {
+  auto engine = std::make_shared<Engine>(
+      one_rule(Site::kInference, FaultKind::kError, 1.0));
+  {
+    chaos::ScopedGlobalEngine scoped(engine);
+    EXPECT_EQ(chaos::global(), engine);
+    EXPECT_TRUE(bool(chaos::hit(Site::kInference, 123)));
+  }
+  EXPECT_NE(chaos::global(), engine);
+  EXPECT_FALSE(bool(chaos::hit(Site::kInference, 123)));
+}
+
+TEST(ChaosGlobal, InstallFromEnvParsesScenarioFile) {
+  const std::string path = "chaos_env_test.tmp.txt";
+  {
+    std::ofstream out(path);
+    out << "seed 99\nrule site=oracle_measure kind=error rate=1\n";
+  }
+  setenv("SPMVML_CHAOS", path.c_str(), 1);
+  auto engine = chaos::install_from_env();
+  unsetenv("SPMVML_CHAOS");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->scenario().seed, 99u);
+  ASSERT_EQ(engine->scenario().rules.size(), 1u);
+  EXPECT_EQ(engine->scenario().rules[0].site, Site::kOracleMeasure);
+  chaos::set_global(nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosGlobal, InstallFromEnvUnsetIsDisabled) {
+  unsetenv("SPMVML_CHAOS");
+  EXPECT_EQ(chaos::install_from_env(), nullptr);
+}
+
+TEST(ChaosGlobal, ApplyLatencyIgnoresNonLatencyFaults) {
+  Fault f;
+  f.kind = FaultKind::kError;
+  chaos::apply_latency(f);  // must not sleep or throw
+  f.kind = FaultKind::kNone;
+  chaos::apply_latency(f);
+}
+
+TEST(ChaosPrimitives, IdentityHashIsStableAndSpreads) {
+  EXPECT_EQ(chaos::identity_hash("r1"), chaos::identity_hash("r1"));
+  EXPECT_NE(chaos::identity_hash("r1"), chaos::identity_hash("r2"));
+  EXPECT_NE(chaos::with_attempt(7, 0), chaos::with_attempt(7, 1));
+}
+
+}  // namespace
+}  // namespace spmvml

@@ -14,6 +14,10 @@
 #                             # the scalar reference — the differential
 #                             # tests and the bench's bitwise assertions
 #                             # must hold there too
+#   tools/check.sh --chaos    # chaos smoke under asan: the scripted
+#                             # fault-burst bench plus the chaos/breaker/
+#                             # robustness/drain tests, with every injected
+#                             # fault path running under the sanitizer
 #
 # Each pass uses its own build directory and leaves ./build alone.
 set -euo pipefail
@@ -40,7 +44,16 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Arena|Differential'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Arena|Differential|Chaos|Breaker|Drain'
+elif [[ "${1:-}" == "--chaos" ]]; then
+  echo "== chaos smoke (asan; scripted fault bursts + robustness tests) =="
+  cmake -B build-chaos -S . "-DSPMVML_SANITIZE=address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-chaos -j "$jobs"
+  ctest --test-dir build-chaos --output-on-failure -j "$jobs" \
+    -R 'Chaos|Breaker|Drain'
+  ./build-chaos/bench/serving_bench --chaos --smoke \
+    --out build-chaos/BENCH_robustness.json
 elif [[ "${1:-}" == "--simd-off" ]]; then
   echo "== scalar-fallback pass (SIMD tiers compiled out) =="
   run_suite build-simd-off -DSPMVML_FORCE_SCALAR=ON

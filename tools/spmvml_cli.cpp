@@ -21,6 +21,10 @@
 // Exit codes: 0 success, 1 generic error, 2 usage, then one per
 // ErrorCategory — 3 parse, 4 io, 5 model-format, 6 infeasible-format,
 // 7 measurement (see common/error.hpp).
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +35,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/chaos/chaos.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
@@ -43,6 +48,7 @@
 #include "core/perf_model.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/row_summary.hpp"
+#include "serve/drain.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
@@ -73,10 +79,15 @@ namespace {
                "[--queue-cap N]\n"
                "                    [--cache-cap N] [--mem-budget GB] "
                "[--precision ...]\n"
+               "                    [--admission-target-ms F] "
+               "[--watchdog-ms F] [--max-retries N]\n"
                "                    JSONL requests on stdin, responses on "
                "stdout; a\n"
                "                    {\"cmd\":\"swap\",\"model\":...} line "
-               "hot-swaps models\n"
+               "hot-swaps models;\n"
+               "                    SIGTERM drains (finish in-flight, then "
+               "exit 0);\n"
+               "                    SPMVML_CHAOS=<scenario> injects faults\n"
                "global flags:\n"
                "  --verbose | --quiet     debug / error-only logging "
                "(default info; SPMVML_LOG overrides)\n"
@@ -302,9 +313,61 @@ int threads_of(const Args& a) {
   return flag > 0 ? flag : thread_count();
 }
 
+/// Drain-aware line reader over stdin: poll(2) with a 100ms tick so a
+/// SIGTERM between lines is noticed promptly, manual buffering so bytes
+/// read before the signal are not lost, EINTR-aware because the drain
+/// handler is installed without SA_RESTART. Returns false at EOF or
+/// once a drain has been requested (a partial unterminated line during
+/// drain is dropped — it is not a complete request).
+bool next_stdin_line(std::string& pending, bool& eof, std::string& out) {
+  for (;;) {
+    const auto nl = pending.find('\n');
+    if (nl != std::string::npos) {
+      out = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      return true;
+    }
+    if (serve::drain_requested()) return false;
+    if (eof) {
+      if (pending.empty()) return false;
+      out = std::move(pending);  // final unterminated line
+      pending.clear();
+      return true;
+    }
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // signal: the loop re-checks drain
+      eof = true;
+      continue;
+    }
+    if (pr == 0) continue;  // tick: re-check drain
+    char buf[4096];
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof = true;
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      continue;
+    }
+    pending.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
 int cmd_serve(const Args& a) {
   const auto model_path = opt(a, "model", "spmvml_selector.model");
   const auto perf_path = opt(a, "perf-model", "");
+
+  // SPMVML_CHAOS names a chaos scenario file; without it every site is
+  // a no-op (one relaxed atomic load per decision).
+  chaos::install_from_env();
+  serve::install_drain_handler();
 
   serve::ModelRegistry registry;
   registry.install_files(model_path, perf_path);
@@ -320,6 +383,11 @@ int cmd_serve(const Args& a) {
       static_cast<std::size_t>(numeric_opt(a, "cache-cap", 512.0, 0.0, 1e7));
   cfg.precision = precision_of(a);
   cfg.mem_budget_gb = numeric_opt(a, "mem-budget", 0.0, 0.0, 1e6);
+  cfg.admission_target_ms =
+      numeric_opt(a, "admission-target-ms", 0.0, 0.0, 1e6);
+  cfg.watchdog_ms = numeric_opt(a, "watchdog-ms", 0.0, 0.0, 1e6);
+  cfg.max_retries =
+      static_cast<int>(numeric_opt(a, "max-retries", 2.0, 0.0, 100.0));
   serve::Service service(cfg, registry);
 
   // Responses complete on worker threads; one mutex keeps stdout lines
@@ -333,8 +401,9 @@ int cmd_serve(const Args& a) {
     std::fflush(stdout);
   };
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
+  std::string pending_in, line;
+  bool eof = false;
+  while (next_stdin_line(pending_in, eof, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     serve::ParsedLine parsed;
     try {
@@ -369,13 +438,21 @@ int cmd_serve(const Args& a) {
                      emit(serve::to_json(r));
                    });
   }
+  if (serve::drain_requested())
+    obs::log_info("serve.drain")
+        .kv("reason", "SIGTERM")
+        .kv("note", "stopped accepting; flushing in-flight requests");
   service.shutdown();
   const auto counters = service.counters();
   obs::log_info("serve.summary")
       .kv("served", counters.served)
       .kv("rejected", counters.rejected)
       .kv("degraded", counters.degraded)
-      .kv("failed", counters.failed);
+      .kv("failed", counters.failed)
+      .kv("shed", counters.shed)
+      .kv("retries", counters.retries)
+      .kv("watchdog_killed", counters.watchdog_killed)
+      .kv("breaker_trips", counters.breaker_trips);
   return 0;
 }
 
