@@ -57,6 +57,11 @@ namespace {
 struct BenchConfig {
   bool smoke = false;
   bool chaos = false;
+  /// Hard perf gates on the open loop (0 = not enforced): fail the run
+  /// when achieved throughput drops below --min-rps or cache-warm p99
+  /// exceeds --max-p99-ms. CI's perf-smoke job sets both.
+  double min_rps = 0.0;
+  double max_p99_ms = 0.0;
   std::string out_path;  // default depends on mode
   int corpus_size() const { return smoke ? 32 : 48; }
   int matrices() const { return smoke ? 4 : 8; }
@@ -393,9 +398,14 @@ int main_impl(int argc, char** argv) {
       cfg.chaos = true;
     } else if (arg == "--out" && i + 1 < argc) {
       cfg.out_path = argv[++i];
+    } else if (arg == "--min-rps" && i + 1 < argc) {
+      cfg.min_rps = std::atof(argv[++i]);
+    } else if (arg == "--max-p99-ms" && i + 1 < argc) {
+      cfg.max_p99_ms = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: serving_bench [--smoke] [--chaos] [--out file]\n");
+                   "usage: serving_bench [--smoke] [--chaos] [--min-rps F] "
+                   "[--max-p99-ms F] [--out file]\n");
       return 2;
     }
   }
@@ -447,6 +457,10 @@ int main_impl(int argc, char** argv) {
   svc_cfg.max_delay_ms = 0.5;
   svc_cfg.queue_capacity = 1024;
   svc_cfg.cache_capacity = 64;
+  // Fast-path ingest: sharded dispatch plus the materialized-matrix
+  // cache (256 MB default) — the configuration the throughput gates
+  // below are tuned for.
+  svc_cfg.dispatch_shards = 4;
 
   constexpr serve::RequestMode kModes[] = {serve::RequestMode::kSelect,
                                            serve::RequestMode::kIndirect,
@@ -559,6 +573,7 @@ int main_impl(int argc, char** argv) {
               cfg.open_requests(), cfg.open_rate_rps(),
               cfg.admission_target_ms());
   std::vector<double> open_lat;
+  std::vector<double> shed_wait_ms;  // est. queue age of shed requests
   std::uint64_t open_rejected = 0, open_failed = 0;
   double open_wall_s = 0.0;
   serve::ServiceConfig open_cfg = svc_cfg;
@@ -584,6 +599,7 @@ int main_impl(int argc, char** argv) {
         open_lat.push_back(rsp.latency_ms);
       } else if (rsp.error.rfind("rejected", 0) == 0) {
         ++open_rejected;
+        if (!rsp.shed.empty()) shed_wait_ms.push_back(rsp.est_wait_ms);
       } else {
         ++open_failed;
       }
@@ -594,12 +610,17 @@ int main_impl(int argc, char** argv) {
   const double open_rps =
       static_cast<double>(open_lat.size()) / open_wall_s;
   const Percentiles open_p = percentiles_ms(open_lat);
+  const Percentiles shed_p = percentiles_ms(shed_wait_ms);
   std::printf("  served %zu (%.0f req/s), rejected %llu, failed %llu  "
               "(p50 %.2f ms, p95 %.2f ms, p99 %.2f ms)\n",
               open_lat.size(), open_rps,
               static_cast<unsigned long long>(open_rejected),
               static_cast<unsigned long long>(open_failed), open_p.p50,
               open_p.p95, open_p.p99);
+  if (!shed_wait_ms.empty())
+    std::printf("  shed %zu with est queue wait p50 %.1f ms, p95 %.1f ms, "
+                "p99 %.1f ms\n",
+                shed_wait_ms.size(), shed_p.p50, shed_p.p95, shed_p.p99);
 
   for (const auto& path : paths) std::remove(path.c_str());
 
@@ -641,13 +662,36 @@ int main_impl(int argc, char** argv) {
   json.kv("wall_s", open_wall_s);
   json.kv("achieved_rps", open_rps);
   write_percentiles(json, open_p);
+  // Queue age the shed requests were turned away at: how far over
+  // budget the queue was when admission said no.
+  json.key("shed");
+  json.begin_object();
+  json.kv("count", static_cast<std::uint64_t>(shed_wait_ms.size()));
+  write_percentiles(json, shed_p);
+  json.end_object();
+  json.end_object();
+  const bool gate_rps = cfg.min_rps <= 0.0 || open_rps >= cfg.min_rps;
+  const bool gate_p99 =
+      cfg.max_p99_ms <= 0.0 || open_p.p99 <= cfg.max_p99_ms;
+  const bool pass = identical && versions_monotonic && closed_failed == 0 &&
+                    open_failed == 0 && gate_rps && gate_p99;
+  json.key("gates");
+  json.begin_object();
+  json.kv("min_rps", cfg.min_rps);
+  json.kv("max_p99_ms", cfg.max_p99_ms);
+  json.kv("achieved_rps_ok", gate_rps);
+  json.kv("p99_ok", gate_p99);
+  json.kv("pass", pass);
   json.end_object();
   json.end_object();
   out << '\n';
   std::printf("wrote %s\n", cfg.out_path.c_str());
-
-  const bool pass = identical && versions_monotonic && closed_failed == 0 &&
-                    open_failed == 0;
+  if (!gate_rps)
+    std::printf("GATE FAIL: achieved %.0f req/s < --min-rps %.0f\n", open_rps,
+                cfg.min_rps);
+  if (!gate_p99)
+    std::printf("GATE FAIL: open-loop p99 %.2f ms > --max-p99-ms %.2f\n",
+                open_p.p99, cfg.max_p99_ms);
   return pass ? 0 : 1;
 }
 

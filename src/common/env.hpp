@@ -8,6 +8,15 @@
 //   SPMVML_THREADS       — worker threads for parallel collection and the
 //                          pipeline bench (default 1 = serial)
 //
+// Serving knobs (read by tools/spmvml_cli.cpp via the helpers here; the
+// matching command-line flag wins over the env var):
+//
+//   SPMVML_INGEST_CACHE_MB — byte budget (in MB) of the serving
+//                          materialized-matrix cache (default 256; 0
+//                          disables caching, loads still coalesce)
+//   SPMVML_SHARDS        — serving dispatch shards (default 1 = the
+//                          single-dispatcher layout)
+//
 // Observability knobs (read by common/obs/, not via the helpers here):
 //
 //   SPMVML_LOG           — structured-log level: debug|info|warn|error|off

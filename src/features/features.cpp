@@ -4,12 +4,16 @@
 #include <limits>
 #include <vector>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "common/error.hpp"
 #include "common/obs/metrics.hpp"
 #include "common/obs/trace.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace spmvml {
 
@@ -81,6 +85,69 @@ StructureStats scan_structure(const Csr<double>& m) {
   return total;
 }
 
+/// The same fixed block partition, scanned cooperatively on a shared
+/// ThreadPool. Blocks are claimed from an atomic cursor by helper tasks
+/// AND by the calling thread, so the scan completes even when every pool
+/// worker is busy (or when the caller IS a pool worker — the serving
+/// batch path) — there is no wait-for-the-pool deadlock, only a graceful
+/// degradation to the caller scanning alone. Accumulators merge in block
+/// order, so the result is byte-identical to the serial scan.
+StructureStats scan_structure_pool(const Csr<double>& m, ThreadPool& pool) {
+  const index_t rows = m.rows();
+  StructureStats total;
+  if (rows <= kFeatureRowBlock) {
+    for (index_t r = 0; r < rows; ++r) scan_row(m, r, total);
+    return total;
+  }
+  const index_t blocks = (rows + kFeatureRowBlock - 1) / kFeatureRowBlock;
+
+  struct SharedScan {
+    std::vector<StructureStats> block_stats;
+    std::atomic<index_t> next{0};
+    std::atomic<index_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<SharedScan>();
+  state->block_stats.resize(static_cast<std::size_t>(blocks));
+
+  const auto scan_blocks = [state, &m, blocks] {
+    index_t completed = 0;
+    for (;;) {
+      const index_t b = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) break;
+      auto& s = state->block_stats[static_cast<std::size_t>(b)];
+      const index_t r0 = b * kFeatureRowBlock;
+      const index_t r1 = std::min(m.rows(), r0 + kFeatureRowBlock);
+      for (index_t r = r0; r < r1; ++r) scan_row(m, r, s);
+      ++completed;
+    }
+    if (completed > 0 &&
+        state->done.fetch_add(completed, std::memory_order_acq_rel) +
+                completed ==
+            blocks) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  };
+
+  // Helpers are capped below the block count: the caller always claims
+  // at least one block, and a helper that wakes up after the cursor ran
+  // out exits without touching the matrix.
+  const index_t helpers =
+      std::min<index_t>(pool.size(), blocks - 1);
+  for (index_t h = 0; h < helpers; ++h) pool.submit(scan_blocks);
+  scan_blocks();  // caller participates
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == blocks;
+    });
+  }
+  for (const auto& s : state->block_stats) total.merge(s);
+  return total;
+}
+
 }  // namespace
 
 const char* feature_name(int id) {
@@ -141,13 +208,13 @@ std::vector<double> FeatureVector::select(std::span<const int> indices) const {
   return out;
 }
 
-FeatureVector extract_features(const Csr<double>& m) {
-  obs::TraceSpan span("features.extract");
-  span.arg("rows", static_cast<std::int64_t>(m.rows()))
-      .arg("nnz", static_cast<std::int64_t>(m.nnz()));
-  static obs::Counter extracted =
-      obs::MetricsRegistry::global().counter("features.extracted");
-  extracted.inc();
+namespace {
+
+/// Assemble the 17-feature vector from the structure scan; shared by the
+/// serial/OpenMP and thread-pool extraction routes so both are the same
+/// arithmetic on the same accumulators.
+FeatureVector assemble_features(const Csr<double>& m,
+                                const StructureStats& scan) {
   FeatureVector f;
   const index_t rows = m.rows(), cols = m.cols(), nnz = m.nnz();
   f.values[kNRows] = static_cast<double>(rows);
@@ -161,7 +228,6 @@ FeatureVector extract_features(const Csr<double>& m) {
                 (static_cast<double>(rows) * static_cast<double>(cols))
           : 0.0;
 
-  const StructureStats scan = scan_structure(m);
   const StreamingStats& row_len = scan.row_len;
   const StreamingStats& chunks_per_row = scan.chunks_per_row;
   const StreamingStats& chunk_size = scan.chunk_size;
@@ -181,6 +247,29 @@ FeatureVector extract_features(const Csr<double>& m) {
   f.values[kSnzbMax] = chunk_size.max();
   f.values[kSnzbMin] = chunk_size.min();
   return f;
+}
+
+void count_extraction(const Csr<double>& m, obs::TraceSpan& span) {
+  span.arg("rows", static_cast<std::int64_t>(m.rows()))
+      .arg("nnz", static_cast<std::int64_t>(m.nnz()));
+  static obs::Counter extracted =
+      obs::MetricsRegistry::global().counter("features.extracted");
+  extracted.inc();
+}
+
+}  // namespace
+
+FeatureVector extract_features(const Csr<double>& m) {
+  obs::TraceSpan span("features.extract");
+  count_extraction(m, span);
+  return assemble_features(m, scan_structure(m));
+}
+
+FeatureVector extract_features(const Csr<double>& m, ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) return extract_features(m);
+  obs::TraceSpan span("features.extract_pool");
+  count_extraction(m, span);
+  return assemble_features(m, scan_structure_pool(m, *pool));
 }
 
 FeatureVector extract_features_sampled(const Csr<double>& m,

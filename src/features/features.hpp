@@ -16,6 +16,8 @@
 
 namespace spmvml {
 
+class ThreadPool;  // forward declaration; defined in common/thread_pool.hpp
+
 inline constexpr int kNumFeatures = 17;
 
 /// Index of each feature inside FeatureVector::values.
@@ -69,6 +71,16 @@ struct FeatureVector {
 
 /// One O(nnz) scan over the CSR structure.
 FeatureVector extract_features(const Csr<double>& m);
+
+/// Blocked-parallel extraction on a shared thread pool: the fixed
+/// 4096-row block partition is scanned cooperatively (pool workers help,
+/// the caller participates, so a saturated pool degrades to the serial
+/// scan instead of deadlocking) and block accumulators merge in row
+/// order via the exact StreamingStats::merge — the result is
+/// byte-identical to extract_features(m) at any pool size, including
+/// when the caller is itself a pool worker (the serving batch path).
+/// pool == nullptr degrades to extract_features(m).
+FeatureVector extract_features(const Csr<double>& m, ThreadPool* pool);
 
 /// Approximate extraction from a random row sample (O(nnz * fraction)):
 /// set-1 features stay exact (they are O(1) from CSR metadata); set-2/3

@@ -307,7 +307,10 @@ std::string to_json(const Response& r) {
   json.kv("ok", r.ok);
   if (!r.ok) {
     json.kv("error", r.error);
-    if (!r.shed.empty()) json.kv("shed", r.shed);
+    if (!r.shed.empty()) {
+      json.kv("shed", r.shed);
+      json.kv("est_wait_ms", r.est_wait_ms);
+    }
     if (r.retries > 0) json.kv("retries", static_cast<std::int64_t>(r.retries));
     json.end_object();
     return os.str();

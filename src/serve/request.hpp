@@ -79,9 +79,14 @@ struct Response {
   /// Why the degradation ladder fired ("deadline", "breaker:features",
   /// "chaos:inference", ...). Empty when !degraded.
   std::string degrade_reason;
-  /// Admission-shed reason code ("shed:overload", "shed:deadline");
-  /// empty unless the request was shed before entering the queue.
+  /// Admission-shed reason code ("shed:overload", "shed:deadline",
+  /// "shed:queue_full"); empty unless the request was shed before
+  /// entering the queue.
   std::string shed;
+  /// Estimated queue wait at admission time (backlog x per-item cost
+  /// EWMA / workers). Reported on shed responses so callers see how far
+  /// over budget the queue was when their request was turned away.
+  double est_wait_ms = 0.0;
   /// Transient-fault retries spent serving this request (all stages).
   int retries = 0;
   bool cache_hit = false;

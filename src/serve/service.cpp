@@ -13,10 +13,10 @@
 #include "common/obs/metrics.hpp"
 #include "common/obs/trace.hpp"
 #include "common/timer.hpp"
+#include "features/features.hpp"
 #include "gpusim/fault.hpp"
 #include "ml/dataset.hpp"
 #include "sparse/arena.hpp"
-#include "sparse/mmio.hpp"
 
 namespace spmvml::serve {
 
@@ -29,13 +29,15 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Clamp config knobs before any member (and the dispatcher thread, which
-/// starts in the initializer list) can read them.
+/// Clamp config knobs before any member (and the dispatcher threads,
+/// which start in the constructor body) can read them.
 ServiceConfig sanitize(ServiceConfig cfg) {
   cfg.threads = cfg.threads < 1 ? 1 : cfg.threads;
   cfg.max_batch = std::max<std::size_t>(cfg.max_batch, 1);
   cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
   cfg.max_delay_ms = std::max(cfg.max_delay_ms, 0.0);
+  cfg.ingest_cache_shards = std::max(cfg.ingest_cache_shards, 1);
+  cfg.dispatch_shards = std::max(cfg.dispatch_shards, 1);
   cfg.admission_target_ms = std::max(cfg.admission_target_ms, 0.0);
   cfg.max_retries = std::max(cfg.max_retries, 0);
   cfg.retry_backoff_ms = std::max(cfg.retry_backoff_ms, 0.0);
@@ -73,12 +75,20 @@ Service::Service(ServiceConfig config, ModelRegistry& registry)
     : cfg_(sanitize(config)),
       registry_(registry),
       cache_(cfg_.cache_capacity, cfg_.cache_shards),
+      ingest_(cfg_.ingest_cache_bytes, cfg_.ingest_cache_shards),
       pool_(cfg_.threads),
       feature_breaker_("features", cfg_.breaker),
       inference_breaker_("inference", cfg_.breaker),
       regress_breaker_("regress", cfg_.breaker),
-      materialize_breaker_("materialize", cfg_.breaker),
-      dispatcher_([this] { dispatcher_loop(); }) {
+      materialize_breaker_("materialize", cfg_.breaker) {
+  const auto n_shards = static_cast<std::size_t>(cfg_.dispatch_shards);
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i)
+    shards_.push_back(std::make_unique<DispatchShard>());
+  // Dispatchers start only after every shard exists: a thief may scan
+  // the whole shard vector on its first wakeup.
+  for (std::size_t i = 0; i < n_shards; ++i)
+    shards_[i]->dispatcher = std::thread([this, i] { dispatcher_loop(i); });
   if (cfg_.watchdog_ms > 0.0)
     watchdog_ = std::thread([this] { watchdog_loop(); });
   obs::log_info("serve.start")
@@ -86,6 +96,9 @@ Service::Service(ServiceConfig config, ModelRegistry& registry)
       .kv("max_batch", static_cast<std::uint64_t>(cfg_.max_batch))
       .kv("max_delay_ms", cfg_.max_delay_ms)
       .kv("queue_capacity", static_cast<std::uint64_t>(cfg_.queue_capacity))
+      .kv("dispatch_shards", static_cast<std::uint64_t>(n_shards))
+      .kv("ingest_cache_mb",
+          static_cast<std::uint64_t>(cfg_.ingest_cache_bytes >> 20))
       .kv("admission_target_ms", cfg_.admission_target_ms)
       .kv("watchdog_ms", cfg_.watchdog_ms);
 }
@@ -98,18 +111,18 @@ void Service::submit(Request req, Callback done) {
   Response reject;
   reject.id = req.id;
   reject.mode = req.mode;
+  const std::size_t shard_index =
+      submit_seq_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  DispatchShard& shard = *shards_[shard_index];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stopping_.load(std::memory_order_relaxed)) {
       reject.error = "rejected: service is shutting down";
-    } else if (queue_.size() >= cfg_.queue_capacity) {
-      reject.error = "rejected: queue full (overloaded)";
-      reject.shed = "shed:queue_full";
     } else {
       // Deadline-feasibility shedding: admitting a request the queue
       // cannot clear in time only manufactures a deadline miss (or an
       // unbounded latency tail); reject it honestly instead. The wait
-      // estimate is queue depth x per-item batch cost over the worker
+      // estimate is backlog x per-item batch cost over the worker
       // count; before the first batch the EWMA is 0 and everything is
       // admitted (the seed behavior).
       const double item_ms = batch_item_cost_ms_.load(std::memory_order_relaxed);
@@ -118,25 +131,43 @@ void Service::submit(Request req, Callback done) {
               ? static_cast<double>(backlog_.load(std::memory_order_relaxed)) *
                     item_ms / static_cast<double>(pool_.size())
               : 0.0;
-      const bool over_target = cfg_.admission_target_ms > 0.0 &&
-                               est_wait_ms > cfg_.admission_target_ms;
-      const bool misses_deadline =
-          req.deadline_ms > 0.0 && est_wait_ms > req.deadline_ms;
-      if (!over_target && !misses_deadline) {
-        backlog_.fetch_add(1, std::memory_order_relaxed);
-        queue_.push_back(Pending{std::move(req), std::move(slot), Clock::now()});
-        obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
-            static_cast<double>(queue_.size()));
-        cv_.notify_all();
-        return;
+      reject.est_wait_ms = est_wait_ms;
+      // Reserve a queue slot; the capacity gate is global across shards.
+      const std::uint64_t depth =
+          total_queued_.fetch_add(1, std::memory_order_relaxed);
+      if (depth >= cfg_.queue_capacity) {
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        reject.error = "rejected: queue full (overloaded)";
+        reject.shed = "shed:queue_full";
+      } else {
+        const bool over_target = cfg_.admission_target_ms > 0.0 &&
+                                 est_wait_ms > cfg_.admission_target_ms;
+        const bool misses_deadline =
+            req.deadline_ms > 0.0 && est_wait_ms > req.deadline_ms;
+        if (!over_target && !misses_deadline) {
+          backlog_.fetch_add(1, std::memory_order_relaxed);
+          shard.queue.push_back(
+              Pending{std::move(req), std::move(slot), Clock::now()});
+          obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
+              static_cast<double>(depth + 1));
+          if (shards_.size() > 1 && shard.queue.size() > cfg_.max_batch) {
+            // More than a full batch pending here: hint an idle
+            // neighbour to steal the overflow.
+            steal_hint_.fetch_add(1, std::memory_order_relaxed);
+            shards_[(shard_index + 1) % shards_.size()]->cv.notify_one();
+          }
+          shard.cv.notify_all();
+          return;
+        }
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        reject.shed = misses_deadline && !over_target ? "shed:deadline"
+                                                      : "shed:overload";
+        reject.error = "rejected: estimated queue wait " +
+                       format_ms(est_wait_ms) + "ms exceeds " +
+                       (misses_deadline && !over_target
+                            ? "the request deadline"
+                            : "the admission target");
       }
-      reject.shed = misses_deadline && !over_target ? "shed:deadline"
-                                                    : "shed:overload";
-      reject.error = "rejected: estimated queue wait " +
-                     format_ms(est_wait_ms) + "ms exceeds " +
-                     (misses_deadline && !over_target
-                          ? "the request deadline"
-                          : "the admission target");
     }
   }
   // Deliver the rejection outside the lock; the callback may do I/O.
@@ -162,13 +193,17 @@ std::future<Response> Service::submit(Request req) {
 Response Service::call(Request req) { return submit(std::move(req)).get(); }
 
 void Service::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+  stopping_.store(true);
+  // Lock-fence every shard: any submit that read stopping_ == false has
+  // finished its push (and its notify) by the time we have held that
+  // shard's mutex, so the wakeups below cannot miss a late enqueue.
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
   }
-  cv_.notify_all();
+  for (auto& s : shards_) s->cv.notify_all();
   std::call_once(shutdown_once_, [this] {
-    dispatcher_.join();
+    for (auto& s : shards_)
+      if (s->dispatcher.joinable()) s->dispatcher.join();
     pool_.wait_idle();
     {
       std::lock_guard<std::mutex> lock(watchdog_mu_);
@@ -181,6 +216,7 @@ void Service::shutdown() {
         .kv("rejected", rejected_.load())
         .kv("degraded", degraded_.load())
         .kv("shed", shed_.load())
+        .kv("steals", steals_.load())
         .kv("watchdog_killed", watchdog_killed_.load());
   });
 }
@@ -196,39 +232,92 @@ Service::Counters Service::counters() const {
   c.watchdog_killed = watchdog_killed_.load(std::memory_order_relaxed);
   c.breaker_trips = feature_breaker_.trips() + inference_breaker_.trips() +
                     regress_breaker_.trips() + materialize_breaker_.trips();
+  c.steals = steals_.load(std::memory_order_relaxed);
   return c;
 }
 
-void Service::dispatcher_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void Service::launch_batch(std::vector<Pending> batch) {
+  total_queued_.fetch_sub(batch.size(), std::memory_order_relaxed);
+  obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
+      static_cast<double>(total_queued_.load(std::memory_order_relaxed)));
+  auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
+  pool_.submit([this, shared] { process_batch(*shared); });
+}
+
+std::vector<Service::Pending> Service::steal_batch(std::size_t thief_index) {
+  std::vector<Pending> stolen;
+  const std::size_t n_shards = shards_.size();
+  for (std::size_t off = 1; off < n_shards && stolen.empty(); ++off) {
+    DispatchShard& victim = *shards_[(thief_index + off) % n_shards];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    // Only a genuine backlog (more than one full batch) is worth
+    // stealing; raiding a shard mid-window would just fragment its
+    // batch. Take the OLDEST requests — they have waited longest and
+    // need no further batching delay.
+    if (victim.queue.size() <= cfg_.max_batch) continue;
+    const std::size_t n = std::min(cfg_.max_batch, victim.queue.size() / 2);
+    stolen.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stolen.push_back(std::move(victim.queue.front()));
+      victim.queue.pop_front();
+    }
+  }
+  return stolen;
+}
+
+void Service::dispatcher_loop(std::size_t shard_index) {
+  DispatchShard& self = *shards_[shard_index];
+  std::unique_lock<std::mutex> lock(self.mu);
   for (;;) {
-    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;
+    self.cv.wait(lock, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             !self.queue.empty() ||
+             (shards_.size() > 1 &&
+              steal_hint_.load(std::memory_order_relaxed) > 0);
+    });
+    if (self.queue.empty()) {
+      if (shards_.size() > 1 &&
+          steal_hint_.load(std::memory_order_relaxed) > 0) {
+        // Consume one hint, then scan the other shards for overflow. A
+        // stale hint (the owner drained first) costs one idle scan.
+        int h = steal_hint_.load(std::memory_order_relaxed);
+        while (h > 0 && !steal_hint_.compare_exchange_weak(
+                            h, h - 1, std::memory_order_relaxed)) {
+        }
+        lock.unlock();
+        std::vector<Pending> stolen = steal_batch(shard_index);
+        if (!stolen.empty()) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          obs::MetricsRegistry::global().counter("serve.steal").inc();
+          launch_batch(std::move(stolen));
+        }
+        lock.lock();
+        continue;
+      }
+      if (stopping_.load(std::memory_order_relaxed)) return;
       continue;
     }
     // Micro-batch window: opened by the oldest pending request. Keep the
     // batch open until it is full or the window closes; shutdown closes
     // every window immediately so draining never waits out a delay.
     const auto close_at =
-        queue_.front().enqueued +
+        self.queue.front().enqueued +
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double, std::milli>(cfg_.max_delay_ms));
-    while (!stopping_ && queue_.size() < cfg_.max_batch &&
-           Clock::now() < close_at)
-      cv_.wait_until(lock, close_at);
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           self.queue.size() < cfg_.max_batch && Clock::now() < close_at)
+      self.cv.wait_until(lock, close_at);
+    if (self.queue.empty()) continue;  // a thief drained us mid-window
 
-    const std::size_t n = std::min(queue_.size(), cfg_.max_batch);
-    auto batch = std::make_shared<std::vector<Pending>>();
-    batch->reserve(n);
+    const std::size_t n = std::min(self.queue.size(), cfg_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      batch->push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch.push_back(std::move(self.queue.front()));
+      self.queue.pop_front();
     }
-    obs::MetricsRegistry::global().gauge("serve.queue_depth").set(
-        static_cast<double>(queue_.size()));
     lock.unlock();
-    pool_.submit([this, batch] { process_batch(*batch); });
+    launch_batch(std::move(batch));
     lock.lock();
   }
 }
@@ -278,7 +367,7 @@ void Service::kill_overdue(Clock::time_point now) {
       r.error = "watchdog: batch exceeded the " + format_ms(cfg_.watchdog_ms) +
                 "ms budget (worker stuck); request failed cleanly";
       r.latency_ms = ms_between(v.started, now);
-      if (v.slots[i]->deliver(r)) {
+      if (v.slots[i]->claim()) {
         failed_.fetch_add(1, std::memory_order_relaxed);
         watchdog_killed_.fetch_add(1, std::memory_order_relaxed);
         registry_metrics.counter("serve.watchdog.killed").inc();
@@ -286,6 +375,7 @@ void Service::kill_overdue(Clock::time_point now) {
         obs::log_warn("serve.watchdog.kill")
             .kv("id", r.id)
             .kv("batch_age_ms", r.latency_ms);
+        v.slots[i]->finish(r);
       }
     }
   }
@@ -294,16 +384,35 @@ void Service::kill_overdue(Clock::time_point now) {
 bool Service::resolve_features(Pending& item, Response& rsp,
                                FeatureVector& features, RowSummary& summary,
                                bool& has_summary, bool& csr_fallback,
-                               Csr<double>* keep_matrix) {
+                               std::shared_ptr<const Csr<double>>* keep_view) {
   has_summary = false;
   csr_fallback = false;
   const bool inline_features = !item.req.features.empty();
   if (inline_features)
     std::copy(item.req.features.begin(), item.req.features.end(),
               features.values.begin());
-  if (inline_features && keep_matrix == nullptr) return true;
+  if (inline_features && keep_view == nullptr) return true;
 
-  if (!inline_features && !feature_breaker_.allow(Clock::now())) {
+  if (inline_features) {
+    // Inline features + materialize: only the CSR master copy is needed,
+    // and it comes from the ingest cache — a repeat matrix costs zero
+    // parses (this path used to re-read the text file every request).
+    try {
+      *keep_view = ingest_.load(item.req.matrix_path).matrix;
+      return true;
+    } catch (const Error& e) {
+      rsp.ok = false;
+      rsp.error = std::string(error_category_name(e.category())) + ": " +
+                  e.what();
+      return false;
+    } catch (const std::exception& e) {
+      rsp.ok = false;
+      rsp.error = std::string("generic: ") + e.what();
+      return false;
+    }
+  }
+
+  if (!feature_breaker_.allow(Clock::now())) {
     // Feature stage is down: walk to the bottom rung of the ladder
     // instead of hammering it. CSR needs no features, so select and
     // indirect stay answerable; predict has no floor to stand on.
@@ -323,87 +432,114 @@ bool Service::resolve_features(Pending& item, Response& rsp,
   const std::uint64_t identity = request_identity(item.req);
   try {
     WallTimer stage_timer;
-    Csr<double> matrix = read_matrix_market(item.req.matrix_path);
-    if (!inline_features) {
-      const std::uint64_t key = matrix_content_hash(matrix);
-      // Chaos site cache_lookup: a failed cache shard fails open to a
-      // miss — features are recomputed, never served stale or wrong.
-      bool cache_usable = true;
-      const chaos::Fault cache_fault =
-          chaos::hit(chaos::Site::kCacheLookup, identity);
-      if (cache_fault) {
-        chaos::apply_latency(cache_fault);
-        if (cache_fault.kind != chaos::FaultKind::kLatency)
-          cache_usable = false;
-      }
-      std::optional<CachedFeatures> cached =
-          cache_usable ? cache_.get(key) : std::nullopt;
-      if (cached) {
-        features = cached->features;
-        summary = cached->summary;
-        rsp.cache_hit = true;
-      } else {
-        // Chaos site feature_extract: transient errors retry with
-        // backoff inside the per-request budget; corruption perturbs
-        // the extracted vector (and is never cached).
-        chaos::Fault fault{};
-        bool exhausted = false;
-        for (int attempt = 0;; ++attempt) {
-          fault = chaos::hit(chaos::Site::kFeatureExtract,
-                             chaos::with_attempt(identity, attempt));
-          if (fault) chaos::apply_latency(fault);
-          if (fault.kind != chaos::FaultKind::kError) break;
-          if (rsp.retries >= cfg_.max_retries) {
-            exhausted = true;
-            break;
-          }
-          ++rsp.retries;
-          retried_.fetch_add(1, std::memory_order_relaxed);
-          retries_counter().inc();
-          backoff_sleep(attempt, cfg_.retry_backoff_ms);
+    // Chaos site cache_lookup: a failed cache shard fails open to a
+    // miss — features are recomputed, never served stale or wrong.
+    bool cache_usable = true;
+    const chaos::Fault cache_fault =
+        chaos::hit(chaos::Site::kCacheLookup, identity);
+    if (cache_fault) {
+      chaos::apply_latency(cache_fault);
+      if (cache_fault.kind != chaos::FaultKind::kLatency)
+        cache_usable = false;
+    }
+
+    // Zero-copy fast path: resolve the content key from the stat cache
+    // (two stat() calls, no reads) and serve cached features without
+    // ever touching the matrix bytes. Warm repeat traffic does no file
+    // I/O at all on this route.
+    if (cache_usable) {
+      if (const auto key = ingest_.resolve_key(item.req.matrix_path)) {
+        if (std::optional<CachedFeatures> cached = cache_.get(*key)) {
+          features = cached->features;
+          summary = cached->summary;
+          rsp.cache_hit = true;
+          has_summary = true;
+          feature_breaker_.record(true, stage_timer.millis(), Clock::now());
+          if (keep_view != nullptr)
+            *keep_view = ingest_.load(item.req.matrix_path).matrix;
+          return true;
         }
-        if (exhausted) {
-          feature_breaker_.record(false, stage_timer.millis(), Clock::now());
-          if (item.req.mode == RequestMode::kPredict) {
-            rsp.ok = false;
-            rsp.error =
-                "io: injected feature-extract fault persisted past the "
-                "retry budget";
-            return false;
-          }
-          csr_fallback = true;
-          rsp.degraded = true;
-          rsp.degrade_reason = "chaos:feature_extract";
-          if (keep_matrix != nullptr) *keep_matrix = std::move(matrix);
+      }
+    }
+
+    // Feature miss (or the cache is chaos-disabled): materialize the
+    // matrix through the ingest cache — LRU hit, sidecar bulk read, or
+    // text parse, whichever is cheapest — then extract.
+    std::shared_ptr<const Csr<double>> view;
+    std::uint64_t content_key = 0;
+    {
+      MatrixCache::View loaded = ingest_.load(item.req.matrix_path);
+      view = std::move(loaded.matrix);
+      content_key = loaded.key;
+    }
+    std::optional<CachedFeatures> cached =
+        cache_usable ? cache_.get(content_key) : std::nullopt;
+    if (cached) {
+      features = cached->features;
+      summary = cached->summary;
+      rsp.cache_hit = true;
+    } else {
+      // Chaos site feature_extract: transient errors retry with
+      // backoff inside the per-request budget; corruption perturbs
+      // the extracted vector (and is never cached).
+      chaos::Fault fault{};
+      bool exhausted = false;
+      for (int attempt = 0;; ++attempt) {
+        fault = chaos::hit(chaos::Site::kFeatureExtract,
+                           chaos::with_attempt(identity, attempt));
+        if (fault) chaos::apply_latency(fault);
+        if (fault.kind != chaos::FaultKind::kError) break;
+        if (rsp.retries >= cfg_.max_retries) {
+          exhausted = true;
+          break;
+        }
+        ++rsp.retries;
+        retried_.fetch_add(1, std::memory_order_relaxed);
+        retries_counter().inc();
+        backoff_sleep(attempt, cfg_.retry_backoff_ms);
+      }
+      if (exhausted) {
+        feature_breaker_.record(false, stage_timer.millis(), Clock::now());
+        if (item.req.mode == RequestMode::kPredict) {
+          rsp.ok = false;
+          rsp.error =
+              "io: injected feature-extract fault persisted past the "
+              "retry budget";
           return false;
         }
-        features = extract_features(matrix);
-        summary = summarize(matrix);
-        if (fault.kind == chaos::FaultKind::kCorrupt) {
-          // Corrupted extraction: every value off by a sign flip. The
-          // classifier still yields an in-range label (possibly a bad
-          // pick — chaos tests assert validity, not optimality) and the
-          // poisoned vector must never enter the cache.
-          for (double& v : features.values) v = -v;
-        } else {
-          cache_.put(key, CachedFeatures{features, summary});
-        }
+        csr_fallback = true;
+        rsp.degraded = true;
+        rsp.degrade_reason = "chaos:feature_extract";
+        if (keep_view != nullptr) *keep_view = std::move(view);
+        return false;
       }
-      has_summary = true;
-      feature_breaker_.record(true, stage_timer.millis(), Clock::now());
+      // In-batch parallel extraction: the pool workers cooperate on the
+      // blocked scan and the caller participates, so this is safe (and
+      // degrades to the serial scan) even though we ARE a pool worker.
+      features = extract_features(*view, &pool_);
+      summary = summarize(*view);
+      if (fault.kind == chaos::FaultKind::kCorrupt) {
+        // Corrupted extraction: every value off by a sign flip. The
+        // classifier still yields an in-range label (possibly a bad
+        // pick — chaos tests assert validity, not optimality) and the
+        // poisoned vector must never enter the cache.
+        for (double& v : features.values) v = -v;
+      } else {
+        cache_.put(content_key, CachedFeatures{features, summary});
+      }
     }
-    if (keep_matrix != nullptr) *keep_matrix = std::move(matrix);
+    has_summary = true;
+    feature_breaker_.record(true, stage_timer.millis(), Clock::now());
+    if (keep_view != nullptr) *keep_view = std::move(view);
     return true;
   } catch (const Error& e) {
-    if (!inline_features)
-      feature_breaker_.record(false, 0.0, Clock::now());
+    feature_breaker_.record(false, 0.0, Clock::now());
     rsp.ok = false;
     rsp.error = std::string(error_category_name(e.category())) + ": " +
                 e.what();
     return false;
   } catch (const std::exception& e) {
-    if (!inline_features)
-      feature_breaker_.record(false, 0.0, Clock::now());
+    feature_breaker_.record(false, 0.0, Clock::now());
     rsp.ok = false;
     rsp.error = std::string("generic: ") + e.what();
     return false;
@@ -444,7 +580,9 @@ void Service::process_batch(std::vector<Pending>& batch) {
     Response rsp;
     FeatureVector features;
     RowSummary summary;
-    Csr<double> matrix;        // kept only for materialize requests
+    /// Borrowed ingest view, kept only for materialize requests. Pins
+    /// the CSR against cache eviction for the life of the batch.
+    std::shared_ptr<const Csr<double>> view;
     bool has_summary = false;
     bool live = false;         // resolved and awaiting predictions
     bool indirect = false;     // gets the regressor pass
@@ -452,7 +590,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
   };
   std::vector<Slot> slots(batch.size());
 
-  // --- Stage 1: features (file read + cache + Table II extraction). ---
+  // --- Stage 1: features (ingest + caches + Table II extraction). ---
   {
     obs::TraceSpan features_span("serve.features");
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -470,7 +608,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
       s.rsp.model_version = bundle->version;
       s.live = resolve_features(batch[i], s.rsp, s.features, s.summary,
                                 s.has_summary, s.csr_fallback,
-                                batch[i].req.materialize ? &s.matrix : nullptr);
+                                batch[i].req.materialize ? &s.view : nullptr);
     }
   }
 
@@ -709,7 +847,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
             counted[i] = 1;
           }
         }
-        if (item.req.materialize && s.matrix.rows() > 0) {
+        if (item.req.materialize && s.view != nullptr) {
           if (!materialize_breaker_.allow(Clock::now())) {
             // Conversion stage down: the selection is still served, the
             // caller just builds the format itself.
@@ -747,11 +885,12 @@ void Service::process_batch(std::vector<Pending>& batch) {
             } else {
               // One conversion arena per worker thread: a stream of
               // requests reuses its buffers, so the steady-state
-              // conversion performs no heap allocation.
+              // conversion performs no heap allocation. The borrowed
+              // view is read-only; the arena copies what it needs.
               thread_local ConversionArena<double> arena;
               WallTimer convert_timer;
               const AnyMatrix<double>& built =
-                  arena.convert(s.rsp.format, s.matrix);
+                  arena.convert(s.rsp.format, *s.view);
               s.rsp.convert_ms = convert_timer.millis();
               s.rsp.format_bytes = built.bytes();
               s.rsp.materialized = true;
@@ -774,13 +913,19 @@ void Service::process_batch(std::vector<Pending>& batch) {
 
   // Admission shedding feeds on the measured per-item batch cost. Updated
   // before delivery: once a caller sees its response, the next submit()
-  // must price the queue with this batch's cost already folded in.
+  // must price the queue with this batch's cost already folded in. The
+  // smoothing is asymmetric: cost drops (caches warming up after a cold
+  // start) are tracked fast so the shed gate reopens quickly, cost rises
+  // slowly so one anomalous batch does not trigger a shed storm.
   const double per_item_ms =
       ms_between(picked_up, Clock::now()) / static_cast<double>(batch.size());
   const double prev = batch_item_cost_ms_.load(std::memory_order_relaxed);
-  batch_item_cost_ms_.store(
-      prev <= 0.0 ? per_item_ms : 0.8 * prev + 0.2 * per_item_ms,
-      std::memory_order_relaxed);
+  double next = per_item_ms;
+  if (prev > 0.0) {
+    const double alpha = per_item_ms < prev ? 0.5 : 0.2;
+    next = (1.0 - alpha) * prev + alpha * per_item_ms;
+  }
+  batch_item_cost_ms_.store(next, std::memory_order_relaxed);
   backlog_.fetch_sub(batch.size(), std::memory_order_relaxed);
 
   // --- Stage 5: reply + per-response accounting. ---
@@ -788,7 +933,10 @@ void Service::process_batch(std::vector<Pending>& batch) {
     Slot& s = slots[i];
     Pending& item = batch[i];
     s.rsp.latency_ms = ms_between(item.enqueued, Clock::now());
-    if (!item.slot->deliver(s.rsp)) continue;  // watchdog got there first
+    if (!item.slot->claim()) continue;  // watchdog got there first
+    // Account before invoking the callback: the moment finish() runs,
+    // the caller may wake and read counters(), which must already
+    // include this request.
     if (s.rsp.ok && !counted[i] && item.req.mode != RequestMode::kPredict)
       registry_metrics
           .counter(std::string("serve.select.") + format_name(s.rsp.format))
@@ -807,6 +955,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
         .observe(s.rsp.latency_ms / 1e3);
     served_.fetch_add(1, std::memory_order_relaxed);
     registry_metrics.counter("serve.requests").inc();
+    item.slot->finish(s.rsp);
   }
 
   if (inflight_id != 0) {

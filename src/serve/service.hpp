@@ -1,16 +1,30 @@
 // The online serving loop: bounded request queue -> micro-batches ->
 // batched inference on the thread pool.
 //
-// Life of a request (DESIGN.md §5f, hardening §5h):
+// Life of a request (DESIGN.md §5f, hardening §5h, ingest §5i):
 //
-//   submit() ── admission control ──> pending queue ──> dispatcher
+//   submit() ── admission control ──> dispatch shard ──> dispatcher
 //     (reject "overloaded" when full;      │  coalesces up to max_batch
 //      shed when the estimated queue       │  or waits max_delay_ms
 //      wait cannot meet the deadline       v
 //      or the admission target)   thread-pool batch task: resolve
-//               features (cache), run the classifier ONCE per batch,
-//               per-format regressors for indirect and predict
-//               requests, fulfil callbacks
+//               features (ingest + feature caches), run the classifier
+//               ONCE per batch, per-format regressors for indirect and
+//               predict requests, fulfil callbacks
+//
+// Sharded dispatch: submit() round-robins requests across dispatch_shards
+// independent {mutex, queue, dispatcher thread} shards, so producers no
+// longer serialize on one queue lock. Each shard keeps the micro-batch
+// window semantics of the single dispatcher; an idle shard steals the
+// oldest requests from a backlogged neighbour (overflow hint + steal
+// scan), so one hot shard cannot strand latency while others sleep.
+// dispatch_shards = 1 reproduces the original single-dispatcher service.
+//
+// Ingestion: matrix files resolve through the MatrixCache (matrix_cache.hpp)
+// — stat-cache content keys, a byte-budget LRU of parsed CSRs served as
+// borrowed refcounted views, binary sidecar loads, and single-flight miss
+// coalescing. A repeat request costs two stat() calls and two hash-map
+// lookups; the text parse happens once per distinct file content.
 //
 // Deadlines: a request may carry deadline_ms. Indirect selection costs a
 // regressor pass per modeled format; when the measured per-item cost
@@ -36,6 +50,8 @@
 //
 // Hot-swap: each batch pins the registry's current bundle once; a swap
 // mid-batch is invisible to that batch and takes effect from the next.
+// Swaps never touch the ingest cache: a borrowed matrix view stays valid
+// across any number of swaps and evictions.
 #pragma once
 
 #include <atomic>
@@ -49,11 +65,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "gpusim/arch.hpp"
 #include "serve/breaker.hpp"
 #include "serve/feature_cache.hpp"
+#include "serve/matrix_cache.hpp"
 #include "sparse/csr.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
@@ -69,10 +87,21 @@ struct ServiceConfig {
   /// requests before running it anyway.
   double max_delay_ms = 1.0;
   /// Admission control: pending requests beyond this are rejected.
+  /// The capacity is global across dispatch shards.
   std::size_t queue_capacity = 256;
   /// Feature-cache entries (0 disables the cache) and shard count.
   std::size_t cache_capacity = 512;
   int cache_shards = 8;
+  /// Materialized-matrix ingest cache: byte budget for parsed CSR
+  /// instances (serve --ingest-cache-mb; 0 disables caching, every load
+  /// re-parses but single-flight coalescing still applies) and its LRU
+  /// shard count.
+  std::size_t ingest_cache_bytes = 256ull << 20;
+  int ingest_cache_shards = 8;
+  /// Dispatch shards (serve --shards): independent pending queues and
+  /// dispatcher threads; submit round-robins across them and idle shards
+  /// steal from backlogged ones. 1 = the original single dispatcher.
+  int dispatch_shards = 1;
   /// Precision assumed by the memory-feasibility gate.
   Precision precision = Precision::kDouble;
   /// Default memory budget in GB (0 = unconstrained); a request's
@@ -125,6 +154,7 @@ class Service {
   void shutdown();
 
   const FeatureCache& cache() const { return cache_; }
+  const MatrixCache& ingest() const { return ingest_; }
 
   struct Counters {
     std::uint64_t served = 0;
@@ -135,6 +165,7 @@ class Service {
     std::uint64_t retries = 0;          // transient-fault retries spent
     std::uint64_t watchdog_killed = 0;  // requests failed by the watchdog
     std::uint64_t breaker_trips = 0;    // sum over the stage breakers
+    std::uint64_t steals = 0;  // batches an idle shard stole from another
   };
   Counters counters() const;
 
@@ -146,10 +177,17 @@ class Service {
   struct ResponseSlot {
     Callback done;
     std::atomic<bool> delivered{false};
-    bool deliver(const Response& r) {
+    /// Win the right to respond (worker vs. watchdog race). The winner
+    /// must account *before* finish(): once the callback runs, the
+    /// caller may read Service::counters() and must see this request.
+    bool claim() {
       bool expected = false;
-      if (!delivered.compare_exchange_strong(expected, true)) return false;
-      done(r);
+      return delivered.compare_exchange_strong(expected, true);
+    }
+    void finish(const Response& r) { done(r); }
+    bool deliver(const Response& r) {
+      if (!claim()) return false;
+      finish(r);
       return true;
     }
   };
@@ -160,6 +198,15 @@ class Service {
     Clock::time_point enqueued;
   };
 
+  /// One dispatch shard: its own pending queue, lock, and dispatcher
+  /// thread. Producers touch exactly one shard per submit.
+  struct DispatchShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    std::thread dispatcher;  // started in the Service constructor body
+  };
+
   /// Watchdog view of one in-flight batch: enough to fail its requests
   /// without touching the worker's state.
   struct Inflight {
@@ -168,22 +215,29 @@ class Service {
     std::vector<Response> skeletons;  // id/mode prefilled
   };
 
-  void dispatcher_loop();
+  void dispatcher_loop(std::size_t shard_index);
+  /// Take the oldest pending requests (up to max_batch) from another
+  /// shard's queue. Called with no shard lock held; returns the stolen
+  /// batch (possibly empty).
+  std::vector<Pending> steal_batch(std::size_t thief_index);
+  void launch_batch(std::vector<Pending> batch);
   void process_batch(std::vector<Pending>& batch);
   void watchdog_loop();
   void kill_overdue(Clock::time_point now);
   /// Resolve features (+ digest when a matrix is available) for one
   /// request. Returns false after recording an error in `rsp` OR after
   /// putting the request on the static-CSR rung (`csr_fallback`). When
-  /// `keep_matrix` is non-null (materialize requests) the parsed CSR is
-  /// moved into it for the stage-4 arena conversion.
+  /// `keep_view` is non-null (materialize requests) a borrowed ingest
+  /// view of the CSR is stored into it for the stage-4 arena conversion.
   bool resolve_features(Pending& item, Response& rsp, FeatureVector& features,
                         RowSummary& summary, bool& has_summary,
-                        bool& csr_fallback, Csr<double>* keep_matrix);
+                        bool& csr_fallback,
+                        std::shared_ptr<const Csr<double>>* keep_view);
 
   ServiceConfig cfg_;
   ModelRegistry& registry_;
   FeatureCache cache_;
+  MatrixCache ingest_;
   ThreadPool pool_;
 
   CircuitBreaker feature_breaker_;
@@ -191,10 +245,16 @@ class Service {
   CircuitBreaker regress_breaker_;
   CircuitBreaker materialize_breaker_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<DispatchShard>> shards_;
+  std::atomic<bool> stopping_{false};
+  /// Round-robin cursor for submit()'s shard choice.
+  std::atomic<std::uint64_t> submit_seq_{0};
+  /// Requests sitting in shard queues (global, for the capacity gate).
+  std::atomic<std::uint64_t> total_queued_{0};
+  /// Backlogged-shard hint: bumped by submit() when a shard's queue
+  /// exceeds one full batch; wakes a neighbour to steal.
+  std::atomic<int> steal_hint_{0};
+  std::atomic<std::uint64_t> steals_{0};
   std::once_flag shutdown_once_;
 
   std::mutex inflight_mu_;
@@ -212,18 +272,19 @@ class Service {
   /// the first indirect/predict batch measures it.
   std::atomic<double> indirect_item_cost_ms_{0.0};
   /// EWMA of total per-item batch cost (ms): drives admission shedding.
+  /// Asymmetric smoothing — falls fast (cache-warm batches should stop
+  /// the shedding quickly), rises slowly (one slow batch is not a
+  /// regime change).
   std::atomic<double> batch_item_cost_ms_{0.0};
-  /// Items admitted but not yet finished (dispatcher queue + batches in
-  /// or awaiting the pool). The dispatcher drains `queue_` into pool
-  /// tasks immediately, so queue_.size() alone hides the real backlog.
+  /// Items admitted but not yet finished (shard queues + batches in
+  /// or awaiting the pool). The dispatchers drain their queues into
+  /// pool tasks immediately, so queue sizes alone hide the real backlog.
   std::atomic<std::uint64_t> backlog_{0};
 
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
   std::thread watchdog_;
-
-  std::thread dispatcher_;  // last member: started after everything above
 };
 
 }  // namespace spmvml::serve

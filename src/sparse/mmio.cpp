@@ -1,6 +1,7 @@
 #include "sparse/mmio.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -32,6 +33,37 @@ bool is_blank(const std::string& line) {
 
 std::string at_line(std::size_t lineno) {
   return " (line " + std::to_string(lineno) + ")";
+}
+
+const char* skip_spaces(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  return p;
+}
+
+/// from_chars fast path for one `r c [v]` entry line — the per-entry
+/// istringstream construction dominates cold-parse time on large files.
+/// Returns false on anything unusual (sign prefixes, trailing tokens,
+/// locale oddities); the caller then retries the original istream path,
+/// so the accepted grammar is unchanged. Both parsers produce correctly
+/// rounded doubles, so the values are bitwise-identical either way.
+bool parse_entry_fast(const std::string& line, bool pattern, index_t& r,
+                      index_t& c, double& v) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  p = skip_spaces(p, end);
+  auto [pr, ecr] = std::from_chars(p, end, r);
+  if (ecr != std::errc{}) return false;
+  p = skip_spaces(pr, end);
+  auto [pc, ecc] = std::from_chars(p, end, c);
+  if (ecc != std::errc{}) return false;
+  p = pc;
+  if (!pattern) {
+    p = skip_spaces(p, end);
+    auto [pv, ecv] = std::from_chars(p, end, v);
+    if (ecv != std::errc{}) return false;
+    p = pv;
+  }
+  return skip_spaces(p, end) == end;
 }
 
 }  // namespace
@@ -95,13 +127,16 @@ Csr<double> read_matrix_market(std::istream& in) {
       --i;  // tolerate stray blank lines between entries
       continue;
     }
-    std::istringstream entry(line);
     index_t r = 0, c = 0;
     double v = 1.0;
-    entry >> r >> c;
-    if (!pattern) entry >> v;
-    SPMVML_ENSURE_CAT(!entry.fail(), ErrorCategory::kParse,
-                      "malformed entry line: " + line + at_line(lineno));
+    if (!parse_entry_fast(line, pattern, r, c, v)) {
+      std::istringstream entry(line);
+      r = 0, c = 0, v = 1.0;
+      entry >> r >> c;
+      if (!pattern) entry >> v;
+      SPMVML_ENSURE_CAT(!entry.fail(), ErrorCategory::kParse,
+                        "malformed entry line: " + line + at_line(lineno));
+    }
     SPMVML_ENSURE_CAT(r >= 1 && r <= rows && c >= 1 && c <= cols,
                       ErrorCategory::kParse,
                       "entry index out of range" + at_line(lineno));

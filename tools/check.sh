@@ -44,7 +44,7 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Arena|Differential|Chaos|Breaker|Drain'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Ingest|Arena|Differential|Chaos|Breaker|Drain'
 elif [[ "${1:-}" == "--chaos" ]]; then
   echo "== chaos smoke (asan; scripted fault bursts + robustness tests) =="
   cmake -B build-chaos -S . "-DSPMVML_SANITIZE=address;undefined" \
@@ -68,6 +68,8 @@ else
     exit 1
   fi
   run_suite build
+  echo "== sidecar self-test (binary CSR round-trip, bitwise) =="
+  ./build/tools/spmvml sidecar --self-test
   echo "== serving smoke (BENCH_serving.json schema + contract check) =="
   ./build/bench/serving_bench --smoke --out build/BENCH_serving.json
   echo "== spmv smoke (BENCH_spmv.json bitwise contract check) =="

@@ -52,8 +52,10 @@
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
+#include "sparse/csr_binary.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/reorder.hpp"
+#include "synth/generators.hpp"
 
 using namespace spmvml;
 
@@ -73,12 +75,22 @@ namespace {
                "[--precision single|double] <matrix.mtx>\n"
                "  spmvml predict    --model <file> <matrix.mtx>\n"
                "  spmvml inspect    <matrix.mtx>\n"
+               "  spmvml sidecar    <matrix.mtx> [--out <file>] | "
+               "--self-test\n"
+               "                    convert to the binary CSR sidecar "
+               "(<matrix.mtx>.spmvml-csr)\n"
+               "                    that serving bulk-loads instead of "
+               "re-parsing the text;\n"
+               "                    --self-test round-trips a synthetic "
+               "matrix and verifies\n"
+               "                    bitwise identity with the text parse\n"
                "  spmvml serve      --model <file> [--perf-model <file>] "
                "[--threads N]\n"
                "                    [--max-batch N] [--max-delay-ms F] "
                "[--queue-cap N]\n"
                "                    [--cache-cap N] [--mem-budget GB] "
                "[--precision ...]\n"
+               "                    [--ingest-cache-mb N] [--shards N]\n"
                "                    [--admission-target-ms F] "
                "[--watchdog-ms F] [--max-retries N]\n"
                "                    JSONL requests on stdin, responses on "
@@ -106,7 +118,7 @@ namespace {
 
 /// Flags that take no value; everything else consumes the next token.
 bool is_flag_option(const std::string& name) {
-  return name == "verbose" || name == "quiet";
+  return name == "verbose" || name == "quiet" || name == "self-test";
 }
 
 struct Args {
@@ -381,6 +393,18 @@ int cmd_serve(const Args& a) {
       static_cast<std::size_t>(numeric_opt(a, "queue-cap", 256.0, 1.0, 1e6));
   cfg.cache_capacity =
       static_cast<std::size_t>(numeric_opt(a, "cache-cap", 512.0, 0.0, 1e7));
+  // Ingest cache and dispatch shards: flag > env > default. The env
+  // knobs let deployment scripts tune serving without touching the
+  // command line (SPMVML_INGEST_CACHE_MB, SPMVML_SHARDS).
+  cfg.ingest_cache_bytes =
+      static_cast<std::size_t>(numeric_opt(
+          a, "ingest-cache-mb",
+          static_cast<double>(env_int("SPMVML_INGEST_CACHE_MB", 256)), 0.0,
+          1e6))
+      << 20;
+  cfg.dispatch_shards = static_cast<int>(numeric_opt(
+      a, "shards", static_cast<double>(env_int("SPMVML_SHARDS", 1)), 1.0,
+      64.0));
   cfg.precision = precision_of(a);
   cfg.mem_budget_gb = numeric_opt(a, "mem-budget", 0.0, 0.0, 1e6);
   cfg.admission_target_ms =
@@ -452,7 +476,17 @@ int cmd_serve(const Args& a) {
       .kv("shed", counters.shed)
       .kv("retries", counters.retries)
       .kv("watchdog_killed", counters.watchdog_killed)
-      .kv("breaker_trips", counters.breaker_trips);
+      .kv("breaker_trips", counters.breaker_trips)
+      .kv("steals", counters.steals);
+  const auto ingest = service.ingest().stats();
+  obs::log_info("serve.ingest.summary")
+      .kv("hits", ingest.hits)
+      .kv("misses", ingest.misses)
+      .kv("parses", ingest.parses)
+      .kv("sidecar_loads", ingest.sidecar_loads)
+      .kv("coalesced", ingest.coalesced)
+      .kv("evictions", ingest.evictions)
+      .kv("bytes", static_cast<std::uint64_t>(ingest.bytes));
   return 0;
 }
 
@@ -476,12 +510,79 @@ int cmd_inspect(const Args& a) {
   return 0;
 }
 
+/// Strict bitwise CSR comparison (memcmp over the raw arrays): the
+/// sidecar contract is byte identity with the text parse, stronger than
+/// operator== (which would conflate -0.0 with 0.0).
+bool csr_bitwise_equal(const Csr<double>& a, const Csr<double>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.nnz() == b.nnz() &&
+         std::memcmp(a.row_ptr().data(), b.row_ptr().data(),
+                     a.row_ptr().size_bytes()) == 0 &&
+         std::memcmp(a.col_idx().data(), b.col_idx().data(),
+                     a.col_idx().size_bytes()) == 0 &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.values().size_bytes()) == 0;
+}
+
+int cmd_sidecar(const Args& a) {
+  if (a.options.count("self-test")) {
+    // Round-trip a few synthetic matrices through text -> sidecar ->
+    // reload and demand bitwise identity with the text parse. Wired into
+    // tools/check.sh so a converter regression fails the tier-1 gate.
+    const std::string dir = "spmvml_sidecar_selftest.tmp";
+    for (const MatrixFamily family :
+         {MatrixFamily::kBanded, MatrixFamily::kPowerLaw,
+          MatrixFamily::kUniformRandom}) {
+      GenSpec spec;
+      spec.family = family;
+      spec.rows = spec.cols = 500;
+      spec.seed = 7 + static_cast<std::uint64_t>(family);
+      const Csr<double> synth = generate(spec);
+      const std::string mtx = dir + "." + family_name(family) + ".mtx";
+      write_matrix_market(mtx, synth);
+      const Csr<double> text = read_matrix_market(mtx);
+      write_csr_binary(csr_sidecar_path(mtx), text);
+      const Csr<double> binary = read_csr_binary(csr_sidecar_path(mtx));
+      const bool same = csr_bitwise_equal(text, binary);
+      std::remove(mtx.c_str());
+      std::remove(csr_sidecar_path(mtx).c_str());
+      SPMVML_ENSURE_CAT(same, ErrorCategory::kIo,
+                        std::string("sidecar self-test: binary CSR differs "
+                                    "from the text parse for family ") +
+                            family_name(family));
+    }
+    std::printf("sidecar self-test: ok\n");
+    return 0;
+  }
+  if (a.positional.empty()) usage();
+  const std::string in_path = a.positional.front();
+  const Csr<double> matrix = read_matrix_market(in_path);
+  const std::string out_path =
+      opt(a, "out", csr_sidecar_path(in_path).c_str());
+  write_csr_binary(out_path, matrix);
+  // Verify the round trip before reporting success: a sidecar that does
+  // not reproduce the text parse bit-for-bit must never be left on disk.
+  const Csr<double> reloaded = read_csr_binary(out_path);
+  if (!csr_bitwise_equal(matrix, reloaded)) {
+    std::remove(out_path.c_str());
+    SPMVML_ENSURE_CAT(false, ErrorCategory::kIo,
+                      "sidecar verification failed for " + out_path +
+                          " (removed)");
+  }
+  obs::log_info("cli.sidecar_written")
+      .kv("path", out_path)
+      .kv("rows", static_cast<std::uint64_t>(matrix.rows()))
+      .kv("nnz", static_cast<std::uint64_t>(matrix.nnz()));
+  std::printf("%s\n", out_path.c_str());
+  return 0;
+}
+
 int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "train-perf") return cmd_train_perf(args);
   if (cmd == "select") return cmd_select(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "sidecar") return cmd_sidecar(args);
   if (cmd == "serve") return cmd_serve(args);
   usage();
 }
