@@ -40,11 +40,13 @@
 
 #include "common/chaos/chaos.hpp"
 #include "common/json_writer.hpp"
+#include "common/obs/trace.hpp"
 #include "common/timer.hpp"
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
+#include "serve/scorecard.hpp"
 #include "serve/service.hpp"
 #include "sparse/mmio.hpp"
 #include "synth/corpus.hpp"
@@ -62,7 +64,14 @@ struct BenchConfig {
   /// exceeds --max-p99-ms. CI's perf-smoke job sets both.
   double min_rps = 0.0;
   double max_p99_ms = 0.0;
-  std::string out_path;  // default depends on mode
+  std::string out_path;    // default depends on mode
+  /// Chrome trace of the open-loop + scorecard phases (non-chaos mode).
+  /// The open loop runs with telemetry ON — tracing active and 1 in 100
+  /// requests tagged with id'd spans — so the --min-rps/--max-p99-ms
+  /// gates prove sampled tracing does not perturb serving.
+  std::string trace_out = "BENCH_serving_trace.json";
+  int trace_sample() const { return 100; }  // 1% of open-loop requests
+  int scorecard_passes() const { return 2; }
   int corpus_size() const { return smoke ? 32 : 48; }
   int matrices() const { return smoke ? 4 : 8; }
   int clients() const { return 4; }
@@ -402,10 +411,12 @@ int main_impl(int argc, char** argv) {
       cfg.min_rps = std::atof(argv[++i]);
     } else if (arg == "--max-p99-ms" && i + 1 < argc) {
       cfg.max_p99_ms = std::atof(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: serving_bench [--smoke] [--chaos] [--min-rps F] "
-                   "[--max-p99-ms F] [--out file]\n");
+                   "[--max-p99-ms F] [--out file] [--trace-out file]\n");
       return 2;
     }
   }
@@ -568,10 +579,15 @@ int main_impl(int argc, char** argv) {
   // Admission shedding is on here: with the offered rate outrunning the
   // service, unbounded queueing would report "rejected 0" while p50
   // climbs into seconds. Shedding makes the rejected count honest.
+  // Telemetry ON for the rest of the run: Chrome tracing active with 1%
+  // of requests carrying id'd per-request spans. The perf gates below
+  // apply to this configuration, so passing them proves sampled
+  // request-scoped telemetry does not perturb serving.
+  if (!cfg.trace_out.empty()) obs::trace_start(cfg.trace_out);
   std::printf("== open loop: %d requests at %.0f req/s offered, admission "
-              "target %.0f ms ==\n",
+              "target %.0f ms, trace sampling 1/%d ==\n",
               cfg.open_requests(), cfg.open_rate_rps(),
-              cfg.admission_target_ms());
+              cfg.admission_target_ms(), cfg.trace_sample());
   std::vector<double> open_lat;
   std::vector<double> shed_wait_ms;  // est. queue age of shed requests
   std::uint64_t open_rejected = 0, open_failed = 0;
@@ -589,9 +605,11 @@ int main_impl(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     for (int k = 0; k < cfg.open_requests(); ++k) {
       std::this_thread::sleep_until(start + k * interval);
-      futures.push_back(service.submit(make_request(
+      serve::Request req = make_request(
           "o" + std::to_string(k), kModes[k % 3],
-          paths[static_cast<std::size_t>(k) % paths.size()])));
+          paths[static_cast<std::size_t>(k) % paths.size()]);
+      req.trace_sampled = (k % cfg.trace_sample()) == 0;
+      futures.push_back(service.submit(std::move(req)));
     }
     for (auto& f : futures) {
       const auto rsp = f.get();
@@ -621,6 +639,39 @@ int main_impl(int argc, char** argv) {
     std::printf("  shed %zu with est queue wait p50 %.1f ms, p95 %.1f ms, "
                 "p99 %.1f ms\n",
                 shed_wait_ms.size(), shed_p.p50, shed_p.p95, shed_p.p99);
+
+  // --- Scorecard: materialize requests close the predict/measure loop. ---
+  // Every materialized conversion runs one timed SpMV and records
+  // predicted-vs-measured GFLOPS plus chosen-vs-best regret; the
+  // service-side scorecard aggregates them into the accuracy numbers
+  // reported below (and gated on: a run must produce records).
+  const int scorecard_n = cfg.scorecard_passes() * cfg.matrices();
+  std::printf("== scorecard: %d materialize requests over %d matrices ==\n",
+              scorecard_n, cfg.matrices());
+  serve::Scorecard::Summary score;
+  std::uint64_t score_failed = 0;
+  {
+    serve::Service service(svc_cfg, registry);
+    for (int rep = 0; rep < cfg.scorecard_passes(); ++rep) {
+      for (std::size_t m = 0; m < paths.size(); ++m) {
+        serve::Request req = make_request(
+            "sc" + std::to_string(rep) + "-" + std::to_string(m),
+            serve::RequestMode::kIndirect, paths[m]);
+        req.materialize = true;
+        req.trace_sampled = true;  // few requests: trace them all
+        const auto rsp = service.call(std::move(req));
+        if (!rsp.ok) ++score_failed;
+      }
+    }
+    score = service.scorecard().summary();
+    service.shutdown();
+  }
+  if (!cfg.trace_out.empty()) obs::trace_stop();
+  std::printf("  records %llu, selection accuracy %.2f, mean regret %.3f, "
+              "predicted-vs-measured RME %.2f, failed %llu\n",
+              static_cast<unsigned long long>(score.total), score.accuracy,
+              score.mean_regret, score.rme,
+              static_cast<unsigned long long>(score_failed));
 
   for (const auto& path : paths) std::remove(path.c_str());
 
@@ -670,17 +721,30 @@ int main_impl(int argc, char** argv) {
   write_percentiles(json, shed_p);
   json.end_object();
   json.end_object();
+  json.key("scorecard");
+  json.begin_object();
+  json.kv("records", score.total);
+  json.kv("window", static_cast<std::uint64_t>(score.window));
+  json.kv("selection_accuracy", score.accuracy);
+  json.kv("mean_regret", score.mean_regret);
+  json.kv("predicted_vs_measured_rme", score.rme);
+  json.kv("failed", score_failed);
+  json.end_object();
+  json.kv("trace_sample", cfg.trace_sample());
   const bool gate_rps = cfg.min_rps <= 0.0 || open_rps >= cfg.min_rps;
   const bool gate_p99 =
       cfg.max_p99_ms <= 0.0 || open_p.p99 <= cfg.max_p99_ms;
+  const bool gate_scorecard = score.total > 0 && score_failed == 0;
   const bool pass = identical && versions_monotonic && closed_failed == 0 &&
-                    open_failed == 0 && gate_rps && gate_p99;
+                    open_failed == 0 && gate_rps && gate_p99 &&
+                    gate_scorecard;
   json.key("gates");
   json.begin_object();
   json.kv("min_rps", cfg.min_rps);
   json.kv("max_p99_ms", cfg.max_p99_ms);
   json.kv("achieved_rps_ok", gate_rps);
   json.kv("p99_ok", gate_p99);
+  json.kv("scorecard_records_ok", gate_scorecard);
   json.kv("pass", pass);
   json.end_object();
   json.end_object();
@@ -692,6 +756,11 @@ int main_impl(int argc, char** argv) {
   if (!gate_p99)
     std::printf("GATE FAIL: open-loop p99 %.2f ms > --max-p99-ms %.2f\n",
                 open_p.p99, cfg.max_p99_ms);
+  if (!gate_scorecard)
+    std::printf("GATE FAIL: scorecard records %llu (failed %llu) — "
+                "materialize requests produced no accuracy data\n",
+                static_cast<unsigned long long>(score.total),
+                static_cast<unsigned long long>(score_failed));
   return pass ? 0 : 1;
 }
 

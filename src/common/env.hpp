@@ -22,6 +22,13 @@
 //   SPMVML_LOG           — structured-log level: debug|info|warn|error|off
 //                          (default off; data outputs stay byte-identical)
 //   SPMVML_TRACE         — path for a Chrome trace-event JSON of the run
+//   SPMVML_TRACE_SAMPLE  — serving per-request trace sampling: every Nth
+//                          parsed request gets id-tagged spans (1 = all,
+//                          default 0 = off; `serve --trace-sample` wins;
+//                          DESIGN.md §5j)
+//   SPMVML_STATS_EVERY_S — serving periodic metrics-snapshot interval in
+//                          seconds, written to `serve --stats-file` by
+//                          atomic rename (default 0 = off; the flag wins)
 //
 // Chaos knob (read by common/chaos/, not via the helpers here):
 //

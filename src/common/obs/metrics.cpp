@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -195,22 +196,68 @@ void MetricsRegistry::reset() {
   }
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  const std::uint64_t n = stats.count();
+  if (n == 0) return 0.0;
+  // The extremes are tracked exactly; no need to interpolate for them.
+  if (q <= 0.0) return stats.min();
+  if (q >= 1.0) return stats.max();
+  // Rank of the target observation (1-based, ceil), then walk the
+  // cumulative bucket counts to the bucket containing it.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t prev = cum;
+    cum += buckets[b];
+    if (rank > cum) continue;
+    double lo, hi;
+    if (b >= bounds.size()) {
+      // Overflow bucket: no finite upper bound; the exact max is the only
+      // honest answer.
+      return stats.max();
+    }
+    hi = bounds[b];
+    lo = (b == 0) ? std::min(stats.min(), hi) : bounds[b - 1];
+    // Linear interpolation within the bucket, then clamp to the exact
+    // observed range (makes single-observation histograms exact).
+    double v = lo;
+    if (buckets[b] > 0)
+      v = lo + (hi - lo) * (static_cast<double>(rank - prev) /
+                            static_cast<double>(buckets[b]));
+    return std::min(std::max(v, stats.min()), stats.max());
+  }
+  return stats.max();  // unreachable when buckets/count are consistent
+}
+
+// The snapshot vectors are name-sorted (see MetricsSnapshot); these
+// lookups binary-search that order. Report/bench code calls them in
+// loops, so the log-n here replaced measurable linear-scan time.
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
-  for (const auto& [n, v] : counters)
-    if (n == name) return v;
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != counters.end() && it->first == name) return it->second;
   return 0;
 }
 
 double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
-  for (const auto& [n, v] : gauges)
-    if (n == name) return v;
+  const auto it = std::lower_bound(
+      gauges.begin(), gauges.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != gauges.end() && it->first == name) return it->second;
   return fallback;
 }
 
 const HistogramSnapshot* MetricsSnapshot::histogram(
     std::string_view name) const {
-  for (const auto& h : histograms)
-    if (h.name == name) return &h;
+  const auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const HistogramSnapshot& h, std::string_view key) {
+        return h.name < key;
+      });
+  if (it != histograms.end() && it->name == name) return &*it;
   return nullptr;
 }
 

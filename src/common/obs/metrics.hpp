@@ -90,15 +90,25 @@ struct HistogramSnapshot {
   std::vector<double> bounds;            // inclusive upper bounds
   std::vector<std::uint64_t> buckets;    // bounds.size() + 1 (overflow last)
   StreamingStats stats;                  // exact count/sum/min/max
+
+  /// Bucket-interpolated quantile estimate for q in [0,1], clamped to the
+  /// exact [min,max] StreamingStats tracks (so a single observation is
+  /// exact and no estimate leaves the observed range). The overflow
+  /// bucket maps to max; an empty histogram returns 0.
+  double quantile(double q) const;
 };
 
 struct MetricsSnapshot {
-  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  // All three vectors are name-sorted: counters and gauges come out of
+  // std::map iteration, histograms are sorted explicitly by snapshot()
+  // (and by the report reader). That ordering IS the name index — the
+  // lookup helpers below binary-search it instead of scanning.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// Lookup helpers for tests and the report writer; missing names give
-  /// 0 / fallback / nullptr.
+  /// 0 / fallback / nullptr. O(log n) over the name-sorted vectors.
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name, double fallback = 0.0) const;
   const HistogramSnapshot* histogram(std::string_view name) const;

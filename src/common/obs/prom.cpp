@@ -1,0 +1,333 @@
+#include "common/obs/prom.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json_writer.hpp"
+
+namespace spmvml::obs {
+
+namespace {
+
+// ---- minimal recursive-descent JSON reader ------------------------------
+//
+// Just enough JSON to read back what common/json_writer emitted: objects,
+// arrays, strings with the escapes escape() produces, numbers, true/false/
+// null. Keys keep insertion order (the report writer emits name-sorted
+// objects, but the reader re-sorts anyway).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    SPMVML_ENSURE_CAT(pos_ == text_.size(), ErrorCategory::kParse,
+                      "trailing bytes after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error(what + " at byte " + std::to_string(pos_),
+                ErrorCategory::kParse);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      expect('{');
+      v.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        JsonValue key = parse_value();
+        if (key.kind != JsonValue::Kind::kString) fail("object key");
+        expect(':');
+        v.fields.emplace_back(std::move(key.str), parse_value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      expect('[');
+      v.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(parse_value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kString;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        char ch = text_[pos_++];
+        if (ch == '\\') {
+          if (pos_ >= text_.size()) fail("dangling escape");
+          const char esc = text_[pos_++];
+          switch (esc) {
+            case '"': ch = '"'; break;
+            case '\\': ch = '\\'; break;
+            case '/': ch = '/'; break;
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case 'r': ch = '\r'; break;
+            case 'b': ch = '\b'; break;
+            case 'f': ch = '\f'; break;
+            case 'u': {
+              if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+              unsigned code = 0;
+              for (int i = 0; i < 4; ++i) {
+                const char h = text_[pos_++];
+                code <<= 4;
+                if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                  code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                  code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                  fail("bad \\u escape");
+              }
+              // The writer only \u-escapes control bytes (< 0x20).
+              ch = static_cast<char>(code);
+              break;
+            }
+            default: fail("unknown escape");
+          }
+        }
+        v.str.push_back(ch);
+      }
+      if (pos_ >= text_.size()) fail("unterminated string");
+      ++pos_;  // closing quote
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("unexpected character");
+    try {
+      v.num = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double number_field(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  SPMVML_ENSURE_CAT(v != nullptr && v->kind == JsonValue::Kind::kNumber,
+                    ErrorCategory::kParse,
+                    "missing numeric field \"" + std::string(key) + "\"");
+  return v->num;
+}
+
+/// Prometheus float rendering: shortest-round-trip like the JSON writer,
+/// but non-finite values spell NaN/+Inf/-Inf instead of `null`.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return JsonWriter::number(v);
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "spmvml_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << ' ' << prom_number(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string pname = prometheus_name(h.name);
+    out << "# TYPE " << pname << " histogram\n";
+    // Prometheus buckets are cumulative; the snapshot's are per-bucket.
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += b < h.buckets.size() ? h.buckets[b] : 0;
+      out << pname << "_bucket{le=\"" << prom_number(h.bounds[b]) << "\"} "
+          << cum << '\n';
+    }
+    if (h.buckets.size() > h.bounds.size()) cum += h.buckets.back();
+    out << pname << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    out << pname << "_sum " << prom_number(h.stats.sum()) << '\n';
+    out << pname << "_count " << static_cast<std::uint64_t>(h.stats.count())
+        << '\n';
+  }
+}
+
+MetricsSnapshot read_report_metrics(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonReader reader(text);
+  const JsonValue root = reader.parse();
+  SPMVML_ENSURE_CAT(root.kind == JsonValue::Kind::kObject,
+                    ErrorCategory::kParse, "report root is not an object");
+  // Accept either a full report ({"run":..., "metrics":{...}}) or a bare
+  // metrics object (the serve `stats` response embeds one).
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr) metrics = &root;
+  SPMVML_ENSURE_CAT(metrics->kind == JsonValue::Kind::kObject,
+                    ErrorCategory::kParse, "\"metrics\" is not an object");
+
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = metrics->find("counters")) {
+    SPMVML_ENSURE_CAT(counters->kind == JsonValue::Kind::kObject,
+                      ErrorCategory::kParse, "\"counters\" is not an object");
+    for (const auto& [name, v] : counters->fields) {
+      SPMVML_ENSURE_CAT(v.kind == JsonValue::Kind::kNumber,
+                        ErrorCategory::kParse, "counter " + name);
+      snap.counters.emplace_back(name, static_cast<std::uint64_t>(v.num));
+    }
+  }
+  if (const JsonValue* gauges = metrics->find("gauges")) {
+    SPMVML_ENSURE_CAT(gauges->kind == JsonValue::Kind::kObject,
+                      ErrorCategory::kParse, "\"gauges\" is not an object");
+    for (const auto& [name, v] : gauges->fields) {
+      SPMVML_ENSURE_CAT(v.kind == JsonValue::Kind::kNumber,
+                        ErrorCategory::kParse, "gauge " + name);
+      snap.gauges.emplace_back(name, v.num);
+    }
+  }
+  if (const JsonValue* hists = metrics->find("histograms")) {
+    SPMVML_ENSURE_CAT(hists->kind == JsonValue::Kind::kObject,
+                      ErrorCategory::kParse, "\"histograms\" is not an object");
+    for (const auto& [name, v] : hists->fields) {
+      SPMVML_ENSURE_CAT(v.kind == JsonValue::Kind::kObject,
+                        ErrorCategory::kParse, "histogram " + name);
+      HistogramSnapshot h;
+      h.name = name;
+      const JsonValue* bounds = v.find("bounds");
+      const JsonValue* buckets = v.find("buckets");
+      SPMVML_ENSURE_CAT(bounds != nullptr &&
+                            bounds->kind == JsonValue::Kind::kArray &&
+                            buckets != nullptr &&
+                            buckets->kind == JsonValue::Kind::kArray,
+                        ErrorCategory::kParse,
+                        "histogram " + name + " bounds/buckets");
+      for (const JsonValue& b : bounds->items) h.bounds.push_back(b.num);
+      for (const JsonValue& b : buckets->items)
+        h.buckets.push_back(static_cast<std::uint64_t>(b.num));
+      SPMVML_ENSURE_CAT(h.buckets.size() == h.bounds.size() + 1,
+                        ErrorCategory::kParse,
+                        "histogram " + name + " bucket count mismatch");
+      h.stats = StreamingStats::from_summary(
+          static_cast<std::int64_t>(number_field(v, "count")),
+          number_field(v, "sum"), number_field(v, "mean"),
+          number_field(v, "stddev"), number_field(v, "min"),
+          number_field(v, "max"));
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+
+  // The lookup helpers binary-search on name order; enforce it here
+  // rather than trusting the file.
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace spmvml::obs

@@ -1,0 +1,38 @@
+// Prometheus text-exposition translation of a metrics snapshot, plus the
+// report-JSON reader that feeds it (`spmvml stats-export report.json`).
+//
+// The exporter is deliberately a pure translation layer: the server only
+// ever writes its own report/stats schema (report.hpp), and this module
+// turns a snapshot — live, or round-tripped through a report file — into
+// the Prometheus text format (# TYPE lines, cumulative `_bucket{le=...}`
+// series, `_sum`/`_count`). Metric names are sanitized to the Prometheus
+// charset ([a-zA-Z0-9_:]) and prefixed `spmvml_`, so `serve.latency_s`
+// becomes `spmvml_serve_latency_s`.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "common/obs/metrics.hpp"
+
+namespace spmvml::obs {
+
+/// Sanitize a registry metric name for Prometheus: every byte outside
+/// [a-zA-Z0-9_:] becomes '_', and the result gains the "spmvml_" prefix.
+std::string prometheus_name(std::string_view name);
+
+/// Write `snap` in the Prometheus text exposition format. Counters map to
+/// `# TYPE ... counter`, gauges to `gauge`, histograms to the native
+/// histogram triplet: cumulative `_bucket{le="..."}` series ending in
+/// le="+Inf", then `_sum` and `_count`.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Parse the `metrics` object of a report JSON document (either a full
+/// report with a top-level "metrics" key, or a bare metrics object) back
+/// into a MetricsSnapshot. Histogram stats are rebuilt from the reported
+/// summary moments (StreamingStats::from_summary), which round-trips
+/// every field the exporter needs. Throws spmvml::Error (kParse) on
+/// malformed input.
+MetricsSnapshot read_report_metrics(std::istream& in);
+
+}  // namespace spmvml::obs

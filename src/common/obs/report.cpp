@@ -5,23 +5,11 @@
 
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
+#include "common/obs/log.hpp"
 
 namespace spmvml::obs {
 
-void write_report_json(std::ostream& out, const ReportMeta& meta,
-                       const MetricsSnapshot& snap) {
-  JsonWriter w(out, 2);
-  w.begin_object();
-  w.key("run");
-  w.begin_object();
-  w.kv("tool", std::string_view(meta.tool));
-  w.kv("command", std::string_view(meta.command));
-  w.kv("seed", meta.seed);
-  w.kv("threads", meta.threads);
-  w.kv("wall_s", meta.wall_s);
-  w.end_object();
-
-  w.key("metrics");
+void write_metrics_object(JsonWriter& w, const MetricsSnapshot& snap) {
   w.begin_object();
 
   w.key("counters");
@@ -57,7 +45,25 @@ void write_report_json(std::ostream& out, const ReportMeta& meta,
   }
   w.end_object();
 
-  w.end_object();  // metrics
+  w.end_object();
+}
+
+void write_report_json(std::ostream& out, const ReportMeta& meta,
+                       const MetricsSnapshot& snap) {
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("run");
+  w.begin_object();
+  w.kv("tool", std::string_view(meta.tool));
+  w.kv("command", std::string_view(meta.command));
+  w.kv("seed", meta.seed);
+  w.kv("threads", meta.threads);
+  w.kv("wall_s", meta.wall_s);
+  w.end_object();
+
+  w.key("metrics");
+  write_metrics_object(w, snap);
+
   w.end_object();  // root
   out << '\n';
 }
@@ -75,6 +81,66 @@ void write_report(const std::string& path, const ReportMeta& meta,
                       "write failed for " + tmp);
   }
   std::filesystem::rename(tmp, path);
+}
+
+PeriodicReporter::PeriodicReporter(std::string path, double interval_s,
+                                   ReportMeta meta, MetricsRegistry& registry)
+    : path_(std::move(path)),
+      interval_(interval_s > 0 ? interval_s : 1.0),
+      meta_(std::move(meta)),
+      registry_(registry),
+      started_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      if (!thread_.joinable()) return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_once();  // final snapshot: the file always reflects the full run
+}
+
+std::uint64_t PeriodicReporter::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+bool PeriodicReporter::write_once() {
+  ReportMeta meta = meta_;
+  meta.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+  try {
+    write_report(path_, meta, registry_);
+  } catch (const std::exception& e) {
+    // Stats must never take the server down: log and carry on.
+    log_warn("stats.write_failed").kv("path", path_).kv("error", e.what());
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writes_;
+  return true;
+}
+
+void PeriodicReporter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(interval_),
+                     [this] { return stop_; }))
+      break;
+    lock.unlock();
+    write_once();
+    lock.lock();
+  }
 }
 
 }  // namespace spmvml::obs

@@ -6,9 +6,14 @@
 // bucket bounds, per-bucket counts and the merged StreamingStats moments.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
+#include "common/json_writer.hpp"
 #include "common/obs/metrics.hpp"
 
 namespace spmvml::obs {
@@ -26,9 +31,52 @@ struct ReportMeta {
 void write_report_json(std::ostream& out, const ReportMeta& meta,
                        const MetricsSnapshot& snap);
 
+/// Write just the metrics object ({"counters":...,"gauges":...,
+/// "histograms":...}) through an existing writer. Shared by the report
+/// file, the serve `stats` control-line response and the periodic
+/// snapshot writer, so every consumer sees the same schema.
+void write_metrics_object(JsonWriter& w, const MetricsSnapshot& snap);
+
 /// Snapshot `registry` and write the report to `path` (atomic temp-file
 /// rename, like the corpus cache). Throws spmvml::Error on I/O failure.
 void write_report(const std::string& path, const ReportMeta& meta,
                   MetricsRegistry& registry = MetricsRegistry::global());
+
+/// Background periodic snapshot writer (`serve --stats-every-s`): every
+/// `interval_s` seconds it snapshots the global registry and rewrites
+/// `path` via the same atomic temp-file rename as write_report, so a
+/// scraper (or `spmvml stats-export`) never reads a torn file. I/O
+/// failures are logged, not fatal — stats must never take the server
+/// down. stop() (or the destructor) writes one final snapshot so the
+/// file always reflects the full run.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(std::string path, double interval_s, ReportMeta meta,
+                   MetricsRegistry& registry = MetricsRegistry::global());
+  ~PeriodicReporter();
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stop the thread and write the final snapshot. Idempotent.
+  void stop();
+
+  /// Snapshots written so far (test hook).
+  std::uint64_t writes() const;
+
+ private:
+  void loop();
+  bool write_once();
+
+  std::string path_;
+  std::chrono::duration<double> interval_;
+  ReportMeta meta_;
+  MetricsRegistry& registry_;
+  std::chrono::steady_clock::time_point started_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t writes_ = 0;
+  std::thread thread_;
+};
 
 }  // namespace spmvml::obs

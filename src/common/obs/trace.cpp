@@ -144,6 +144,40 @@ void trace_instant(std::string_view name) {
   state().events.push_back(std::move(e));
 }
 
+void trace_instant(std::string_view name, std::string_view id) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'i';
+  e.tid = thread_tid();
+  e.args.push_back({"id", '"' + JsonWriter::escape(id) + '"'});
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  if (g_state.load(std::memory_order_relaxed) != 2) return;
+  e.ts_us = now_us_locked();
+  state().events.push_back(std::move(e));
+}
+
+void trace_complete(std::string_view name, double dur_us,
+                    std::string_view id) {
+  if (!trace_enabled()) return;
+  if (dur_us < 0) dur_us = 0;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'X';
+  e.dur_us = dur_us;
+  e.tid = thread_tid();
+  e.args.push_back({"id", '"' + JsonWriter::escape(id) + '"'});
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  if (g_state.load(std::memory_order_relaxed) != 2) return;
+  const double end_us = now_us_locked();
+  e.ts_us = end_us - dur_us;
+  if (e.ts_us < 0) {  // duration crossed a trace_start() reset
+    e.ts_us = 0;
+    e.dur_us = end_us;
+  }
+  state().events.push_back(std::move(e));
+}
+
 TraceSpan::TraceSpan(std::string_view name) : enabled_(trace_enabled()) {
   if (!enabled_) return;
   name_ = std::string(name);

@@ -64,6 +64,19 @@ void write_trace_json(std::ostream& out, const std::vector<TraceEvent>& events);
 /// Thread-scoped instant event; no-op when tracing is off.
 void trace_instant(std::string_view name);
 
+/// Instant event tagged with a request id ("args":{"id":...}); serving
+/// uses these for per-request points (admit, shed, infer) that have no
+/// duration of their own. No-op when tracing is off.
+void trace_instant(std::string_view name, std::string_view id);
+
+/// Complete ("X") event that *ends now* and started dur_us ago, tagged
+/// with a request id. Serving phases that start on one thread and end on
+/// another (queue wait, whole-request latency) cannot be scoped RAII
+/// spans, so they are recorded retroactively from the measured duration.
+/// No-op when tracing is off.
+void trace_complete(std::string_view name, double dur_us,
+                    std::string_view id);
+
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name);

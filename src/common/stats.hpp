@@ -66,6 +66,25 @@ class StreamingStats {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Rebuild an accumulator from previously reported summary moments
+  /// (count/sum/mean/stddev/min/max — the exact fields the obs report
+  /// serializes). Round-trips every getter: stddev is the population
+  /// form, so m2 = stddev^2 * n. Lets the report reader reconstruct
+  /// histogram stats for re-export without access to the raw stream.
+  static StreamingStats from_summary(std::int64_t count, double sum,
+                                     double mean, double stddev, double min,
+                                     double max) {
+    StreamingStats s;
+    if (count <= 0) return s;
+    s.n_ = count;
+    s.sum_ = sum;
+    s.mean_ = mean;
+    s.m2_ = stddev * stddev * static_cast<double>(count);
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::int64_t n_ = 0;
   double mean_ = 0.0;

@@ -155,6 +155,7 @@ void MatrixCache::put(std::uint64_t key,
 MatrixCache::View MatrixCache::parse(const std::string& path,
                                      const FileId& id) {
   obs::TraceSpan span("serve.ingest.parse");
+  span.arg("path", std::string_view(path));
   View view;
   Csr<double> matrix;
   if (is_csr_binary_path(path)) {
@@ -175,6 +176,7 @@ MatrixCache::View MatrixCache::parse(const std::string& path,
   }
   parses_.fetch_add(1, std::memory_order_relaxed);
   parse_counter().inc();
+  span.arg("sidecar", static_cast<int>(view.sidecar));
   if (view.sidecar) {
     sidecar_loads_.fetch_add(1, std::memory_order_relaxed);
     sidecar_counter().inc();

@@ -92,6 +92,7 @@ std::uint64_t ModelRegistry::install(
   obs::log_info("serve.registry.swap")
       .kv("version", current_->version)
       .kv("has_perf", current_->perf != nullptr);
+  span.arg("version", current_->version);
   return current_->version;
 }
 

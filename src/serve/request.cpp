@@ -1,11 +1,13 @@
 #include "serve/request.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <sstream>
 
 #include "common/chaos/chaos.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
 #include "features/features.hpp"
@@ -214,7 +216,28 @@ bool field_as_bool(const std::string& key, const Field& f) {
   return f.boolean;
 }
 
+// Per-request trace sampling: -1 = uninitialised (first trace_sample()
+// call reads SPMVML_TRACE_SAMPLE), 0 = off, N = every Nth request.
+std::atomic<int> g_trace_sample{-1};
+// Monotonic parse sequence: drives both generated `srv-<seq>` ids and
+// the 1-in-N sampling decision.
+std::atomic<std::uint64_t> g_request_seq{0};
+
 }  // namespace
+
+int trace_sample() {
+  int n = g_trace_sample.load(std::memory_order_relaxed);
+  if (n < 0) {
+    n = static_cast<int>(env_int("SPMVML_TRACE_SAMPLE", 0));
+    if (n < 0) n = 0;
+    g_trace_sample.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_trace_sample(int n) {
+  g_trace_sample.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+}
 
 const char* request_mode_name(RequestMode m) {
   switch (m) {
@@ -253,10 +276,17 @@ ParsedLine parse_request_line(const std::string& line) {
         SPMVML_ENSURE_CAT(false, ErrorCategory::kParse,
                           "unknown admin field '" + key + "'");
     }
-    SPMVML_ENSURE_CAT(out.admin.cmd == "swap", ErrorCategory::kParse,
+    SPMVML_ENSURE_CAT(out.admin.cmd == "swap" || out.admin.cmd == "stats",
+                      ErrorCategory::kParse,
                       "unknown admin command '" + out.admin.cmd + "'");
-    SPMVML_ENSURE_CAT(!out.admin.model_path.empty(), ErrorCategory::kParse,
-                      "swap needs a 'model' path");
+    if (out.admin.cmd == "swap") {
+      SPMVML_ENSURE_CAT(!out.admin.model_path.empty(), ErrorCategory::kParse,
+                        "swap needs a 'model' path");
+    } else {
+      SPMVML_ENSURE_CAT(
+          out.admin.model_path.empty() && out.admin.perf_model_path.empty(),
+          ErrorCategory::kParse, "stats takes no model paths");
+    }
     return out;
   }
 
@@ -296,6 +326,14 @@ ParsedLine parse_request_line(const std::string& line) {
                     ErrorCategory::kParse,
                     "'materialize' is meaningless for mode=predict (no "
                     "single format is chosen)");
+  // Every request leaves the parser with a stable id and a sampling
+  // decision; downstream stages tag trace events with the id and never
+  // re-decide sampling (so the decision survives work-stealing).
+  const std::uint64_t seq =
+      g_request_seq.fetch_add(1, std::memory_order_relaxed);
+  if (r.id.empty()) r.id = "srv-" + std::to_string(seq);
+  const int sample = trace_sample();
+  r.trace_sampled = sample > 0 && (seq % static_cast<std::uint64_t>(sample)) == 0;
   return out;
 }
 
@@ -303,7 +341,10 @@ std::string to_json(const Response& r) {
   std::ostringstream os;
   JsonWriter json(os, /*indent=*/0);
   json.begin_object();
-  json.kv("id", r.id);
+  // Requests always carry an id after parse (client-supplied or
+  // generated); an empty id only happens on parse-error responses where
+  // the line never yielded one.
+  if (!r.id.empty()) json.kv("id", r.id);
   json.kv("ok", r.ok);
   if (!r.ok) {
     json.kv("error", r.error);
@@ -312,6 +353,7 @@ std::string to_json(const Response& r) {
       json.kv("est_wait_ms", r.est_wait_ms);
     }
     if (r.retries > 0) json.kv("retries", static_cast<std::int64_t>(r.retries));
+    if (r.server_ms > 0.0) json.kv("server_ms", r.server_ms);
     json.end_object();
     return os.str();
   }
@@ -334,12 +376,26 @@ std::string to_json(const Response& r) {
     json.kv("materialized", true);
     json.kv("convert_ms", r.convert_ms);
     json.kv("format_bytes", r.format_bytes);
+    json.kv("spmv_ms", r.spmv_ms);
+    json.kv("measured_gflops", r.measured_gflops);
+    if (r.predicted_gflops > 0.0)
+      json.kv("predicted_gflops", r.predicted_gflops);
   }
   json.kv("cache_hit", r.cache_hit);
   json.kv("model_version", r.model_version);
   json.kv("batch", r.batch);
   json.kv("queue_ms", r.queue_ms);
   json.kv("latency_ms", r.latency_ms);
+  if (r.server_ms > 0.0) json.kv("server_ms", r.server_ms);
+  if (r.has_stage_ms) {
+    json.key("stage_ms");
+    json.begin_object();
+    json.kv("features", r.stage_features_ms);
+    json.kv("classify", r.stage_classify_ms);
+    json.kv("regress", r.stage_regress_ms);
+    json.kv("finalize", r.stage_finalize_ms);
+    json.end_object();
+  }
   json.end_object();
   return os.str();
 }

@@ -31,7 +31,16 @@ enum class RequestMode : int { kSelect = 0, kIndirect = 1, kPredict = 2 };
 const char* request_mode_name(RequestMode m);
 
 struct Request {
+  /// Stable request id: the client's `id` when supplied, otherwise a
+  /// generated `srv-<seq>` assigned at parse. Echoed on the response and
+  /// tagged on every trace event the request produces, so one id follows
+  /// the request through admission, shard queues, work-stealing, batch
+  /// stages and materialization.
   std::string id;
+  /// True when the per-request trace sampler (`--trace-sample=N` /
+  /// SPMVML_TRACE_SAMPLE) picked this request: the service emits
+  /// id-tagged spans for it. False = only batch-level spans.
+  bool trace_sampled = false;
   RequestMode mode = RequestMode::kSelect;
   /// Matrix Market path; empty when `features` is supplied inline.
   std::string matrix_path;
@@ -49,12 +58,25 @@ struct Request {
 };
 
 /// Control-plane lines share the JSONL stream ("cmd" instead of "mode").
+///
+///   {"cmd":"swap","model":"sel_v2.model","perf_model":"perf_v2.model"}
+///   {"cmd":"stats","id":"s1"}
+///
+/// "stats" returns one JSON line with the server's counters, scorecard
+/// summary, ingest stats and a full metrics snapshot — the live stats
+/// plane, no restart or --report needed.
 struct AdminCommand {
   std::string id;
-  std::string cmd;  // currently: "swap"
+  std::string cmd;  // "swap" or "stats"
   std::string model_path;
   std::string perf_model_path;
 };
+
+/// Per-request trace sampling rate: every Nth parsed request is marked
+/// trace_sampled (1 = every request, 0 = none). The first call reads
+/// SPMVML_TRACE_SAMPLE; `serve --trace-sample=N` overrides it.
+int trace_sample();
+void set_trace_sample(int n);
 
 struct ParsedLine {
   bool is_admin = false;
@@ -96,10 +118,24 @@ struct Response {
   double queue_ms = 0.0;    // enqueue -> batch pickup
   double latency_ms = 0.0;  // enqueue -> response
   std::uint64_t batch = 0;  // size of the micro-batch this rode in
+  /// End-to-end server time (parse -> response emitted), stamped at the
+  /// transport boundary by the serve loop; 0 when served outside it.
+  double server_ms = 0.0;
+  /// Per-stage batch processing breakdown, reported as "stage_ms":{...}
+  /// on ok responses. The values are per-batch (every request in a
+  /// micro-batch shares them) — the granularity at which the stages run.
+  bool has_stage_ms = false;
+  double stage_features_ms = 0.0;
+  double stage_classify_ms = 0.0;
+  double stage_regress_ms = 0.0;
+  double stage_finalize_ms = 0.0;
   /// Set when the request asked to materialize the chosen format.
   bool materialized = false;
   double convert_ms = 0.0;        // arena conversion time
   std::int64_t format_bytes = 0;  // device-footprint of the built format
+  double spmv_ms = 0.0;           // timed SpMV on the built format
+  double measured_gflops = 0.0;   // 2*nnz / measured SpMV time
+  double predicted_gflops = 0.0;  // perf-model estimate; 0 = no perf model
 };
 
 /// Compact single-line JSON rendering (no trailing newline).

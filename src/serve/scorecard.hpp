@@ -1,0 +1,93 @@
+// Prediction scorecard: the serving-side ledger of "what the model said
+// vs what the hardware did".
+//
+// Whenever a materialize request runs a real conversion + SpMV, the
+// service records one ScorecardEntry — the features fingerprint, the
+// chosen format, the perf model's predicted-best format and predicted
+// GFLOPS, the measured GFLOPS of the actual SpMV, and the chosen-vs-best
+// regret under the model's own time predictions. Entries land in a
+// bounded ring journal (oldest evicted first) and roll up into live
+// registry gauges:
+//
+//   serve.scorecard.records   counter  entries ever recorded
+//   serve.scorecard.hits      counter  chosen == predicted-best
+//   serve.scorecard.accuracy  gauge    hit fraction over the ring window
+//   serve.scorecard.mean_regret gauge  mean regret over the window
+//   serve.scorecard.rme       gauge    mean |pred-meas|/meas over the
+//                                      window (entries with both sides)
+//   serve.scorecard.rel_err   histogram per-entry |pred-meas|/meas
+//
+// This is exactly the drift feed the ROADMAP "close the loop" item needs:
+// a retraining loop can drain entries() (features hash ↔ measured truth)
+// or watch the gauges for drift without touching request paths.
+//
+// Thread-safety: record() and the read accessors take one mutex; the ring
+// aggregates (hits, regret, RME sums) are maintained incrementally so a
+// record is O(1), never a rescan of the window.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sparse/format.hpp"
+
+namespace spmvml::serve {
+
+/// FNV-1a over the raw bytes of the feature values: a stable fingerprint
+/// tying a scorecard entry back to the feature vector that produced the
+/// prediction (the retraining loop's join key).
+std::uint64_t features_fingerprint(std::span<const double> values);
+
+struct ScorecardEntry {
+  std::uint64_t features_hash = 0;
+  Format chosen = Format::kCsr;
+  /// argmin of the perf model's predicted times; == chosen when no perf
+  /// model was available (accuracy then measures classifier self-agreement).
+  Format predicted_best = Format::kCsr;
+  double predicted_gflops = 0.0;  // perf-model estimate for chosen; 0 = none
+  double measured_gflops = 0.0;   // from the timed SpMV on the real matrix
+  /// predicted_time(chosen) / predicted_time(predicted_best) - 1; 0 when
+  /// the chosen format is the predicted best or no perf model ran.
+  double regret = 0.0;
+  std::uint64_t model_version = 0;
+};
+
+class Scorecard {
+ public:
+  explicit Scorecard(std::size_t capacity = 1024);
+
+  /// Append one entry (evicting the oldest past capacity) and refresh the
+  /// registry counters/gauges listed above.
+  void record(const ScorecardEntry& e);
+
+  /// Ring contents, oldest first (the retraining feed).
+  std::vector<ScorecardEntry> entries() const;
+
+  struct Summary {
+    std::uint64_t total = 0;    // entries ever recorded
+    std::size_t window = 0;     // entries currently retained
+    double accuracy = 0.0;      // chosen == predicted_best fraction (window)
+    double mean_regret = 0.0;   // mean regret (window)
+    double rme = 0.0;           // mean |pred-meas|/meas (window, both sides)
+  };
+  Summary summary() const;
+
+ private:
+  /// Window-aggregate delta for one entry entering (+1) or leaving (-1).
+  void apply(const ScorecardEntry& e, int sign);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<ScorecardEntry> ring_;  // circular once full
+  std::size_t next_ = 0;              // insertion cursor
+  std::uint64_t total_ = 0;
+  // Incremental window aggregates (signed: apply() subtracts on evict).
+  std::int64_t window_hits_ = 0;
+  double window_regret_sum_ = 0.0;
+  double window_rel_err_sum_ = 0.0;
+  std::int64_t window_rel_err_count_ = 0;
+};
+
+}  // namespace spmvml::serve

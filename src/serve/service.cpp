@@ -106,6 +106,11 @@ Service::Service(ServiceConfig config, ModelRegistry& registry)
 Service::~Service() { shutdown(); }
 
 void Service::submit(Request req, Callback done) {
+  // Sampling was decided once at parse; it travels with the request (so
+  // it survives shard hand-offs and work-stealing) and only turns into
+  // events while a trace is actually recording.
+  const bool sampled = req.trace_sampled && obs::trace_enabled();
+  if (sampled) obs::trace_instant("req.admit", req.id);
   auto slot = std::make_shared<ResponseSlot>();
   slot->done = std::move(done);
   Response reject;
@@ -171,6 +176,7 @@ void Service::submit(Request req, Callback done) {
     }
   }
   // Deliver the rejection outside the lock; the callback may do I/O.
+  if (sampled) obs::trace_instant("req.shed", reject.id);
   rejected_.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::global().counter("serve.rejected").inc();
   if (!reject.shed.empty()) {
@@ -590,26 +596,45 @@ void Service::process_batch(std::vector<Pending>& batch) {
   };
   std::vector<Slot> slots(batch.size());
 
+  // Per-batch stage breakdown: every request in the batch shares these
+  // (the stages run at batch granularity), reported as "stage_ms".
+  const bool tracing = obs::trace_enabled();
+  double stage_features_ms = 0.0;
+  double stage_classify_ms = 0.0;
+  double stage_regress_ms = 0.0;
+  double stage_finalize_ms = 0.0;
+
   // --- Stage 1: features (ingest + caches + Table II extraction). ---
   {
     obs::TraceSpan features_span("serve.features");
+    WallTimer stage_timer;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Slot& s = slots[i];
+      const bool sampled = tracing && batch[i].req.trace_sampled;
       s.rsp.id = batch[i].req.id;
       s.rsp.mode = batch[i].req.mode;
       s.rsp.batch = batch.size();
       s.rsp.queue_ms = ms_between(batch[i].enqueued, picked_up);
       registry_metrics.histogram("serve.queue_s", obs::default_latency_bounds_s())
           .observe(s.rsp.queue_ms / 1e3);
+      // Queue wait started on the submitting thread and ended here
+      // (possibly after a steal), so it is recorded retroactively.
+      if (sampled)
+        obs::trace_complete("req.queue", s.rsp.queue_ms * 1e3, s.rsp.id);
       if (bundle == nullptr) {
         s.rsp.error = "model-format: no model installed in the registry";
         continue;
       }
       s.rsp.model_version = bundle->version;
+      WallTimer request_timer;
       s.live = resolve_features(batch[i], s.rsp, s.features, s.summary,
                                 s.has_summary, s.csr_fallback,
                                 batch[i].req.materialize ? &s.view : nullptr);
+      if (sampled)
+        obs::trace_complete("req.features", request_timer.millis() * 1e3,
+                            s.rsp.id);
     }
+    stage_features_ms = stage_timer.millis();
   }
 
   // --- Stage 2: one batched classifier pass over every live request. ---
@@ -618,6 +643,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
   // inference breaker sends select/indirect to the CSR rung wholesale.
   if (bundle != nullptr) {
     obs::TraceSpan classify_span("serve.classify");
+    WallTimer stage_timer;
     const bool inference_up = inference_breaker_.allow(Clock::now());
     ml::Matrix x;
     std::vector<std::size_t> rows;  // slot index per matrix row
@@ -694,12 +720,16 @@ void Service::process_batch(std::vector<Pending>& batch) {
         inference_breaker_.record(true, per_item_ms, Clock::now());
         s.rsp.predicted = candidates[static_cast<std::size_t>(label)];
         s.rsp.format = s.rsp.predicted;
+        if (tracing && batch[rows[k]].req.trace_sampled)
+          obs::trace_instant("req.infer", s.rsp.id);
       }
     }
+    stage_classify_ms = stage_timer.millis();
   }
 
   // --- Stage 3: feasibility + indirect/predict regressor pass. ---
   if (bundle != nullptr) {
+    WallTimer stage_timer;
     // Deadline triage first: an indirect request whose remaining budget
     // cannot fit the (EWMA-estimated) regressor pass degrades to the
     // direct prediction computed above. An open regress breaker does
@@ -775,6 +805,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
                                       : 0.8 * prev + 0.2 * per_item_ms;
       indirect_item_cost_ms_.store(next, std::memory_order_relaxed);
     }
+    stage_regress_ms = stage_timer.millis();
   }
 
   // --- Stage 4: per-request finalization (feasibility + argmin). ---
@@ -783,6 +814,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
   // backlog estimate that already accounts for this batch.
   std::vector<char> counted(batch.size(), 0);  // select_feasible() bumps
                                                // serve.select itself
+  WallTimer finalize_timer;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     Slot& s = slots[i];
     Pending& item = batch[i];
@@ -888,6 +920,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
               // conversion performs no heap allocation. The borrowed
               // view is read-only; the arena copies what it needs.
               thread_local ConversionArena<double> arena;
+              WallTimer materialize_timer;
               WallTimer convert_timer;
               const AnyMatrix<double>& built =
                   arena.convert(s.rsp.format, *s.view);
@@ -900,6 +933,62 @@ void Service::process_batch(std::vector<Pending>& batch) {
                   .counter(std::string("serve.materialize.") +
                            format_name(s.rsp.format))
                   .inc();
+
+              // Prediction scorecard: this is the one place the service
+              // holds both the model's opinion and a real, just-built
+              // format — run one SpMV on it and ledger predicted vs
+              // measured. The x/y vectors are thread_local like the
+              // arena, so steady state allocates nothing.
+              thread_local std::vector<double> spmv_x, spmv_y;
+              spmv_x.assign(static_cast<std::size_t>(s.view->cols()), 1.0);
+              spmv_y.assign(static_cast<std::size_t>(s.view->rows()), 0.0);
+              WallTimer spmv_timer;
+              built.spmv(spmv_x, spmv_y);
+              // Clamp: a sub-resolution measurement must not produce an
+              // infinite GFLOPS figure.
+              const double spmv_s = std::max(spmv_timer.seconds(), 1e-9);
+              s.rsp.spmv_ms = spmv_s * 1e3;
+              const double flops = 2.0 * static_cast<double>(s.view->nnz());
+              s.rsp.measured_gflops = flops / spmv_s / 1e9;
+
+              ScorecardEntry entry;
+              entry.features_hash = features_fingerprint(s.features.values);
+              entry.chosen = s.rsp.format;
+              entry.predicted_best = s.rsp.format;
+              entry.measured_gflops = s.rsp.measured_gflops;
+              entry.model_version = s.rsp.model_version;
+              // Per-format predicted times: reuse the regressor pass when
+              // stage 3 ran it, otherwise price the formats here (the
+              // conversion+SpMV just done dwarfs this pass).
+              std::vector<std::pair<Format, double>> predicted_us =
+                  s.rsp.predicted_us;
+              if (predicted_us.empty() && bundle->perf != nullptr)
+                for (const Format f : bundle->perf->formats())
+                  predicted_us.emplace_back(
+                      f,
+                      bundle->perf->predict_seconds(s.features, f) * 1e6);
+              if (!predicted_us.empty()) {
+                double chosen_us = 0.0;
+                double best_us = 0.0;
+                for (const auto& [f, us] : predicted_us) {
+                  if (f == s.rsp.format) chosen_us = us;
+                  if (best_us <= 0.0 || us < best_us) {
+                    best_us = us;
+                    entry.predicted_best = f;
+                  }
+                }
+                if (chosen_us > 0.0) {
+                  entry.predicted_gflops = flops / (chosen_us * 1e-6) / 1e9;
+                  s.rsp.predicted_gflops = entry.predicted_gflops;
+                  if (best_us > 0.0)
+                    entry.regret = chosen_us / best_us - 1.0;
+                }
+              }
+              scorecard_.record(entry);
+              if (tracing && item.req.trace_sampled)
+                obs::trace_complete("req.materialize",
+                                    materialize_timer.millis() * 1e3,
+                                    s.rsp.id);
             }
           }
         }
@@ -910,6 +999,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
       }
     }
   }
+  stage_finalize_ms = finalize_timer.millis();
 
   // Admission shedding feeds on the measured per-item batch cost. Updated
   // before delivery: once a caller sees its response, the next submit()
@@ -933,6 +1023,13 @@ void Service::process_batch(std::vector<Pending>& batch) {
     Slot& s = slots[i];
     Pending& item = batch[i];
     s.rsp.latency_ms = ms_between(item.enqueued, Clock::now());
+    s.rsp.has_stage_ms = true;  // to_json only renders it on ok responses
+    s.rsp.stage_features_ms = stage_features_ms;
+    s.rsp.stage_classify_ms = stage_classify_ms;
+    s.rsp.stage_regress_ms = stage_regress_ms;
+    s.rsp.stage_finalize_ms = stage_finalize_ms;
+    if (tracing && item.req.trace_sampled)
+      obs::trace_complete("req.done", s.rsp.latency_ms * 1e3, s.rsp.id);
     if (!item.slot->claim()) continue;  // watchdog got there first
     // Account before invoking the callback: the moment finish() runs,
     // the caller may wake and read counters(), which must already

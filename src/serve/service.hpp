@@ -75,6 +75,7 @@
 #include "sparse/csr.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
+#include "serve/scorecard.hpp"
 
 namespace spmvml::serve {
 
@@ -155,6 +156,10 @@ class Service {
 
   const FeatureCache& cache() const { return cache_; }
   const MatrixCache& ingest() const { return ingest_; }
+  /// Prediction scorecard: one entry per materialized conversion+SpMV
+  /// (predicted vs measured GFLOPS, chosen-vs-best regret). The drift
+  /// feed for the future continual-retraining loop.
+  const Scorecard& scorecard() const { return scorecard_; }
 
   struct Counters {
     std::uint64_t served = 0;
@@ -238,6 +243,7 @@ class Service {
   ModelRegistry& registry_;
   FeatureCache cache_;
   MatrixCache ingest_;
+  Scorecard scorecard_;
   ThreadPool pool_;
 
   CircuitBreaker feature_breaker_;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -23,6 +24,7 @@
 #include "common/json_writer.hpp"
 #include "common/obs/log.hpp"
 #include "common/obs/metrics.hpp"
+#include "common/obs/prom.hpp"
 #include "common/obs/report.hpp"
 #include "common/obs/trace.hpp"
 #include "core/label_collector.hpp"
@@ -634,6 +636,309 @@ TEST(ObsReport, RoundTripsThroughWriterAndParser) {
   EXPECT_EQ(bucket_total, 2.0);
   EXPECT_DOUBLE_EQ(hist.at("min").number, 1e-4);
   EXPECT_DOUBLE_EQ(hist.at("max").number, 2e-3);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles
+
+TEST(ObsMetrics, QuantileOfEmptyHistogramIsZero) {
+  obs::MetricsRegistry reg;
+  (void)reg.histogram("q.empty", std::vector<double>{1.0, 10.0});
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.histogram("q.empty");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->quantile(0.0), 0.0);
+  EXPECT_EQ(hist->quantile(0.5), 0.0);
+  EXPECT_EQ(hist->quantile(1.0), 0.0);
+}
+
+TEST(ObsMetrics, QuantileOfSingleObservationIsExact) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("q.single", std::vector<double>{1.0, 10.0, 100.0});
+  h.observe(5.0);
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.histogram("q.single");
+  ASSERT_NE(hist, nullptr);
+  // Clamping to the observed [min, max] makes every quantile exact.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(hist->quantile(q), 5.0) << "q=" << q;
+}
+
+TEST(ObsMetrics, QuantileAllOverflowReturnsExactMax) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("q.overflow", std::vector<double>{1.0});
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(30.0);
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.histogram("q.overflow");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->buckets.size(), 2u);
+  EXPECT_EQ(hist->buckets[0], 0u);
+  EXPECT_EQ(hist->buckets[1], 3u);
+  // The overflow bucket has no finite upper bound: the exact max is the
+  // only honest answer, for any quantile landing there.
+  EXPECT_DOUBLE_EQ(hist->quantile(0.1), 30.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 30.0);
+}
+
+TEST(ObsMetrics, QuantileInterpolatesAndStaysMonotonic) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("q.interp", std::vector<double>{10.0, 20.0, 30.0});
+  for (int v = 1; v <= 30; ++v) h.observe(static_cast<double>(v));
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.histogram("q.interp");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), 1.0);   // clamped to min
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 30.0);  // clamped to max
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = hist->quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 30.0);
+    prev = v;
+  }
+  // Median of 1..30 lands in the (10, 20] bucket.
+  EXPECT_GT(hist->quantile(0.5), 10.0);
+  EXPECT_LE(hist->quantile(0.5), 20.0);
+}
+
+TEST(ObsConcurrency, ShardedQuantilesMatchSerialMergeExactly) {
+  obs::MetricsRegistry reg;
+  const std::vector<double> bounds = {1e-3, 2e-3, 4e-3, 8e-3};
+  auto h = reg.histogram("q.sharded", bounds);
+  constexpr int kThreads = 6, kPerThread = 4000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(1e-6 *
+                  static_cast<double>((t * kPerThread + i) % 10000 + 1));
+    });
+  for (auto& w : workers) w.join();
+
+  // A serial histogram fed the same multiset must agree bucket-for-bucket
+  // (shard merge is exact integer addition), hence quantile-for-quantile.
+  obs::MetricsRegistry serial_reg;
+  auto serial_h = serial_reg.histogram("q.serial", bounds);
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i)
+      serial_h.observe(1e-6 *
+                       static_cast<double>((t * kPerThread + i) % 10000 + 1));
+  const auto sharded_snap = reg.snapshot();
+  const auto serial_snap = serial_reg.snapshot();
+  const auto* sharded = sharded_snap.histogram("q.sharded");
+  const auto* serial = serial_snap.histogram("q.serial");
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_EQ(sharded->buckets, serial->buckets);
+  EXPECT_EQ(sharded->stats.count(), serial->stats.count());
+  EXPECT_DOUBLE_EQ(sharded->stats.min(), serial->stats.min());
+  EXPECT_DOUBLE_EQ(sharded->stats.max(), serial->stats.max());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(sharded->quantile(q), serial->quantile(q)) << "q=" << q;
+}
+
+TEST(ObsMetrics, SnapshotLookupsFindEveryNameInSortedOrder) {
+  // The lookups binary-search the name-sorted snapshot vectors; exercise
+  // names that stress lexicographic ordering (prefixes, separators).
+  obs::MetricsRegistry reg;
+  const std::vector<std::string> names = {"a",     "a.b", "a.b.c", "ab",
+                                          "m.mid", "z",   "z.z"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    reg.counter(names[i]).add(i + 1);
+    reg.gauge(names[i] + ".g").set(static_cast<double>(i) + 0.5);
+    reg.histogram(names[i] + ".h", std::vector<double>{1.0})
+        .observe(static_cast<double>(i + 1));
+  }
+  const auto snap = reg.snapshot();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(snap.counter(names[i]), i + 1) << names[i];
+    EXPECT_DOUBLE_EQ(snap.gauge(names[i] + ".g"),
+                     static_cast<double>(i) + 0.5);
+    const auto* h = snap.histogram(names[i] + ".h");
+    ASSERT_NE(h, nullptr) << names[i];
+    EXPECT_EQ(h->stats.count(), 1);
+  }
+  EXPECT_EQ(snap.counter(""), 0u);
+  EXPECT_EQ(snap.counter("a.b.c.d"), 0u);
+  EXPECT_EQ(snap.counter("zz"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("nope"), 0.0);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Id-tagged trace events (the request-scoped telemetry primitives)
+
+TEST(ObsTrace, InstantAndCompleteCarryRequestId) {
+  obs::trace_start("");
+  obs::trace_instant("req.admit", "r-\"1\"");
+  // Let real time pass so the retroactive 100us span starts after
+  // trace_start and is recorded unclamped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  obs::trace_complete("req.queue", 100.0, "r-\"1\"");
+  const auto events = obs::trace_snapshot();
+  obs::trace_stop();
+  ASSERT_EQ(events.size(), 2u);
+
+  EXPECT_EQ(events[0].name, "req.admit");
+  EXPECT_EQ(events[0].phase, 'i');
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "id");
+  EXPECT_EQ(events[0].args[0].json, "\"r-\\\"1\\\"\"");  // escaped JSON
+
+  // trace_complete records retroactively: the span ends "now" and starts
+  // dur_us earlier, so it still lands in the right place on the timeline.
+  EXPECT_EQ(events[1].name, "req.queue");
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_GE(events[1].ts_us, 0.0);
+  EXPECT_NEAR(events[1].dur_us, 100.0, 1e-6);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us, events[0].ts_us);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].key, "id");
+}
+
+TEST(ObsTrace, CompleteClampsSpansPredatingTraceStart) {
+  // A retroactive duration longer than the trace has been running cannot
+  // start before t=0: the span is clamped to [0, now] instead of going
+  // negative (which Chrome trace viewers reject).
+  obs::trace_start("");
+  obs::trace_complete("req.early", 1e9, "r-0");
+  const auto events = obs::trace_snapshot();
+  obs::trace_stop();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts_us, 0.0);
+  EXPECT_LT(events[0].dur_us, 1e9);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(ObsTrace, IdTaggedEventsAreNoOpsWhenDisabled) {
+  obs::trace_instant("req.admit", "r-1");
+  obs::trace_complete("req.queue", 10.0, "r-1");
+  obs::trace_start("");
+  const auto events = obs::trace_snapshot();
+  obs::trace_stop();
+  EXPECT_TRUE(events.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter + report reader
+
+TEST(ObsProm, SanitizesMetricNames) {
+  EXPECT_EQ(obs::prometheus_name("serve.latency_s"),
+            "spmvml_serve_latency_s");
+  EXPECT_EQ(obs::prometheus_name("a-b c:d"), "spmvml_a_b_c:d");
+  EXPECT_EQ(obs::prometheus_name(""), "spmvml_");
+}
+
+TEST(ObsProm, WritesCountersGaugesAndCumulativeHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("p.requests").add(7);
+  reg.gauge("p.depth").set(-1.5);
+  auto h = reg.histogram("p.lat", std::vector<double>{1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  std::ostringstream out;
+  obs::write_prometheus_text(out, reg.snapshot());
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE spmvml_p_requests counter\n"
+                      "spmvml_p_requests 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE spmvml_p_depth gauge\n"
+                      "spmvml_p_depth -1.5\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("# TYPE spmvml_p_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("spmvml_p_lat_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvml_p_lat_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvml_p_lat_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvml_p_lat_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvml_p_lat_count 3\n"), std::string::npos);
+}
+
+TEST(ObsProm, ReportRoundTripPreservesTheExportedText) {
+  // Live registry -> report JSON -> read_report_metrics -> Prometheus
+  // text must equal the text exported straight from the live snapshot:
+  // the file is a faithful transport, not a lossy approximation.
+  obs::MetricsRegistry reg;
+  reg.counter("rt.count").add(42);
+  reg.gauge("rt.gauge").set(2.75);
+  auto h = reg.histogram("rt.hist", obs::default_latency_bounds_s());
+  h.observe(1e-4);
+  h.observe(2e-3);
+  h.observe(0.5);
+  const auto live = reg.snapshot();
+
+  std::ostringstream report;
+  obs::ReportMeta meta;
+  meta.tool = "spmvml test";
+  obs::write_report_json(report, meta, live);
+  std::istringstream in(report.str());
+  const auto reread = obs::read_report_metrics(in);
+
+  std::ostringstream from_live, from_file;
+  obs::write_prometheus_text(from_live, live);
+  obs::write_prometheus_text(from_file, reread);
+  EXPECT_EQ(from_live.str(), from_file.str());
+  EXPECT_FALSE(from_live.str().empty());
+
+  // The reread snapshot also answers lookups/quantiles like the live one.
+  const auto* hist = reread.histogram("rt.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->stats.count(), 3);
+  EXPECT_DOUBLE_EQ(hist->stats.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(hist->stats.max(), 0.5);
+  const auto* live_hist = live.histogram("rt.hist");
+  ASSERT_NE(live_hist, nullptr);
+  for (const double q : {0.0, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(hist->quantile(q), live_hist->quantile(q));
+}
+
+TEST(ObsProm, ReadReportMetricsAcceptsBareMetricsObjectAndRejectsGarbage) {
+  std::istringstream bare(
+      R"({"counters":{"c":3},"gauges":{},"histograms":{}})");
+  const auto snap = obs::read_report_metrics(bare);
+  EXPECT_EQ(snap.counter("c"), 3u);
+  std::istringstream garbage("not json at all");
+  EXPECT_THROW(obs::read_report_metrics(garbage), Error);
+  std::istringstream truncated(R"({"counters":{"c":)");
+  EXPECT_THROW(obs::read_report_metrics(truncated), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic stats writer
+
+TEST(ObsConcurrency, PeriodicReporterWritesAtomicSnapshots) {
+  const std::string path = testing::TempDir() + "/spmvml_stats_test.json";
+  std::remove(path.c_str());
+  obs::MetricsRegistry reg;
+  auto c = reg.counter("periodic.ticks");
+  obs::ReportMeta meta;
+  meta.tool = "spmvml test";
+  {
+    obs::PeriodicReporter reporter(path, 0.02, meta, reg);
+    for (int i = 0; i < 50; ++i) {
+      c.inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    reporter.stop();
+    // stop() writes a final snapshot, so the file reflects the full run.
+    EXPECT_GE(reporter.writes(), 1u);
+    reporter.stop();  // idempotent
+  }
+  const JsonValue doc = parse_json(slurp(path));
+  EXPECT_EQ(doc.at("run").at("tool").str, "spmvml test");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("periodic.ticks").number,
+            50.0);
+  EXPECT_GT(doc.at("run").at("wall_s").number, 0.0);
   std::remove(path.c_str());
 }
 

@@ -5,20 +5,24 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs/trace.hpp"
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
+#include "serve/scorecard.hpp"
 #include "serve/service.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/spmv.hpp"
@@ -92,6 +96,19 @@ serve::CachedFeatures tagged(double tag) {
   serve::CachedFeatures v;
   v.features.values[0] = tag;
   return v;
+}
+
+/// Restores the global per-request sampling rate on scope exit so a
+/// failing test cannot leak sampling into unrelated tests.
+struct TraceSampleGuard {
+  ~TraceSampleGuard() { serve::set_trace_sample(0); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 // --- Feature cache -------------------------------------------------------
@@ -333,6 +350,94 @@ TEST(ServeRequest, ResponseJsonCarriesMaterializeFieldsOnlyWhenSet) {
   EXPECT_NE(json.find("convert_ms"), std::string::npos);
 }
 
+TEST(ServeRequest, ClientIdPassesThroughAndGeneratedIdsAreDistinct) {
+  const auto with_id = serve::parse_request_line(
+      R"({"id": "client-7", "mode": "select", "matrix": "a.mtx"})");
+  EXPECT_EQ(with_id.request.id, "client-7");
+
+  // No id: the parser assigns a stable `srv-<seq>` so every downstream
+  // stage (and the response) can still name the request.
+  const auto anon_a =
+      serve::parse_request_line(R"({"mode": "select", "matrix": "a.mtx"})");
+  const auto anon_b =
+      serve::parse_request_line(R"({"mode": "select", "matrix": "a.mtx"})");
+  EXPECT_EQ(anon_a.request.id.rfind("srv-", 0), 0u) << anon_a.request.id;
+  EXPECT_EQ(anon_b.request.id.rfind("srv-", 0), 0u) << anon_b.request.id;
+  EXPECT_NE(anon_a.request.id, anon_b.request.id);
+}
+
+TEST(ServeRequest, ParsesAdminStatsAndRejectsModelPathsOnIt) {
+  const auto p = serve::parse_request_line(R"({"cmd": "stats", "id": "s1"})");
+  ASSERT_TRUE(p.is_admin);
+  EXPECT_EQ(p.admin.cmd, "stats");
+  EXPECT_EQ(p.admin.id, "s1");
+  EXPECT_TRUE(p.admin.model_path.empty());
+
+  // `stats` is read-only: a model path on it is a schema error, not a
+  // silently ignored field.
+  try {
+    serve::parse_request_line(R"({"cmd": "stats", "model": "sel.model"})");
+    FAIL() << "expected Error(kParse)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kParse);
+  }
+}
+
+TEST(ServeRequest, TraceSamplingDecisionIsMadeAtParse) {
+  TraceSampleGuard guard;
+  serve::set_trace_sample(1);  // every request
+  const auto on =
+      serve::parse_request_line(R"({"mode": "select", "matrix": "a.mtx"})");
+  EXPECT_TRUE(on.request.trace_sampled);
+  serve::set_trace_sample(0);  // off
+  const auto off =
+      serve::parse_request_line(R"({"mode": "select", "matrix": "a.mtx"})");
+  EXPECT_FALSE(off.request.trace_sampled);
+}
+
+TEST(ServeRequest, ResponseJsonCarriesServerMsAndStageBreakdown) {
+  Response r;
+  r.id = "t";
+  r.ok = true;
+  EXPECT_EQ(serve::to_json(r).find("server_ms"), std::string::npos);
+  EXPECT_EQ(serve::to_json(r).find("stage_ms"), std::string::npos);
+
+  r.server_ms = 1.5;
+  r.has_stage_ms = true;
+  r.stage_features_ms = 0.25;
+  const std::string json = serve::to_json(r);
+  EXPECT_NE(json.find("\"server_ms\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage_ms\":{\"features\":0.25"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"finalize\":0"), std::string::npos) << json;
+
+  // Error responses are stamped too: a rejected line still reports how
+  // long the server spent on it.
+  Response bad;
+  bad.ok = false;
+  bad.error = "parse: nope";
+  bad.server_ms = 0.125;
+  EXPECT_NE(serve::to_json(bad).find("\"server_ms\":0.125"),
+            std::string::npos);
+}
+
+TEST(ServeRequest, ResponseJsonCarriesMeasuredAndPredictedGflops) {
+  Response r;
+  r.id = "g";
+  r.ok = true;
+  r.materialized = true;
+  r.spmv_ms = 0.5;
+  r.measured_gflops = 12.5;
+  const std::string json = serve::to_json(r);
+  EXPECT_NE(json.find("\"spmv_ms\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"measured_gflops\":12.5"), std::string::npos) << json;
+  // No perf model => no predicted_gflops key (0 would read as a claim).
+  EXPECT_EQ(json.find("predicted_gflops"), std::string::npos) << json;
+  r.predicted_gflops = 10.0;
+  EXPECT_NE(serve::to_json(r).find("\"predicted_gflops\":10"),
+            std::string::npos);
+}
+
 TEST(ServeRequest, ResponseJsonIsSingleLine) {
   Response r;
   r.id = "he \"quoted\" llo";
@@ -343,6 +448,77 @@ TEST(ServeRequest, ResponseJsonIsSingleLine) {
   EXPECT_EQ(json.find('\n'), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"format\":\"ELL\""), std::string::npos);
+}
+
+// --- Prediction scorecard ------------------------------------------------
+
+TEST(ServeScorecard, SummaryAggregatesHitsRegretAndRme) {
+  serve::Scorecard sc(4);
+  serve::ScorecardEntry hit;
+  hit.features_hash = 1;
+  hit.chosen = Format::kEll;
+  hit.predicted_best = Format::kEll;
+  hit.predicted_gflops = 2.0;
+  hit.measured_gflops = 1.0;  // |2-1|/1 = 1.0 relative error
+  sc.record(hit);
+
+  serve::ScorecardEntry miss;
+  miss.features_hash = 2;
+  miss.chosen = Format::kCsr;
+  miss.predicted_best = Format::kEll;
+  miss.regret = 0.5;  // no gflops on either side: excluded from RME
+  sc.record(miss);
+
+  const auto s = sc.summary();
+  EXPECT_EQ(s.total, 2u);
+  EXPECT_EQ(s.window, 2u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_regret, 0.25);
+  EXPECT_DOUBLE_EQ(s.rme, 1.0);
+}
+
+TEST(ServeScorecard, RingEvictsOldestAndKeepsWindowAggregatesExact) {
+  serve::Scorecard sc(2);
+  serve::ScorecardEntry a;
+  a.features_hash = 1;
+  a.chosen = a.predicted_best = Format::kEll;  // a hit, later evicted
+  serve::ScorecardEntry b;
+  b.features_hash = 2;
+  b.chosen = Format::kCsr;
+  b.predicted_best = Format::kEll;
+  b.regret = 1.0;
+  serve::ScorecardEntry c = b;
+  c.features_hash = 3;
+  c.regret = 3.0;
+  sc.record(a);
+  sc.record(b);
+  sc.record(c);  // capacity 2: evicts a
+
+  const auto entries = sc.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].features_hash, 2u);  // oldest first
+  EXPECT_EQ(entries[1].features_hash, 3u);
+
+  // The incremental aggregates must reflect only the retained window:
+  // the evicted hit no longer counts toward accuracy.
+  const auto s = sc.summary();
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.window, 2u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_regret, 2.0);
+}
+
+TEST(ServeScorecard, FeaturesFingerprintIsStableAndBitSensitive) {
+  const std::vector<double> values = {1.0, 2.0, 3.5, -4.0};
+  const std::uint64_t h = serve::features_fingerprint(values);
+  EXPECT_EQ(serve::features_fingerprint(values), h);
+
+  // One ULP of drift in one feature must change the fingerprint: the
+  // retraining join key relies on bit-identity, not approximate equality.
+  std::vector<double> nudged = values;
+  nudged[1] = std::nextafter(nudged[1], 3.0);
+  EXPECT_NE(serve::features_fingerprint(nudged), h);
+  EXPECT_NE(serve::features_fingerprint({}), h);
 }
 
 // --- Service -------------------------------------------------------------
@@ -664,6 +840,135 @@ TEST(ServeService, HotSwapUnderLoad) {
   EXPECT_EQ(registry.version(), static_cast<std::uint64_t>(kSwaps) + 1);
   EXPECT_EQ(service.counters().served,
             static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+// --- Request-scoped telemetry --------------------------------------------
+
+TEST(ServeService, MaterializeRecordsScorecardEntry) {
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  Service service(quick_config(), registry);
+  TempMatrixFile file("test_serve_scorecard.tmp.mtx", 2718);
+
+  Request req;
+  req.id = "sc1";
+  req.mode = RequestMode::kIndirect;
+  req.matrix_path = file.path;
+  req.materialize = true;
+  const Response r = service.call(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.materialized);
+  EXPECT_GT(r.measured_gflops, 0.0);
+  EXPECT_GT(r.spmv_ms, 0.0);
+
+  const auto summary = service.scorecard().summary();
+  EXPECT_EQ(summary.total, 1u);
+  EXPECT_EQ(summary.window, 1u);
+  const auto entries = service.scorecard().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].chosen, r.format);
+  EXPECT_EQ(entries[0].measured_gflops, r.measured_gflops);
+  EXPECT_EQ(entries[0].model_version, r.model_version);
+  EXPECT_NE(entries[0].features_hash, 0u);
+
+  // Non-materialize requests never touch the scorecard: there is no
+  // measured truth to compare against.
+  req.id = "sc2";
+  req.materialize = false;
+  ASSERT_TRUE(service.call(req).ok);
+  EXPECT_EQ(service.scorecard().summary().total, 1u);
+}
+
+TEST(ServeService, SampledRequestEmitsIdTaggedSpans) {
+  ModelRegistry registry;
+  registry.install(tree_selector(), tree_perf());
+  Service service(quick_config(), registry);
+
+  const std::string trace_path = "test_serve_trace.tmp.json";
+  obs::trace_start(trace_path);
+  Request req = inline_request("traced-req-1", RequestMode::kIndirect, 2);
+  req.trace_sampled = true;
+  const Response r = service.call(req);
+  service.shutdown();
+  obs::trace_stop();
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const std::string trace = slurp(trace_path);
+  std::remove(trace_path.c_str());
+  // The sampled request leaves a per-request span trail, each event
+  // tagged with the request id (the thing that survives work-stealing).
+  EXPECT_NE(trace.find("req.admit"), std::string::npos);
+  EXPECT_NE(trace.find("req.queue"), std::string::npos);
+  EXPECT_NE(trace.find("req.done"), std::string::npos);
+  EXPECT_NE(trace.find("traced-req-1"), std::string::npos);
+}
+
+/// Strip the fields that legitimately vary run-to-run (wall-clock
+/// timings, batch geometry) so what remains is the semantic payload:
+/// ids, formats, predictions, cache/fallback/degrade flags, bytes.
+std::string canonical_response_json(Response r) {
+  r.queue_ms = r.latency_ms = r.server_ms = 0.0;
+  r.est_wait_ms = 0.0;
+  r.stage_features_ms = r.stage_classify_ms = 0.0;
+  r.stage_regress_ms = r.stage_finalize_ms = 0.0;
+  r.convert_ms = r.spmv_ms = 0.0;
+  r.measured_gflops = 0.0;
+  r.batch = 0;
+  return serve::to_json(r);
+}
+
+TEST(ServeService, TelemetryDoesNotPerturbResponses) {
+  // The non-perturbation contract: running with tracing + 100% sampling
+  // must produce byte-identical responses (modulo wall-clock fields) to
+  // running with telemetry fully off.
+  TraceSampleGuard guard;
+  TempMatrixFile file("test_serve_identical.tmp.mtx", 777);
+  std::string features = "[";
+  {
+    const auto f = sample_features(5);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      std::ostringstream os;
+      os << (i > 0 ? "," : "") << f[i];
+      features += os.str();
+    }
+    features += "]";
+  }
+  const std::vector<std::string> lines = {
+      R"({"id":"t1","mode":"select","matrix":")" + file.path + R"("})",
+      R"({"id":"t2","mode":"indirect","matrix":")" + file.path +
+          R"(","materialize":true})",
+      R"({"id":"t3","mode":"predict","matrix":")" + file.path + R"("})",
+      R"({"id":"t4","mode":"indirect","features":)" + features + "}",
+      R"({"id":"t5","mode":"select","matrix":")" + file.path + R"("})",
+  };
+  const std::string trace_path = "test_serve_identical_trace.tmp.json";
+
+  const auto run_pass = [&](bool telemetry) {
+    serve::set_trace_sample(telemetry ? 1 : 0);
+    if (telemetry) obs::trace_start(trace_path);
+    ModelRegistry registry;
+    registry.install(tree_selector(), tree_perf());
+    Service service(quick_config(), registry);
+    std::vector<std::string> out;
+    for (const auto& line : lines) {
+      const auto parsed = serve::parse_request_line(line);
+      out.push_back(canonical_response_json(service.call(parsed.request)));
+    }
+    service.shutdown();
+    if (telemetry) obs::trace_stop();
+    return out;
+  };
+
+  const auto off = run_pass(/*telemetry=*/false);
+  const auto on = run_pass(/*telemetry=*/true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i)
+    EXPECT_EQ(off[i], on[i]) << "response " << i << " diverged";
+
+  // And the telemetry pass really was on: the trace has request spans.
+  const std::string trace = slurp(trace_path);
+  std::remove(trace_path.c_str());
+  EXPECT_NE(trace.find("req.queue"), std::string::npos);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 //   spmvml select  --model sel.model [--mem-budget GB] <matrix.mtx>
 //   spmvml predict --model perf.model <matrix.mtx>
 //   spmvml inspect <matrix.mtx>
+//   spmvml stats-export <report.json>   # metrics snapshot -> Prometheus text
 //
 // Global flags (any command): --verbose | --quiet adjust the log level
 // (default info; the SPMVML_LOG env var overrides the default),
@@ -32,7 +33,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 
 #include "common/chaos/chaos.hpp"
@@ -40,6 +43,8 @@
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
 #include "common/obs/log.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/prom.hpp"
 #include "common/obs/report.hpp"
 #include "common/obs/trace.hpp"
 #include "common/table.hpp"
@@ -93,13 +98,27 @@ namespace {
                "                    [--ingest-cache-mb N] [--shards N]\n"
                "                    [--admission-target-ms F] "
                "[--watchdog-ms F] [--max-retries N]\n"
+               "                    [--trace-sample N] [--stats-every-s F] "
+               "[--stats-file <file>]\n"
                "                    JSONL requests on stdin, responses on "
                "stdout; a\n"
                "                    {\"cmd\":\"swap\",\"model\":...} line "
-               "hot-swaps models;\n"
+               "hot-swaps models, a\n"
+               "                    {\"cmd\":\"stats\"} line returns a live "
+               "metrics snapshot;\n"
+               "                    --trace-sample N tags every Nth request "
+               "with id'd trace\n"
+               "                    spans (SPMVML_TRACE_SAMPLE), "
+               "--stats-every-s rewrites the\n"
+               "                    --stats-file snapshot periodically "
+               "(SPMVML_STATS_EVERY_S);\n"
                "                    SIGTERM drains (finish in-flight, then "
                "exit 0);\n"
                "                    SPMVML_CHAOS=<scenario> injects faults\n"
+               "  spmvml stats-export <report.json>\n"
+               "                    translate a --report / --stats-file "
+               "snapshot to the\n"
+               "                    Prometheus text format on stdout\n"
                "global flags:\n"
                "  --verbose | --quiet     debug / error-only logging "
                "(default info; SPMVML_LOG overrides)\n"
@@ -412,6 +431,29 @@ int cmd_serve(const Args& a) {
   cfg.watchdog_ms = numeric_opt(a, "watchdog-ms", 0.0, 0.0, 1e6);
   cfg.max_retries =
       static_cast<int>(numeric_opt(a, "max-retries", 2.0, 0.0, 100.0));
+
+  // Per-request trace sampling: flag > SPMVML_TRACE_SAMPLE > off. The
+  // sentinel -1 means "flag absent", so an explicit --trace-sample 0
+  // still turns env-configured sampling off.
+  const int trace_sample =
+      static_cast<int>(numeric_opt(a, "trace-sample", -1.0, -1.0, 1e9));
+  if (trace_sample >= 0) serve::set_trace_sample(trace_sample);
+
+  // Live stats plane: --stats-every-s (or SPMVML_STATS_EVERY_S) starts a
+  // background writer that atomically rewrites --stats-file with a fresh
+  // metrics snapshot, so a scraper can follow a long-lived server
+  // without restarts or admin lines.
+  const double stats_every_s = numeric_opt(
+      a, "stats-every-s", env_double("SPMVML_STATS_EVERY_S", 0.0), 0.0, 1e6);
+  std::unique_ptr<obs::PeriodicReporter> stats_writer;
+  if (stats_every_s > 0.0) {
+    obs::ReportMeta stats_meta;
+    stats_meta.tool = "spmvml serve";
+    stats_meta.threads = cfg.threads;
+    stats_writer = std::make_unique<obs::PeriodicReporter>(
+        opt(a, "stats-file", "spmvml_stats.json"), stats_every_s, stats_meta);
+  }
+
   serve::Service service(cfg, registry);
 
   // Responses complete on worker threads; one mutex keeps stdout lines
@@ -429,6 +471,9 @@ int cmd_serve(const Args& a) {
   bool eof = false;
   while (next_stdin_line(pending_in, eof, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // server_ms = parse -> response emitted, stamped at this transport
+    // boundary so it includes everything the server did for the line.
+    WallTimer line_timer;
     serve::ParsedLine parsed;
     try {
       parsed = serve::parse_request_line(line);
@@ -436,10 +481,62 @@ int cmd_serve(const Args& a) {
       serve::Response bad;
       bad.error = std::string(error_category_name(e.category())) + ": " +
                   e.what();
+      bad.server_ms = line_timer.millis();
       emit(serve::to_json(bad));
       continue;
     }
     if (parsed.is_admin) {
+      if (parsed.admin.cmd == "stats") {
+        // Live stats plane: one compact JSON line with the server's
+        // counters, scorecard summary, ingest stats and the full metrics
+        // snapshot — the same schema a --report file carries.
+        const auto counters = service.counters();
+        const auto score = service.scorecard().summary();
+        const auto ingest = service.ingest().stats();
+        const auto snap = obs::MetricsRegistry::global().snapshot();
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.begin_object();
+        if (!parsed.admin.id.empty())
+          w.kv("id", std::string_view(parsed.admin.id));
+        w.kv("ok", true);
+        w.kv("server_ms", line_timer.millis());
+        w.key("counters");
+        w.begin_object();
+        w.kv("served", counters.served);
+        w.kv("rejected", counters.rejected);
+        w.kv("degraded", counters.degraded);
+        w.kv("failed", counters.failed);
+        w.kv("shed", counters.shed);
+        w.kv("retries", counters.retries);
+        w.kv("watchdog_killed", counters.watchdog_killed);
+        w.kv("breaker_trips", counters.breaker_trips);
+        w.kv("steals", counters.steals);
+        w.end_object();
+        w.key("scorecard");
+        w.begin_object();
+        w.kv("records", score.total);
+        w.kv("window", static_cast<std::uint64_t>(score.window));
+        w.kv("accuracy", score.accuracy);
+        w.kv("mean_regret", score.mean_regret);
+        w.kv("rme", score.rme);
+        w.end_object();
+        w.key("ingest");
+        w.begin_object();
+        w.kv("hits", ingest.hits);
+        w.kv("misses", ingest.misses);
+        w.kv("parses", ingest.parses);
+        w.kv("sidecar_loads", ingest.sidecar_loads);
+        w.kv("coalesced", ingest.coalesced);
+        w.kv("evictions", ingest.evictions);
+        w.kv("bytes", static_cast<std::uint64_t>(ingest.bytes));
+        w.end_object();
+        w.key("metrics");
+        obs::write_metrics_object(w, snap);
+        w.end_object();
+        emit(os.str());
+        continue;
+      }
       serve::Response rsp;
       rsp.id = parsed.admin.id;
       try {
@@ -453,13 +550,16 @@ int cmd_serve(const Args& a) {
       } catch (const Error& e) {
         rsp.error = std::string(error_category_name(e.category())) + ": " +
                     e.what();
+        rsp.server_ms = line_timer.millis();
         emit(serve::to_json(rsp));
       }
       continue;
     }
     service.submit(std::move(parsed.request),
-                   [&emit](const serve::Response& r) {
-                     emit(serve::to_json(r));
+                   [&emit, line_timer](const serve::Response& r) {
+                     serve::Response stamped = r;
+                     stamped.server_ms = line_timer.millis();
+                     emit(serve::to_json(stamped));
                    });
   }
   if (serve::drain_requested())
@@ -576,6 +676,21 @@ int cmd_sidecar(const Args& a) {
   return 0;
 }
 
+/// `spmvml stats-export <report.json>`: translate a --report /
+/// --stats-file snapshot into the Prometheus text exposition format on
+/// stdout, so any Prometheus-compatible scraper can ingest spmvml
+/// metrics without the server speaking HTTP itself.
+int cmd_stats_export(const Args& a) {
+  if (a.positional.empty()) usage();
+  const std::string& path = a.positional.front();
+  std::ifstream in(path);
+  SPMVML_ENSURE_CAT(in.good(), ErrorCategory::kIo,
+                    "cannot open report file " + path);
+  const obs::MetricsSnapshot snap = obs::read_report_metrics(in);
+  obs::write_prometheus_text(std::cout, snap);
+  return 0;
+}
+
 int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "train-perf") return cmd_train_perf(args);
@@ -584,6 +699,7 @@ int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "inspect") return cmd_inspect(args);
   if (cmd == "sidecar") return cmd_sidecar(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "stats-export") return cmd_stats_export(args);
   usage();
 }
 
