@@ -24,7 +24,16 @@
 // burst, and every faulted swap rolled back with the version sequence
 // still monotonic. Results land in BENCH_robustness.json.
 //
-//   ./build/bench/serving_bench [--smoke] [--chaos] [--out file.json]
+// --drift appends the online-learning scenario (DESIGN.md §5k): a
+// service with --learn on serves a Table-I-like regime, traffic then
+// shifts to a DLMC-like regime (20-40x the nnz), and the gates assert
+// the loop closed — drift tripped, the trainer retrained from replay,
+// a validated candidate was published through the journaled swap path,
+// and windowed selection accuracy recovered to ≥ 90% of pre-shift with
+// zero invalid selections. The section lands inside BENCH_serving.json.
+//
+//   ./build/bench/serving_bench [--smoke] [--chaos] [--drift]
+//                               [--out file.json]
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -39,16 +48,21 @@
 #include <vector>
 
 #include "common/chaos/chaos.hpp"
+#include "common/env.hpp"
 #include "common/json_writer.hpp"
 #include "common/obs/trace.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/format_selector.hpp"
 #include "core/perf_model.hpp"
+#include "features/features.hpp"
+#include "learn/trainer.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
 #include "serve/scorecard.hpp"
 #include "serve/service.hpp"
 #include "sparse/mmio.hpp"
+#include "sparse/spmv.hpp"
 #include "synth/corpus.hpp"
 #include "synth/generators.hpp"
 
@@ -59,6 +73,12 @@ namespace {
 struct BenchConfig {
   bool smoke = false;
   bool chaos = false;
+  /// --drift: append the online-learning drift scenario (DESIGN.md §5k)
+  /// — a mid-run workload shift the background trainer must detect and
+  /// retrain through, gated on scorecard-accuracy recovery, at least one
+  /// journal-consistent trainer-initiated swap, and zero invalid
+  /// selections.
+  bool drift = false;
   /// Hard perf gates on the open loop (0 = not enforced): fail the run
   /// when achieved throughput drops below --min-rps or cache-warm p99
   /// exceeds --max-p99-ms. CI's perf-smoke job sets both.
@@ -82,6 +102,12 @@ struct BenchConfig {
   /// Open-loop admission target: shed instead of queueing unboundedly
   /// when the offered rate outruns the service (the honest 'rejected').
   double admission_target_ms() const { return 150.0; }
+  // Drift-mode shape: traffic passes over each regime's matrix set.
+  int drift_passes_pre() const { return 8; }    // pre-shift (baseline)
+  int drift_passes_shift() const { return 10; } // post-shift (trainer reacts)
+  int drift_passes_final() const { return 5; }  // recovery measurement
+  index_t drift_post_rows() const { return smoke ? 1600 : 2400; }
+  double drift_post_mu() const { return smoke ? 28.0 : 36.0; }
   // Chaos-mode shape: paced open-loop traffic with two scripted bursts.
   int chaos_requests() const { return smoke ? 300 : 1000; }
   double chaos_rate_rps() const { return smoke ? 150.0 : 250.0; }
@@ -397,6 +423,400 @@ int run_chaos(const BenchConfig& cfg,
   return pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Drift mode (--drift): mid-run workload shift + the online learning loop.
+//
+// The live bundle is fitted on *measured* SpMV data from the pre-shift
+// regime only (small Table-I-like structured matrices), so it is honest
+// about that regime and wrong about the one traffic shifts to
+// (DLMC-like: much larger, denser-row synthetics — a ~20-40x nnz jump a
+// tree regressor prices at its last pre-shift leaf). The service runs
+// with --learn semantics on; the gates assert the loop actually closed:
+// drift tripped, the trainer retrained from replay, validation published
+// the candidate through the journaled swap path, and the scorecard's
+// windowed signals recovered.
+
+/// Scored-entry aggregate over one slice of the scorecard stream
+/// (probes excluded, like the serving gauges).
+struct DriftAgg {
+  std::uint64_t scored = 0, hits = 0;
+  double rel_sum = 0.0;
+  std::uint64_t rel_n = 0;
+  void add(const serve::ScorecardEntry& e) {
+    if (e.probe) return;
+    ++scored;
+    if (e.chosen == e.predicted_best) ++hits;
+    if (e.predicted_gflops > 0.0 && e.measured_gflops > 0.0) {
+      rel_sum += std::abs(e.predicted_gflops - e.measured_gflops) /
+                 e.measured_gflops;
+      ++rel_n;
+    }
+  }
+  double accuracy() const {
+    return scored > 0 ? static_cast<double>(hits) / static_cast<double>(scored)
+                      : -1.0;
+  }
+  double rme() const { return rel_n > 0 ? rel_sum / static_cast<double>(rel_n)
+                                        : -1.0; }
+};
+
+struct DriftPassStat {
+  double accuracy = -1.0;
+  double rme = -1.0;
+  std::uint64_t swaps = 0;  // trainer swaps completed by end of this pass
+};
+
+/// Windowed RME level that separates a calibrated bundle from drifted
+/// extrapolation. Shared by the DriftDetector threshold and the final
+/// recovery gate: pre-shift noise floor sits around 1.5-3 (the live
+/// bundle is fitted on warm best-of-3 timings while the service
+/// measures single colder runs; sanitizer instrumentation widens this
+/// further), post-shift extrapolation error is ~30-60.
+constexpr double kDriftRmeThreshold = 5.0;
+
+struct DriftResult {
+  bool ran = false;
+  double pre_accuracy = -1.0, pre_rme = -1.0;
+  double final_accuracy = -1.0, final_rme = -1.0;
+  int first_swap_pass = -1;  // post-shift pass index; -1 = never
+  std::vector<DriftPassStat> timeline;
+  learn::OnlineTrainer::Stats trainer;
+  std::uint64_t invalid = 0, failed = 0;
+  std::uint64_t journal_installs = 0, journal_other = 0;
+  bool journal_monotonic = false;
+  std::uint64_t final_version = 0;
+  bool gate_recovered = false, gate_swap = false, gate_clean = false,
+       gate_rme = false;
+  bool pass = false;
+};
+
+/// One regime matrix with its measured per-format GFLOPS (best-of-3
+/// timed SpMV per format) — the ground truth the live bundle trains on.
+struct MeasuredMatrix {
+  Csr<double> csr;
+  FeatureVector features;
+  std::array<double, kNumFormats> gflops{};
+};
+
+MeasuredMatrix measure_matrix(const GenSpec& spec) {
+  MeasuredMatrix m{generate(spec), {}, {}};
+  m.features = extract_features(m.csr);
+  std::vector<double> x(static_cast<std::size_t>(m.csr.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(m.csr.rows()), 0.0);
+  const double flops = 2.0 * static_cast<double>(m.csr.nnz());
+  for (const Format f : kAllFormats) {
+    try {
+      const auto built = AnyMatrix<double>::build(f, m.csr);
+      double best_s = 1e30;
+      for (int rep = 0; rep < 3; ++rep) {
+        WallTimer t;
+        built.spmv(x, y);
+        best_s = std::min(best_s, std::max(t.seconds(), 1e-9));
+      }
+      m.gflops[static_cast<std::size_t>(f)] = flops / best_s / 1e9;
+    } catch (const Error&) {
+      // Infeasible conversion: the format simply goes unmeasured.
+    }
+  }
+  return m;
+}
+
+DriftResult run_drift_phase(const BenchConfig& cfg) {
+  DriftResult res;
+  res.ran = true;
+  const std::uint64_t lseed = root_seed();
+  const double holdout_fraction = 0.35;
+
+  // Mirror of OnlineTrainer's deterministic holdout split, so the bench
+  // can generate matrix sets that land a known number of samples on each
+  // side — the validation comparison is then guaranteed to see holdout
+  // samples from both regimes, whatever SPMVML_SEED is.
+  const auto in_holdout = [&](const FeatureVector& f) {
+    const std::uint64_t h =
+        hash_combine(lseed, serve::features_fingerprint(f.values));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < holdout_fraction;
+  };
+  const auto build_regime = [&](int want_fit, int want_holdout,
+                                auto&& make_spec) {
+    std::vector<MeasuredMatrix> out;
+    int fit = 0, holdout = 0;
+    for (std::uint64_t s = 0;
+         (fit < want_fit || holdout < want_holdout) && s < 64; ++s) {
+      MeasuredMatrix m = measure_matrix(make_spec(s));
+      const bool h = in_holdout(m.features);
+      if (h ? holdout >= want_holdout : fit >= want_fit) continue;
+      (h ? holdout : fit) += 1;
+      out.push_back(std::move(m));
+    }
+    return out;
+  };
+
+  // Pre-shift regime: small structured matrices (Table-I-like scale).
+  // 8 fit + 4 holdout fingerprints per regime: enough rows for the
+  // trainer's per-format regressors to generalize within a regime, and
+  // enough holdout samples that one noisy pick cannot dominate the
+  // validation means.
+  const auto pre = build_regime(8, 4, [](std::uint64_t s) {
+    GenSpec spec;
+    spec.family = s % 3 == 0   ? MatrixFamily::kBanded
+                  : s % 3 == 1 ? MatrixFamily::kStencil
+                               : MatrixFamily::kUniformRandom;
+    spec.rows = spec.cols = 320 + 48 * static_cast<index_t>(s % 5);
+    spec.row_mu = 6.0;
+    spec.row_cv = 0.3;
+    spec.band_frac = 0.05;
+    spec.seed = 31000 + s;
+    return spec;
+  });
+  // Post-shift regime: DLMC-like — much larger, denser rows, block or
+  // uniform structure. The nnz jump is what a stale per-format tree
+  // cannot price (it extrapolates its last pre-shift leaf).
+  const auto post = build_regime(8, 4, [&](std::uint64_t s) {
+    GenSpec spec;
+    spec.family = s % 2 == 0 ? MatrixFamily::kUniformRandom
+                             : MatrixFamily::kBlockRandom;
+    spec.rows = spec.cols = cfg.drift_post_rows();
+    spec.row_mu = cfg.drift_post_mu();
+    spec.row_cv = 0.15;
+    spec.block_size = 16;
+    spec.seed = 67000 + s;
+    return spec;
+  });
+  if (pre.size() < 12 || post.size() < 12) {
+    std::printf("== drift: regime generation failed (%zu pre, %zu post) ==\n",
+                pre.size(), post.size());
+    return res;
+  }
+
+  // Live bundle fitted on measured pre-shift samples only: classifier on
+  // argmax-measured-GFLOPS labels, per-format regressors on measured
+  // log10-seconds — exactly the shape the trainer will later refit from
+  // replay, so pre-shift RME starts near zero.
+  auto selector = std::make_shared<FormatSelector>(
+      ModelKind::kDecisionTree, FeatureSet::kSet12, kAllFormats, /*fast=*/true);
+  std::shared_ptr<const PerfModel> live_perf;
+  {
+    ml::Matrix sx;
+    std::vector<int> sy;
+    std::vector<Format> perf_formats;
+    std::vector<ml::Matrix> px(kNumFormats);
+    std::vector<std::vector<double>> py(kNumFormats);
+    for (const auto& m : pre) {
+      int best = -1;
+      for (int f = 0; f < kNumFormats; ++f)
+        if (m.gflops[static_cast<std::size_t>(f)] > 0.0 &&
+            (best < 0 || m.gflops[static_cast<std::size_t>(f)] >
+                             m.gflops[static_cast<std::size_t>(best)]))
+          best = f;
+      if (best < 0) continue;
+      sx.push_back(m.features.select(FeatureSet::kSet12));
+      sy.push_back(best);  // candidates == kAllFormats in enum order
+      const double nnz = m.features[kNnzTot];
+      for (int f = 0; f < kNumFormats; ++f) {
+        const double g = m.gflops[static_cast<std::size_t>(f)];
+        if (g <= 0.0 || nnz <= 0.0) continue;
+        px[static_cast<std::size_t>(f)].push_back(
+            m.features.select(FeatureSet::kSet12));
+        py[static_cast<std::size_t>(f)].push_back(
+            seconds_to_regression_target(2.0 * nnz / (g * 1e9)));
+      }
+    }
+    selector->fit(sx, sy);
+    std::vector<ml::Matrix> fx;
+    std::vector<std::vector<double>> fy;
+    for (int f = 0; f < kNumFormats; ++f) {
+      if (px[static_cast<std::size_t>(f)].empty()) continue;
+      perf_formats.push_back(static_cast<Format>(f));
+      fx.push_back(std::move(px[static_cast<std::size_t>(f)]));
+      fy.push_back(std::move(py[static_cast<std::size_t>(f)]));
+    }
+    PerfModel perf(RegressorKind::kDecisionTree, FeatureSet::kSet12,
+                   perf_formats, /*fast=*/true);
+    perf.fit_samples(fx, fy);
+    live_perf = std::make_shared<const PerfModel>(std::move(perf));
+  }
+
+  serve::ModelRegistry registry;
+  registry.install(selector, live_perf);
+
+  // Matrix Market files the requests will name.
+  std::vector<std::string> pre_paths, post_paths;
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    pre_paths.push_back("drift_pre_" + std::to_string(i) + ".tmp.mtx");
+    write_matrix_market(pre_paths.back(), pre[i].csr);
+  }
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    post_paths.push_back("drift_post_" + std::to_string(i) + ".tmp.mtx");
+    write_matrix_market(post_paths.back(), post[i].csr);
+  }
+
+  serve::ServiceConfig dcfg;
+  dcfg.threads = 2;
+  dcfg.max_batch = 8;
+  dcfg.max_delay_ms = 0.2;
+  dcfg.cache_capacity = 64;
+  dcfg.learn.enabled = true;
+  dcfg.learn.replay_capacity = 256;
+  dcfg.learn.poll_every_s = 0.01;
+  // Drift-triggered retrains plus a periodic retry: a discarded
+  // candidate (validation is honest — it can lose) gets another shot as
+  // replay accumulates more of the new regime.
+  dcfg.learn.retrain_every_s = 0.25;
+  // Thinner than one full regime: no retrain can fire on pre data
+  // alone, so the first candidate already sees the shift.
+  dcfg.learn.min_samples = 16;
+  dcfg.learn.min_labeled = 6;
+  dcfg.learn.min_retrain_gap_s = 0.05;
+  dcfg.learn.holdout_fraction = holdout_fraction;
+  dcfg.learn.seed = lseed;
+  dcfg.learn.drift.window = 12;
+  // See kDriftRmeThreshold: above the pre-shift noise floor, far below
+  // the post-shift extrapolation error — drift trips on the regime
+  // change only.
+  dcfg.learn.drift.rme_threshold = kDriftRmeThreshold;
+  dcfg.learn.drift.accuracy_floor = 0.4;
+  dcfg.learn.drift.trip_after = 2;
+  dcfg.learn.drift.clear_after = 2;
+
+  std::printf("== drift: %d pre passes x %zu matrices -> shift -> %d+%d post "
+              "passes x %zu matrices, learn on ==\n",
+              cfg.drift_passes_pre(), pre_paths.size(),
+              cfg.drift_passes_shift(), cfg.drift_passes_final(),
+              post_paths.size());
+  {
+    serve::Service service(dcfg, registry);
+    std::uint64_t cursor = 0;
+    const auto run_pass = [&](const std::vector<std::string>& paths, int pass,
+                              DriftAgg& agg) {
+      for (std::size_t m = 0; m < paths.size(); ++m) {
+        serve::Request req = make_request(
+            "d" + std::to_string(pass) + "-" + std::to_string(m),
+            (pass + static_cast<int>(m)) % 2 == 0
+                ? serve::RequestMode::kSelect
+                : serve::RequestMode::kIndirect,
+            paths[m]);
+        req.materialize = true;
+        const auto rsp = service.call(std::move(req));
+        if (!rsp.ok) {
+          ++res.failed;
+        } else {
+          const int f = static_cast<int>(rsp.format);
+          if (f < 0 || f >= kNumFormats) ++res.invalid;
+        }
+      }
+      // Drain what this pass appended (the drain_since cursor contract:
+      // a steady poller pays only for new entries).
+      const auto drained = service.scorecard().drain_since(cursor);
+      cursor = drained.next_seq;
+      for (const auto& e : drained.entries) agg.add(e);
+    };
+
+    DriftAgg pre_agg;
+    for (int p = 0; p < cfg.drift_passes_pre(); ++p)
+      run_pass(pre_paths, p, pre_agg);
+    res.pre_accuracy = pre_agg.accuracy();
+    res.pre_rme = pre_agg.rme();
+
+    // Shift: same service, same live bundle, new regime. The trainer
+    // sees it through the scorecard only. Passes are paced so retrains
+    // interleave with data accumulation instead of all firing on the
+    // thin first sightings of the new regime (the ingest cache makes
+    // un-paced passes far faster than any real traffic).
+    for (int p = 0; p < cfg.drift_passes_shift(); ++p) {
+      DriftAgg agg;
+      run_pass(post_paths, 1000 + p, agg);
+      const auto ls = service.learner()->stats();
+      if (res.first_swap_pass < 0 && ls.swaps > 0)
+        res.first_swap_pass = p;
+      res.timeline.push_back({agg.accuracy(), agg.rme(), ls.swaps});
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    // Settle: the trainer is asynchronous. Wait (bounded) for two
+    // completed retrain attempts — the first may have been in flight
+    // when the shift traffic ended; the second provably trained on the
+    // full shift data. Validation then guarantees the live bundle
+    // entering the recovery phase is the best candidate seen: a worse
+    // one was discarded, a better one was published.
+    const auto attempts = [&] {
+      const auto ls = service.learner()->stats();
+      return ls.swaps + ls.discards + ls.aborted;
+    };
+    const std::uint64_t settled_from = attempts();
+    for (int spin = 0; spin < 250 && attempts() < settled_from + 2; ++spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    DriftAgg final_agg;
+    for (int p = 0; p < cfg.drift_passes_final(); ++p) {
+      DriftAgg agg;
+      run_pass(post_paths, 2000 + p, agg);
+      const auto ls = service.learner()->stats();
+      if (res.first_swap_pass < 0 && ls.swaps > 0)
+        res.first_swap_pass = cfg.drift_passes_shift() + p;
+      res.timeline.push_back({agg.accuracy(), agg.rme(), ls.swaps});
+      final_agg.scored += agg.scored;
+      final_agg.hits += agg.hits;
+      final_agg.rel_sum += agg.rel_sum;
+      final_agg.rel_n += agg.rel_n;
+    }
+    res.final_accuracy = final_agg.accuracy();
+    res.final_rme = final_agg.rme();
+    res.trainer = service.learner()->stats();
+    service.shutdown();
+  }
+  for (const auto& p : pre_paths) std::remove(p.c_str());
+  for (const auto& p : post_paths) std::remove(p.c_str());
+
+  // Journal consistency: installs strictly monotonic, every non-install
+  // event carries version 0, and the live version equals the install
+  // count (the seed install plus each trainer swap).
+  const auto history = registry.history();
+  res.journal_monotonic = true;
+  std::uint64_t prev_version = 0;
+  for (const auto& ev : history) {
+    if (ev.action == "install") {
+      ++res.journal_installs;
+      if (ev.version != prev_version + 1) res.journal_monotonic = false;
+      prev_version = ev.version;
+    } else {
+      ++res.journal_other;
+      if (ev.version != 0) res.journal_monotonic = false;
+    }
+  }
+  res.final_version = registry.version();
+
+  res.gate_recovered = res.pre_accuracy > 0.0 && res.final_accuracy >= 0.0 &&
+                       res.final_accuracy >= 0.9 * res.pre_accuracy;
+  res.gate_swap = res.trainer.swaps >= 1 && res.journal_monotonic &&
+                  res.journal_installs == 1 + res.trainer.swaps &&
+                  res.final_version == res.journal_installs;
+  res.gate_clean = res.invalid == 0 && res.failed == 0;
+  // The calibration signal must actually recover: drifted windows price
+  // requests orders of magnitude off; the retrained bundle must land
+  // back under the drift threshold itself (uninstrumented runs come in
+  // around 0.2-0.3; asan/tsan timing noise can reach ~3).
+  res.gate_rme = res.final_rme >= 0.0 && res.final_rme < kDriftRmeThreshold;
+  res.pass = res.gate_recovered && res.gate_swap && res.gate_clean &&
+             res.gate_rme;
+
+  std::printf("  pre accuracy %.2f rme %.3f -> final accuracy %.2f rme %.3f "
+              "(first swap at post pass %d)\n",
+              res.pre_accuracy, res.pre_rme, res.final_accuracy, res.final_rme,
+              res.first_swap_pass);
+  std::printf("  trainer: %llu retrains, %llu swaps, %llu discards, %llu "
+              "aborted; drift trips %llu; journal installs %llu monotonic: "
+              "%s; invalid %llu failed %llu\n",
+              static_cast<unsigned long long>(res.trainer.retrains),
+              static_cast<unsigned long long>(res.trainer.swaps),
+              static_cast<unsigned long long>(res.trainer.discards),
+              static_cast<unsigned long long>(res.trainer.aborted),
+              static_cast<unsigned long long>(res.trainer.drift.trips),
+              static_cast<unsigned long long>(res.journal_installs),
+              res.journal_monotonic ? "yes" : "NO",
+              static_cast<unsigned long long>(res.invalid),
+              static_cast<unsigned long long>(res.failed));
+  return res;
+}
+
 int main_impl(int argc, char** argv) {
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -405,6 +825,8 @@ int main_impl(int argc, char** argv) {
       cfg.smoke = true;
     } else if (arg == "--chaos") {
       cfg.chaos = true;
+    } else if (arg == "--drift") {
+      cfg.drift = true;
     } else if (arg == "--out" && i + 1 < argc) {
       cfg.out_path = argv[++i];
     } else if (arg == "--min-rps" && i + 1 < argc) {
@@ -415,8 +837,9 @@ int main_impl(int argc, char** argv) {
       cfg.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: serving_bench [--smoke] [--chaos] [--min-rps F] "
-                   "[--max-p99-ms F] [--out file] [--trace-out file]\n");
+                   "usage: serving_bench [--smoke] [--chaos] [--drift] "
+                   "[--min-rps F] [--max-p99-ms F] [--out file] "
+                   "[--trace-out file]\n");
       return 2;
     }
   }
@@ -675,6 +1098,10 @@ int main_impl(int argc, char** argv) {
 
   for (const auto& path : paths) std::remove(path.c_str());
 
+  // --- Drift scenario (--drift): the online learning loop end to end. ---
+  DriftResult drift;
+  if (cfg.drift) drift = run_drift_phase(cfg);
+
   std::ofstream out(cfg.out_path);
   JsonWriter json(out);
   json.begin_object();
@@ -731,13 +1158,78 @@ int main_impl(int argc, char** argv) {
   json.kv("failed", score_failed);
   json.end_object();
   json.kv("trace_sample", cfg.trace_sample());
+  if (cfg.drift) {
+    json.key("drift");
+    json.begin_object();
+    json.key("config");
+    json.begin_object();
+    json.kv("passes_pre", cfg.drift_passes_pre());
+    json.kv("passes_shift", cfg.drift_passes_shift());
+    json.kv("passes_final", cfg.drift_passes_final());
+    json.kv("post_rows", static_cast<std::uint64_t>(cfg.drift_post_rows()));
+    json.kv("post_row_mu", cfg.drift_post_mu());
+    json.end_object();
+    json.key("pre");
+    json.begin_object();
+    json.kv("selection_accuracy", drift.pre_accuracy);
+    json.kv("predicted_vs_measured_rme", drift.pre_rme);
+    json.end_object();
+    json.key("post_timeline");
+    json.begin_array();
+    for (const auto& t : drift.timeline) {
+      json.begin_object();
+      json.kv("selection_accuracy", t.accuracy);
+      json.kv("predicted_vs_measured_rme", t.rme);
+      json.kv("trainer_swaps", t.swaps);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("final");
+    json.begin_object();
+    json.kv("selection_accuracy", drift.final_accuracy);
+    json.kv("predicted_vs_measured_rme", drift.final_rme);
+    json.end_object();
+    json.kv("first_swap_pass", drift.first_swap_pass);
+    json.key("trainer");
+    json.begin_object();
+    json.kv("retrains", drift.trainer.retrains);
+    json.kv("swaps", drift.trainer.swaps);
+    json.kv("discards", drift.trainer.discards);
+    json.kv("aborted", drift.trainer.aborted);
+    json.kv("drift_trips", drift.trainer.drift.trips);
+    json.kv("last_published_version", drift.trainer.last_published_version);
+    json.kv("last_candidate_regret", drift.trainer.last_candidate_regret);
+    json.kv("last_live_regret", drift.trainer.last_live_regret);
+    json.kv("last_candidate_rme", drift.trainer.last_candidate_rme);
+    json.kv("last_live_rme", drift.trainer.last_live_rme);
+    json.end_object();
+    json.key("journal");
+    json.begin_object();
+    json.kv("installs", drift.journal_installs);
+    json.kv("other", drift.journal_other);
+    json.kv("monotonic", drift.journal_monotonic);
+    json.kv("final_version", drift.final_version);
+    json.end_object();
+    json.kv("invalid_selections", drift.invalid);
+    json.kv("failed", drift.failed);
+    json.key("gates");
+    json.begin_object();
+    json.kv("accuracy_recovered", drift.gate_recovered);
+    json.kv("trainer_swap_journaled", drift.gate_swap);
+    json.kv("zero_invalid_and_failed", drift.gate_clean);
+    json.kv("final_rme_bounded", drift.gate_rme);
+    json.kv("pass", drift.pass);
+    json.end_object();
+    json.end_object();
+  }
   const bool gate_rps = cfg.min_rps <= 0.0 || open_rps >= cfg.min_rps;
   const bool gate_p99 =
       cfg.max_p99_ms <= 0.0 || open_p.p99 <= cfg.max_p99_ms;
   const bool gate_scorecard = score.total > 0 && score_failed == 0;
+  const bool gate_drift = !cfg.drift || drift.pass;
   const bool pass = identical && versions_monotonic && closed_failed == 0 &&
                     open_failed == 0 && gate_rps && gate_p99 &&
-                    gate_scorecard;
+                    gate_scorecard && gate_drift;
   json.key("gates");
   json.begin_object();
   json.kv("min_rps", cfg.min_rps);
@@ -745,6 +1237,7 @@ int main_impl(int argc, char** argv) {
   json.kv("achieved_rps_ok", gate_rps);
   json.kv("p99_ok", gate_p99);
   json.kv("scorecard_records_ok", gate_scorecard);
+  json.kv("drift_ok", gate_drift);
   json.kv("pass", pass);
   json.end_object();
   json.end_object();
@@ -761,6 +1254,13 @@ int main_impl(int argc, char** argv) {
                 "materialize requests produced no accuracy data\n",
                 static_cast<unsigned long long>(score.total),
                 static_cast<unsigned long long>(score_failed));
+  if (!gate_drift)
+    std::printf("GATE FAIL: drift scenario (recovered %d swap %d clean %d "
+                "rme %d)\n",
+                static_cast<int>(drift.gate_recovered),
+                static_cast<int>(drift.gate_swap),
+                static_cast<int>(drift.gate_clean),
+                static_cast<int>(drift.gate_rme));
   return pass ? 0 : 1;
 }
 

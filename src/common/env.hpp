@@ -17,6 +17,21 @@
 //   SPMVML_SHARDS        — serving dispatch shards (default 1 = the
 //                          single-dispatcher layout)
 //
+// Online-learning knobs (serve --learn family; DESIGN.md §5k):
+//
+//   SPMVML_LEARN         — 1 enables the online learning loop: shadow
+//                          probes, replay buffer, drift detection,
+//                          background retraining with validated hot-swap
+//                          (default 0 = off, serving byte-identical to a
+//                          build without the subsystem)
+//   SPMVML_LEARN_REPLAY_CAP — replay-buffer sample capacity (default
+//                          4096; reservoir-style eviction past it)
+//   SPMVML_LEARN_DRIFT_RME — windowed relative-model-error threshold
+//                          that counts a window as drifted (default 0.5)
+//   SPMVML_LEARN_RETRAIN_EVERY_S — periodic retrain interval in seconds
+//                          on top of drift-triggered retraining
+//                          (default 0 = drift-only)
+//
 // Observability knobs (read by common/obs/, not via the helpers here):
 //
 //   SPMVML_LOG           — structured-log level: debug|info|warn|error|off

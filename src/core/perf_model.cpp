@@ -71,6 +71,26 @@ void PerfModel::fit(const LabeledCorpus& corpus, int arch, Precision prec) {
   }
 }
 
+void PerfModel::fit_samples(
+    const std::vector<ml::Matrix>& x_per_format,
+    const std::vector<std::vector<double>>& y_per_format) {
+  SPMVML_ENSURE(x_per_format.size() == formats_.size() &&
+                    y_per_format.size() == formats_.size(),
+                "fit_samples: one sample set per modeled format");
+  std::vector<ml::RegressorPtr> models;
+  models.reserve(formats_.size());
+  for (std::size_t i = 0; i < formats_.size(); ++i) {
+    SPMVML_ENSURE(!x_per_format[i].empty() &&
+                      x_per_format[i].size() == y_per_format[i].size(),
+                  std::string("fit_samples: need samples for ") +
+                      format_name(formats_[i]));
+    auto model = make_regressor(kind_, fast_);
+    model->fit(x_per_format[i], y_per_format[i]);
+    models.push_back(std::move(model));
+  }
+  models_ = std::move(models);
+}
+
 double PerfModel::predict_seconds(const FeatureVector& features,
                                   Format format) const {
   const auto it = std::find(formats_.begin(), formats_.end(), format);

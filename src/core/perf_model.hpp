@@ -38,6 +38,16 @@ class PerfModel {
 
   void fit(const LabeledCorpus& corpus, int arch, Precision prec);
 
+  /// Online refit from raw samples (the serving learning loop):
+  /// x_per_format[i] / y_per_format[i] are the design matrix and
+  /// log10(seconds) regression targets for formats()[i]. Feature rows
+  /// must already be projected onto feature_set(); every modeled format
+  /// needs at least one sample. All regressors are fitted off to the
+  /// side and swapped in together, so a throwing fit leaves the model
+  /// unchanged.
+  void fit_samples(const std::vector<ml::Matrix>& x_per_format,
+                   const std::vector<std::vector<double>>& y_per_format);
+
   /// Predicted SpMV seconds for `format` on a matrix with `features`.
   double predict_seconds(const FeatureVector& features, Format format) const;
 

@@ -1,0 +1,62 @@
+#include "learn/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spmvml::learn {
+
+DriftDetector::DriftDetector(const DriftConfig& cfg) : cfg_(cfg) {
+  cfg_.window = std::max(cfg_.window, 1);
+  cfg_.trip_after = std::max(cfg_.trip_after, 1);
+  cfg_.clear_after = std::max(cfg_.clear_after, 1);
+}
+
+bool DriftDetector::observe(const serve::ScorecardEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seen_;
+  if (e.chosen == e.predicted_best) ++hits_;
+  if (e.predicted_gflops > 0.0 && e.measured_gflops > 0.0) {
+    rel_err_sum_ +=
+        std::abs(e.predicted_gflops - e.measured_gflops) / e.measured_gflops;
+    ++rel_err_count_;
+  }
+  if (seen_ < cfg_.window) return false;
+
+  // Window boundary: evaluate, then reset the accumulators.
+  const double accuracy = static_cast<double>(hits_) / seen_;
+  const double rme =
+      rel_err_count_ > 0 ? rel_err_sum_ / rel_err_count_ : -1.0;
+  seen_ = 0;
+  hits_ = 0;
+  rel_err_sum_ = 0.0;
+  rel_err_count_ = 0;
+
+  ++stats_.windows;
+  stats_.last_accuracy = accuracy;
+  stats_.last_rme = rme;
+  const bool drifted =
+      (rme >= 0.0 && rme > cfg_.rme_threshold) || accuracy < cfg_.accuracy_floor;
+  bool fired = false;
+  if (drifted) {
+    ++stats_.drifted_windows;
+    clean_streak_ = 0;
+    ++drifted_streak_;
+    if (drifted_streak_ >= cfg_.trip_after && !stats_.tripped) {
+      stats_.tripped = true;
+      ++stats_.trips;
+      fired = true;  // rising edge: fire once per latch
+    }
+  } else {
+    drifted_streak_ = 0;
+    ++clean_streak_;
+    if (clean_streak_ >= cfg_.clear_after) stats_.tripped = false;
+  }
+  return fired;
+}
+
+DriftDetector::Stats DriftDetector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace spmvml::learn

@@ -1,0 +1,70 @@
+// Drift detector: decides *when* the learning loop should retrain.
+//
+// Watches the stream of scored (non-probe) scorecard entries in fixed
+// windows and evaluates two signals at each window boundary:
+//
+//  * windowed relative model error — mean |predicted - measured| /
+//    measured GFLOPS. The robust shift signal: a perf model trained on
+//    one workload regime prices an out-of-distribution regime wrong
+//    immediately, whatever format it picks.
+//  * windowed selection accuracy — chosen == predicted-best fraction.
+//    The user-visible symptom: the classifier and the perf model stop
+//    agreeing once traffic leaves the training distribution.
+//
+// Hysteresis on both edges so transient bursts don't churn models:
+// `trip_after` consecutive drifted windows arm the trip (observe()
+// returns true exactly once, edge-triggered), and the trip stays latched
+// until `clear_after` consecutive clean windows — only then can it fire
+// again. A latched detector keeps evaluating, so stats stay live.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "serve/scorecard.hpp"
+
+namespace spmvml::learn {
+
+struct DriftConfig {
+  int window = 64;             // scored entries per evaluation window
+  double rme_threshold = 0.5;  // windowed RME above this is drifted
+  double accuracy_floor = 0.5; // windowed accuracy below this is drifted
+  int trip_after = 2;          // consecutive drifted windows to fire
+  int clear_after = 2;         // consecutive clean windows to unlatch
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftConfig& cfg);
+
+  /// Feed one scored entry. Returns true exactly once per trip (the
+  /// rising edge after `trip_after` consecutive drifted windows).
+  /// Probe entries must not be fed — they describe the learner's own
+  /// shadow measurements, not traffic.
+  bool observe(const serve::ScorecardEntry& e);
+
+  struct Stats {
+    std::uint64_t windows = 0;          // completed evaluation windows
+    std::uint64_t drifted_windows = 0;  // windows judged drifted
+    std::uint64_t trips = 0;            // rising edges fired
+    bool tripped = false;               // currently latched
+    double last_accuracy = -1.0;        // last completed window (-1 = none)
+    double last_rme = -1.0;
+  };
+  Stats stats() const;
+
+ private:
+  DriftConfig cfg_;
+  mutable std::mutex mu_;
+  // Current-window accumulators.
+  int seen_ = 0;
+  int hits_ = 0;
+  double rel_err_sum_ = 0.0;
+  int rel_err_count_ = 0;
+  // Hysteresis state.
+  int drifted_streak_ = 0;
+  int clean_streak_ = 0;
+  Stats stats_{};
+};
+
+}  // namespace spmvml::learn

@@ -1,0 +1,87 @@
+#include "learn/replay.hpp"
+
+#include "common/error.hpp"
+
+namespace spmvml::learn {
+
+int ReplaySample::measured_formats() const {
+  int n = 0;
+  for (const auto c : count) n += (c > 0) ? 1 : 0;
+  return n;
+}
+
+Format ReplaySample::best_format() const {
+  int best = -1;
+  double best_gflops = -1.0;
+  for (int f = 0; f < kNumFormats; ++f) {
+    if (count[static_cast<std::size_t>(f)] == 0) continue;
+    const double g = mean_gflops(static_cast<Format>(f));
+    if (g > best_gflops) {
+      best_gflops = g;
+      best = f;
+    }
+  }
+  SPMVML_ENSURE(best >= 0, "best_format on a sample with no measurements");
+  return static_cast<Format>(best);
+}
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity > 0 ? capacity : 1), rng_(seed) {
+  slots_.reserve(capacity_);
+}
+
+void ReplayBuffer::add(const serve::ScorecardEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (e.measured_gflops <= 0.0) {
+    ++stats_.skipped;
+    stats_.size = slots_.size();
+    return;
+  }
+  const auto fi = static_cast<std::size_t>(e.chosen);
+  const auto it = index_.find(e.features_hash);
+  if (it != index_.end()) {
+    ReplaySample& s = slots_[it->second];
+    s.gflops_sum[fi] += e.measured_gflops;
+    ++s.count[fi];
+  } else {
+    ReplaySample s;
+    s.features_hash = e.features_hash;
+    s.features = e.features;
+    s.gflops_sum[fi] = e.measured_gflops;
+    s.count[fi] = 1;
+    if (slots_.size() < capacity_) {
+      index_.emplace(s.features_hash, slots_.size());
+      slots_.push_back(s);
+    } else {
+      // Reservoir-style aging: only this branch consumes the RNG, so
+      // buffer contents depend on the entry stream alone, never on how
+      // the scorecard drain was chunked.
+      const auto victim = static_cast<std::size_t>(
+          rng_() % static_cast<std::uint64_t>(slots_.size()));
+      index_.erase(slots_[victim].features_hash);
+      index_.emplace(s.features_hash, victim);
+      slots_[victim] = s;
+      ++stats_.evictions;
+    }
+    ++stats_.inserted;
+  }
+  ++stats_.observations;
+  stats_.size = slots_.size();
+}
+
+std::vector<ReplaySample> ReplayBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_;
+}
+
+std::size_t ReplayBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+ReplayBuffer::Stats ReplayBuffer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace spmvml::learn

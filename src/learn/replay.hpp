@@ -1,0 +1,88 @@
+// Replay buffer: the learning loop's bounded training-set memory.
+//
+// Scorecard entries arrive one (features, chosen format, measured GFLOPS)
+// observation at a time; the buffer folds them into per-matrix samples
+// keyed by the features fingerprint, so repeated traffic on the same
+// matrix accumulates per-format measurement sums instead of duplicating
+// rows. Shadow-probe entries land exactly like served ones — they are
+// how a sample earns measurements for more than one format, which is
+// what turns the ledger into labeled classification data (best format =
+// argmax mean measured GFLOPS).
+//
+// Bounded with reservoir-style eviction: when a *new* fingerprint
+// arrives at a full buffer, a uniformly random retained sample is
+// replaced. Old regimes therefore age out stochastically instead of the
+// buffer pinning to whatever filled it first. The RNG is consumed only
+// at those eviction points, so the buffer state is a pure function of
+// (seed, entry arrival order) — the same SPMVML_SEED and entry stream
+// produce byte-identical contents no matter how the drain was chunked.
+//
+// Thread-safety: one mutex; the trainer's poll thread writes, the stats
+// plane and the train task read via snapshot().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/scorecard.hpp"
+
+namespace spmvml::learn {
+
+/// One matrix's accumulated measurements: mean GFLOPS per format where
+/// count > 0, plus the feature vector the models train on.
+struct ReplaySample {
+  std::uint64_t features_hash = 0;
+  std::array<double, kNumFeatures> features{};
+  std::array<double, kNumFormats> gflops_sum{};
+  std::array<std::uint32_t, kNumFormats> count{};
+
+  bool operator==(const ReplaySample&) const = default;
+
+  double mean_gflops(Format f) const {
+    const auto i = static_cast<std::size_t>(f);
+    return count[i] > 0 ? gflops_sum[i] / count[i] : 0.0;
+  }
+  /// Number of formats with at least one measurement.
+  int measured_formats() const;
+  /// Format with the highest mean measured GFLOPS (ties break toward the
+  /// lower format id); requires measured_formats() >= 1.
+  Format best_format() const;
+};
+
+class ReplayBuffer {
+ public:
+  ReplayBuffer(std::size_t capacity, std::uint64_t seed);
+
+  /// Fold one scorecard entry in. Entries without a positive measured
+  /// GFLOPS (pure prediction traffic) are skipped — they carry no label.
+  void add(const serve::ScorecardEntry& e);
+
+  /// Copy of all retained samples in slot order (deterministic given the
+  /// entry stream and seed).
+  std::vector<ReplaySample> snapshot() const;
+
+  std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t observations = 0;  // entries folded in
+    std::uint64_t inserted = 0;      // distinct fingerprints admitted
+    std::uint64_t evictions = 0;     // samples displaced at capacity
+    std::uint64_t skipped = 0;       // entries without a measurement
+    std::size_t size = 0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<ReplaySample> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // hash -> slot
+  Stats stats_{};
+};
+
+}  // namespace spmvml::learn

@@ -1,0 +1,135 @@
+// OnlineTrainer: the background loop that closes measurement →
+// retraining → deployment (DESIGN.md §5k).
+//
+// A dedicated poll thread drains new scorecard entries through a
+// drain_since() cursor, folds them into the ReplayBuffer, and feeds the
+// scored ones to the DriftDetector. When drift fires — or a periodic
+// retrain interval elapses — it submits one training task to the shared
+// ThreadPool (never more than one in flight):
+//
+//   1. snapshot the replay buffer and the live bundle;
+//   2. deterministic per-sample holdout split (seeded, keyed by the
+//      features fingerprint so the split is stable across retrains);
+//   3. refit per-format regressors on measured (features → log10 s)
+//      samples, then distill the classifier from the regressors' argmin
+//      — the production version of the paper's indirect classification,
+//      with live traffic standing in for the offline corpus; the served
+//      selector stays consistent with the perf model validation scores;
+//   4. validate on the holdout slice: the candidate's mean measured
+//      regret must beat the live bundle's — or tie it (within a small
+//      noise tolerance) while pricing the holdout markedly closer to
+//      measured truth (mean relative prediction error on the picked
+//      format, with clear relative and absolute margins) — else the
+//      candidate is discarded without touching the registry;
+//   5. publish through ModelRegistry::install(..., expected_version =
+//      the version trained against) — the probe-validated, journaled,
+//      chaos-covered swap path. If another publisher (admin `swap`)
+//      moved the version meanwhile, the stale candidate is discarded.
+//
+// Failure semantics: every exit from a training task is accounted for —
+// published (swaps), beaten by the live model or raced (discards), or
+// aborted for thin data (aborted). The serving path never blocks on the
+// trainer; a trainer crash-equivalent (task throwing) leaves the live
+// bundle untouched and the journal consistent.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/format_selector.hpp"
+#include "core/perf_model.hpp"
+#include "learn/drift.hpp"
+#include "learn/replay.hpp"
+#include "serve/model_registry.hpp"
+
+namespace spmvml {
+class ThreadPool;
+}
+
+namespace spmvml::learn {
+
+struct TrainerConfig {
+  bool enabled = false;
+  std::size_t replay_capacity = 4096;
+  double poll_every_s = 0.25;    // scorecard drain cadence
+  double retrain_every_s = 0.0;  // periodic retrain; 0 = drift-only
+  DriftConfig drift;
+  double holdout_fraction = 0.25;
+  std::size_t min_samples = 32;  // replay samples required to retrain
+  std::size_t min_labeled = 8;   // samples with >= 2 measured formats
+  double min_retrain_gap_s = 1.0;
+  std::uint64_t seed = 2018;
+  ModelKind selector_kind = ModelKind::kDecisionTree;
+  RegressorKind regressor_kind = RegressorKind::kDecisionTree;
+  bool fast = true;  // fast-mode model hyper-parameters
+};
+
+class OnlineTrainer {
+ public:
+  /// The scorecard is the feed, the registry the publish path, the pool
+  /// where training tasks run. All three must outlive stop().
+  OnlineTrainer(const TrainerConfig& cfg, const serve::Scorecard& scorecard,
+                serve::ModelRegistry& registry, ThreadPool& pool);
+  ~OnlineTrainer();
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// Join the poll thread and wait for any in-flight training task.
+  /// Idempotent; called by Service::shutdown() before the pool drains.
+  void stop();
+
+  /// Wake the poll loop now (benches/tests compress the cadence).
+  void poke();
+
+  struct Stats {
+    bool enabled = false;
+    std::uint64_t polls = 0;
+    std::uint64_t drained = 0;  // scorecard entries consumed
+    std::uint64_t dropped = 0;  // entries evicted before the cursor saw them
+    std::uint64_t retrains = 0;
+    std::uint64_t swaps = 0;     // candidates published
+    std::uint64_t discards = 0;  // beaten by live model or lost the race
+    std::uint64_t aborted = 0;   // retrains with too little data
+    std::uint64_t last_published_version = 0;
+    double last_candidate_regret = -1.0;  // holdout mean regret (-1 = none)
+    double last_live_regret = -1.0;
+    /// Holdout mean relative prediction error on each bundle's own pick
+    /// (-1 = no validation ran): the regret tie-breaker.
+    double last_candidate_rme = -1.0;
+    double last_live_rme = -1.0;
+    ReplayBuffer::Stats replay;
+    DriftDetector::Stats drift;
+  };
+  Stats stats() const;
+
+ private:
+  void poll_loop();
+  void drain_once();
+  /// One full retrain attempt (runs on the pool).
+  void train();
+
+  TrainerConfig cfg_;
+  const serve::Scorecard& scorecard_;
+  serve::ModelRegistry& registry_;
+  ThreadPool& pool_;
+
+  ReplayBuffer replay_;
+  DriftDetector drift_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool train_inflight_ = false;
+  bool drift_pending_ = false;  // drift fired, retrain not yet started
+  std::uint64_t cursor_ = 0;    // drain_since() sequence cursor
+  std::chrono::steady_clock::time_point last_retrain_;
+  Stats stats_{};
+
+  std::thread poller_;
+};
+
+}  // namespace spmvml::learn

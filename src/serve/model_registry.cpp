@@ -49,8 +49,28 @@ void ModelRegistry::journal(std::uint64_t version, const char* action,
 
 std::uint64_t ModelRegistry::install(
     std::shared_ptr<const FormatSelector> selector,
-    std::shared_ptr<const PerfModel> perf) {
+    std::shared_ptr<const PerfModel> perf,
+    std::uint64_t expected_version) {
   obs::TraceSpan span("serve.registry.install");
+  // One publisher at a time, end to end: while this install validates
+  // and publishes, a racing publisher waits here, then sees the new
+  // live version and (if it pinned expected_version) discards.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  if (expected_version != kAnyVersion) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t live = current_ ? current_->version : 0;
+    if (live != expected_version) {
+      journal(0, "discard",
+              "candidate trained against version " +
+                  std::to_string(expected_version) + ", live is " +
+                  std::to_string(live));
+      obs::MetricsRegistry::global().counter("serve.registry.discard").inc();
+      obs::log_warn("serve.registry.discard")
+          .kv("expected_version", expected_version)
+          .kv("live_version", live);
+      throw Error("registry version moved; candidate discarded");
+    }
+  }
   auto bundle = std::make_shared<ModelBundle>();
   bundle->selector = std::move(selector);
   bundle->perf = std::move(perf);

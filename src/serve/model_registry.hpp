@@ -14,14 +14,23 @@
 // non-finite times is rejected with the error taxonomy and the previous
 // version stays live.
 //
-// Crash-safe swaps: every install attempt — published or rolled back —
-// is journaled as a SwapEvent, and a version number is assigned only at
-// the instant of successful publication, so the live version sequence
-// is strictly monotonic with no gaps a rolled-back swap could leave.
-// The chaos site registry_swap injects mid-swap faults between
-// validation and publication; the previous bundle stays live ("the
-// registry is never without a valid bundle") and the failure lands in
-// the journal.
+// Crash-safe swaps: every install attempt — published, rolled back, or
+// discarded — is journaled as a SwapEvent, and a version number is
+// assigned only at the instant of successful publication, so the live
+// version sequence is strictly monotonic with no gaps a rolled-back swap
+// could leave. The chaos site registry_swap injects mid-swap faults
+// between validation and publication; the previous bundle stays live
+// ("the registry is never without a valid bundle") and the failure lands
+// in the journal.
+//
+// Concurrent publishers (the admin `swap` control line vs the background
+// trainer) are serialized on a dedicated publish mutex held across
+// validate → chaos → publish, so one install is entirely ordered before
+// the other — a half-installed candidate cannot exist. A publisher that
+// trained its candidate against a specific live version passes it as
+// `expected_version`; if another publisher won the race in the meantime,
+// the stale candidate is journaled as "discard" and rejected without
+// touching the live bundle.
 #pragma once
 
 #include <atomic>
@@ -44,20 +53,27 @@ struct ModelBundle {
 
 /// One journal entry of the swap history.
 struct SwapEvent {
-  /// Version published by this event; 0 for a rolled-back attempt (no
-  /// version is ever burned on a failure).
+  /// Version published by this event; 0 for a rolled-back or discarded
+  /// attempt (no version is ever burned on a failure).
   std::uint64_t version = 0;
-  std::string action;  // "install" or "rollback"
-  std::string detail;  // failure reason for rollbacks
+  std::string action;  // "install", "rollback", or "discard"
+  std::string detail;  // failure reason for rollbacks/discards
 };
+
+/// install() sentinel: publish regardless of the live version.
+inline constexpr std::uint64_t kAnyVersion = ~std::uint64_t{0};
 
 class ModelRegistry {
  public:
   /// Validate and publish a bundle; returns the assigned version
   /// (monotonic from 1). Throws without changing the live bundle when
-  /// validation fails.
+  /// validation fails. When `expected_version` is not kAnyVersion and
+  /// the live version no longer matches (another publisher won the
+  /// race), the candidate is journaled as "discard" and an Error
+  /// (kGeneric) is thrown — the stale bundle is never installed.
   std::uint64_t install(std::shared_ptr<const FormatSelector> selector,
-                        std::shared_ptr<const PerfModel> perf = nullptr);
+                        std::shared_ptr<const PerfModel> perf = nullptr,
+                        std::uint64_t expected_version = kAnyVersion);
 
   /// Load model files (selector required, perf optional — empty path
   /// skips it), validate, publish. I/O failures map to kIo, corrupt
@@ -82,6 +98,10 @@ class ModelRegistry {
                const std::string& detail);
 
   mutable std::mutex mu_;
+  /// Serializes whole install attempts (validate → chaos → publish) so
+  /// concurrent publishers are fully ordered. Always acquired before
+  /// mu_; readers take only mu_ and never block on a slow validation.
+  std::mutex publish_mu_;
   std::shared_ptr<const ModelBundle> current_;
   std::uint64_t next_version_ = 1;
   /// Install attempts (including rolled-back ones): the chaos identity,

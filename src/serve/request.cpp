@@ -276,7 +276,8 @@ ParsedLine parse_request_line(const std::string& line) {
         SPMVML_ENSURE_CAT(false, ErrorCategory::kParse,
                           "unknown admin field '" + key + "'");
     }
-    SPMVML_ENSURE_CAT(out.admin.cmd == "swap" || out.admin.cmd == "stats",
+    SPMVML_ENSURE_CAT(out.admin.cmd == "swap" || out.admin.cmd == "stats" ||
+                          out.admin.cmd == "learn",
                       ErrorCategory::kParse,
                       "unknown admin command '" + out.admin.cmd + "'");
     if (out.admin.cmd == "swap") {
@@ -285,7 +286,7 @@ ParsedLine parse_request_line(const std::string& line) {
     } else {
       SPMVML_ENSURE_CAT(
           out.admin.model_path.empty() && out.admin.perf_model_path.empty(),
-          ErrorCategory::kParse, "stats takes no model paths");
+          ErrorCategory::kParse, out.admin.cmd + " takes no model paths");
     }
     return out;
   }

@@ -61,13 +61,16 @@ struct Request {
 ///
 ///   {"cmd":"swap","model":"sel_v2.model","perf_model":"perf_v2.model"}
 ///   {"cmd":"stats","id":"s1"}
+///   {"cmd":"learn","id":"l1"}
 ///
 /// "stats" returns one JSON line with the server's counters, scorecard
 /// summary, ingest stats and a full metrics snapshot — the live stats
-/// plane, no restart or --report needed.
+/// plane, no restart or --report needed. "learn" returns the online
+/// learning loop's state (replay buffer, drift detector, trainer
+/// outcomes; DESIGN.md §5k).
 struct AdminCommand {
   std::string id;
-  std::string cmd;  // "swap" or "stats"
+  std::string cmd;  // "swap", "stats", or "learn"
   std::string model_path;
   std::string perf_model_path;
 };

@@ -1,5 +1,6 @@
 #include "serve/scorecard.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -34,6 +35,8 @@ Scorecard::Scorecard(std::size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {}
 
 void Scorecard::apply(const ScorecardEntry& e, int sign) {
+  if (e.probe) return;  // shadow measurements stay out of the aggregates
+  window_scored_ += sign;
   if (e.chosen == e.predicted_best) window_hits_ += sign;
   window_regret_sum_ += sign * e.regret;
   const double err = rel_err(e);
@@ -43,9 +46,28 @@ void Scorecard::apply(const ScorecardEntry& e, int sign) {
   }
 }
 
+Scorecard::Summary Scorecard::summary_locked() const {
+  Summary s;
+  s.total = total_;
+  s.window = ring_.size();
+  s.scored = static_cast<std::size_t>(std::max<std::int64_t>(window_scored_, 0));
+  if (window_scored_ > 0) {
+    const double scored = static_cast<double>(window_scored_);
+    s.accuracy = static_cast<double>(window_hits_) / scored;
+    s.mean_regret = window_regret_sum_ / scored;
+    s.rme = window_rel_err_count_ > 0
+                ? window_rel_err_sum_ /
+                      static_cast<double>(window_rel_err_count_)
+                : 0.0;
+  }
+  return s;
+}
+
 void Scorecard::record(const ScorecardEntry& e) {
   static obs::Counter records =
       obs::MetricsRegistry::global().counter("serve.scorecard.records");
+  static obs::Counter probes =
+      obs::MetricsRegistry::global().counter("serve.scorecard.probes");
   static obs::Counter hits =
       obs::MetricsRegistry::global().counter("serve.scorecard.hits");
   static obs::Gauge accuracy =
@@ -69,18 +91,14 @@ void Scorecard::record(const ScorecardEntry& e) {
     next_ = (next_ + 1) % capacity_;
     apply(e, +1);
     ++total_;
-    const double window = static_cast<double>(ring_.size());
-    snap.total = total_;
-    snap.window = ring_.size();
-    snap.accuracy = static_cast<double>(window_hits_) / window;
-    snap.mean_regret = window_regret_sum_ / window;
-    snap.rme = window_rel_err_count_ > 0
-                   ? window_rel_err_sum_ /
-                         static_cast<double>(window_rel_err_count_)
-                   : 0.0;
+    snap = summary_locked();
   }
 
   records.inc();
+  if (e.probe) {
+    probes.inc();
+    return;  // shadow measurement: the traffic-facing gauges stand pat
+  }
   if (e.chosen == e.predicted_best) hits.inc();
   accuracy.set(snap.accuracy);
   mean_regret.set(snap.mean_regret);
@@ -102,21 +120,26 @@ std::vector<ScorecardEntry> Scorecard::entries() const {
   return out;
 }
 
+Scorecard::Drained Scorecard::drain_since(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Drained out;
+  out.next_seq = total_;
+  // Retained entries carry sequence numbers [total_ - window, total_);
+  // entry k (the k-th record() ever) lives in slot k % capacity_.
+  const std::uint64_t oldest = total_ - ring_.size();
+  const std::uint64_t first = std::max(seq, oldest);
+  if (seq < oldest) out.dropped = oldest - seq;
+  if (first < total_) {
+    out.entries.reserve(static_cast<std::size_t>(total_ - first));
+    for (std::uint64_t s = first; s < total_; ++s)
+      out.entries.push_back(ring_[static_cast<std::size_t>(s % capacity_)]);
+  }
+  return out;
+}
+
 Scorecard::Summary Scorecard::summary() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Summary s;
-  s.total = total_;
-  s.window = ring_.size();
-  if (!ring_.empty()) {
-    const double window = static_cast<double>(ring_.size());
-    s.accuracy = static_cast<double>(window_hits_) / window;
-    s.mean_regret = window_regret_sum_ / window;
-    s.rme = window_rel_err_count_ > 0
-                ? window_rel_err_sum_ /
-                      static_cast<double>(window_rel_err_count_)
-                : 0.0;
-  }
-  return s;
+  return summary_locked();
 }
 
 }  // namespace spmvml::serve

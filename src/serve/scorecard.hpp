@@ -2,14 +2,15 @@
 // vs what the hardware did".
 //
 // Whenever a materialize request runs a real conversion + SpMV, the
-// service records one ScorecardEntry — the features fingerprint, the
-// chosen format, the perf model's predicted-best format and predicted
-// GFLOPS, the measured GFLOPS of the actual SpMV, and the chosen-vs-best
-// regret under the model's own time predictions. Entries land in a
-// bounded ring journal (oldest evicted first) and roll up into live
-// registry gauges:
+// service records one ScorecardEntry — the feature values and their
+// fingerprint, the chosen format, the perf model's predicted-best format
+// and predicted GFLOPS, the measured GFLOPS of the actual SpMV, and the
+// chosen-vs-best regret under the model's own time predictions. Entries
+// land in a bounded ring journal (oldest evicted first) and roll up into
+// live registry gauges:
 //
 //   serve.scorecard.records   counter  entries ever recorded
+//   serve.scorecard.probes    counter  shadow-probe entries recorded
 //   serve.scorecard.hits      counter  chosen == predicted-best
 //   serve.scorecard.accuracy  gauge    hit fraction over the ring window
 //   serve.scorecard.mean_regret gauge  mean regret over the window
@@ -17,20 +18,30 @@
 //                                      window (entries with both sides)
 //   serve.scorecard.rel_err   histogram per-entry |pred-meas|/meas
 //
-// This is exactly the drift feed the ROADMAP "close the loop" item needs:
-// a retraining loop can drain entries() (features hash ↔ measured truth)
-// or watch the gauges for drift without touching request paths.
+// Probe entries (probe = true) are shadow measurements the learning loop
+// takes of formats the service did *not* serve; they ride the ring as
+// training data but are excluded from every window aggregate so the
+// accuracy/RME gauges keep describing real traffic only.
+//
+// This is the drift feed the ROADMAP "close the loop" item needs: the
+// retraining loop drains new entries via drain_since() (features ↔
+// measured truth) and watches the window aggregates for drift without
+// touching request paths.
 //
 // Thread-safety: record() and the read accessors take one mutex; the ring
 // aggregates (hits, regret, RME sums) are maintained incrementally so a
-// record is O(1), never a rescan of the window.
+// record is O(1), never a rescan of the window. drain_since(seq) returns
+// only entries newer than `seq`, so a steady poller pays O(new entries)
+// per call instead of entries()'s O(window) copy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "features/features.hpp"
 #include "sparse/format.hpp"
 
 namespace spmvml::serve {
@@ -42,6 +53,9 @@ std::uint64_t features_fingerprint(std::span<const double> values);
 
 struct ScorecardEntry {
   std::uint64_t features_hash = 0;
+  /// Full Table-II feature values (the retraining design matrix; the
+  /// hash above is their fingerprint).
+  std::array<double, kNumFeatures> features{};
   Format chosen = Format::kCsr;
   /// argmin of the perf model's predicted times; == chosen when no perf
   /// model was available (accuracy then measures classifier self-agreement).
@@ -52,6 +66,9 @@ struct ScorecardEntry {
   /// the chosen format is the predicted best or no perf model ran.
   double regret = 0.0;
   std::uint64_t model_version = 0;
+  /// Shadow measurement of a non-served format (learning loop only):
+  /// excluded from window aggregates, never affects the served response.
+  bool probe = false;
 };
 
 class Scorecard {
@@ -65,18 +82,37 @@ class Scorecard {
   /// Ring contents, oldest first (the retraining feed).
   std::vector<ScorecardEntry> entries() const;
 
+  /// Result of a cursor-based drain: entries with sequence number in
+  /// [seq, next_seq), oldest first. Sequence numbers count entries ever
+  /// recorded (entry k is the k-th record(), starting at 0); pass
+  /// next_seq back on the next call to see only what is new.
+  struct Drained {
+    std::uint64_t next_seq = 0;
+    /// Entries evicted from the ring before this caller drained them
+    /// (cursor fell more than one window behind).
+    std::uint64_t dropped = 0;
+    std::vector<ScorecardEntry> entries;
+  };
+
+  /// Entries recorded at or after sequence number `seq` that are still
+  /// retained. O(new entries) under the lock — the poller-friendly
+  /// alternative to entries(). seq == 0 drains the whole window.
+  Drained drain_since(std::uint64_t seq) const;
+
   struct Summary {
-    std::uint64_t total = 0;    // entries ever recorded
+    std::uint64_t total = 0;    // entries ever recorded (probes included)
     std::size_t window = 0;     // entries currently retained
-    double accuracy = 0.0;      // chosen == predicted_best fraction (window)
-    double mean_regret = 0.0;   // mean regret (window)
-    double rme = 0.0;           // mean |pred-meas|/meas (window, both sides)
+    std::size_t scored = 0;     // non-probe entries in the window
+    double accuracy = 0.0;      // chosen == predicted_best fraction (scored)
+    double mean_regret = 0.0;   // mean regret (scored)
+    double rme = 0.0;           // mean |pred-meas|/meas (scored, both sides)
   };
   Summary summary() const;
 
  private:
   /// Window-aggregate delta for one entry entering (+1) or leaving (-1).
   void apply(const ScorecardEntry& e, int sign);
+  Summary summary_locked() const;
 
   mutable std::mutex mu_;
   std::size_t capacity_;
@@ -84,6 +120,8 @@ class Scorecard {
   std::size_t next_ = 0;              // insertion cursor
   std::uint64_t total_ = 0;
   // Incremental window aggregates (signed: apply() subtracts on evict).
+  // Probe entries never enter them; window_scored_ is the denominator.
+  std::int64_t window_scored_ = 0;
   std::int64_t window_hits_ = 0;
   double window_regret_sum_ = 0.0;
   double window_rel_err_sum_ = 0.0;

@@ -12,6 +12,7 @@
 #include "common/obs/log.hpp"
 #include "common/obs/metrics.hpp"
 #include "common/obs/trace.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "features/features.hpp"
 #include "gpusim/fault.hpp"
@@ -91,6 +92,9 @@ Service::Service(ServiceConfig config, ModelRegistry& registry)
     shards_[i]->dispatcher = std::thread([this, i] { dispatcher_loop(i); });
   if (cfg_.watchdog_ms > 0.0)
     watchdog_ = std::thread([this] { watchdog_loop(); });
+  if (cfg_.learn.enabled)
+    trainer_ = std::make_unique<learn::OnlineTrainer>(cfg_.learn, scorecard_,
+                                                      registry_, pool_);
   obs::log_info("serve.start")
       .kv("threads", pool_.size())
       .kv("max_batch", static_cast<std::uint64_t>(cfg_.max_batch))
@@ -210,6 +214,9 @@ void Service::shutdown() {
   std::call_once(shutdown_once_, [this] {
     for (auto& s : shards_)
       if (s->dispatcher.joinable()) s->dispatcher.join();
+    // The trainer stops before the pool drains: its poll thread must not
+    // submit new training tasks once wait_idle() starts counting.
+    if (trainer_) trainer_->stop();
     pool_.wait_idle();
     {
       std::lock_guard<std::mutex> lock(watchdog_mu_);
@@ -953,6 +960,7 @@ void Service::process_batch(std::vector<Pending>& batch) {
 
               ScorecardEntry entry;
               entry.features_hash = features_fingerprint(s.features.values);
+              entry.features = s.features.values;
               entry.chosen = s.rsp.format;
               entry.predicted_best = s.rsp.format;
               entry.measured_gflops = s.rsp.measured_gflops;
@@ -985,6 +993,74 @@ void Service::process_batch(std::vector<Pending>& batch) {
                 }
               }
               scorecard_.record(entry);
+
+              // Shadow probe (learning mode only): convert and time ONE
+              // extra format so the replay buffer accumulates per-format
+              // measured truth — the labels the retraining loop needs.
+              // The probe entry rides the scorecard ring flagged
+              // probe=true (excluded from the traffic aggregates) and
+              // never touches the served response.
+              if (trainer_ != nullptr) {
+                const auto probe_formats =
+                    bundle->perf != nullptr
+                        ? bundle->perf->formats()
+                        : bundle->selector->candidates();
+                if (probe_formats.size() > 1) {
+                  // Mix the matrix fingerprint into the rotation: a bare
+                  // counter resonates with cyclic traffic (N matrices
+                  // polled round-robin with N divisible by the format
+                  // count probes the SAME format for a given matrix
+                  // forever), leaving whole formats unmeasured on a
+                  // regime. Hashing decorrelates the probe choice from
+                  // the arrival pattern while staying deterministic for
+                  // a fixed request order.
+                  const std::uint64_t pseq = hash_combine(
+                      entry.features_hash,
+                      probe_seq_.fetch_add(1, std::memory_order_relaxed));
+                  Format probe_fmt =
+                      probe_formats[pseq % probe_formats.size()];
+                  if (probe_fmt == s.rsp.format)
+                    probe_fmt =
+                        probe_formats[(pseq + 1) % probe_formats.size()];
+                  if (probe_fmt != s.rsp.format &&
+                      (!feasible || feasible(probe_fmt))) {
+                    try {
+                      WallTimer probe_total;
+                      const AnyMatrix<double>& probe_built =
+                          arena.convert(probe_fmt, *s.view);
+                      spmv_x.assign(
+                          static_cast<std::size_t>(s.view->cols()), 1.0);
+                      spmv_y.assign(
+                          static_cast<std::size_t>(s.view->rows()), 0.0);
+                      WallTimer probe_timer;
+                      probe_built.spmv(spmv_x, spmv_y);
+                      const double probe_s =
+                          std::max(probe_timer.seconds(), 1e-9);
+                      ScorecardEntry probe = entry;
+                      probe.probe = true;
+                      probe.chosen = probe_fmt;
+                      probe.measured_gflops = flops / probe_s / 1e9;
+                      probe.predicted_gflops = 0.0;
+                      probe.regret = 0.0;
+                      for (const auto& [f, us] : predicted_us)
+                        if (f == probe_fmt && us > 0.0)
+                          probe.predicted_gflops =
+                              flops / (us * 1e-6) / 1e9;
+                      scorecard_.record(probe);
+                      if (tracing && item.req.trace_sampled)
+                        obs::trace_complete("req.probe",
+                                            probe_total.millis() * 1e3,
+                                            s.rsp.id);
+                    } catch (const Error&) {
+                      // A probe that cannot convert is just a missing
+                      // measurement; the response is already complete.
+                      obs::MetricsRegistry::global()
+                          .counter("serve.probe.failed")
+                          .inc();
+                    }
+                  }
+                }
+              }
               if (tracing && item.req.trace_sampled)
                 obs::trace_complete("req.materialize",
                                     materialize_timer.millis() * 1e3,

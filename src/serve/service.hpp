@@ -69,6 +69,7 @@
 
 #include "common/thread_pool.hpp"
 #include "gpusim/arch.hpp"
+#include "learn/trainer.hpp"
 #include "serve/breaker.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/matrix_cache.hpp"
@@ -127,6 +128,11 @@ struct ServiceConfig {
   /// Tuning shared by the per-stage circuit breakers (features,
   /// inference, regress, materialize).
   BreakerConfig breaker;
+  /// Online learning loop (serve --learn; DESIGN.md §5k). Off by
+  /// default: with enabled == false the trainer is never constructed,
+  /// no shadow probes run, and serving behavior is byte-identical to a
+  /// build without the subsystem.
+  learn::TrainerConfig learn;
 };
 
 class Service {
@@ -158,8 +164,10 @@ class Service {
   const MatrixCache& ingest() const { return ingest_; }
   /// Prediction scorecard: one entry per materialized conversion+SpMV
   /// (predicted vs measured GFLOPS, chosen-vs-best regret). The drift
-  /// feed for the future continual-retraining loop.
+  /// feed for the continual-retraining loop.
   const Scorecard& scorecard() const { return scorecard_; }
+  /// Online trainer; nullptr unless the service runs with learn.enabled.
+  const learn::OnlineTrainer* learner() const { return trainer_.get(); }
 
   struct Counters {
     std::uint64_t served = 0;
@@ -250,6 +258,14 @@ class Service {
   CircuitBreaker inference_breaker_;
   CircuitBreaker regress_breaker_;
   CircuitBreaker materialize_breaker_;
+
+  /// Constructed only when cfg_.learn.enabled; declared after the pool
+  /// and scorecard it references so it is destroyed first (shutdown()
+  /// stops it explicitly before the pool drains).
+  std::unique_ptr<learn::OnlineTrainer> trainer_;
+  /// Round-robin cursor for the shadow-probe format choice (learning
+  /// mode only): which extra format the next materialize request times.
+  std::atomic<std::uint64_t> probe_seq_{0};
 
   std::vector<std::unique_ptr<DispatchShard>> shards_;
   std::atomic<bool> stopping_{false};

@@ -6,7 +6,8 @@
 #                             # -fsanitize=address,undefined
 #   tools/check.sh --tsan     # ThreadSanitizer over the concurrency tests
 #                             # (thread pool, parallel collection, logger +
-#                             # sharded metrics, concurrent arenas); OpenMP
+#                             # sharded metrics, concurrent arenas, the
+#                             # online-learning loop); OpenMP
 #                             # is disabled there because libgomp's
 #                             # uninstrumented runtime trips false positives
 #   tools/check.sh --simd-off # full suite with -DSPMVML_FORCE_SCALAR=ON:
@@ -44,7 +45,7 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     -DSPMVML_ENABLE_OPENMP=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Ingest|Arena|Differential|Chaos|Breaker|Drain'
+    -R 'ThreadPool|ParallelCollector|Parallel\.|Obs|Serve|Ingest|Arena|Differential|Chaos|Breaker|Drain|Learn|Replay|Drift'
 elif [[ "${1:-}" == "--chaos" ]]; then
   echo "== chaos smoke (asan; scripted fault bursts + robustness tests) =="
   cmake -B build-chaos -S . "-DSPMVML_SANITIZE=address;undefined" \

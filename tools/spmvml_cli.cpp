@@ -100,12 +100,24 @@ namespace {
                "[--watchdog-ms F] [--max-retries N]\n"
                "                    [--trace-sample N] [--stats-every-s F] "
                "[--stats-file <file>]\n"
+               "                    [--learn] [--replay-cap N] "
+               "[--drift-rme F] [--retrain-every-s F]\n"
                "                    JSONL requests on stdin, responses on "
                "stdout; a\n"
                "                    {\"cmd\":\"swap\",\"model\":...} line "
                "hot-swaps models, a\n"
                "                    {\"cmd\":\"stats\"} line returns a live "
-               "metrics snapshot;\n"
+               "metrics snapshot, a\n"
+               "                    {\"cmd\":\"learn\"} line the learning-"
+               "loop state;\n"
+               "                    --learn (SPMVML_LEARN=1) retrains "
+               "models in the background\n"
+               "                    from measured traffic and hot-swaps "
+               "improvements in\n"
+               "                    (replay cap SPMVML_LEARN_REPLAY_CAP, "
+               "drift threshold\n"
+               "                    SPMVML_LEARN_DRIFT_RME, periodic "
+               "retrain SPMVML_LEARN_RETRAIN_EVERY_S);\n"
                "                    --trace-sample N tags every Nth request "
                "with id'd trace\n"
                "                    spans (SPMVML_TRACE_SAMPLE), "
@@ -137,7 +149,8 @@ namespace {
 
 /// Flags that take no value; everything else consumes the next token.
 bool is_flag_option(const std::string& name) {
-  return name == "verbose" || name == "quiet" || name == "self-test";
+  return name == "verbose" || name == "quiet" || name == "self-test" ||
+         name == "learn";
 }
 
 struct Args {
@@ -432,6 +445,24 @@ int cmd_serve(const Args& a) {
   cfg.max_retries =
       static_cast<int>(numeric_opt(a, "max-retries", 2.0, 0.0, 100.0));
 
+  // Online learning loop (DESIGN.md §5k): flag > env > default, like
+  // every other serving knob. --learn (SPMVML_LEARN=1) turns on shadow
+  // probes + replay + drift-triggered background retraining; the other
+  // knobs tune it. Off by default: serving is then byte-identical to a
+  // build without the subsystem.
+  cfg.learn.enabled =
+      a.options.count("learn") != 0 || env_int("SPMVML_LEARN", 0) != 0;
+  cfg.learn.replay_capacity = static_cast<std::size_t>(numeric_opt(
+      a, "replay-cap",
+      static_cast<double>(env_int("SPMVML_LEARN_REPLAY_CAP", 4096)), 1.0,
+      1e7));
+  cfg.learn.drift.rme_threshold = numeric_opt(
+      a, "drift-rme", env_double("SPMVML_LEARN_DRIFT_RME", 0.5), 0.0, 1e6);
+  cfg.learn.retrain_every_s = numeric_opt(
+      a, "retrain-every-s", env_double("SPMVML_LEARN_RETRAIN_EVERY_S", 0.0),
+      0.0, 1e9);
+  cfg.learn.seed = root_seed();
+
   // Per-request trace sampling: flag > SPMVML_TRACE_SAMPLE > off. The
   // sentinel -1 means "flag absent", so an explicit --trace-sample 0
   // still turns env-configured sampling off.
@@ -486,6 +517,57 @@ int cmd_serve(const Args& a) {
       continue;
     }
     if (parsed.is_admin) {
+      if (parsed.admin.cmd == "learn") {
+        // Learning-loop stats plane: replay buffer, drift detector and
+        // trainer outcomes as one JSON line (DESIGN.md §5k).
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.begin_object();
+        if (!parsed.admin.id.empty())
+          w.kv("id", std::string_view(parsed.admin.id));
+        w.kv("ok", true);
+        w.kv("server_ms", line_timer.millis());
+        w.key("learn");
+        w.begin_object();
+        const auto* learner = service.learner();
+        w.kv("enabled", learner != nullptr);
+        if (learner != nullptr) {
+          const auto ls = learner->stats();
+          w.kv("polls", ls.polls);
+          w.kv("drained", ls.drained);
+          w.kv("dropped", ls.dropped);
+          w.kv("retrains", ls.retrains);
+          w.kv("swaps", ls.swaps);
+          w.kv("discards", ls.discards);
+          w.kv("aborted", ls.aborted);
+          w.kv("last_published_version", ls.last_published_version);
+          w.kv("last_candidate_regret", ls.last_candidate_regret);
+          w.kv("last_live_regret", ls.last_live_regret);
+          w.kv("last_candidate_rme", ls.last_candidate_rme);
+          w.kv("last_live_rme", ls.last_live_rme);
+          w.key("replay");
+          w.begin_object();
+          w.kv("size", static_cast<std::uint64_t>(ls.replay.size));
+          w.kv("observations", ls.replay.observations);
+          w.kv("inserted", ls.replay.inserted);
+          w.kv("evictions", ls.replay.evictions);
+          w.kv("skipped", ls.replay.skipped);
+          w.end_object();
+          w.key("drift");
+          w.begin_object();
+          w.kv("windows", ls.drift.windows);
+          w.kv("drifted_windows", ls.drift.drifted_windows);
+          w.kv("trips", ls.drift.trips);
+          w.kv("tripped", ls.drift.tripped);
+          w.kv("last_accuracy", ls.drift.last_accuracy);
+          w.kv("last_rme", ls.drift.last_rme);
+          w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        emit(os.str());
+        continue;
+      }
       if (parsed.admin.cmd == "stats") {
         // Live stats plane: one compact JSON line with the server's
         // counters, scorecard summary, ingest stats and the full metrics
