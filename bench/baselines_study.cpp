@@ -1,5 +1,5 @@
 // Supporting experiment for §VII: the ML pipeline against the related
-// work's non-ML strategies on the same study (P100, double, 6 formats):
+// work's non-ML strategies on the same study (P100, double, 7 formats):
 //   * analytical bandwidth model (Li et al.'s direction),
 //   * sampling-based runtime probing (Zardoshti et al.),
 //   * confidence-gated hybrid execution (Li et al.'s SMAT).

@@ -5,7 +5,7 @@
 //
 // Trains a small convnet on 32x32 density images of the corpus matrices
 // and compares held-out accuracy against XGBoost on the 11 hand-crafted
-// features, for the P100 double-precision 6-format study.
+// features, for the P100 double-precision 7-format study.
 #include <cstdio>
 
 #include "bench_util.hpp"

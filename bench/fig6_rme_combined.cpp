@@ -1,5 +1,5 @@
 // Reproduces Fig. 6: average relative mean error (RME) of the joint
-// 6-format performance model — MLP regressor vs MLP-ensemble regressor —
+// 7-format performance model — MLP regressor vs MLP-ensemble regressor —
 // for the four feature sets, on both GPUs (double precision).
 #include <cstdio>
 
@@ -31,7 +31,7 @@ double joint_rme(int arch, FeatureSet set, RegressorKind kind,
 }  // namespace
 
 int main() {
-  banner("Fig. 6 — joint 6-format RME: MLP vs MLP ensemble, double precision",
+  banner("Fig. 6 — joint 7-format RME: MLP vs MLP ensemble, double precision",
          "Nisa et al. 2018, Fig. 6");
 
   const std::vector<FeatureSet> sets = {FeatureSet::kSet1, FeatureSet::kSet12,

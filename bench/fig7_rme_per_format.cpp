@@ -1,5 +1,5 @@
 // Reproduces Fig. 7: per-format RME of the MLP-ensemble regressor when
-// each of the six formats is modeled separately, across the four feature
+// each of the seven formats is modeled separately, across the four feature
 // sets, on both GPUs (double precision).
 #include <cstdio>
 

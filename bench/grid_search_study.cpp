@@ -1,6 +1,6 @@
 // Supporting experiment for §IV-D: run the paper's GridSearchCV protocol
 // (its exact XGBoost and SVM grids, 5-fold stratified CV) on the P100
-// double-precision 6-format study and compare the tuned configuration
+// double-precision 7-format study and compare the tuned configuration
 // against this library's defaults on a held-out test split.
 #include <cstdio>
 

@@ -2,7 +2,7 @@
 //
 // Times every format's CPU SpMV three ways — serial scalar fallback,
 // serial SIMD, and the parallel variant — against a replica of the
-// seed's scalar kernels for CSR and ELL, and times format conversions
+// seed-style scalar kernels for CSR, ELL and SELL, and times format conversions
 // fresh (AnyMatrix::build) vs warm (ConversionArena reuse). The bench
 // *asserts* the bitwise contract while it measures: for every matrix
 // and format the scalar, SIMD and parallel y vectors must be
@@ -113,6 +113,30 @@ void seed_spmv_ell(const Ell<double>& a, const std::vector<double>& x,
     }
 }
 
+void seed_spmv_sell(const Sell<double>& a, const std::vector<double>& x,
+                    std::vector<double>& y) {
+  // Branchy slice-by-slice walk with per-row scalar accumulation into the
+  // permuted output — the naive kernel a SELL port would start from.
+  std::fill(y.begin(), y.end(), 0.0);
+  const auto perm = a.perm();
+  const auto cols = a.col_idx();
+  const auto vals = a.values();
+  const auto slice_ptr = a.slice_ptr();
+  for (index_t s = 0; s < a.num_slices(); ++s) {
+    const index_t height = a.slice_rows(s);
+    const index_t base = slice_ptr[static_cast<std::size_t>(s)];
+    for (index_t k = 0; k < a.slice_width(s); ++k)
+      for (index_t i = 0; i < height; ++i) {
+        const index_t c = cols[static_cast<std::size_t>(base + k * height + i)];
+        if (c != Sell<double>::kPad)
+          y[static_cast<std::size_t>(perm[static_cast<std::size_t>(
+              s * a.slice_height() + i)])] +=
+              vals[static_cast<std::size_t>(base + k * height + i)] *
+              x[static_cast<std::size_t>(c)];
+      }
+  }
+}
+
 /// Parallel dispatch over the variant; COO and CSR5 have no parallel
 /// decomposition (their segmented carries are sequential), so they fall
 /// back to the serial kernel and the bench records them as such.
@@ -124,6 +148,7 @@ void spmv_parallel_any(const AnyMatrix<double>& m, const std::vector<double>& x,
     case Format::kHyb: return spmv_parallel(m.get<Hyb<double>>(), x, y);
     case Format::kMergeCsr:
       return spmv_parallel(m.get<MergeCsr<double>>(), x, y);
+    case Format::kSell: return spmv_parallel(m.get<Sell<double>>(), x, y);
     case Format::kCoo:
     case Format::kCsr5: return m.spmv(x, y);
   }
@@ -159,7 +184,8 @@ int main_impl(int argc, char** argv) {
   const auto suite = matrix_suite(cfg);
   const bool simd_available = simd::enabled();
   bool all_bitwise_ok = true;
-  double csr_best_speedup = 0.0, ell_best_speedup = 0.0;
+  double csr_best_speedup = 0.0, ell_best_speedup = 0.0,
+         sell_best_speedup = 0.0;
 
   std::ostringstream os;
   JsonWriter json(os, /*indent=*/2);
@@ -229,7 +255,7 @@ int main_impl(int argc, char** argv) {
                      spec.name, format_name(f));
       }
 
-      // Seed-replica baseline for the two formats the acceptance gates.
+      // Seed-replica baseline for the formats the acceptance gates.
       // Replicas read the arena's arrays — the same bytes the SIMD
       // kernels just touched — so memory placement can't skew the
       // comparison.
@@ -248,6 +274,13 @@ int main_impl(int argc, char** argv) {
         seed_gflops = flops / t_seed / 1e9;
         speedup_vs_seed = t_seed / std::min(t_simd, t_par);
         ell_best_speedup = std::max(ell_best_speedup, speedup_vs_seed);
+      } else if (f == Format::kSell) {
+        const auto& sell = m.get<Sell<double>>();
+        const double t_seed =
+            time_min([&] { seed_spmv_sell(sell, x, y_seed); }, cfg.reps());
+        seed_gflops = flops / t_seed / 1e9;
+        speedup_vs_seed = t_seed / std::min(t_simd, t_par);
+        sell_best_speedup = std::max(sell_best_speedup, speedup_vs_seed);
       }
 
       json.key(format_name(f));
@@ -273,6 +306,7 @@ int main_impl(int argc, char** argv) {
   json.begin_object();
   json.kv("csr_speedup_vs_seed", csr_best_speedup);
   json.kv("ell_speedup_vs_seed", ell_best_speedup);
+  json.kv("sell_speedup_vs_seed", sell_best_speedup);
   json.end_object();
   json.kv("bitwise_identical", all_bitwise_ok);
   json.end_object();
@@ -287,8 +321,10 @@ int main_impl(int argc, char** argv) {
     }
   }
   std::printf("%s\n", payload.c_str());
-  std::fprintf(stderr, "csr_speedup=%.2fx ell_speedup=%.2fx bitwise=%s\n",
-               csr_best_speedup, ell_best_speedup,
+  std::fprintf(stderr,
+               "csr_speedup=%.2fx ell_speedup=%.2fx sell_speedup=%.2fx "
+               "bitwise=%s\n",
+               csr_best_speedup, ell_best_speedup, sell_best_speedup,
                all_bitwise_ok ? "ok" : "VIOLATED");
   return all_bitwise_ok ? 0 : 1;
 }

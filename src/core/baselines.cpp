@@ -59,6 +59,16 @@ double AnalyticalModel::predict_seconds(const FeatureVector& f,
       traffic = nnz * (idx + w) * 1.08 + rows * idx + gather + y_bytes;
       launches = 1.15;
       break;
+    case Format::kSell: {
+      // Sliced-ELL padding estimated from the length distribution alone:
+      // a sorted 32-row slice pads roughly to mu + sigma, capped at the
+      // max row (the model cannot see the true per-slice widths).
+      const double sigma = f[kNnzSigma];
+      const double est_width = std::min(row_max, mu + sigma);
+      traffic = rows * est_width * (idx + w) + rows * idx + gather + y_bytes;
+      launches = 1.1;
+      break;
+    }
   }
   return launches * arch_.launch_overhead_s + traffic / (bw * 0.9);
 }
@@ -124,7 +134,10 @@ ConfidenceSelector::Choice ConfidenceSelector::select(
     const std::vector<double>& features,
     std::span<const double> measured_times) const {
   const auto probs = model_.predict_proba(features);
-  SPMVML_ENSURE(probs.size() == measured_times.size(),
+  // Classifiers size their probability vector by the largest label seen in
+  // training, so a candidate format that never won the training argmin is
+  // simply absent — treat it as probability zero rather than a hard error.
+  SPMVML_ENSURE(probs.size() <= measured_times.size() && probs.size() >= 2,
                 "probability / time size mismatch");
   const auto top =
       static_cast<std::size_t>(std::max_element(probs.begin(), probs.end()) -

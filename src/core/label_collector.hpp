@@ -1,6 +1,6 @@
 // Label collection (§IV-B): run the measurement oracle for every matrix in
 // a corpus plan and keep one compact record per matrix — features plus the
-// mean execution time for all 6 formats x 2 GPUs x 2 precisions.
+// mean execution time for all 7 formats x 2 GPUs x 2 precisions.
 //
 // Matrices are generated, scanned and discarded one at a time (the full
 // corpus would not fit in memory), and the result can be cached to CSV so

@@ -30,7 +30,7 @@ ClassificationStudy make_classification_study(
   study.candidates.assign(candidates.begin(), candidates.end());
   for (const auto& rec : corpus.records) {
     if (drop_coo_best) {
-      // §V-A: skip matrices where COO wins outright over all six formats.
+      // §V-A: skip matrices where COO wins outright over every format.
       bool coo_best = rec.valid(arch, prec, Format::kCoo);
       const double coo_t = rec.time(arch, prec, Format::kCoo);
       for (Format f : kAllFormats)
@@ -112,14 +112,14 @@ CooCensus coo_census(const LabeledCorpus& corpus, int arch, Precision prec) {
     // Records whose COO cell failed cannot be COO-best.
     if (!rec.valid(arch, prec, Format::kCoo)) continue;
     const double coo_t = rec.time(arch, prec, Format::kCoo);
-    double best_other6 = std::numeric_limits<double>::infinity();
+    double best_other = std::numeric_limits<double>::infinity();
     for (Format f : kAllFormats)
       if (f != Format::kCoo && rec.valid(arch, prec, f))
-        best_other6 = std::min(best_other6, rec.time(arch, prec, f));
-    if (coo_t < best_other6) {
-      ++census.coo_best_all6;
-      if (std::isfinite(best_other6)) {
-        penalty_sum += best_other6 / coo_t;
+        best_other = std::min(best_other, rec.time(arch, prec, f));
+    if (coo_t < best_other) {
+      ++census.coo_best_all;
+      if (std::isfinite(best_other)) {
+        penalty_sum += best_other / coo_t;
         ++penalty_count;
       }
     }

@@ -31,7 +31,7 @@ ClassificationStudy make_classification_study(
 
 /// Regression study (§VI): predict execution time.
 /// Joint mode appends a one-hot format encoding to the features so one
-/// model covers all 6 formats (the paper's "combined" model); per-format
+/// model covers all 7 formats (the paper's "combined" model); per-format
 /// mode emits one dataset per format.
 struct RegressionStudy {
   ml::Dataset data;   // targets = log10(seconds); see note below
@@ -59,7 +59,7 @@ double seconds_to_regression_target(double seconds);
 /// mean penalty (best-other / best) over those cases.
 struct CooCensus {
   std::size_t total = 0;
-  std::size_t coo_best_all6 = 0;   // COO beats the other five
+  std::size_t coo_best_all = 0;   // COO beats the other six
   std::size_t coo_best_basic4 = 0; // COO beats ELL/CSR/HYB
   double mean_exclusion_penalty = 1.0;
 };

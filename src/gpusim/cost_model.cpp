@@ -161,6 +161,24 @@ CostBreakdown simulate_cost(const RowSummary& s, Format f, const GpuArch& arch,
       launches = p.launches_merge;
       break;
     }
+    case Format::kSell: {
+      // ELL's coalesced column-major streaming over the *sorted-slice*
+      // slot count (sell_slots <= rows * row_max, far fewer on skewed
+      // matrices), plus the permutation array on the y scatter side.
+      const double slots = static_cast<double>(s.sell_slots);
+      traffic = slots * (kIdxBytes + w) + rows * kIdxBytes +
+                gather * p.texture_gather_factor + y_bytes;
+      eff = p.eff_sell;
+      exec_steps = slots * p.sell_exec_overhead;
+      // Thread-per-row inside each slice: the widest slice holds the
+      // longest row, so the closing warp still grinds row_max slots —
+      // but the sort packs its peers into the same slice, so the rest
+      // of the device is already done. Same tail shape as ELL.
+      tail = row_max / warp_step_rate;
+      setup = 2.0 * p.setup_cycles_basic;  // slice-width/permutation pass
+      launches = p.launches_sell;
+      break;
+    }
   }
 
   out.traffic_bytes = traffic;

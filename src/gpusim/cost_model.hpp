@@ -1,6 +1,6 @@
 // Per-format GPU SpMV cost models.
 //
-// For each of the six formats the model computes
+// For each of the seven formats the model computes
 //   time = launches * launch_overhead
 //        + max( memory_time, execution_time, flop_time ) + serial extras
 // where
@@ -32,7 +32,9 @@ namespace spmvml {
 /// caches carry it so stale measurements are never silently reused.
 /// v8: blocked feature extraction (merged Welford accumulators can shift
 /// set-2/3 features of >4096-row matrices in the last ulp).
-inline constexpr int kOracleVersion = 8;
+/// v9: SELL-C-sigma joins as the seventh format (new per-format model,
+/// and the best-format label space changes for every matrix).
+inline constexpr int kOracleVersion = 9;
 
 /// Tunable constants of the cost model (defaults reproduce the paper's
 /// qualitative format landscape; see bench/ablation_oracle).
@@ -46,6 +48,9 @@ struct CostParams {
   double eff_hyb = 0.95;
   double eff_csr5 = 0.96;
   double eff_merge = 0.88;
+  // SELL streams its slices column-major like ELL but scatters y through
+  // the sorted-row permutation, costing a little write coalescing.
+  double eff_sell = 0.96;
   // Vector-CSR transactions are only fully used when a row spans the
   // warp; short rows waste most of each 32-wide load. Effective
   // efficiency is eff_csr_vector * clamp(row_mu/32, this floor, 1).
@@ -60,6 +65,9 @@ struct CostParams {
   // transpose + segmented sum, and merge's path bookkeeping.
   double csr5_exec_overhead = 1.35;
   double merge_exec_overhead = 1.25;
+  // SELL's per-slot predication plus the permutation indirection on the
+  // y write side.
+  double sell_exec_overhead = 1.10;
   // Fixed kernel setup cost (cycles).
   double setup_cycles_basic = 3.0e3;
   double setup_cycles_csr5 = 2.5e4;
@@ -71,6 +79,7 @@ struct CostParams {
   double launches_merge = 1.15;
   double launches_hyb = 1.6;
   double launches_coo = 1.3;  // flat kernel + carry fix-up pass
+  double launches_sell = 1.1;  // slice-descriptor pass partially overlaps
   // x-gather model.
   double gather_line_bytes = 32.0;   // L2 sector size
   double l2_reuse_boost = 3.0;       // temporal reuse multiplier on capacity

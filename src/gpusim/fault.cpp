@@ -50,6 +50,13 @@ double format_device_bytes(const RowSummary& s, Format f, Precision prec) {
       return nnz * (kIdxBytes + w) + (rows + 1.0) * kIdxBytes +
              partitions * 8.0 + vectors;
     }
+    case Format::kSell: {
+      // Sorted-slice slots + the row permutation and slice descriptors.
+      const double slices =
+          std::ceil(rows / static_cast<double>(kSellDefaultC));
+      return static_cast<double>(s.sell_slots) * (kIdxBytes + w) +
+             rows * kIdxBytes + 2.0 * slices * kIdxBytes + vectors;
+    }
   }
   SPMVML_ENSURE(false, "unreachable: invalid Format");
   return 0.0;

@@ -91,7 +91,8 @@ std::array<Measurement, kNumFormats> MeasurementOracle::measure_all(
   return out;
 }
 
-HostOracle::HostOracle(int reps) : reps_(reps) {
+HostOracle::HostOracle(int reps, const ConvertParams& params)
+    : reps_(reps), arena_(params) {
   SPMVML_ENSURE(reps_ >= 1, "need at least one repetition");
 }
 

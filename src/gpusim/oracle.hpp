@@ -60,7 +60,7 @@ class MeasurementOracle {
   Measurement measure(const RowSummary& s, Format f,
                       std::uint64_t matrix_seed, int attempt = 0) const;
 
-  /// Measure all six formats at once (shares the summary scan).
+  /// Measure all seven formats at once (shares the summary scan).
   std::array<Measurement, kNumFormats> measure_all(
       const RowSummary& s, std::uint64_t matrix_seed, int attempt = 0) const;
 
@@ -82,12 +82,13 @@ class MeasurementOracle {
 class HostOracle {
  public:
   /// reps = timed kernel launches averaged per measurement (one untimed
-  /// warm-up run precedes them).
-  explicit HostOracle(int reps = 5);
+  /// warm-up run precedes them). `params` tunes the conversions (SELL's
+  /// (C, sigma)); the default matches the simulated oracle's digest.
+  explicit HostOracle(int reps = 5, const ConvertParams& params = {});
 
   Measurement measure(const Csr<double>& csr, Format f);
 
-  /// Measure all six formats (shares the x/y vectors and the arena).
+  /// Measure all seven formats (shares the x/y vectors and the arena).
   std::array<Measurement, kNumFormats> measure_all(const Csr<double>& csr);
 
  private:

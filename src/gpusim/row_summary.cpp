@@ -1,6 +1,8 @@
 #include "gpusim/row_summary.hpp"
 
 #include <algorithm>
+#include <array>
+#include <functional>
 #include <limits>
 
 #include "common/stats.hpp"
@@ -82,6 +84,24 @@ RowSummary summarize(const Csr<double>& m) {
     s.hyb_ell_entries += std::min(len, s.hyb_width);
   }
   s.hyb_spill = s.nnz - s.hyb_ell_entries;
+
+  // SELL-C-sigma slots at the default (32, 128), mirroring
+  // Sell::assign_from_csr exactly: sort each sigma window's lengths
+  // descending (sigma is a multiple of C and windows start on slice
+  // boundaries, so slices never straddle windows), then every C-row
+  // chunk pads to its own max; the trailing chunk shrinks to the rows
+  // that exist. The fixed window buffer keeps summarize() heap-free.
+  std::array<index_t, kSellDefaultSigma> window;
+  for (index_t w = 0; w < s.rows; w += kSellDefaultSigma) {
+    const index_t n = std::min<index_t>(kSellDefaultSigma, s.rows - w);
+    for (index_t i = 0; i < n; ++i)
+      window[static_cast<std::size_t>(i)] =
+          m.row_ptr()[w + i + 1] - m.row_ptr()[w + i];
+    std::sort(window.begin(), window.begin() + n, std::greater<index_t>());
+    for (index_t i = 0; i < n; i += kSellDefaultC)
+      s.sell_slots += window[static_cast<std::size_t>(i)] *
+                      std::min<index_t>(kSellDefaultC, n - i);
+  }
   return s;
 }
 

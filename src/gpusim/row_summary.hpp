@@ -1,8 +1,8 @@
 // Structural digest of a sparse matrix for the GPU cost model.
 //
-// Computed in one O(nnz) scan and then shared by all six per-format cost
-// models, so labelling a matrix for 6 formats x 2 GPUs x 2 precisions
-// costs one scan. Crucially, the digest contains *column locality*
+// Computed in one O(nnz) scan and then shared by all seven per-format
+// cost models, so labelling a matrix for 7 formats x 2 GPUs x 2
+// precisions costs one scan. Crucially, the digest contains *column locality*
 // information (avg_stride, span, band fraction) derived from the actual
 // column indices — information the paper's 17 features do NOT capture —
 // which is what keeps the ML problem realistically hard (DESIGN.md §6.1).
@@ -11,6 +11,12 @@
 #include "sparse/csr.hpp"
 
 namespace spmvml {
+
+/// The default SELL-C-sigma tuning the digest (and hence the cost
+/// model's slot accounting) assumes — must mirror Sell::from_csr's
+/// default (C, sigma) = (32, 128).
+inline constexpr index_t kSellDefaultC = 32;
+inline constexpr index_t kSellDefaultSigma = 128;
 
 struct RowSummary {
   index_t rows = 0;
@@ -42,12 +48,24 @@ struct RowSummary {
   index_t hyb_width = 0;
   index_t hyb_ell_entries = 0;
   index_t hyb_spill = 0;
+  // SELL-C-sigma stored slots (incl. per-slice padding) at the default
+  // (C, sigma) = (32, 128): rows sort by descending length inside each
+  // sigma window, each C-row slice pads to its own max. Always within
+  // [nnz, rows * row_max]; the widest slice equals row_max.
+  index_t sell_slots = 0;
 
   /// Padded ELL work: rows * row_max over nnz (1.0 = no padding).
   double ell_padding_ratio() const {
     if (nnz == 0) return 1.0;
     return static_cast<double>(rows) * static_cast<double>(row_max) /
            static_cast<double>(nnz);
+  }
+
+  /// Padded SELL work: sell_slots over nnz (1.0 = no padding; never
+  /// exceeds ell_padding_ratio()).
+  double sell_padding_ratio() const {
+    if (nnz == 0) return 1.0;
+    return static_cast<double>(sell_slots) / static_cast<double>(nnz);
   }
 
   /// Coefficient of variation of row lengths.

@@ -12,6 +12,7 @@ const char* format_name(Format f) {
     case Format::kHyb: return "HYB";
     case Format::kCsr5: return "CSR5";
     case Format::kMergeCsr: return "merge-CSR";
+    case Format::kSell: return "SELL";
   }
   SPMVML_ENSURE(false, "unreachable: invalid Format value");
   return "";

@@ -6,7 +6,9 @@
 
 namespace spmvml {
 
-/// The six storage formats the paper selects between (§II-A).
+/// The paper's six storage formats (§II-A) plus SELL-C-σ, the
+/// SIMD-friendly sliced-ELLPACK variant the ROADMAP promotes to a
+/// first-class seventh class.
 enum class Format : int {
   kCoo = 0,
   kCsr = 1,
@@ -14,20 +16,22 @@ enum class Format : int {
   kHyb = 3,
   kCsr5 = 4,
   kMergeCsr = 5,
+  kSell = 6,
 };
 
-inline constexpr int kNumFormats = 6;
+inline constexpr int kNumFormats = 7;
 
 /// All formats in enum order; handy for range-for in studies/benches.
 inline constexpr std::array<Format, kNumFormats> kAllFormats = {
-    Format::kCoo, Format::kCsr,  Format::kEll,
-    Format::kHyb, Format::kCsr5, Format::kMergeCsr};
+    Format::kCoo, Format::kCsr,      Format::kEll,  Format::kHyb,
+    Format::kCsr5, Format::kMergeCsr, Format::kSell};
 
 /// The three "basic" formats of the paper's Tables IV–VI.
 inline constexpr std::array<Format, 3> kBasicFormats = {
     Format::kEll, Format::kCsr, Format::kHyb};
 
-/// Human-readable name ("COO", "CSR", "ELL", "HYB", "CSR5", "merge-CSR").
+/// Human-readable name ("COO", "CSR", "ELL", "HYB", "CSR5", "merge-CSR",
+/// "SELL").
 const char* format_name(Format f);
 
 /// Parse a name as produced by format_name; throws spmvml::Error on

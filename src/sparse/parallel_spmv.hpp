@@ -11,6 +11,10 @@
 //     any row's accumulation order.
 //   * HYB  — parallel ELL part + serial COO spill (the spill is small by
 //            construction).
+//   * SELL — parallel over slice blocks; the sorted-row permutation
+//     partitions output rows across slices (each y row is owned by
+//     exactly one slice), so blocking cannot race or reorder any row's
+//     ascending-slot-column accumulation.
 //   * merge-CSR — the real merge-path decomposition: y is zero-filled,
 //     every partition accumulates the rows whose boundary it owns (each
 //     such flush is unique to one partition, so writes are race-free),
@@ -32,6 +36,7 @@
 #include "sparse/ell.hpp"
 #include "sparse/hyb.hpp"
 #include "sparse/merge_csr.hpp"
+#include "sparse/sell.hpp"
 #include "sparse/simd.hpp"
 
 namespace spmvml {
@@ -69,6 +74,25 @@ void spmv_parallel(const Ell<ValueT>& a,
     const index_t count = std::min<index_t>(kBlock, a.rows() - begin);
     std::fill(y.begin() + begin, y.begin() + begin + count, ValueT{});
     a.spmv_rows(x, y, begin, count);
+  });
+}
+
+/// y = A*x, parallel over SELL slice blocks (each slice owns the y rows
+/// its permutation entries name — race-free by construction).
+template <typename ValueT>
+void spmv_parallel(const Sell<ValueT>& a,
+                   std::type_identity_t<std::span<const ValueT>> x,
+                   std::type_identity_t<std::span<ValueT>> y) {
+  SPMVML_ENSURE(static_cast<index_t>(x.size()) == a.cols(), "x size != cols");
+  SPMVML_ENSURE(static_cast<index_t>(y.size()) == a.rows(), "y size != rows");
+  const index_t slices = a.num_slices();
+  // ~4096 rows per task, like the ELL row blocking.
+  const index_t per_block =
+      std::max<index_t>(1, 4096 / std::max<index_t>(1, a.slice_height()));
+  const index_t blocks = (slices + per_block - 1) / per_block;
+  parallel_for(blocks, [&](index_t b) {
+    const index_t begin = b * per_block;
+    a.spmv_slices(x, y, begin, std::min<index_t>(per_block, slices - begin));
   });
 }
 

@@ -1,100 +1,180 @@
 #include "sparse/sell.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/simd.hpp"
 
 namespace spmvml {
 
 template <typename ValueT>
 Sell<ValueT> Sell<ValueT>::from_csr(const Csr<ValueT>& csr, index_t c,
                                     index_t sigma) {
-  SPMVML_ENSURE(c >= 1, "slice height must be positive");
-  SPMVML_ENSURE(sigma >= c && sigma % c == 0,
-                "sigma must be a positive multiple of C");
   Sell sell;
-  sell.rows_ = csr.rows();
-  sell.cols_ = csr.cols();
-  sell.nnz_ = csr.nnz();
-  sell.c_ = c;
+  sell.assign_from_csr(csr, c, sigma);
+  return sell;
+}
 
-  // Sort rows by descending length within each sigma window.
-  sell.perm_.resize(static_cast<std::size_t>(csr.rows()));
-  std::iota(sell.perm_.begin(), sell.perm_.end(), 0);
-  for (index_t w = 0; w < csr.rows(); w += sigma) {
-    const auto begin = sell.perm_.begin() + w;
-    const auto end =
-        sell.perm_.begin() + std::min<index_t>(csr.rows(), w + sigma);
-    std::stable_sort(begin, end, [&](index_t a, index_t b) {
-      return csr.row_nnz(a) > csr.row_nnz(b);
+template <typename ValueT>
+void Sell<ValueT>::assign_from_csr(const Csr<ValueT>& csr, index_t c,
+                                   index_t sigma) {
+  SPMVML_ENSURE(c >= 1 && c <= kMaxSliceHeight,
+                "slice height must be in [1, 2^20]");
+  SPMVML_ENSURE(sigma >= c, "sigma must be >= C");
+  rows_ = csr.rows();
+  cols_ = csr.cols();
+  nnz_ = csr.nnz();
+  c_ = c;
+  sigma_ = sigma;
+
+  // Sort rows by descending length within each sigma window. std::sort
+  // with the original index as tie-break is deterministic, reproduces
+  // stable_sort's order exactly (the range starts as iota), and — unlike
+  // libstdc++'s stable_sort — allocates nothing, which the arena's
+  // zero-warm-path-allocation contract requires.
+  perm_.resize(static_cast<std::size_t>(rows_));
+  std::iota(perm_.begin(), perm_.end(), 0);
+  for (index_t w = 0; w < rows_; w += sigma) {
+    const auto begin = perm_.begin() + w;
+    const auto end = perm_.begin() + std::min<index_t>(rows_, w + sigma);
+    std::sort(begin, end, [&](index_t a, index_t b) {
+      const index_t la = csr.row_nnz(a), lb = csr.row_nnz(b);
+      return la != lb ? la > lb : a < b;
     });
   }
 
-  const index_t slices = (csr.rows() + c - 1) / c;
-  sell.slice_ptr_.assign(static_cast<std::size_t>(slices) + 1, 0);
-  sell.slice_width_.assign(static_cast<std::size_t>(slices), 0);
+  // Slice s covers storage rows [s*C, s*C + height_s); the last slice
+  // shrinks to the rows that exist, so slots <= rows * row_max (the ELL
+  // bound) by construction.
+  const index_t slices = c > 0 ? (rows_ + c - 1) / c : 0;
+  slice_ptr_.assign(static_cast<std::size_t>(slices) + 1, 0);
+  slice_width_.assign(static_cast<std::size_t>(slices), 0);
   for (index_t s = 0; s < slices; ++s) {
+    const index_t height = slice_rows(s);
     index_t width = 0;
-    for (index_t i = 0; i < c; ++i) {
-      const index_t sr = s * c + i;
-      if (sr >= csr.rows()) break;
-      width = std::max(width, csr.row_nnz(sell.perm_[static_cast<std::size_t>(sr)]));
-    }
-    sell.slice_width_[static_cast<std::size_t>(s)] = width;
-    sell.slice_ptr_[static_cast<std::size_t>(s) + 1] =
-        sell.slice_ptr_[static_cast<std::size_t>(s)] + width * c;
+    for (index_t i = 0; i < height; ++i)
+      width = std::max(
+          width, csr.row_nnz(perm_[static_cast<std::size_t>(s * c + i)]));
+    SPMVML_ENSURE(width == 0 ||
+                      slice_ptr_[static_cast<std::size_t>(s)] <=
+                          (std::numeric_limits<index_t>::max() -
+                           width * height),
+                  "SELL slot count overflows");
+    slice_width_[static_cast<std::size_t>(s)] = width;
+    slice_ptr_[static_cast<std::size_t>(s) + 1] =
+        slice_ptr_[static_cast<std::size_t>(s)] + width * height;
   }
 
-  const auto slots = static_cast<std::size_t>(sell.slice_ptr_.back());
-  sell.col_idx_.assign(slots, kPad);
-  sell.values_.assign(slots, ValueT{});
+  const auto total = static_cast<std::size_t>(slice_ptr_.back());
+  col_idx_.assign(total, kPad);
+  values_.assign(total, ValueT{});
   for (index_t s = 0; s < slices; ++s) {
-    const index_t base = sell.slice_ptr_[static_cast<std::size_t>(s)];
-    for (index_t i = 0; i < c; ++i) {
-      const index_t sr = s * c + i;
-      if (sr >= csr.rows()) break;
-      const index_t orig = sell.perm_[static_cast<std::size_t>(sr)];
+    const index_t base = slice_ptr_[static_cast<std::size_t>(s)];
+    const index_t height = slice_rows(s);
+    for (index_t i = 0; i < height; ++i) {
+      const index_t orig = perm_[static_cast<std::size_t>(s * c + i)];
       index_t k = 0;
       for (index_t p = csr.row_ptr()[orig]; p < csr.row_ptr()[orig + 1];
            ++p, ++k) {
-        // Column-major within the slice: slot k of all C rows contiguous.
-        const auto at = static_cast<std::size_t>(base + k * c + i);
-        sell.col_idx_[at] = csr.col_idx()[p];
-        sell.values_[at] = csr.values()[p];
+        // Column-major within the slice: slot k of all height rows
+        // contiguous, preserving each row's original column order.
+        const auto at = static_cast<std::size_t>(base + k * height + i);
+        col_idx_[at] = csr.col_idx()[p];
+        values_[at] = csr.values()[p];
       }
     }
   }
-  return sell;
+}
+
+template <typename ValueT>
+Csr<ValueT> Sell<ValueT>::to_csr() const {
+  // Reserve against the *validated* nnz but capped, mirroring the mmio
+  // reader's defense against hostile declared sizes.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  for (index_t s = 0; s < num_slices(); ++s) {
+    const index_t base = slice_ptr_[static_cast<std::size_t>(s)];
+    const index_t height = slice_rows(s);
+    const index_t width = slice_width_[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < height; ++i) {
+      index_t len = 0;
+      for (index_t k = 0; k < width; ++k)
+        if (col_idx_[static_cast<std::size_t>(base + k * height + i)] != kPad)
+          ++len;
+      row_ptr[static_cast<std::size_t>(
+                  perm_[static_cast<std::size_t>(s * c_ + i)]) +
+              1] = len;
+    }
+  }
+  for (index_t r = 0; r < rows_; ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+
+  std::vector<index_t> col_idx;
+  std::vector<ValueT> values;
+  col_idx.reserve(std::min(static_cast<std::size_t>(nnz_), kReserveCap));
+  values.reserve(std::min(static_cast<std::size_t>(nnz_), kReserveCap));
+  col_idx.resize(static_cast<std::size_t>(row_ptr.back()));
+  values.resize(static_cast<std::size_t>(row_ptr.back()));
+  for (index_t s = 0; s < num_slices(); ++s) {
+    const index_t base = slice_ptr_[static_cast<std::size_t>(s)];
+    const index_t height = slice_rows(s);
+    const index_t width = slice_width_[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < height; ++i) {
+      const index_t orig = perm_[static_cast<std::size_t>(s * c_ + i)];
+      std::size_t out = static_cast<std::size_t>(row_ptr[orig]);
+      // Ascending k preserves the row's original column order.
+      for (index_t k = 0; k < width; ++k) {
+        const auto at = static_cast<std::size_t>(base + k * height + i);
+        if (col_idx_[at] == kPad) continue;
+        col_idx[out] = col_idx_[at];
+        values[out] = values_[at];
+        ++out;
+      }
+    }
+  }
+  return Csr<ValueT>(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
 }
 
 template <typename ValueT>
 double Sell<ValueT>::padding_ratio() const {
   if (nnz_ == 0) return 1.0;
-  return static_cast<double>(slice_ptr_.back()) / static_cast<double>(nnz_);
+  return static_cast<double>(slots()) / static_cast<double>(nnz_);
 }
 
 template <typename ValueT>
 void Sell<ValueT>::spmv(std::span<const ValueT> x, std::span<ValueT> y) const {
   SPMVML_ENSURE(static_cast<index_t>(x.size()) == cols_, "x size != cols");
   SPMVML_ENSURE(static_cast<index_t>(y.size()) == rows_, "y size != rows");
-  for (index_t s = 0; s < num_slices(); ++s) {
+  spmv_slices(x, y, 0, num_slices());
+}
+
+template <typename ValueT>
+void Sell<ValueT>::spmv_slices(std::span<const ValueT> x, std::span<ValueT> y,
+                               index_t slice_begin,
+                               index_t slice_count) const {
+  for (index_t s = slice_begin; s < slice_begin + slice_count; ++s) {
     const index_t base = slice_ptr_[static_cast<std::size_t>(s)];
+    const index_t height = slice_rows(s);
     const index_t width = slice_width_[static_cast<std::size_t>(s)];
-    for (index_t i = 0; i < c_; ++i) {
-      const index_t sr = s * c_ + i;
-      if (sr >= rows_) break;
-      ValueT sum{};
-      for (index_t k = 0; k < width; ++k) {
-        const auto at = static_cast<std::size_t>(base + k * c_ + i);
-        const index_t col = col_idx_[at];
-        if (col != kPad) sum += values_[at] * x[col];
-      }
-      y[perm_[static_cast<std::size_t>(sr)]] = sum;
+    const index_t* rows = perm_.data() + s * c_;
+    for (index_t i = 0; i < height; ++i)
+      y[static_cast<std::size_t>(rows[i])] = ValueT{};
+    // Column-major walk: all rows of the slice advance slot k together
+    // (the coalesced/SIMD-friendly order). The slot update is
+    // elementwise (simd::masked_scatter_axpy), so each y[perm[sr]]
+    // accumulates its slots in increasing-k order regardless of SIMD,
+    // slice blocking, or thread count — the bitwise contract.
+    for (index_t k = 0; k < width; ++k) {
+      const auto at = static_cast<std::size_t>(base + k * height);
+      simd::masked_scatter_axpy(values_.data() + at, col_idx_.data() + at,
+                                x.data(), y.data(), rows, height, kPad);
     }
   }
-  // Rows beyond the last slice cannot exist; empty rows got sum 0 above.
 }
 
 template <typename ValueT>
@@ -103,12 +183,31 @@ std::int64_t Sell<ValueT>::bytes() const {
   return static_cast<std::int64_t>(col_idx_.size()) *
              (idx + static_cast<std::int64_t>(sizeof(ValueT))) +
          rows_ * idx +  // permutation
-         static_cast<std::int64_t>(slice_ptr_.size()) * idx;
+         static_cast<std::int64_t>(slice_ptr_.size()) * idx +
+         static_cast<std::int64_t>(slice_width_.size()) * idx;
 }
 
 template <typename ValueT>
 void Sell<ValueT>::validate() const {
-  SPMVML_ENSURE(c_ >= 1, "bad slice height");
+  SPMVML_ENSURE(rows_ >= 0 && cols_ >= 0 && nnz_ >= 0, "negative sizes");
+  SPMVML_ENSURE(c_ >= 1 && c_ <= kMaxSliceHeight, "bad slice height");
+  SPMVML_ENSURE(sigma_ >= c_, "bad sort window");
+  const index_t slices = (rows_ + c_ - 1) / c_;
+  SPMVML_ENSURE(num_slices() == slices, "slice count mismatch");
+  SPMVML_ENSURE(static_cast<index_t>(slice_width_.size()) == slices,
+                "slice width array mismatch");
+  SPMVML_ENSURE(slice_ptr_.front() == 0, "slice_ptr must start at 0");
+  for (index_t s = 0; s < slices; ++s) {
+    const index_t width = slice_width_[static_cast<std::size_t>(s)];
+    SPMVML_ENSURE(width >= 0 && width <= cols_, "slice width out of range");
+    SPMVML_ENSURE(slice_ptr_[static_cast<std::size_t>(s) + 1] ==
+                      slice_ptr_[static_cast<std::size_t>(s)] +
+                          width * slice_rows(s),
+                  "slice_ptr inconsistent with widths");
+  }
+  SPMVML_ENSURE(static_cast<index_t>(col_idx_.size()) == slots() &&
+                    col_idx_.size() == values_.size(),
+                "SELL arrays must cover exactly the slot count");
   SPMVML_ENSURE(static_cast<index_t>(perm_.size()) == rows_,
                 "permutation size mismatch");
   std::vector<char> seen(static_cast<std::size_t>(rows_), 0);

@@ -3,8 +3,21 @@
 // cross-platform SpMV. Rows are sorted by length inside windows of sigma
 // rows, then packed into slices of C rows, each padded only to its own
 // slice's maximum — ELL's coalescing with a fraction of its padding.
+//
+// Layout (DESIGN.md §5l): storage row sr = s*C + i holds original row
+// perm_[sr]; slice s is a column-major height_s x width_s block at
+// slice_ptr_[s], where height_s = min(C, rows - s*C) — the last slice
+// shrinks to the rows that exist, so total slots never exceed ELL's
+// rows * row_max and padding_ratio() stays in [1.0, ELL's ratio].
+// Padding slots carry column kPad (-1) and value 0.
+//
+// The SpMV contract: y[perm_[sr]] accumulates its slots in ascending
+// slot-column order k via the elementwise simd::masked_scatter_axpy, so
+// serial, SIMD and slice-parallel runs are bitwise-identical (§5g), and
+// the permutation partitions output rows across slices (no races).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -20,39 +33,83 @@ class Sell {
  public:
   static constexpr index_t kPad = -1;
 
+  /// Hard cap on the slice height C: a hostile or corrupted parameter
+  /// must not drive the per-slice padding toward rows*C slots (mirrors
+  /// the mmio reader's reserve caps against hostile declared nnz).
+  static constexpr index_t kMaxSliceHeight = index_t{1} << 20;
+
   Sell() = default;
 
-  /// slice height C and sorting window sigma (a multiple of C; sigma == C
-  /// disables reordering beyond the slice itself).
+  /// Slice height C and sorting window sigma >= C. sigma == C disables
+  /// reordering beyond the slice itself; sigma need not divide the row
+  /// count or be a multiple of C (the trailing window is simply
+  /// shorter, and a slice may straddle a window boundary).
   static Sell from_csr(const Csr<ValueT>& csr, index_t c = 32,
                        index_t sigma = 128);
+
+  /// In-place conversion reusing this object's buffers (no allocation
+  /// when capacities already suffice — the ConversionArena warm path;
+  /// the window sort is an in-place std::sort with an index tie-break,
+  /// deterministic and allocation-free).
+  void assign_from_csr(const Csr<ValueT>& csr, index_t c = 32,
+                       index_t sigma = 128);
+
+  /// Back-conversion: strips padding, undoes the row permutation.
+  Csr<ValueT> to_csr() const;
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t nnz() const { return nnz_; }
   index_t slice_height() const { return c_; }
+  index_t sort_window() const { return sigma_; }
   index_t num_slices() const {
     return static_cast<index_t>(slice_ptr_.size()) - 1;
   }
+  /// Rows actually stored in slice s (C except possibly the last).
+  index_t slice_rows(index_t s) const {
+    return std::min<index_t>(c_, rows_ - s * c_);
+  }
+  index_t slice_width(index_t s) const {
+    return slice_width_[static_cast<std::size_t>(s)];
+  }
+  /// Storage row -> original row map (a permutation of [0, rows)).
+  std::span<const index_t> perm() const { return perm_; }
+  std::span<const index_t> slice_ptr() const { return slice_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const ValueT> values() const { return values_; }
+  /// Total stored slots including padding.
+  index_t slots() const { return slice_ptr_.empty() ? 0 : slice_ptr_.back(); }
 
   /// Stored slots over useful entries; between 1.0 and ELL's ratio.
   double padding_ratio() const;
 
   void spmv(std::span<const ValueT> x, std::span<ValueT> y) const;
 
+  /// Slot update restricted to slices [slice_begin, slice_begin +
+  /// slice_count): zero-fills exactly the y rows those slices own (the
+  /// permutation partitions output rows across slices, so parallel
+  /// callers are race-free) and accumulates their slot columns in
+  /// ascending k. The building block spmv() and the slice-parallel
+  /// kernel share, keeping their outputs bitwise-identical.
+  void spmv_slices(std::span<const ValueT> x, std::span<ValueT> y,
+                   index_t slice_begin, index_t slice_count) const;
+
   std::int64_t bytes() const;
 
   void validate() const;
+
+  bool operator==(const Sell&) const = default;
 
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t nnz_ = 0;
   index_t c_ = 0;
+  index_t sigma_ = 0;
   std::vector<index_t> perm_;       // storage row s holds original row perm_[s]
   std::vector<index_t> slice_ptr_;  // start offset of each slice's data
   std::vector<index_t> slice_width_;
-  // Per slice: column-major C x width block at slice_ptr_[s].
+  // Per slice: column-major height_s x width_s block at slice_ptr_[s].
   std::vector<index_t> col_idx_;
   std::vector<ValueT> values_;
 };

@@ -90,6 +90,39 @@ void masked_gather_axpy_portable(const float* vals, const index_t* cols,
   detail::masked_gather_axpy_scalar(vals, cols, x, y, n, pad);
 }
 
+/// Vectorized only for double, mirroring the axpy: products are formed
+/// with one 4-lane vector multiply, then each live lane lands as a
+/// scalar y[rows[j]] += prod[j] store (there is no scatter instruction
+/// to beat, and the scalar adds keep the bits — and any duplicate rows
+/// — exactly in the scalar reference's order).
+void masked_scatter_axpy_portable(const double* vals, const index_t* cols,
+                                  const double* x, double* y,
+                                  const index_t* rows, index_t n,
+                                  index_t pad) {
+  constexpr index_t V = 4;
+  using Vec = VecOf<double>::type;
+  const index_t full = n - n % V;
+  for (index_t i = 0; i < full; i += V) {
+    IndexVec c;
+    Vec v, xv;
+    std::memcpy(&c, cols + i, sizeof c);
+    std::memcpy(&v, vals + i, sizeof v);
+    for (index_t j = 0; j < V; ++j) xv[j] = x[c[j] == pad ? 0 : c[j]];
+    const Vec prod = v * xv;
+    for (index_t j = 0; j < V; ++j)
+      if (c[j] != pad) y[rows[i + j]] += prod[j];
+  }
+  detail::masked_scatter_axpy_scalar(vals + full, cols + full, x, y,
+                                     rows + full, n - full, pad);
+}
+
+void masked_scatter_axpy_portable(const float* vals, const index_t* cols,
+                                  const float* x, float* y,
+                                  const index_t* rows, index_t n,
+                                  index_t pad) {
+  detail::masked_scatter_axpy_scalar(vals, cols, x, y, rows, n, pad);
+}
+
 template <typename T>
 void mul_gather_portable(const T* vals, const index_t* cols, const T* x,
                          T* out, index_t n) {
@@ -173,6 +206,35 @@ __attribute__((target("avx2"))) void masked_gather_axpy_avx2(
                                     n - full, pad);
 }
 
+__attribute__((target("avx2"))) void masked_scatter_axpy_avx2(
+    const double* vals, const index_t* cols, const double* x, double* y,
+    const index_t* rows, index_t n, index_t pad) {
+  const index_t full = n - n % 4;
+  const __m256i pads = _mm256_set1_epi64x(pad);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (index_t i = 0; i < full; i += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + i));
+    const __m256d live = _mm256_castsi256_pd(
+        _mm256_andnot_si256(_mm256_cmpeq_epi64(c, pads), ones));
+    // All-pad blocks dominate the tail columns of a skewed slice —
+    // skip the gather and the scatter stores outright.
+    const int mask = _mm256_movemask_pd(live);
+    if (!mask) continue;
+    const __m256d xv =
+        _mm256_mask_i64gather_pd(_mm256_setzero_pd(), x, c, live, 8);
+    const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(vals + i), xv);
+    double p[4];
+    _mm256_storeu_pd(p, prod);
+    // AVX2 has no scatter: each live lane's += is a scalar store, which
+    // is exactly the scalar reference's operation and order.
+    for (index_t j = 0; j < 4; ++j)
+      if (mask & (1 << j)) y[rows[i + j]] += p[j];
+  }
+  detail::masked_scatter_axpy_scalar(vals + full, cols + full, x, y,
+                                     rows + full, n - full, pad);
+}
+
 __attribute__((target("avx2"))) void mul_gather_avx2(const double* vals,
                                                      const index_t* cols,
                                                      const double* x,
@@ -202,6 +264,10 @@ struct DispatchTable {
                    index_t, index_t);
   void (*axpy_f32)(const float*, const index_t*, const float*, float*,
                    index_t, index_t);
+  void (*scat_f64)(const double*, const index_t*, const double*, double*,
+                   const index_t*, index_t, index_t);
+  void (*scat_f32)(const float*, const index_t*, const float*, float*,
+                   const index_t*, index_t, index_t);
   void (*mulg_f64)(const double*, const index_t*, const double*, double*,
                    index_t);
   void (*mulg_f32)(const float*, const index_t*, const float*, float*,
@@ -218,6 +284,14 @@ DispatchTable resolve() {
                   static_cast<void (*)(const float*, const index_t*,
                                        const float*, float*, index_t,
                                        index_t)>(masked_gather_axpy_portable),
+                  static_cast<void (*)(const double*, const index_t*,
+                                       const double*, double*, const index_t*,
+                                       index_t, index_t)>(
+                      masked_scatter_axpy_portable),
+                  static_cast<void (*)(const float*, const index_t*,
+                                       const float*, float*, const index_t*,
+                                       index_t, index_t)>(
+                      masked_scatter_axpy_portable),
                   mul_gather_portable<double>,
                   mul_gather_portable<float>,
                   "portable"};
@@ -225,6 +299,7 @@ DispatchTable resolve() {
   if (__builtin_cpu_supports("avx2")) {
     t.dot_f64 = dot_avx2;
     t.axpy_f64 = masked_gather_axpy_avx2;
+    t.scat_f64 = masked_scatter_axpy_avx2;
     t.mulg_f64 = mul_gather_avx2;
     t.isa = "avx2";
   }
@@ -258,6 +333,16 @@ void masked_gather_axpy_active(const float* vals, const index_t* cols,
                                const float* x, float* y, index_t n,
                                index_t pad) {
   table().axpy_f32(vals, cols, x, y, n, pad);
+}
+void masked_scatter_axpy_active(const double* vals, const index_t* cols,
+                                const double* x, double* y,
+                                const index_t* rows, index_t n, index_t pad) {
+  table().scat_f64(vals, cols, x, y, rows, n, pad);
+}
+void masked_scatter_axpy_active(const float* vals, const index_t* cols,
+                                const float* x, float* y, const index_t* rows,
+                                index_t n, index_t pad) {
+  table().scat_f32(vals, cols, x, y, rows, n, pad);
 }
 void mul_gather_active(const double* vals, const index_t* cols,
                        const double* x, double* out, index_t n) {
@@ -304,6 +389,19 @@ bool check_type() {
 
   detail::masked_gather_axpy_active(vals, masked, x, y_vec, n, index_t{-1});
   detail::masked_gather_axpy_scalar(vals, masked, x, y_sca, n, index_t{-1});
+  if (std::memcmp(y_vec, y_sca, sizeof y_vec) != 0) return false;
+
+  // Scatter through a non-trivial output permutation (reversal), with
+  // the same pad mask — the SELL slot-column update.
+  index_t rows[n];
+  for (index_t i = 0; i < n; ++i) {
+    rows[i] = n - 1 - i;
+    y_vec[i] = y_sca[i] = static_cast<T>(i) * static_cast<T>(-0.07);
+  }
+  detail::masked_scatter_axpy_active(vals, masked, x, y_vec, rows, n,
+                                     index_t{-1});
+  detail::masked_scatter_axpy_scalar(vals, masked, x, y_sca, rows, n,
+                                     index_t{-1});
   if (std::memcmp(y_vec, y_sca, sizeof y_vec) != 0) return false;
 
   detail::mul_gather_active(vals, cols, x, p_vec, n);

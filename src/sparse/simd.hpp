@@ -22,8 +22,14 @@
 //     element full+j adds into lane j — and the lanes combine with a
 //     fixed pairwise halving tree. Both rules are exact replays: IEEE
 //     ops are elementwise in every tier, so the bits agree.
-//   * masked_gather_axpy() and mul_gather() are elementwise (no
-//     reassociation), so the tiers are trivially bitwise-identical.
+//   * masked_gather_axpy(), masked_scatter_axpy() and mul_gather() are
+//     elementwise (no reassociation), so the tiers are trivially
+//     bitwise-identical. The scatter variant additionally routes each
+//     product through an indirection on the *output* side (the SELL
+//     sorted-row permutation); products are formed with vector
+//     multiplies but every += lands as a scalar store, so duplicate
+//     output rows — impossible for a valid permutation, but part of the
+//     primitive's contract anyway — accumulate in ascending i order.
 //
 // Toggles:
 //   * compile time — SPMVML_FORCE_SCALAR (cmake -DSPMVML_FORCE_SCALAR=ON)
@@ -122,6 +128,16 @@ void masked_gather_axpy_scalar(const T* vals, const index_t* cols, const T* x,
 }
 
 template <typename T>
+void masked_scatter_axpy_scalar(const T* vals, const index_t* cols, const T* x,
+                                T* y, const index_t* rows, index_t n,
+                                index_t pad) {
+  for (index_t i = 0; i < n; ++i) {
+    const index_t c = cols[i];
+    if (c != pad) y[rows[i]] += vals[i] * x[c];
+  }
+}
+
+template <typename T>
 void mul_gather_scalar(const T* vals, const index_t* cols, const T* x, T* out,
                        index_t n) {
   for (index_t i = 0; i < n; ++i) out[i] = vals[i] * x[cols[i]];
@@ -140,6 +156,12 @@ void masked_gather_axpy_active(const double* vals, const index_t* cols,
 void masked_gather_axpy_active(const float* vals, const index_t* cols,
                                const float* x, float* y, index_t n,
                                index_t pad);
+void masked_scatter_axpy_active(const double* vals, const index_t* cols,
+                                const double* x, double* y,
+                                const index_t* rows, index_t n, index_t pad);
+void masked_scatter_axpy_active(const float* vals, const index_t* cols,
+                                const float* x, float* y, const index_t* rows,
+                                index_t n, index_t pad);
 void mul_gather_active(const double* vals, const index_t* cols,
                        const double* x, double* out, index_t n);
 void mul_gather_active(const float* vals, const index_t* cols, const float* x,
@@ -171,6 +193,24 @@ inline void masked_gather_axpy(const T* vals, const index_t* cols, const T* x,
   }
 #endif
   detail::masked_gather_axpy_scalar(vals, cols, x, y, n, pad);
+}
+
+/// y[rows[i]] += vals[i] * x[cols[i]] for every i with cols[i] != pad
+/// (elementwise — the SELL slot-column update through the sorted-row
+/// permutation). rows[0..n) must be valid indices into y; products are
+/// vector multiplies, the += lands scalar per lane, so bits match the
+/// scalar reference and duplicate rows accumulate in ascending i order.
+template <typename T>
+inline void masked_scatter_axpy(const T* vals, const index_t* cols, const T* x,
+                                T* y, const index_t* rows, index_t n,
+                                index_t pad) {
+#if SPMVML_SIMD_VECEXT
+  if (enabled()) {
+    detail::masked_scatter_axpy_active(vals, cols, x, y, rows, n, pad);
+    return;
+  }
+#endif
+  detail::masked_scatter_axpy_scalar(vals, cols, x, y, rows, n, pad);
 }
 
 /// out[i] = vals[i] * x[cols[i]] (elementwise product phase used by the

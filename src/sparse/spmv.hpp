@@ -1,4 +1,4 @@
-// Runtime-dispatched SpMV over any of the six formats.
+// Runtime-dispatched SpMV over any of the seven formats.
 //
 // AnyMatrix owns one concrete representation; build(format, csr) converts
 // a CSR master copy into the requested format. This is the type the
@@ -17,10 +17,22 @@
 #include "sparse/format.hpp"
 #include "sparse/hyb.hpp"
 #include "sparse/merge_csr.hpp"
+#include "sparse/sell.hpp"
 
 namespace spmvml {
 
-/// Sum-type over the six storage formats.
+/// Tunable conversion parameters threaded from the arena/oracle down to
+/// the format constructors. Today this is SELL's (C, sigma) pair; the
+/// defaults match the cost model's assumptions (ML-predicted tuning is
+/// a follow-up, see ROADMAP).
+struct ConvertParams {
+  index_t sell_c = 32;
+  index_t sell_sigma = 128;
+
+  bool operator==(const ConvertParams&) const = default;
+};
+
+/// Sum-type over the seven storage formats.
 template <typename ValueT>
 class AnyMatrix {
  public:
@@ -37,9 +49,10 @@ class AnyMatrix {
   /// already holds the target alternative its buffers are reused (the
   /// ConversionArena warm path allocates nothing); otherwise the
   /// alternative is emplaced fresh. `scratch`, if given, supplies the
-  /// CSR5 conversion workspace.
+  /// CSR5 conversion workspace; `params` carries the SELL (C, sigma).
   void rebuild(Format format, const Csr<ValueT>& csr,
-               ConversionScratch* scratch = nullptr) {
+               ConversionScratch* scratch = nullptr,
+               const ConvertParams& params = {}) {
     format_ = format;
     switch (format) {
       case Format::kCoo: ensure<Coo<ValueT>>().assign_from_csr(csr); break;
@@ -51,6 +64,10 @@ class AnyMatrix {
         break;
       case Format::kMergeCsr:
         ensure<MergeCsr<ValueT>>().assign_from_csr(csr);
+        break;
+      case Format::kSell:
+        ensure<Sell<ValueT>>().assign_from_csr(csr, params.sell_c,
+                                               params.sell_sigma);
         break;
     }
   }
@@ -111,7 +128,7 @@ class AnyMatrix {
   // alternative); format_ matches it.
   Format format_ = Format::kCoo;
   std::variant<Coo<ValueT>, Csr<ValueT>, Ell<ValueT>, Hyb<ValueT>,
-               Csr5<ValueT>, MergeCsr<ValueT>>
+               Csr5<ValueT>, MergeCsr<ValueT>, Sell<ValueT>>
       impl_;
 };
 

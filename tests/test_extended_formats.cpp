@@ -175,10 +175,21 @@ TEST(Sell, SpmvMatchesReferenceAcrossShapes) {
   }
 }
 
-TEST(Sell, RejectsBadSigma) {
+TEST(Sell, RejectsBadParameters) {
   const auto m = small_matrix();
-  EXPECT_THROW(Sell<double>::from_csr(m, 32, 48), Error);  // not multiple
-  EXPECT_THROW(Sell<double>::from_csr(m, 32, 16), Error);  // below C
+  EXPECT_THROW(Sell<double>::from_csr(m, 32, 16), Error);  // sigma below C
+  EXPECT_THROW(Sell<double>::from_csr(m, 0, 128), Error);  // non-positive C
+  EXPECT_THROW(Sell<double>::from_csr(m, -4, 128), Error);
+  // Hostile slice height: capped so padding cannot explode toward C
+  // slots per stored row (mirrors the mmio reserve-cap hardening).
+  EXPECT_THROW(
+      Sell<double>::from_csr(m, (index_t{1} << 20) + 1, index_t{1} << 40),
+      Error);
+  // sigma need not be a multiple of C (slices may straddle windows) —
+  // the result must still be a valid, equivalent matrix.
+  const auto sell = Sell<double>::from_csr(m, 32, 48);
+  sell.validate();
+  EXPECT_EQ(sell.to_csr(), m);
 }
 
 TEST(ExtendedFormats, EmptyRowsHandledEverywhere) {

@@ -1,10 +1,12 @@
 // Property-based cross-format tests: for randomly generated matrices from
-// every structure family, all six formats must compute the same y = A*x
+// every structure family, all seven formats must compute the same y = A*x
 // (up to floating-point reassociation), conversions must preserve nnz, and
-// partition/tile shape choices must not affect results.
+// partition/tile/slice shape choices must not affect results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <tuple>
 #include <vector>
 
@@ -165,6 +167,114 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<index_t, index_t>{32, 16},
                       std::pair<index_t, index_t>{16, 64},
                       std::pair<index_t, index_t>{128, 3}));
+
+// SELL-C-sigma invariants that must hold for ANY (C, sigma) on ANY matrix:
+// the padding ratio is bracketed by [1, ELL's ratio], the stored row order
+// is a permutation, and the SpMV agrees with the CSR reference. Parameters
+// deliberately include sigma values that do not divide the row count and a
+// C that does not divide sigma (slices straddling sort windows).
+using SellPropParam =
+    std::tuple<MatrixFamily, index_t /*C*/, index_t /*sigma*/>;
+
+class SellProperties : public ::testing::TestWithParam<SellPropParam> {};
+
+TEST_P(SellProperties, PaddingPermutationAndSpmv) {
+  const auto [family, c, sigma_raw] = GetParam();
+  const index_t sigma = sigma_raw == 0 ? c : sigma_raw;  // 0 = "no sorting"
+  GenSpec spec;
+  spec.family = family;
+  spec.rows = 443;  // prime: never divisible by C or sigma
+  spec.cols = 401;
+  spec.row_mu = 9.0;
+  spec.row_cv = 1.4;
+  spec.seed = 0x5e11u + static_cast<std::uint64_t>(c);
+  const auto m = generate(spec);
+  const auto sell = Sell<double>::from_csr(m, c, sigma);
+  sell.validate();
+
+  // Padding bracket: at least one slot per nonzero, never worse than ELL
+  // (every slice is at most as wide as the global max row).
+  const auto ell = Ell<double>::from_csr(m);
+  if (m.nnz() > 0) {
+    EXPECT_GE(sell.padding_ratio(), 1.0);
+    EXPECT_LE(sell.padding_ratio(), ell.padding_ratio() + 1e-12);
+  }
+
+  // perm_ is a permutation of [0, rows).
+  auto perm = std::vector<index_t>(sell.perm().begin(), sell.perm().end());
+  ASSERT_EQ(perm.size(), static_cast<std::size_t>(m.rows()));
+  std::sort(perm.begin(), perm.end());
+  for (index_t r = 0; r < m.rows(); ++r)
+    ASSERT_EQ(perm[static_cast<std::size_t>(r)], r);
+
+  // Lossless round trip and SpMV agreement with the CSR reference.
+  EXPECT_EQ(sell.to_csr(), m);
+  const auto x = random_x(m.cols(), 0xce11ULL);
+  std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+  std::vector<double> y(static_cast<std::size_t>(m.rows()), -7.0);
+  spmv_reference(m, x, expect);
+  sell.spmv(x, y);
+  for (index_t r = 0; r < m.rows(); ++r)
+    ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                      expect[static_cast<std::size_t>(r)]),
+              1e-10)
+        << "C=" << c << " sigma=" << sigma << " row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SellProperties,
+    ::testing::Combine(
+        ::testing::Values(MatrixFamily::kPowerLaw, MatrixFamily::kBanded,
+                          MatrixFamily::kUniformRandom),
+        ::testing::Values(index_t{1}, index_t{4}, index_t{32}),
+        // 0 stands for sigma == C (no sorting); 97 is prime, so slices
+        // straddle window boundaries for every C > 1; 10'000 exceeds the
+        // row count: one global sort window.
+        ::testing::Values(index_t{0}, index_t{97}, index_t{10000})));
+
+TEST(SellProperties, HostileShapes) {
+  // Empty rows, one fully dense row, and a sigma that does not divide the
+  // row count must all survive conversion, validate() and SpMV.
+  const index_t n = 64;
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<double> vals;
+  for (index_t c = 0; c < n; ++c) {
+    cols.push_back(c);
+    vals.push_back(1.0 + 0.25 * static_cast<double>(c));
+  }
+  // Row 17 owns every column; rows 20 and 21 get one entry; rest empty.
+  for (index_t r = 0; r < n; ++r) {
+    index_t len = 0;
+    if (r == 17) len = n;
+    if (r == 20 || r == 21) len = 1;
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        row_ptr[static_cast<std::size_t>(r)] + len;
+  }
+  cols.insert(cols.end(), {3, 5});
+  vals.insert(vals.end(), {-2.0, 4.0});
+  Csr<double> m(n, n, std::move(row_ptr), std::move(cols), std::move(vals));
+  m.validate();
+
+  const auto x = random_x(n, 0xdeadULL);
+  std::vector<double> expect(static_cast<std::size_t>(n));
+  spmv_reference(m, x, expect);
+  for (auto [c, sigma] : {std::pair<index_t, index_t>{4, 12},
+                          {8, 24},
+                          {32, 40},
+                          {5, 7}}) {
+    const auto sell = Sell<double>::from_csr(m, c, sigma);
+    sell.validate();
+    EXPECT_EQ(sell.to_csr(), m) << "C=" << c;
+    std::vector<double> y(static_cast<std::size_t>(n), -1.0);
+    sell.spmv(x, y);
+    for (index_t r = 0; r < n; ++r)
+      ASSERT_LT(rel_err(y[static_cast<std::size_t>(r)],
+                        expect[static_cast<std::size_t>(r)]),
+                1e-10)
+          << "C=" << c << " sigma=" << sigma << " row " << r;
+  }
+}
 
 TEST(EdgeCases, SingleEntryMatrixAllFormats) {
   Csr<double> m(1, 1, {0, 1}, {0}, {2.5});

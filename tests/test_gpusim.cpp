@@ -267,7 +267,7 @@ TEST(CostModel, TextureFactorOnlyHelpsEllAndHyb) {
     const double with = simulate_time(s, f, arch, Precision::kDouble, base);
     const double without =
         simulate_time(s, f, arch, Precision::kDouble, no_texture);
-    if (f == Format::kEll || f == Format::kHyb) {
+    if (f == Format::kEll || f == Format::kHyb || f == Format::kSell) {
       EXPECT_LE(with, without) << format_name(f);
     } else {
       EXPECT_DOUBLE_EQ(with, without) << format_name(f);

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sparse/mmio.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
 
 namespace spmvml {
 namespace {
@@ -302,6 +305,54 @@ TEST(MmioFuzz, SingleByteCorruptionNeverCrashes) {
     }
   }
   SUCCEED();  // surviving the corpus without a crash is the assertion
+}
+
+TEST(MmioFuzz, SurvivorsConvertToSellSafely) {
+  // Every mutation of the single-byte-corruption corpus that still parses
+  // is a hostile-but-valid matrix; each must survive SELL conversion at
+  // several (C, sigma) tunings — validate() clean, SpMV agreeing with the
+  // CSR reference — exactly like the reserve-cap hardening promises.
+  const std::string valid =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "4 5 5\n"
+      "1 1 1.0\n"
+      "2 4 2.0\n"
+      "3 2 3.0\n"
+      "4 5 4.0\n"
+      "4 1 -1.0\n";
+  const char hostile[] = {'\0', '%', '-', '9', 'e', ' ', '\n'};
+  int survivors = 0;
+  for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+    for (const char c : hostile) {
+      std::string mutated = valid;
+      mutated[pos] = c;
+      std::istringstream in(mutated);
+      Csr<double> m(0, 0, {0}, {}, {});
+      try {
+        m = read_matrix_market(in);
+      } catch (const Error&) {
+        continue;
+      }
+      ++survivors;
+      std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+      std::vector<double> expect(static_cast<std::size_t>(m.rows()));
+      spmv_reference(m, x, expect);
+      for (auto [sc, sigma] : {std::pair<index_t, index_t>{1, 1},
+                               {4, 12},
+                               {32, 128}}) {
+        const auto sell = Sell<double>::from_csr(m, sc, sigma);
+        sell.validate();
+        ASSERT_EQ(sell.to_csr(), m) << "pos=" << pos << " C=" << sc;
+        std::vector<double> y(static_cast<std::size_t>(m.rows()), -1.0);
+        sell.spmv(x, y);
+        for (index_t r = 0; r < m.rows(); ++r)
+          ASSERT_NEAR(y[static_cast<std::size_t>(r)],
+                      expect[static_cast<std::size_t>(r)], 1e-12)
+              << "pos=" << pos << " C=" << sc;
+      }
+    }
+  }
+  EXPECT_GT(survivors, 0);  // the corpus must actually exercise the path
 }
 
 TEST(MmioFuzz, DeclaredNnzFarBeyondContentThrowsQuickly) {

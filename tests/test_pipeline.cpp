@@ -37,7 +37,7 @@ TEST(Pipeline, HeldOutAccuracyBeatsMajority) {
   const double baseline = static_cast<double>(majority) /
                           static_cast<double>(split.test.labels.size());
   EXPECT_GT(acc, baseline);
-  EXPECT_GT(acc, 0.4);  // far above 1/6 chance on 6 formats
+  EXPECT_GT(acc, 0.4);  // far above 1/7 chance on 7 formats
 }
 
 TEST(Pipeline, RicherFeaturesDoNotHurt) {
@@ -96,7 +96,7 @@ TEST(Pipeline, SelectionSlowdownsMostlySmall) {
 }
 
 TEST(Pipeline, LabelDistributionHasMultipleWinners) {
-  // The corpus must not be degenerate: at least 3 of 6 formats win
+  // The corpus must not be degenerate: at least 3 of 7 formats win
   // somewhere, and the top class stays below 80% (otherwise the
   // classification problem the paper studies would be trivial).
   const auto study = make_classification_study(

@@ -51,6 +51,7 @@ void spmv_parallel_any(const AnyMatrix<double>& m,
     case Format::kHyb: return spmv_parallel(m.get<Hyb<double>>(), x, y);
     case Format::kMergeCsr:
       return spmv_parallel(m.get<MergeCsr<double>>(), x, y);
+    case Format::kSell: return spmv_parallel(m.get<Sell<double>>(), x, y);
     case Format::kCoo:
     case Format::kCsr5: return m.spmv(x, y);
   }
@@ -125,6 +126,58 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(4.0, 24.0),  // below and above the dot cutoff
         ::testing::Values(0.3, 1.2),
         ::testing::Values(7ULL, 1234ULL)));
+
+// --- SELL-C-sigma across the (C, sigma) tuning surface ---------------------
+// The generic suite above covers SELL at the default (32, 128); this one
+// sweeps C in {4, 32} x sigma in {C, 4C, rows} over all six families,
+// asserting the same three-way bitwise contract plus the CSR round trip
+// for every tuning — including sigma = rows, which does not divide the
+// row count and exercises slices straddling sort-window boundaries.
+using SellParam = std::tuple<MatrixFamily, index_t /*C*/, int /*sigma kind*/>;
+
+class SellDifferential : public ::testing::TestWithParam<SellParam> {};
+
+TEST_P(SellDifferential, SerialSimdParallelBitwiseIdenticalAllTunings) {
+  const auto [family, c, sigma_kind] = GetParam();
+  GenSpec spec;
+  spec.family = family;
+  spec.rows = 500;
+  spec.cols = 470;
+  spec.row_mu = 10.0;
+  spec.row_cv = 1.2;
+  spec.seed = 42;
+  const auto csr = generate(spec);
+  const index_t sigma =
+      sigma_kind == 0 ? c : (sigma_kind == 1 ? 4 * c : csr.rows());
+  const auto sell = Sell<double>::from_csr(csr, c, sigma);
+  sell.validate();
+  EXPECT_EQ(sell.to_csr(), csr);
+
+  const auto x = random_x(csr.cols(), 0x5E11ULL ^ static_cast<std::uint64_t>(c));
+  SimdGuard guard;
+  std::vector<double> y_scalar(static_cast<std::size_t>(csr.rows()));
+  std::vector<double> y_simd(y_scalar.size());
+  std::vector<double> y_par(y_scalar.size());
+  simd::set_enabled(false);
+  sell.spmv(x, y_scalar);
+  simd::set_enabled(true);
+  sell.spmv(x, y_simd);
+  spmv_parallel(sell, std::span<const double>(x), std::span<double>(y_par));
+  EXPECT_TRUE(bytes_equal(y_scalar, y_simd))
+      << "C=" << c << " sigma=" << sigma << " family " << family_name(family);
+  EXPECT_TRUE(bytes_equal(y_scalar, y_par))
+      << "C=" << c << " sigma=" << sigma << " family " << family_name(family);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tunings, SellDifferential,
+    ::testing::Combine(
+        ::testing::Values(MatrixFamily::kBanded, MatrixFamily::kStencil,
+                          MatrixFamily::kUniformRandom,
+                          MatrixFamily::kPowerLaw, MatrixFamily::kBlockRandom,
+                          MatrixFamily::kGeomGraph),
+        ::testing::Values(index_t{4}, index_t{32}),
+        ::testing::Values(0, 1, 2)));  // sigma = C, 4C, rows
 
 // --- Primitive semantics ---------------------------------------------------
 // The scalar reference *is* the contract; these pin its definition so a
@@ -251,6 +304,44 @@ TEST(SimdContract, MaskedGatherAxpyMatchesScalarWithPads) {
     simd::set_enabled(true);
     simd::masked_gather_axpy(vals.data(), cols.data(), x.data(),
                              y_active.data(), n, kPad);
+    EXPECT_TRUE(bytes_equal(y_scalar, y_active)) << "n=" << n;
+  }
+}
+
+TEST(SimdContract, MaskedScatterAxpyMatchesScalarWithPads) {
+  // The SELL slot-column update: like the gather axpy but the += lands
+  // through an output-row indirection (the sorted-row permutation).
+  SimdGuard guard;
+  constexpr index_t kPad = -1;
+  Rng rng(58);
+  for (const index_t n : {index_t{1}, index_t{4}, index_t{7}, index_t{64},
+                          index_t{101}}) {
+    std::vector<double> vals(static_cast<std::size_t>(n));
+    std::vector<index_t> cols(static_cast<std::size_t>(n));
+    std::vector<index_t> rows(static_cast<std::size_t>(n));
+    std::vector<double> x(128);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    // rows = a genuine permutation of [0, n) (shuffled), as in SELL.
+    for (index_t i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)] = i;
+    for (index_t i = n - 1; i > 0; --i)
+      std::swap(rows[static_cast<std::size_t>(i)],
+                rows[static_cast<std::size_t>(
+                    rng() % static_cast<std::uint64_t>(i + 1))]);
+    for (index_t i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+      // ~1/3 padded slots plus a whole padded block when n is long.
+      const bool pad = (i >= 8 && i < 16) || rng() % 3 == 0;
+      cols[static_cast<std::size_t>(i)] =
+          pad ? kPad : static_cast<index_t>(rng() % 128);
+    }
+    std::vector<double> y_scalar(static_cast<std::size_t>(n), 0.5);
+    std::vector<double> y_active(y_scalar);
+    simd::detail::masked_scatter_axpy_scalar(vals.data(), cols.data(),
+                                             x.data(), y_scalar.data(),
+                                             rows.data(), n, kPad);
+    simd::set_enabled(true);
+    simd::masked_scatter_axpy(vals.data(), cols.data(), x.data(),
+                              y_active.data(), rows.data(), n, kPad);
     EXPECT_TRUE(bytes_equal(y_scalar, y_active)) << "n=" << n;
   }
 }
@@ -387,6 +478,117 @@ TEST(SpmvDifferentialRegression, CatastrophicCancellationStaysBitwise) {
     spmv_parallel_any(m, x, y_par);
     EXPECT_TRUE(bytes_equal(y_scalar, y_simd)) << format_name(f);
     EXPECT_TRUE(bytes_equal(y_scalar, y_par)) << format_name(f);
+  }
+}
+
+TEST(SpmvDifferentialRegression, SellCutoffStraddlingSliceWidths) {
+  // Row lengths straddle the dot sequential cutoff (16 for double) so
+  // consecutive slices get widths on both sides of every lane-block
+  // boundary; C=4 keeps the scatter primitive on its vector+tail path.
+  SimdGuard guard;
+  std::vector<Triplet<double>> t;
+  const index_t cutoff = simd::kDotSequentialCutoff<double>;
+  const index_t rows = 37;  // not a multiple of C: short last slice
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t len = cutoff - 3 + r % 7;  // 13..19 around the cutoff
+    for (index_t j = 0; j < len; ++j)
+      t.push_back({r, (r * 11 + j * 3) % 64,
+                   0.5 + 0.01 * static_cast<double>(r * 64 + j)});
+  }
+  const auto csr = Csr<double>::from_triplets(rows, 64, t);
+  const auto x = random_x(64, 23);
+  for (const index_t c : {index_t{4}, index_t{5}, index_t{32}}) {
+    const auto sell = Sell<double>::from_csr(csr, c, csr.rows());
+    sell.validate();
+    std::vector<double> y_scalar(static_cast<std::size_t>(rows));
+    std::vector<double> y_simd(y_scalar.size()), y_par(y_scalar.size());
+    simd::set_enabled(false);
+    sell.spmv(x, y_scalar);
+    simd::set_enabled(true);
+    sell.spmv(x, y_simd);
+    spmv_parallel(sell, std::span<const double>(x), std::span<double>(y_par));
+    EXPECT_TRUE(bytes_equal(y_scalar, y_simd)) << "C=" << c;
+    EXPECT_TRUE(bytes_equal(y_scalar, y_par)) << "C=" << c;
+  }
+}
+
+TEST(SpmvDifferentialRegression, SellAllPadSliceAndEmptySlices) {
+  // One long row atop 63 empty ones, C=32 sigma=32: slice 0 is width-20
+  // with 31 all-pad lanes per slot column (whole 4-lane blocks fully
+  // padded — the AVX2 skip path), and slice 1 is width 0 (no slots at
+  // all). Empty rows must still come back exactly 0.0.
+  SimdGuard guard;
+  std::vector<Triplet<double>> t;
+  for (index_t j = 0; j < 20; ++j)
+    t.push_back({0, j * 2, 1.0 + static_cast<double>(j)});
+  const auto csr = Csr<double>::from_triplets(64, 40, t);
+  const auto x = random_x(40, 31);
+  const auto sell = Sell<double>::from_csr(csr, 32, 32);
+  sell.validate();
+  EXPECT_EQ(sell.slice_width(0), 20);
+  EXPECT_EQ(sell.slice_width(1), 0);
+  EXPECT_EQ(sell.to_csr(), csr);
+  std::vector<double> y_scalar(64), y_simd(64), y_par(64);
+  simd::set_enabled(false);
+  sell.spmv(x, y_scalar);
+  simd::set_enabled(true);
+  sell.spmv(x, y_simd);
+  spmv_parallel(sell, std::span<const double>(x), std::span<double>(y_par));
+  EXPECT_TRUE(bytes_equal(y_scalar, y_simd));
+  EXPECT_TRUE(bytes_equal(y_scalar, y_par));
+  for (index_t r = 1; r < 64; ++r) EXPECT_EQ(y_scalar[r], 0.0) << r;
+}
+
+TEST(SpmvDifferentialRegression, SellCancellationReplayUnderPermutation) {
+  // Catastrophic-cancellation values under a *non-trivial* sorted-row
+  // permutation, hand-replayed against the contract: each original row
+  // accumulates its slots in ascending slot-column order k, one IEEE
+  // mul and one add per slot, regardless of where the sort moved the
+  // row. A kernel that reassociates — or reads the permutation on the
+  // wrong side — produces different bits, not just different errors.
+  SimdGuard guard;
+  const index_t rows = 8, n = 48;
+  std::vector<Triplet<double>> t;
+  for (index_t r = 0; r < rows; ++r) {
+    // Descending-then-ascending lengths force the window sort to permute.
+    const index_t len = r % 2 == 0 ? n - r : 4 + r;
+    for (index_t j = 0; j < len; ++j) {
+      const double v = (j % 2 == 0 ? 1e16 : -1e16) +
+                       static_cast<double>(r * 100 + j);
+      t.push_back({r, j, v});
+    }
+  }
+  const auto csr = Csr<double>::from_triplets(rows, n, t);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    x[static_cast<std::size_t>(j)] = 1.0 + 1e-13 * static_cast<double>(j);
+
+  const auto sell = Sell<double>::from_csr(csr, 4, 8);
+  sell.validate();
+  // The permutation must actually reorder rows for this to pin anything.
+  bool permuted = false;
+  for (index_t s = 0; s < rows; ++s)
+    if (sell.perm()[static_cast<std::size_t>(s)] != s) permuted = true;
+  EXPECT_TRUE(permuted);
+
+  // Hand replay from CSR: ascending k is ascending position within the
+  // row (SELL preserves each row's column order).
+  std::vector<double> expect(static_cast<std::size_t>(rows));
+  for (index_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (index_t p = csr.row_ptr()[r]; p < csr.row_ptr()[r + 1]; ++p)
+      acc += csr.values()[p] * x[static_cast<std::size_t>(csr.col_idx()[p])];
+    expect[static_cast<std::size_t>(r)] = acc;
+  }
+
+  for (const bool on : {false, true}) {
+    simd::set_enabled(on);
+    std::vector<double> y(static_cast<std::size_t>(rows));
+    sell.spmv(x, y);
+    EXPECT_TRUE(bytes_equal(expect, y)) << "simd=" << on;
+    std::vector<double> y_par(static_cast<std::size_t>(rows));
+    spmv_parallel(sell, std::span<const double>(x), std::span<double>(y_par));
+    EXPECT_TRUE(bytes_equal(expect, y_par)) << "simd=" << on;
   }
 }
 

@@ -59,7 +59,7 @@ TEST(Study, DropCooBestFiltersRows) {
       FeatureSet::kSet12, true);
   EXPECT_LE(filtered.data.size(), all.data.size());
   const auto census = coo_census(shared_corpus(), 0, Precision::kDouble);
-  EXPECT_EQ(all.data.size() - filtered.data.size(), census.coo_best_all6);
+  EXPECT_EQ(all.data.size() - filtered.data.size(), census.coo_best_all);
 }
 
 TEST(Study, JointRegressionAppendsOneHot) {
@@ -99,7 +99,7 @@ TEST(Study, TargetTransformRoundTrips) {
 TEST(Study, CooCensusCountsAreBounded) {
   const auto census = coo_census(shared_corpus(), 0, Precision::kDouble);
   EXPECT_EQ(census.total, shared_corpus().size());
-  EXPECT_LE(census.coo_best_all6, census.coo_best_basic4);
+  EXPECT_LE(census.coo_best_all, census.coo_best_basic4);
   EXPECT_GE(census.mean_exclusion_penalty, 1.0);
 }
 
